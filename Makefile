@@ -1,0 +1,44 @@
+# Convenience targets; the repository builds with the plain Go toolchain
+# (stdlib only, no module downloads needed).
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+
+experiments:
+	$(GO) run ./cmd/nebulactl experiment --figure all --size small
+
+experiments-large:
+	$(GO) run ./cmd/nebulactl experiment --figure all --size large
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/biocuration
+	$(GO) run ./examples/audit
+	$(GO) run ./examples/propagation
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f bench_output.txt test_output.txt nebula-state.gob

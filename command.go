@@ -1,0 +1,227 @@
+package nebula
+
+import (
+	"fmt"
+	"strings"
+
+	"nebula/internal/relational"
+	"nebula/internal/sqlish"
+)
+
+// CommandResult is the outcome of one ExecCommand call: a message for
+// commands, or a table for queries and listings.
+type CommandResult struct {
+	// Message summarizes command-style statements ("attachment v3
+	// verified").
+	Message string
+	// Columns and Rows carry tabular results (SELECT, LIST PENDING,
+	// DISCOVER, PROCESS).
+	Columns []string
+	Rows    [][]string
+}
+
+// ExecCommand parses and executes one statement of Nebula's extended SQL
+// surface against the engine. Supported statements:
+//
+//	VERIFY ATTACHMENT <vid>        accept a pending verification task
+//	REJECT ATTACHMENT <vid>        reject a pending verification task
+//	LIST PENDING [LIMIT n]         show the pending-task system table
+//	ANNOTATE <tbl> '<pk>' AS '<id>' BODY '<text>'
+//	                               insert an annotation attached to a tuple
+//	DISCOVER '<annotation-id>'     run discovery, report candidates
+//	PROCESS '<annotation-id>'      run discovery + verification routing
+//	SELECT cols FROM tbl [WHERE col = lit [AND ...]] [WITH ANNOTATIONS]
+//	                               query with optional annotation propagation
+//
+// The `VERIFY | REJECT ATTACHMENT` commands are the paper's §7 extension
+// (the spelling ATTACHEMENT is accepted too); the rest round out the
+// surface a curator needs to operate the engine without writing Go.
+func (e *Engine) ExecCommand(command string) (*CommandResult, error) {
+	stmt, err := sqlish.Parse(command)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch s := stmt.(type) {
+	case *sqlish.VerifyStmt:
+		if err := e.verifyAttachment(s.VID); err != nil {
+			return nil, err
+		}
+		return &CommandResult{Message: fmt.Sprintf("attachment v%d verified", s.VID)}, nil
+	case *sqlish.RejectStmt:
+		if err := e.rejectAttachment(s.VID); err != nil {
+			return nil, err
+		}
+		return &CommandResult{Message: fmt.Sprintf("attachment v%d rejected", s.VID)}, nil
+	case *sqlish.ListPendingStmt:
+		return e.execListPending(s)
+	case *sqlish.AnnotateStmt:
+		return e.execAnnotate(s)
+	case *sqlish.DiscoverStmt:
+		return e.execDiscover(s.ID, false)
+	case *sqlish.ProcessStmt:
+		return e.execDiscover(s.ID, true)
+	case *sqlish.SelectStmt:
+		return e.execSelect(s)
+	default:
+		return nil, fmt.Errorf("nebula: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) execListPending(s *sqlish.ListPendingStmt) (*CommandResult, error) {
+	res := &CommandResult{Columns: []string{"vid", "annotation", "tuple", "confidence", "evidence"}}
+	tasks := e.manager.PendingTasks()
+	if s.ByPriority {
+		tasks = e.manager.PendingTasksByPriority()
+	}
+	for _, task := range tasks {
+		if s.Limit > 0 && len(res.Rows) >= s.Limit {
+			break
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("v%d", task.VID),
+			string(task.Annotation),
+			task.Tuple.String(),
+			fmt.Sprintf("%.3f", task.Confidence),
+			strings.Join(task.Evidence, " "),
+		})
+	}
+	res.Message = fmt.Sprintf("%d pending task(s)", len(res.Rows))
+	return res, nil
+}
+
+func (e *Engine) execAnnotate(s *sqlish.AnnotateStmt) (*CommandResult, error) {
+	t, ok := e.db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("nebula: unknown table %q", s.Table)
+	}
+	pkCol, _ := t.Schema().Column(t.Schema().PrimaryKey)
+	pk, err := relational.ParseValue(pkCol.Type, s.PK)
+	if err != nil {
+		return nil, fmt.Errorf("nebula: bad primary key literal: %w", err)
+	}
+	row, ok := t.GetByPK(pk)
+	if !ok {
+		return nil, fmt.Errorf("nebula: no %s tuple with %s = %q", s.Table, t.Schema().PrimaryKey, s.PK)
+	}
+	a := &Annotation{ID: AnnotationID(s.ID), Body: s.Body}
+	if err := e.addAnnotation(a, []TupleID{row.ID}); err != nil {
+		return nil, err
+	}
+	return &CommandResult{Message: fmt.Sprintf("annotation %q attached to %s", s.ID, row.ID)}, nil
+}
+
+func (e *Engine) execDiscover(id string, process bool) (*CommandResult, error) {
+	res := &CommandResult{Columns: []string{"tuple", "confidence", "evidence", "routing"}}
+	if process {
+		disc, outcome, err := e.process(AnnotationID(id))
+		if err != nil {
+			return nil, err
+		}
+		routing := make(map[TupleID]string)
+		for _, t := range outcome.Accepted {
+			routing[t.Tuple] = "auto-accepted"
+		}
+		for _, t := range outcome.Pending {
+			routing[t.Tuple] = fmt.Sprintf("pending v%d", t.VID)
+		}
+		for _, t := range outcome.Rejected {
+			routing[t.Tuple] = "auto-rejected"
+		}
+		for _, c := range disc.Candidates {
+			res.Rows = append(res.Rows, []string{
+				c.Tuple.ID.String(), fmt.Sprintf("%.3f", c.Confidence),
+				strings.Join(c.Evidence, " "), routing[c.Tuple.ID],
+			})
+		}
+		res.Message = fmt.Sprintf("%d candidates: %d accepted, %d pending, %d rejected",
+			len(disc.Candidates), len(outcome.Accepted), len(outcome.Pending), len(outcome.Rejected))
+		return res, nil
+	}
+	disc, err := e.discoverByID(AnnotationID(id))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range disc.Candidates {
+		res.Rows = append(res.Rows, []string{
+			c.Tuple.ID.String(), fmt.Sprintf("%.3f", c.Confidence),
+			strings.Join(c.Evidence, " "), "",
+		})
+	}
+	res.Message = fmt.Sprintf("%d candidates from %d queries", len(disc.Candidates), len(disc.Queries))
+	return res, nil
+}
+
+func (e *Engine) execSelect(s *sqlish.SelectStmt) (*CommandResult, error) {
+	t, ok := e.db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("nebula: unknown table %q", s.Table)
+	}
+	schema := t.Schema()
+	// Resolve projection.
+	projected := s.Columns
+	if len(projected) == 0 {
+		projected = schema.ColumnNames()
+	} else {
+		for _, c := range projected {
+			if _, ok := schema.ColumnIndex(c); !ok {
+				return nil, fmt.Errorf("nebula: table %s has no column %q", s.Table, c)
+			}
+		}
+	}
+	// Build predicates with type coercion.
+	q := StructuredQuery{Table: schema.Name}
+	for _, cond := range s.Where {
+		col, ok := schema.Column(cond.Column)
+		if !ok {
+			return nil, fmt.Errorf("nebula: table %s has no column %q", s.Table, cond.Column)
+		}
+		operand, err := relational.ParseValue(col.Type, cond.Value)
+		if err != nil {
+			return nil, fmt.Errorf("nebula: literal for %s: %w", cond.Column, err)
+		}
+		q.Predicates = append(q.Predicates, Predicate{Column: col.Name, Op: OpEq, Operand: operand})
+	}
+
+	res := &CommandResult{Columns: append([]string(nil), projected...)}
+	if s.WithAnnotations {
+		res.Columns = append(res.Columns, "annotations")
+		prs, err := e.store.PropagateQuery(e.db, q, s.Columns)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range prs {
+			row := projectRow(pr.Row, projected)
+			var anns []string
+			for i, a := range pr.Annotations {
+				if pr.Confidences[i] < 1 {
+					anns = append(anns, fmt.Sprintf("%s(%.2f)", a.ID, pr.Confidences[i]))
+				} else {
+					anns = append(anns, string(a.ID))
+				}
+			}
+			row = append(row, strings.Join(anns, ", "))
+			res.Rows = append(res.Rows, row)
+		}
+	} else {
+		rows, _, err := e.db.Select(q)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			res.Rows = append(res.Rows, projectRow(r, projected))
+		}
+	}
+	res.Message = fmt.Sprintf("%d row(s)", len(res.Rows))
+	return res, nil
+}
+
+func projectRow(r *Row, cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		v, _ := r.Get(c)
+		out[i] = v.Str()
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package nebula_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nebula"
+	"nebula/internal/workload"
+)
+
+// commandFixture builds an engine over the tiny dataset with one workload
+// annotation already inserted, bounds forcing everything into the pending
+// band so the verify/reject commands have material.
+func commandFixture(t *testing.T) (*nebula.Engine, *workload.AnnotationSpec) {
+	t.Helper()
+	opts := nebula.DefaultOptions()
+	opts.Bounds = nebula.Bounds{Lower: 0, Upper: 1}
+	e, ds := engineFixture(t, opts)
+	spec := ds.WorkloadSet(500, workload.RefClass{Min: 4, Max: 6})[0]
+	if err := e.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+		t.Fatal(err)
+	}
+	return e, spec
+}
+
+func TestExecCommandProcessAndVerify(t *testing.T) {
+	e, spec := commandFixture(t)
+	res, err := e.ExecCommand(fmt.Sprintf("PROCESS '%s'", spec.Ann.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatalf("no candidates: %+v", res)
+	}
+	if !strings.Contains(res.Message, "pending") {
+		t.Errorf("message = %q", res.Message)
+	}
+
+	list, err := e.ExecCommand("LIST PENDING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Rows) == 0 {
+		t.Fatal("no pending tasks listed")
+	}
+	vid := list.Rows[0][0] // "vN"
+	if _, err := e.ExecCommand("VERIFY ATTACHMENT " + vid[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Rows) > 1 {
+		vid2 := list.Rows[1][0]
+		if _, err := e.ExecCommand("REJECT ATTACHEMENT " + vid2[1:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The verified attachment is now a true attachment.
+	after, err := e.ExecCommand("LIST PENDING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) >= len(list.Rows) {
+		t.Errorf("pending table did not shrink: %d -> %d", len(list.Rows), len(after.Rows))
+	}
+}
+
+func TestExecCommandListPendingLimit(t *testing.T) {
+	e, spec := commandFixture(t)
+	if _, err := e.ExecCommand(fmt.Sprintf("PROCESS '%s'", spec.Ann.ID)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ExecCommand("LIST PENDING LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("limit ignored: %d rows", len(res.Rows))
+	}
+}
+
+func TestExecCommandAnnotateAndDiscover(t *testing.T) {
+	e, _ := commandFixture(t)
+	// Find a real gene PK to attach to.
+	sel, err := e.ExecCommand("SELECT GID FROM Gene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := sel.Rows[0][0]
+	other := sel.Rows[5][0]
+	cmd := fmt.Sprintf("ANNOTATE Gene '%s' AS 'note1' BODY 'this gene relates to %s'", pk, other)
+	if _, err := e.ExecCommand(cmd); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ExecCommand("DISCOVER 'note1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if strings.Contains(row[0], strings.ToLower(other)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("embedded reference %s not discovered: %+v", other, res.Rows)
+	}
+}
+
+func TestExecCommandSelect(t *testing.T) {
+	e, _ := commandFixture(t)
+	res, err := e.ExecCommand("SELECT GID, Name FROM Gene WHERE GID = 'JW00003'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "JW00003" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if len(res.Columns) != 2 {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// Numeric literal coercion.
+	res, err = e.ExecCommand("SELECT GID FROM Gene WHERE Length = 99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("unexpected rows: %v", res.Rows)
+	}
+}
+
+func TestExecCommandSelectWithAnnotations(t *testing.T) {
+	e, spec := commandFixture(t)
+	// The focal tuple carries the workload annotation.
+	focal := spec.Focal(1)[0]
+	row, _ := e.DB().Lookup(focal)
+	pk := row.MustGet(row.Schema().PrimaryKey).Str()
+	res, err := e.ExecCommand(fmt.Sprintf(
+		"SELECT * FROM %s WHERE %s = '%s' WITH ANNOTATIONS",
+		focal.Table, row.Schema().PrimaryKey, pk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	annCol := res.Rows[0][len(res.Rows[0])-1]
+	if !strings.Contains(annCol, string(spec.Ann.ID)) {
+		t.Errorf("annotation column = %q", annCol)
+	}
+}
+
+func TestExecCommandErrors(t *testing.T) {
+	e, _ := commandFixture(t)
+	for _, bad := range []string{
+		"NONSENSE",
+		"VERIFY ATTACHMENT 99999",
+		"REJECT ATTACHMENT 99999",
+		"SELECT * FROM Missing",
+		"SELECT Nope FROM Gene",
+		"SELECT * FROM Gene WHERE Nope = 'x'",
+		"SELECT * FROM Gene WHERE Length = 'notanint'",
+		"ANNOTATE Missing 'x' AS 'a' BODY 'b'",
+		"ANNOTATE Gene 'NOPE' AS 'a' BODY 'b'",
+		"DISCOVER 'missing-annotation'",
+		"PROCESS 'missing-annotation'",
+	} {
+		if _, err := e.ExecCommand(bad); err == nil {
+			t.Errorf("ExecCommand(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package nebula_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nebula"
+	"nebula/internal/workload"
+)
+
+// TestConcurrentEngineUse exercises the engine from many goroutines at
+// once: inserting annotations, processing them, querying with propagation,
+// listing/resolving pending tasks, and snapshotting. Run with -race.
+func TestConcurrentEngineUse(t *testing.T) {
+	opts := nebula.DefaultOptions()
+	opts.Bounds = nebula.Bounds{Lower: 0.2, Upper: 0.8}
+	e, ds := engineFixture(t, opts)
+
+	specs := ds.WorkloadSet(500, workload.RefClass{})
+	if len(specs) < 8 {
+		t.Fatalf("fixture too small: %d specs", len(specs))
+	}
+	specs = specs[:8]
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Writers: insert + process annotations.
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec *workload.AnnotationSpec) {
+			defer wg.Done()
+			if err := e.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+				errs <- fmt.Errorf("add %d: %w", i, err)
+				return
+			}
+			if _, _, err := e.Process(spec.Ann.ID); err != nil {
+				errs <- fmt.Errorf("process %d: %w", i, err)
+			}
+		}(i, spec)
+	}
+	// Readers: propagation queries and pending listings.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				if _, err := e.PropagateQuery(nebula.StructuredQuery{Table: "Gene"}, nil); err != nil {
+					errs <- err
+					return
+				}
+				_ = e.PendingTasks()
+				_ = e.Bounds()
+			}
+		}()
+	}
+	// Expert: keeps resolving whatever is pending.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		oracle := nebula.IdealOracle(ds.Ideal)
+		for k := 0; k < 20; k++ {
+			for _, spec := range specs {
+				if _, _, err := e.ResolveWithOracle(spec.Ann.ID, oracle); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Sanity: state is coherent afterwards.
+	if e.Store().Len() == 0 || e.Graph().Nodes() == 0 {
+		t.Error("engine state lost")
+	}
+}

@@ -1,0 +1,410 @@
+package nebula
+
+import (
+	"fmt"
+	"sync"
+
+	"nebula/internal/acg"
+	"nebula/internal/annotation"
+	"nebula/internal/discovery"
+	"nebula/internal/keyword"
+	"nebula/internal/relational"
+	"nebula/internal/sigmap"
+	"nebula/internal/verification"
+)
+
+// Engine is the proactive annotation manager: it owns the annotation store,
+// the ACG, the hop profile, and the verification pipeline, and orchestrates
+// the three processing stages of Figure 16 on top of a relational database
+// and a NebulaMeta repository.
+//
+// All Engine methods are safe for concurrent use; operations serialize on
+// an internal mutex. The underlying database, store, and graph returned by
+// the accessors are NOT independently synchronized — mutate them through
+// the engine, or only before sharing the engine across goroutines.
+type Engine struct {
+	mu sync.Mutex
+
+	db      *Database
+	meta    *MetaRepository
+	store   *AnnotationStore
+	graph   *ACG
+	profile *HopProfile
+	manager *verification.Manager
+	opts    Options
+
+	// symbolEngine caches the pre-built index of the symbol-table search
+	// technique for the full database. It is built lazily on first use and
+	// invalidated only by RefreshSearchIndex — index-first techniques go
+	// stale as data changes, which is exactly their documented trade-off.
+	symbolEngine *keyword.SymbolTableEngine
+}
+
+// New creates an engine with a fresh annotation store and ACG.
+func New(db *Database, repo *MetaRepository, opts Options) (*Engine, error) {
+	return NewWithState(db, repo, annotation.NewStore(),
+		acg.New(opts.ACGBatchSize, opts.ACGMu), opts)
+}
+
+// NewWithState creates an engine over an existing annotation store and ACG
+// — the path used when Nebula is layered on an already-annotated database
+// (e.g. the experimental datasets, where the base publications pre-populate
+// both structures).
+func NewWithState(db *Database, repo *MetaRepository, store *AnnotationStore, graph *ACG, opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if db == nil || repo == nil || store == nil || graph == nil {
+		return nil, fmt.Errorf("nebula: nil dependency")
+	}
+	profile := acg.NewProfile()
+	manager, err := verification.NewManager(store, graph, profile, verification.Bounds(opts.Bounds))
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		db:      db,
+		meta:    repo,
+		store:   store,
+		graph:   graph,
+		profile: profile,
+		manager: manager,
+		opts:    opts,
+	}, nil
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *Database { return e.db }
+
+// Meta returns the NebulaMeta repository.
+func (e *Engine) Meta() *MetaRepository { return e.meta }
+
+// Store returns the annotation store.
+func (e *Engine) Store() *AnnotationStore { return e.store }
+
+// Graph returns the ACG.
+func (e *Engine) Graph() *ACG { return e.graph }
+
+// Profile returns the hop-distance profile.
+func (e *Engine) Profile() *HopProfile { return e.profile }
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opts
+}
+
+// SetBounds replaces the verification thresholds.
+func (e *Engine) SetBounds(b Bounds) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.setBounds(b)
+}
+
+func (e *Engine) setBounds(b Bounds) error {
+	if err := e.manager.SetBounds(verification.Bounds(b)); err != nil {
+		return err
+	}
+	e.opts.Bounds = b
+	return nil
+}
+
+// Bounds returns the current verification thresholds.
+func (e *Engine) Bounds() Bounds {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Bounds(e.manager.Bounds())
+}
+
+// AddAnnotation inserts a new annotation with its manual (true)
+// attachments — Stage 0. The attachments become the annotation's focal and
+// are wired into the ACG.
+func (e *Engine) AddAnnotation(a *Annotation, attachTo []TupleID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.addAnnotation(a, attachTo)
+}
+
+func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
+	for _, t := range attachTo {
+		if _, ok := e.db.Lookup(t); !ok {
+			return fmt.Errorf("nebula: attach target %s not in database", t)
+		}
+	}
+	if err := e.store.Add(a); err != nil {
+		return err
+	}
+	for _, t := range attachTo {
+		if _, err := e.store.Attach(annotation.Attachment{
+			Annotation: a.ID, Tuple: t, Type: annotation.TrueAttachment,
+		}); err != nil {
+			return err
+		}
+	}
+	e.graph.AddAnnotation(a.ID, attachTo)
+	return nil
+}
+
+// DeleteTuple removes a data tuple with full referential integrity: the
+// row leaves its table, every attachment touching it is detached, its ACG
+// node (and edges) disappear, and pending verification tasks targeting it
+// are cancelled. It reports the numbers of detached attachments and
+// cancelled tasks. Deleting an unknown tuple is an error.
+//
+// Under the symbol-table search technique the pre-built index goes stale;
+// call RefreshSearchIndex afterwards (or rely on the next rebuild).
+func (e *Engine) DeleteTuple(id TupleID) (detached, cancelled int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.db.Table(id.Table)
+	if !ok {
+		return 0, 0, fmt.Errorf("nebula: unknown table %q", id.Table)
+	}
+	if !t.DeleteByKey(id.Key) {
+		return 0, 0, fmt.Errorf("nebula: no tuple %s", id)
+	}
+	detached = e.store.DetachTuple(id)
+	e.graph.RemoveTuple(id)
+	cancelled = e.manager.CancelTasksForTuple(id)
+	return detached, cancelled, nil
+}
+
+// Discovery is the result of running Stages 1–2 on one annotation.
+type Discovery struct {
+	// Queries are the generated keyword queries.
+	Queries []KeywordQuery
+	// Candidates are the predicted attachments, strongest first.
+	Candidates []Candidate
+	// Focal is the annotation's focal used for the run.
+	Focal []TupleID
+	// GenStats reports Stage 1 phase timings and counts.
+	GenStats GenerationStats
+	// ExecStats reports Stage 2 cost counters.
+	ExecStats DiscoveryStats
+}
+
+// Discover runs Stages 1 and 2 for a stored annotation: signature maps →
+// keyword queries → execution with the engine's configured refinements.
+func (e *Engine) Discover(id AnnotationID) (*Discovery, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.discoverByID(id)
+}
+
+func (e *Engine) discoverByID(id AnnotationID) (*Discovery, error) {
+	a, ok := e.store.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("nebula: unknown annotation %q", id)
+	}
+	return e.discover(a, e.store.Focal(id))
+}
+
+// discover is the focal-parameterized core, shared with bounds training.
+// Callers must hold e.mu.
+func (e *Engine) discover(a *Annotation, focal []TupleID) (*Discovery, error) {
+	gen := sigmap.NewGenerator(e.meta, e.opts.Epsilon)
+	gen.Alpha = e.opts.Alpha
+	queries, genStats := gen.Generate(a.Body)
+
+	k := e.opts.SpreadingK
+	if e.opts.Spreading && k <= 0 {
+		k = e.profile.SelectK(e.opts.SpreadingCoverage, 3)
+	}
+	d := discovery.New(e.db, e.meta, e.graph)
+	d.IncludeRelated = e.opts.IncludeRelated
+	if e.opts.SearchTechnique == TechniqueSymbolTable {
+		d.NewSearcher = e.symbolSearcher
+	}
+	cands, execStats, err := d.IdentifyRelatedTuples(queries, focal, discovery.Options{
+		Shared:          e.opts.SharedExecution,
+		FocalAdjustment: e.opts.FocalAdjustment,
+		AdjustmentHops:  e.opts.AdjustmentHops,
+		Spreading:       e.opts.Spreading,
+		K:               k,
+		RequireStable:   e.opts.RequireStableACG,
+		SpamFraction:    e.opts.SpamFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Discovery{
+		Queries:    queries,
+		Candidates: cands,
+		Focal:      focal,
+		GenStats:   genStats,
+		ExecStats:  execStats,
+	}, nil
+}
+
+// symbolSearcher returns the symbol-table technique for the given search
+// database, caching the full-database index across calls. Callers hold
+// e.mu.
+func (e *Engine) symbolSearcher(db *relational.Database) keyword.Searcher {
+	if db == e.db {
+		if e.symbolEngine == nil {
+			e.symbolEngine = keyword.NewSymbolTableEngine(db)
+		}
+		return e.symbolEngine
+	}
+	// A spreading miniDB: the pre-processing pass runs over the (small)
+	// materialized view.
+	return keyword.NewSymbolTableEngine(db)
+}
+
+// RefreshSearchIndex rebuilds the symbol-table technique's pre-built index
+// after data changes. A no-op for the metadata technique, which reads live
+// indexes.
+func (e *Engine) RefreshSearchIndex() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.symbolEngine != nil {
+		e.symbolEngine.Rebuild()
+	}
+}
+
+// NaiveDiscover runs the §4 baseline for a stored annotation: the whole
+// body as one keyword query, no preprocessing, full-database search.
+func (e *Engine) NaiveDiscover(id AnnotationID) (*Discovery, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a, ok := e.store.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("nebula: unknown annotation %q", id)
+	}
+	focal := e.store.Focal(id)
+	d := discovery.New(e.db, e.meta, e.graph)
+	cands, stats := d.NaiveIdentify(a.Body, focal)
+	return &Discovery{Candidates: cands, Focal: focal, ExecStats: stats}, nil
+}
+
+// Process runs the full pipeline for a stored annotation: discovery
+// followed by verification routing (Stage 3). Auto-accepted predictions are
+// attached immediately (with ACG and profile updates); mid-confidence ones
+// become pending tasks.
+func (e *Engine) Process(id AnnotationID) (*Discovery, VerificationOutcome, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.process(id)
+}
+
+func (e *Engine) process(id AnnotationID) (*Discovery, VerificationOutcome, error) {
+	disc, err := e.discoverByID(id)
+	if err != nil {
+		return nil, VerificationOutcome{}, err
+	}
+	outcome, err := e.manager.Submit(id, disc.Focal, disc.Candidates)
+	if err != nil {
+		return disc, VerificationOutcome{}, err
+	}
+	return disc, outcome, nil
+}
+
+// PendingTasks returns the pending verification tasks, ordered by VID.
+func (e *Engine) PendingTasks() []*VerificationTask {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.manager.PendingTasks()
+}
+
+// PendingTasksByPriority returns the pending tasks ordered by descending
+// confidence — the order an expert with limited time should work in.
+func (e *Engine) PendingTasksByPriority() []*VerificationTask {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.manager.PendingTasksByPriority()
+}
+
+// VerifyAttachment implements the extended SQL command
+// `Verify Attachement <vid>`: the expert accepts a pending task.
+func (e *Engine) VerifyAttachment(vid int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.verifyAttachment(vid)
+}
+
+func (e *Engine) verifyAttachment(vid int64) error {
+	task, err := e.findPending(vid)
+	if err != nil {
+		return err
+	}
+	return e.manager.Verify(vid, e.store.Focal(task.Annotation))
+}
+
+// RejectAttachment implements `Reject Attachement <vid>`.
+func (e *Engine) RejectAttachment(vid int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rejectAttachment(vid)
+}
+
+func (e *Engine) rejectAttachment(vid int64) error {
+	if _, err := e.findPending(vid); err != nil {
+		return err
+	}
+	return e.manager.Reject(vid)
+}
+
+func (e *Engine) findPending(vid int64) (*VerificationTask, error) {
+	for _, t := range e.manager.PendingTasks() {
+		if t.VID == vid {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("nebula: no pending task v%d", vid)
+}
+
+// ResolveWithOracle resolves an annotation's pending tasks using an oracle
+// (the experiments' simulated expert).
+func (e *Engine) ResolveWithOracle(id AnnotationID, oracle Oracle) (accepted, rejected []*VerificationTask, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.manager.ResolveWithOracle(id, e.store.Focal(id), oracle)
+}
+
+// Quality computes the §3 database quality metrics against an ideal edge
+// set.
+func (e *Engine) Quality(ideal IdealEdges) QualityMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Quality(ideal)
+}
+
+// PropagateQuery runs a structured query and propagates annotations over
+// its results — the passive facility inherited from the underlying engine.
+func (e *Engine) PropagateQuery(q StructuredQuery, projected []string) ([]PropagatedRow, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.PropagateQuery(e.db, q, projected)
+}
+
+// PropagateJoin executes an FK–PK join of the two selections and
+// propagates annotations from both contributing tuples over the joined
+// rows (the join semantics of query-time propagation).
+func (e *Engine) PropagateJoin(left, right StructuredQuery, projectedLeft, projectedRight []string) ([]PropagatedJoinRow, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.PropagateJoin(e.db, left, right, projectedLeft, projectedRight)
+}
+
+// TuneBounds runs the Figure 9 BoundsSetting algorithm against this
+// engine's discovery pipeline and installs the chosen thresholds.
+func (e *Engine) TuneBounds(training []TrainingExample, cfg BoundsConfig) (Bounds, []BoundsEvaluation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	discover := func(a *Annotation, focal []TupleID) ([]Candidate, error) {
+		d, err := e.discover(a, focal)
+		if err != nil {
+			return nil, err
+		}
+		return d.Candidates, nil
+	}
+	bounds, evals, err := verification.BoundsSetting(training, discover, cfg)
+	if err != nil {
+		return Bounds{}, nil, err
+	}
+	if err := e.setBounds(Bounds(bounds)); err != nil {
+		return Bounds{}, nil, err
+	}
+	return Bounds(bounds), evals, nil
+}

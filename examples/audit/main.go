@@ -1,0 +1,158 @@
+// Under-annotation audit: quantify how far an annotated database has
+// drifted from its ideal state (§3's F_N/F_P metrics), then run Nebula's
+// pipeline with *approximate focal-spreading search* and an expert queue to
+// close the gap — the full Stage 0→3 loop on a database whose ACG is
+// mature enough for spreading to pay off.
+//
+// Run with: go run ./examples/audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nebula"
+)
+
+const (
+	nGenes    = 400
+	community = 20 // genes per research community
+)
+
+func gid(i int) string { return fmt.Sprintf("JW%05d", i) }
+
+func main() {
+	db, repo := buildDatabase()
+
+	opts := nebula.DefaultOptions()
+	opts.Spreading = true
+	// K is fixed here. Automatic selection (SpreadingK = 0) trusts the hop
+	// profile, which should be seeded from full-database searches first —
+	// under spreading-only operation the profile never observes tuples
+	// beyond the current K, so it can only shrink the radius.
+	opts.SpreadingK = 3
+	opts.RequireStableACG = true
+	opts.ACGBatchSize = 50
+	opts.ACGMu = 0.6
+	opts.Bounds = nebula.Bounds{Lower: 0.25, Upper: 0.85}
+	engine, err := nebula.New(db, repo, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1 — historical curation: notes connect genes within their
+	// community, giving the ACG locality and (eventually) stability.
+	ideal := nebula.IdealEdges{}
+	noteSeq := 0
+	addNote := func(body string, tuples []nebula.TupleID) nebula.AnnotationID {
+		id := nebula.AnnotationID(fmt.Sprintf("note:%04d", noteSeq))
+		noteSeq++
+		if err := engine.AddAnnotation(&nebula.Annotation{ID: id, Body: body, Kind: "note"}, tuples); err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tuples {
+			ideal[nebula.EdgeKey{Annotation: id, Tuple: t}] = struct{}{}
+		}
+		return id
+	}
+	// Each community's notes chain its genes: 0–3, 3–6, 6–9, 9–12, so the
+	// ACG has real multi-hop structure for the spreading search to walk.
+	for round := 0; round < 4; round++ {
+		for c := 0; c < nGenes/community; c++ {
+			base := c * community
+			a := base + 3*round
+			b := base + 3*round + 3
+			addNote(fmt.Sprintf("genes %s and %s co-expressed", gid(a), gid(b)),
+				[]nebula.TupleID{geneTuple(db, a), geneTuple(db, b)})
+		}
+	}
+	fmt.Printf("historical curation: %d notes; ACG %d nodes / %d edges; stable=%v\n",
+		noteSeq, engine.Graph().Nodes(), engine.Graph().Edges(), engine.Graph().Stable())
+
+	// Phase 2 — audit: new notes arrive attached to a single gene while
+	// referencing two community neighbors. The audit measures the drift.
+	var newIDs []nebula.AnnotationID
+	for c := 0; c < nGenes/community; c++ {
+		base := c * community
+		id := addNote(
+			fmt.Sprintf("this gene interacts with %s and also %s under stress", gid(base+3), gid(base+9)),
+			[]nebula.TupleID{geneTuple(db, base)})
+		for _, g := range []int{base + 3, base + 9} {
+			ideal[nebula.EdgeKey{Annotation: id, Tuple: geneTuple(db, g)}] = struct{}{}
+		}
+		newIDs = append(newIDs, id)
+	}
+	before := engine.Quality(ideal)
+	fmt.Printf("\naudit: F_N=%.3f — %d of %d ideal attachments missing\n",
+		before.FalseNegativeRatio, before.Missing, before.IdealEdges)
+
+	// Phase 3 — proactive discovery with focal spreading. The profile is
+	// empty at first, so K falls back to the default; as acceptances are
+	// recorded, SelectK starts tracking the real hop distribution.
+	var searched, fullRows, pending int
+	for _, id := range newIDs {
+		disc, outcome, err := engine.Process(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		searched += disc.ExecStats.SearchedDB
+		fullRows += db.TotalRows()
+		pending += len(outcome.Pending)
+		// The expert clears this annotation's queue.
+		if _, _, err := engine.ResolveWithOracle(id, nebula.IdealOracle(ideal)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	after := engine.Quality(ideal)
+	fmt.Printf("\nafter Nebula: F_N=%.3f F_P=%.3f\n", after.FalseNegativeRatio, after.FalsePositiveRatio)
+	fmt.Printf("focal spreading searched %d tuples total vs %d for full scans (%.1f%%)\n",
+		searched, fullRows, 100*float64(searched)/float64(fullRows))
+	fmt.Printf("expert verified %d pending tasks\n", pending)
+
+	p := engine.Profile()
+	fmt.Printf("\nhop profile (%d observations):\n", p.Total())
+	for h := 0; h <= p.MaxHops(); h++ {
+		fmt.Printf("  %d hops: %3d  (coverage %.0f%%)\n", h, p.Bucket(h), 100*p.CoverageAt(h))
+	}
+	fmt.Printf("K for 90%% coverage: %d\n", p.SelectK(0.9, 3))
+}
+
+func buildDatabase() (*nebula.Database, *nebula.MetaRepository) {
+	db := nebula.NewDatabase()
+	gt, err := db.CreateTable(&nebula.Schema{
+		Name: "Gene",
+		Columns: []nebula.Column{
+			{Name: "GID", Type: nebula.TypeString, Indexed: true},
+			{Name: "Community", Type: nebula.TypeInt},
+		},
+		PrimaryKey: "GID",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < nGenes; i++ {
+		if _, err := gt.Insert([]nebula.Value{
+			nebula.String(gid(i)), nebula.Int(int64(i / community)),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	repo := nebula.NewMetaRepository(db, nil)
+	if err := repo.AddConcept(&nebula.Concept{
+		Name: "Gene", Table: "Gene", ReferencedBy: [][]string{{"GID"}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := repo.SetPattern(nebula.ColumnRef{Table: "Gene", Column: "GID"}, `JW[0-9]{5}`); err != nil {
+		log.Fatal(err)
+	}
+	return db, repo
+}
+
+func geneTuple(db *nebula.Database, i int) nebula.TupleID {
+	r, ok := db.MustTable("Gene").GetByPK(nebula.String(gid(i)))
+	if !ok {
+		log.Fatalf("gene %d missing", i)
+	}
+	return r.ID
+}

@@ -1,0 +1,167 @@
+// Annotation propagation: the passive facility Nebula inherits from the
+// underlying annotation management engine [18]. Annotations attached at row
+// or cell granularity ride along with relational query answers; predicted
+// (not yet verified) attachments propagate with their confidence so users
+// can see the uncertainty.
+//
+// Run with: go run ./examples/propagation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nebula"
+)
+
+func main() {
+	db := nebula.NewDatabase()
+	gt, err := db.CreateTable(&nebula.Schema{
+		Name: "Gene",
+		Columns: []nebula.Column{
+			{Name: "GID", Type: nebula.TypeString, Indexed: true},
+			{Name: "Name", Type: nebula.TypeString, Indexed: true},
+			{Name: "Length", Type: nebula.TypeInt},
+			{Name: "Family", Type: nebula.TypeString, Indexed: true},
+		},
+		PrimaryKey: "GID",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range [][]nebula.Value{
+		{nebula.String("JW0013"), nebula.String("grpC"), nebula.Int(1130), nebula.String("F1")},
+		{nebula.String("JW0015"), nebula.String("insL"), nebula.Int(1112), nebula.String("F1")},
+		{nebula.String("JW0018"), nebula.String("nhaA"), nebula.Int(1166), nebula.String("F1")},
+		{nebula.String("JW0012"), nebula.String("yaaI"), nebula.Int(404), nebula.String("F1")},
+	} {
+		if _, err := gt.Insert(g); err != nil {
+			log.Fatal(err)
+		}
+	}
+	repo := nebula.NewMetaRepository(db, nil)
+	if err := repo.AddConcept(&nebula.Concept{
+		Name: "Gene", Table: "Gene", ReferencedBy: [][]string{{"GID"}, {"Name"}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	engine, err := nebula.New(db, repo, nebula.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	row := func(pk string) nebula.TupleID {
+		r, ok := gt.GetByPK(nebula.String(pk))
+		if !ok {
+			log.Fatalf("gene %s missing", pk)
+		}
+		return r.ID
+	}
+
+	// Row-level annotation on JW0013.
+	if err := engine.AddAnnotation(&nebula.Annotation{
+		ID: "flag-rounded", Body: "rounded flag: expression verified", Kind: "flag",
+	}, []nebula.TupleID{row("JW0013"), row("JW0015"), row("JW0018")}); err != nil {
+		log.Fatal(err)
+	}
+	// Cell-level annotation on JW0012's Length value.
+	if err := engine.AddAnnotation(&nebula.Annotation{
+		ID: "len-suspect", Body: "length 404 looks truncated", Kind: "comment",
+	}, nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := engine.Store().Attach(nebula.Attachment{
+		Annotation: "len-suspect", Tuple: row("JW0012"), Column: "Length",
+		Type: nebula.TrueAttachment,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// A predicted (unverified) attachment with estimated confidence.
+	if _, err := engine.Store().Attach(nebula.Attachment{
+		Annotation: "flag-rounded", Tuple: row("JW0012"),
+		Type: nebula.PredictedAttachment, Confidence: 0.72,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query 1: SELECT * FROM Gene WHERE Family = 'F1' — everything
+	// propagates, including the prediction with its confidence.
+	fmt.Println("SELECT * FROM Gene WHERE Family='F1':")
+	results, err := engine.PropagateQuery(nebula.StructuredQuery{
+		Table: "Gene",
+		Predicates: []nebula.Predicate{
+			{Column: "Family", Op: nebula.OpEq, Operand: nebula.String("F1")},
+		},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printPropagated(results)
+
+	// Query 2: annotations also ride along join results. Add a protein
+	// table referencing genes and join it.
+	pt, err := db.CreateTable(&nebula.Schema{
+		Name: "Protein",
+		Columns: []nebula.Column{
+			{Name: "PID", Type: nebula.TypeString},
+			{Name: "PName", Type: nebula.TypeString},
+			{Name: "GeneID", Type: nebula.TypeString, Indexed: true},
+		},
+		PrimaryKey:  "PID",
+		ForeignKeys: []nebula.ForeignKey{{Column: "GeneID", RefTable: "Gene", RefColumn: "GID"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pt.Insert([]nebula.Value{
+		nebula.String("P1"), nebula.String("GrpCase"), nebula.String("JW0013"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSELECT * FROM Protein JOIN Gene (annotations from both sides):")
+	joined, err := engine.PropagateJoin(
+		nebula.StructuredQuery{Table: "Protein"},
+		nebula.StructuredQuery{Table: "Gene"},
+		nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, jr := range joined {
+		fmt.Printf("  %s ⋈ %s\n", jr.Left.MustGet("PName").Str(), jr.Right.MustGet("Name").Str())
+		for i, a := range jr.Annotations {
+			fmt.Printf("      ↳ %s (conf %.2f)\n", a.ID, jr.Confidences[i])
+		}
+	}
+
+	// Query 3: projecting only GID and Family — the cell-level annotation
+	// on Length must NOT propagate.
+	fmt.Println("\nSELECT GID, Family FROM Gene WHERE Family='F1':")
+	results, err = engine.PropagateQuery(nebula.StructuredQuery{
+		Table: "Gene",
+		Predicates: []nebula.Predicate{
+			{Column: "Family", Op: nebula.OpEq, Operand: nebula.String("F1")},
+		},
+	}, []string{"GID", "Family"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printPropagated(results)
+}
+
+func printPropagated(results []nebula.PropagatedRow) {
+	for _, pr := range results {
+		fmt.Printf("  %s %-5s", pr.Row.MustGet("GID").Str(), pr.Row.MustGet("Name").Str())
+		if len(pr.Annotations) == 0 {
+			fmt.Println("  (no annotations)")
+			continue
+		}
+		fmt.Println()
+		for i, a := range pr.Annotations {
+			conf := ""
+			if pr.Confidences[i] < 1 {
+				conf = fmt.Sprintf(" [predicted, conf %.2f]", pr.Confidences[i])
+			}
+			fmt.Printf("      ↳ %s: %s%s\n", a.ID, a.Body, conf)
+		}
+	}
+}

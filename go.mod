@@ -1,0 +1,3 @@
+module nebula
+
+go 1.22

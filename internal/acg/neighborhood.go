@@ -1,0 +1,70 @@
+package acg
+
+import "nebula/internal/relational"
+
+// Neighborhood returns the tuples within k hops of any of the given focal
+// tuples (the focal tuples themselves included, at distance 0), via
+// breadth-first traversal of the unweighted ACG. The result is sorted for
+// determinism. This is the tuple set the focal-spreading search
+// materializes into a miniDB (§6.3, Fixed-Scope variant).
+func (g *Graph) Neighborhood(focal []relational.TupleID, k int) []relational.TupleID {
+	dist := g.bfs(focal, k)
+	out := make([]relational.TupleID, 0, len(dist))
+	for t := range dist {
+		out = append(out, t)
+	}
+	sortTuples(out)
+	return out
+}
+
+// HopsToAny returns the length of the shortest (unweighted) path from t to
+// any of the focal tuples, and whether t is reachable. A focal tuple is at
+// distance 0. This is the S.length computation of the Figure 7 profile
+// update.
+func (g *Graph) HopsToAny(t relational.TupleID, focal []relational.TupleID) (int, bool) {
+	// BFS from the focal side: with multiple sources this is one traversal
+	// instead of one per focal tuple.
+	for _, f := range focal {
+		if f == t {
+			return 0, true
+		}
+	}
+	dist := g.bfs(focal, -1)
+	d, ok := dist[t]
+	return d, ok
+}
+
+// bfs runs a multi-source BFS up to maxDepth hops (maxDepth < 0 means
+// unbounded) and returns the distance map. Sources missing from the graph
+// are still reported at distance 0 but have no neighbors.
+func (g *Graph) bfs(sources []relational.TupleID, maxDepth int) map[relational.TupleID]int {
+	dist := make(map[relational.TupleID]int, len(sources))
+	queue := make([]relational.TupleID, 0, len(sources))
+	for _, s := range sources {
+		if _, dup := dist[s]; dup {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := dist[cur]
+		if maxDepth >= 0 && d == maxDepth {
+			continue
+		}
+		adj, ok := g.adj[cur]
+		if !ok {
+			continue
+		}
+		for _, nb := range adj.list {
+			if _, seen := dist[nb]; seen {
+				continue
+			}
+			dist[nb] = d + 1
+			queue = append(queue, nb)
+		}
+	}
+	return dist
+}

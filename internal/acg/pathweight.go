@@ -1,0 +1,63 @@
+package acg
+
+import "nebula/internal/relational"
+
+// PathWeights computes, for every tuple within maxHops of the source, the
+// strongest shortest-path weight: among the unweighted-shortest paths from
+// source to the tuple, the maximum product of the edge weights along the
+// path. This implements the §6.2 extension of the focal-based confidence
+// adjustment ("take into account the shortest path — in terms of the number
+// of hops — between t and each focal tuple instead of only the direct
+// edges ... by multiplying the weights of the in-between edges").
+//
+// The source itself is excluded from the result. maxHops < 1 returns nil.
+func (g *Graph) PathWeights(source relational.TupleID, maxHops int) map[relational.TupleID]float64 {
+	if maxHops < 1 {
+		return nil
+	}
+	if _, ok := g.adj[source]; !ok {
+		return nil
+	}
+	dist := map[relational.TupleID]int{source: 0}
+	best := map[relational.TupleID]float64{source: 1}
+	frontier := []relational.TupleID{source}
+	for depth := 1; depth <= maxHops && len(frontier) > 0; depth++ {
+		// Two passes per layer: first discover the layer's members, then
+		// maximize products over ALL same-shortest-length predecessors (a
+		// node can be reached from several previous-layer nodes).
+		var next []relational.TupleID
+		for _, cur := range frontier {
+			adj, ok := g.adj[cur]
+			if !ok {
+				continue
+			}
+			for _, nb := range adj.list {
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = depth
+					next = append(next, nb)
+				}
+			}
+		}
+		for _, nb := range next {
+			maxProd := 0.0
+			nbAdj := g.adj[nb]
+			for _, pred := range nbAdj.list {
+				if dist[pred] != depth-1 {
+					continue
+				}
+				if p := best[pred] * g.Weight(pred, nb); p > maxProd {
+					maxProd = p
+				}
+			}
+			best[nb] = maxProd
+		}
+		frontier = next
+	}
+	delete(best, source)
+	delete(dist, source)
+	out := make(map[relational.TupleID]float64, len(best))
+	for t, w := range best {
+		out[t] = w
+	}
+	return out
+}

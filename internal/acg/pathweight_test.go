@@ -1,0 +1,115 @@
+package acg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+)
+
+// weightedChain builds 1-2-3-4 where consecutive tuples share varying
+// numbers of annotations to create distinct edge weights.
+func weightedChain() *Graph {
+	g := New(0, 0)
+	// 1-2 share two annotations; each also has a private one to dilute.
+	g.AddAnnotation("a1", []relational.TupleID{tid(1), tid(2)})
+	g.AddAnnotation("a2", []relational.TupleID{tid(1), tid(2)})
+	// 2-3 share one.
+	g.AddAnnotation("b1", []relational.TupleID{tid(2), tid(3)})
+	// 3-4 share one.
+	g.AddAnnotation("c1", []relational.TupleID{tid(3), tid(4)})
+	return g
+}
+
+func TestPathWeightsDirect(t *testing.T) {
+	g := weightedChain()
+	w := g.PathWeights(tid(1), 1)
+	if len(w) != 1 {
+		t.Fatalf("1-hop weights = %v", w)
+	}
+	// weight(1,2) = |{a1,a2}| / |{a1,a2,b1}| = 2/3.
+	if got := w[tid(2)]; math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("w(2) = %f", got)
+	}
+}
+
+func TestPathWeightsMultiHop(t *testing.T) {
+	g := weightedChain()
+	w := g.PathWeights(tid(1), 3)
+	if len(w) != 3 {
+		t.Fatalf("3-hop weights = %v", w)
+	}
+	w12 := g.Weight(tid(1), tid(2))
+	w23 := g.Weight(tid(2), tid(3))
+	w34 := g.Weight(tid(3), tid(4))
+	if got := w[tid(3)]; math.Abs(got-w12*w23) > 1e-9 {
+		t.Errorf("w(3) = %f, want %f", got, w12*w23)
+	}
+	if got := w[tid(4)]; math.Abs(got-w12*w23*w34) > 1e-9 {
+		t.Errorf("w(4) = %f, want %f", got, w12*w23*w34)
+	}
+	// Bounded horizon: 2 hops excludes tuple 4.
+	w2 := g.PathWeights(tid(1), 2)
+	if _, ok := w2[tid(4)]; ok {
+		t.Error("maxHops not respected")
+	}
+}
+
+func TestPathWeightsPicksStrongestShortestPath(t *testing.T) {
+	g := New(0, 0)
+	// Two 2-hop paths from 1 to 4: via 2 (strong) and via 3 (weak).
+	g.AddAnnotation("s1", []relational.TupleID{tid(1), tid(2)})
+	g.AddAnnotation("s2", []relational.TupleID{tid(1), tid(2)})
+	g.AddAnnotation("s3", []relational.TupleID{tid(2), tid(4)})
+	g.AddAnnotation("s4", []relational.TupleID{tid(2), tid(4)})
+	g.AddAnnotation("w1", []relational.TupleID{tid(1), tid(3)})
+	g.AddAnnotation("w2", []relational.TupleID{tid(3), tid(4)})
+	// Dilute the weak path's edges.
+	g.AddAnnotation("d1", []relational.TupleID{tid(3), tid(9)})
+	g.AddAnnotation("d2", []relational.TupleID{tid(3), tid(8)})
+
+	strong := g.Weight(tid(1), tid(2)) * g.Weight(tid(2), tid(4))
+	weak := g.Weight(tid(1), tid(3)) * g.Weight(tid(3), tid(4))
+	if strong <= weak {
+		t.Fatalf("fixture broken: strong %f <= weak %f", strong, weak)
+	}
+	w := g.PathWeights(tid(1), 2)
+	if got := w[tid(4)]; math.Abs(got-strong) > 1e-9 {
+		t.Errorf("w(4) = %f, want strongest path %f", got, strong)
+	}
+}
+
+func TestPathWeightsEdgeCases(t *testing.T) {
+	g := weightedChain()
+	if w := g.PathWeights(tid(1), 0); w != nil {
+		t.Error("maxHops 0 should return nil")
+	}
+	if w := g.PathWeights(tid(99), 2); w != nil {
+		t.Error("unknown source should return nil")
+	}
+	// Source never appears in its own result.
+	w := g.PathWeights(tid(2), 3)
+	if _, ok := w[tid(2)]; ok {
+		t.Error("source in result")
+	}
+}
+
+func TestPathWeightsConsistentWithDirectWeight(t *testing.T) {
+	// Property: for every edge (s, n), PathWeights(s, 1)[n] == Weight(s, n).
+	g := New(0, 0)
+	for i := 0; i < 12; i++ {
+		g.AddAnnotation(annotation.ID(fmt.Sprintf("x%d", i)),
+			[]relational.TupleID{tid(i % 5), tid((i*2 + 1) % 7)})
+	}
+	for i := 0; i < 7; i++ {
+		s := tid(i)
+		w := g.PathWeights(s, 1)
+		for _, n := range g.Neighbors(s) {
+			if math.Abs(w[n]-g.Weight(s, n)) > 1e-9 {
+				t.Errorf("PathWeights(%v,1)[%v] = %f != Weight %f", s, n, w[n], g.Weight(s, n))
+			}
+		}
+	}
+}

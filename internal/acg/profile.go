@@ -1,0 +1,106 @@
+package acg
+
+// Profile is the metadata profile of Figure 7: a histogram over hop
+// distances recording, for each accepted prediction, how many hops away
+// from the annotation's focal the discovered tuple was. The accumulated
+// distribution guides the selection of the spreading radius K — either
+// manually by DB admins or automatically given a desired coverage.
+type Profile struct {
+	// buckets[h] counts predictions discovered h hops from the focal.
+	buckets []int
+	// unreachable counts predictions with no ACG path to the focal — these
+	// can never be discovered by focal spreading, whatever K is.
+	unreachable int
+	total       int
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{} }
+
+// Record adds one observation: the hop distance of a discovered tuple from
+// the annotation's focal, or reachable=false when no path exists.
+func (p *Profile) Record(hops int, reachable bool) {
+	p.total++
+	if !reachable {
+		p.unreachable++
+		return
+	}
+	if hops < 0 {
+		hops = 0
+	}
+	for len(p.buckets) <= hops {
+		p.buckets = append(p.buckets, 0)
+	}
+	p.buckets[hops]++
+}
+
+// Counts exports the profile's raw counters for snapshotting: a copy of
+// the per-hop buckets and the unreachable count.
+func (p *Profile) Counts() (buckets []int, unreachable int) {
+	buckets = make([]int, len(p.buckets))
+	copy(buckets, p.buckets)
+	return buckets, p.unreachable
+}
+
+// RestoreCounts reinstates snapshotted counters, replacing the profile's
+// current content.
+func (p *Profile) RestoreCounts(buckets []int, unreachable int) {
+	p.buckets = make([]int, len(buckets))
+	copy(p.buckets, buckets)
+	p.unreachable = unreachable
+	p.total = unreachable
+	for _, c := range buckets {
+		p.total += c
+	}
+}
+
+// Total returns the number of recorded observations.
+func (p *Profile) Total() int { return p.total }
+
+// Unreachable returns the number of unreachable observations.
+func (p *Profile) Unreachable() int { return p.unreachable }
+
+// Bucket returns the count at hop distance h.
+func (p *Profile) Bucket(h int) int {
+	if h < 0 || h >= len(p.buckets) {
+		return 0
+	}
+	return p.buckets[h]
+}
+
+// MaxHops returns the largest hop distance observed.
+func (p *Profile) MaxHops() int { return len(p.buckets) - 1 }
+
+// CoverageAt returns the fraction of all observations (including
+// unreachable ones) at hop distance ≤ k: the "by setting K = 2 we expect to
+// discover 71% of the candidates" computation of Figure 7.
+func (p *Profile) CoverageAt(k int) float64 {
+	if p.total == 0 {
+		return 0
+	}
+	covered := 0
+	for h := 0; h <= k && h < len(p.buckets); h++ {
+		covered += p.buckets[h]
+	}
+	return float64(covered) / float64(p.total)
+}
+
+// SelectK returns the smallest K whose expected coverage reaches the
+// desired fraction. When even the full reachable mass cannot reach the
+// target (because of unreachable observations), it returns the largest
+// observed hop distance, the best any K can do. An empty profile returns
+// fallback.
+func (p *Profile) SelectK(desired float64, fallback int) int {
+	if p.total == 0 {
+		return fallback
+	}
+	for k := 0; k < len(p.buckets); k++ {
+		if p.CoverageAt(k) >= desired {
+			return k
+		}
+	}
+	if len(p.buckets) == 0 {
+		return fallback
+	}
+	return len(p.buckets) - 1
+}

@@ -1,0 +1,152 @@
+package acg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+)
+
+// TestGraphRandomInvariants grows a graph with random annotations and
+// attachments and checks the structural invariants after each step:
+//
+//  1. Weight(a,b) > 0 iff a and b share at least one annotation.
+//  2. Weight is symmetric and within (0, 1].
+//  3. Neighbors lists exactly the positive-weight partners.
+//  4. Every tuple of every annotation is a node.
+func TestGraphRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := New(0, 0)
+	tup := func(i int) relational.TupleID {
+		return relational.TupleID{Table: "T", Key: fmt.Sprintf("s:%d", i)}
+	}
+	const nTup = 12
+	attached := map[annotation.ID]map[relational.TupleID]struct{}{}
+
+	for step := 0; step < 400; step++ {
+		if step%3 == 0 {
+			id := annotation.ID(fmt.Sprintf("a%d", step))
+			n := 1 + rng.Intn(4)
+			var tuples []relational.TupleID
+			set := map[relational.TupleID]struct{}{}
+			for len(set) < n {
+				tu := tup(rng.Intn(nTup))
+				if _, dup := set[tu]; !dup {
+					set[tu] = struct{}{}
+					tuples = append(tuples, tu)
+				}
+			}
+			g.AddAnnotation(id, tuples)
+			attached[id] = set
+		} else {
+			// Attach to an existing annotation.
+			var ids []annotation.ID
+			for id := range attached {
+				ids = append(ids, id)
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			tu := tup(rng.Intn(nTup))
+			g.AddAttachment(id, tu)
+			attached[id][tu] = struct{}{}
+		}
+		if step%20 == 0 {
+			checkGraphInvariants(t, g, attached, nTup, step)
+		}
+	}
+	checkGraphInvariants(t, g, attached, nTup, 400)
+}
+
+func checkGraphInvariants(t *testing.T, g *Graph, attached map[annotation.ID]map[relational.TupleID]struct{}, nTup, step int) {
+	t.Helper()
+	tup := func(i int) relational.TupleID {
+		return relational.TupleID{Table: "T", Key: fmt.Sprintf("s:%d", i)}
+	}
+	shares := func(a, b relational.TupleID) bool {
+		for _, set := range attached {
+			_, hasA := set[a]
+			_, hasB := set[b]
+			if hasA && hasB {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < nTup; i++ {
+		for j := 0; j < nTup; j++ {
+			if i == j {
+				continue
+			}
+			a, b := tup(i), tup(j)
+			w := g.Weight(a, b)
+			if w != g.Weight(b, a) {
+				t.Fatalf("step %d: asymmetric weight", step)
+			}
+			if shares(a, b) {
+				if w <= 0 || w > 1 {
+					t.Fatalf("step %d: sharing tuples %v,%v have weight %f", step, a, b, w)
+				}
+			} else if w != 0 {
+				t.Fatalf("step %d: non-sharing tuples %v,%v have weight %f", step, a, b, w)
+			}
+		}
+		// Neighbors are exactly the positive-weight partners.
+		nb := g.Neighbors(tup(i))
+		seen := map[relational.TupleID]bool{}
+		for _, n := range nb {
+			seen[n] = true
+			if g.Weight(tup(i), n) <= 0 {
+				t.Fatalf("step %d: neighbor with zero weight", step)
+			}
+		}
+		for j := 0; j < nTup; j++ {
+			if j != i && g.Weight(tup(i), tup(j)) > 0 && !seen[tup(j)] {
+				t.Fatalf("step %d: positive-weight partner missing from Neighbors", step)
+			}
+		}
+	}
+	// Every attached tuple is a node.
+	for id, set := range attached {
+		for tu := range set {
+			if !g.Contains(tu) {
+				t.Fatalf("step %d: tuple %v of %s not a node", step, tu, id)
+			}
+		}
+	}
+}
+
+// TestNeighborhoodSubsetProperty: Neighborhood(f, k) ⊆ Neighborhood(f, k+1),
+// and every member's HopsToAny distance is ≤ k.
+func TestNeighborhoodSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := New(0, 0)
+	tup := func(i int) relational.TupleID {
+		return relational.TupleID{Table: "T", Key: fmt.Sprintf("s:%d", i)}
+	}
+	for i := 0; i < 60; i++ {
+		g.AddAnnotation(annotation.ID(fmt.Sprintf("a%d", i)),
+			[]relational.TupleID{tup(rng.Intn(30)), tup(rng.Intn(30))})
+	}
+	focal := []relational.TupleID{tup(0), tup(17)}
+	prev := map[relational.TupleID]bool{}
+	for k := 0; k <= 5; k++ {
+		cur := g.Neighborhood(focal, k)
+		curSet := map[relational.TupleID]bool{}
+		for _, tu := range cur {
+			curSet[tu] = true
+			if d, ok := g.HopsToAny(tu, focal); !ok || d > k {
+				t.Fatalf("K=%d contains tuple at distance %d (ok=%v)", k, d, ok)
+			}
+		}
+		for tu := range prev {
+			if !curSet[tu] {
+				t.Fatalf("K=%d lost tuple %v from K-1", k, tu)
+			}
+		}
+		prev = curSet
+	}
+}

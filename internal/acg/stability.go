@@ -1,0 +1,64 @@
+package acg
+
+// stabilityTracker implements Definition 6.1 over non-overlapping batches:
+// "the ACG structure is stable iff for the most recent batch of annotations
+// of size B with total number of attachments M, the number of newly added
+// edges is N, where N/M < μ". The stability flag is recomputed when the
+// current batch collects B annotations, then the counters reset.
+type stabilityTracker struct {
+	batchSize int
+	mu        float64
+
+	batchAnnotations int
+	batchAttachments int
+	batchNewEdges    int
+
+	stable        bool
+	batchesClosed int
+}
+
+// observe accounts newly observed work against the current batch.
+func (s *stabilityTracker) observe(annotations, attachments, newEdges int) {
+	if s.batchSize <= 0 {
+		return // stability tracking disabled
+	}
+	s.batchAnnotations += annotations
+	s.batchAttachments += attachments
+	s.batchNewEdges += newEdges
+	for s.batchAnnotations >= s.batchSize {
+		s.close()
+	}
+}
+
+// close finalizes the current batch and resets counters.
+func (s *stabilityTracker) close() {
+	if s.batchAttachments > 0 {
+		ratio := float64(s.batchNewEdges) / float64(s.batchAttachments)
+		s.stable = ratio < s.mu
+	} else {
+		// A batch without attachments adds nothing: trivially stable.
+		s.stable = true
+	}
+	s.batchesClosed++
+	s.batchAnnotations -= s.batchSize
+	if s.batchAnnotations < 0 {
+		s.batchAnnotations = 0
+	}
+	s.batchAttachments = 0
+	s.batchNewEdges = 0
+}
+
+// Stable reports the ACG stability property — a Boolean that changes from
+// one batch to another (§6.3). A graph that has not completed any batch yet
+// is unstable.
+func (g *Graph) Stable() bool { return g.stability.stable }
+
+// BatchesClosed reports how many stability batches have completed.
+func (g *Graph) BatchesClosed() int { return g.stability.batchesClosed }
+
+// SetStabilityParams reconfigures the batch size B and threshold μ. The
+// current batch's counters are preserved.
+func (g *Graph) SetStabilityParams(batchSize int, mu float64) {
+	g.stability.batchSize = batchSize
+	g.stability.mu = mu
+}

@@ -1,0 +1,89 @@
+// Package annotation implements the annotation management substrate Nebula
+// is built on (modeled after Eltabakh et al., "Supporting annotations on
+// relations", EDBT 2009 — reference [18] of the paper) together with the
+// bipartite annotated-database model of the paper's §3.
+//
+// The substrate provides: annotation storage with stable identifiers,
+// attachments at row or cell granularity, bidirectional indexes
+// (annotation→tuples and tuple→annotations), promotion of predicted
+// attachments to true attachments, and query-time propagation of annotations
+// along relational query results.
+package annotation
+
+import (
+	"fmt"
+
+	"nebula/internal/relational"
+)
+
+// ID identifies an annotation.
+type ID string
+
+// Annotation is a free-text curation artifact: a comment, a linked article,
+// a flag. Its body is arbitrary text; Nebula's pipeline mines it for
+// embedded references.
+type Annotation struct {
+	// ID is the unique annotation identifier.
+	ID ID
+	// Author records who created the annotation (end user, curator, tool).
+	Author string
+	// Body is the annotation's free text.
+	Body string
+	// Kind is an application-defined label ("comment", "article", "flag").
+	Kind string
+}
+
+// AttachmentType distinguishes the two edge types of Definition 3.1.
+type AttachmentType int
+
+const (
+	// TrueAttachment is an edge established by an external source (user,
+	// admin, curator) or accepted by verification. Confidence is always 1.
+	TrueAttachment AttachmentType = iota
+	// PredictedAttachment is an edge Nebula proactively discovered; its
+	// confidence is the engine's estimate in [0,1).
+	PredictedAttachment
+)
+
+func (t AttachmentType) String() string {
+	if t == TrueAttachment {
+		return "true"
+	}
+	return "predicted"
+}
+
+// Attachment is one edge of the bipartite annotated-database graph: it links
+// an annotation to a data tuple, optionally narrowed to a single column
+// (cell-level annotation, as supported by [18]).
+type Attachment struct {
+	// Annotation is the annotation-side endpoint.
+	Annotation ID
+	// Tuple is the data-side endpoint.
+	Tuple relational.TupleID
+	// Column, when non-empty, narrows the attachment to one cell.
+	Column string
+	// Type is TrueAttachment or PredictedAttachment.
+	Type AttachmentType
+	// Confidence is the edge weight e.w ∈ [0,1]; 1 for true attachments.
+	Confidence float64
+}
+
+// EdgeKey identifies an (annotation, tuple) pair regardless of column or
+// type; the §3 graph model and all of the assessment metrics operate at this
+// granularity.
+type EdgeKey struct {
+	Annotation ID
+	Tuple      relational.TupleID
+}
+
+func (a Attachment) edgeKey() EdgeKey {
+	return EdgeKey{Annotation: a.Annotation, Tuple: a.Tuple}
+}
+
+func (a Attachment) String() string {
+	col := ""
+	if a.Column != "" {
+		col = "." + a.Column
+	}
+	return fmt.Sprintf("%s -> %s%s (%s, %.3f)", a.Annotation, a.Tuple, col, a.Type, a.Confidence)
+}

@@ -1,0 +1,121 @@
+package annotation
+
+import (
+	"strings"
+
+	"nebula/internal/relational"
+)
+
+// PropagatedRow pairs a query-result tuple with the annotations that
+// propagate to it. This is the query-time annotation propagation facility of
+// the underlying engine [18]: when users run relational queries, annotations
+// attached to the produced tuples (or to the projected cells) ride along
+// with the answers.
+type PropagatedRow struct {
+	// Row is the data tuple from the query result.
+	Row *relational.Row
+	// Annotations are the annotations propagated to this tuple, in stable
+	// (annotation-insertion) order.
+	Annotations []*Annotation
+	// Confidences aligns with Annotations: the edge weight of the
+	// attachment each annotation propagated through.
+	Confidences []float64
+}
+
+// Propagate computes, for each result row, the annotations that propagate
+// to it. projected lists the columns the query projects; an empty slice
+// means SELECT * (every attachment propagates). Cell-level attachments
+// propagate only when their column is projected; row-level attachments
+// always propagate. Predicted attachments propagate with their estimated
+// confidence so that downstream consumers can display the uncertainty.
+func (s *Store) Propagate(rows []*relational.Row, projected []string) []PropagatedRow {
+	projSet := make(map[string]struct{}, len(projected))
+	for _, c := range projected {
+		projSet[strings.ToLower(c)] = struct{}{}
+	}
+	out := make([]PropagatedRow, 0, len(rows))
+	for _, r := range rows {
+		pr := PropagatedRow{Row: r}
+		atts := s.byTuple[r.ID]
+		// Deterministic order: follow the annotation insertion order.
+		for _, id := range s.order {
+			for _, att := range atts {
+				if att.Annotation != id {
+					continue
+				}
+				if att.Column != "" && len(projSet) > 0 {
+					if _, ok := projSet[strings.ToLower(att.Column)]; !ok {
+						continue
+					}
+				}
+				pr.Annotations = append(pr.Annotations, s.annotations[att.Annotation])
+				pr.Confidences = append(pr.Confidences, att.Confidence)
+			}
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+// PropagateQuery runs a structured query against db and propagates
+// annotations over its results in one step.
+func (s *Store) PropagateQuery(db *relational.Database, q relational.Query, projected []string) ([]PropagatedRow, error) {
+	rows, _, err := db.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.Propagate(rows, projected), nil
+}
+
+// PropagatedJoinRow pairs one joined output row with the annotations that
+// propagate to it from either contributing tuple.
+type PropagatedJoinRow struct {
+	// Left and Right are the contributing tuples.
+	Left, Right *relational.Row
+	// Annotations propagated from either side, deduplicated, in stable
+	// annotation-insertion order.
+	Annotations []*Annotation
+	// Confidences aligns with Annotations; when an annotation reaches the
+	// output row through both sides, the higher edge confidence wins.
+	Confidences []float64
+}
+
+// PropagateJoin executes the FK–PK equijoin of the two selections and
+// propagates annotations over the joined rows: an annotation attached to
+// either contributing tuple rides along with the output row — the join
+// semantics of query-time propagation in [9]/[18]. projectedLeft and
+// projectedRight list the projected columns of each side (empty = all);
+// cell-level attachments propagate only when their column is projected on
+// their own side.
+func (s *Store) PropagateJoin(db *relational.Database, left, right relational.Query, projectedLeft, projectedRight []string) ([]PropagatedJoinRow, error) {
+	joined, _, err := db.Join(left, right)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PropagatedJoinRow, 0, len(joined))
+	for _, jr := range joined {
+		pl := s.Propagate([]*relational.Row{jr.Left}, projectedLeft)[0]
+		pr := s.Propagate([]*relational.Row{jr.Right}, projectedRight)[0]
+		row := PropagatedJoinRow{Left: jr.Left, Right: jr.Right}
+		best := make(map[ID]int)
+		add := func(a *Annotation, conf float64) {
+			if i, ok := best[a.ID]; ok {
+				if conf > row.Confidences[i] {
+					row.Confidences[i] = conf
+				}
+				return
+			}
+			best[a.ID] = len(row.Annotations)
+			row.Annotations = append(row.Annotations, a)
+			row.Confidences = append(row.Confidences, conf)
+		}
+		for i, a := range pl.Annotations {
+			add(a, pl.Confidences[i])
+		}
+		for i, a := range pr.Annotations {
+			add(a, pr.Confidences[i])
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

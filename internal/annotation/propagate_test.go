@@ -1,0 +1,220 @@
+package annotation
+
+import (
+	"testing"
+
+	"nebula/internal/relational"
+)
+
+func propagationFixture(t *testing.T) (*relational.Database, *Store) {
+	t.Helper()
+	db := relational.NewDatabase()
+	gene := &relational.Schema{
+		Name: "Gene",
+		Columns: []relational.Column{
+			{Name: "GID", Type: relational.TypeString},
+			{Name: "Name", Type: relational.TypeString, Indexed: true},
+			{Name: "Family", Type: relational.TypeString, Indexed: true},
+		},
+		PrimaryKey: "GID",
+	}
+	gt, err := db.CreateTable(gene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]relational.Value{
+		{relational.String("JW0013"), relational.String("grpC"), relational.String("F1")},
+		{relational.String("JW0019"), relational.String("yaaB"), relational.String("F3")},
+		{relational.String("JW0012"), relational.String("yaaI"), relational.String("F1")},
+	}
+	for _, r := range rows {
+		if _, err := gt.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewStore()
+	_ = s.Add(&Annotation{ID: "rowAnn", Body: "row-level note"})
+	_ = s.Add(&Annotation{ID: "cellAnn", Body: "cell-level note on Name"})
+	_ = s.Add(&Annotation{ID: "predAnn", Body: "prediction"})
+	r13, _ := gt.GetByPK(relational.String("JW0013"))
+	_, _ = s.Attach(Attachment{Annotation: "rowAnn", Tuple: r13.ID, Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "cellAnn", Tuple: r13.ID, Column: "Name", Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "predAnn", Tuple: r13.ID, Type: PredictedAttachment, Confidence: 0.42})
+	return db, s
+}
+
+func TestPropagateSelectStar(t *testing.T) {
+	db, s := propagationFixture(t)
+	out, err := s.PropagateQuery(db, relational.Query{
+		Table:      "Gene",
+		Predicates: []relational.Predicate{{Column: "GID", Op: relational.OpEq, Operand: relational.String("JW0013")}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	// SELECT * propagates row, cell, and predicted annotations.
+	if len(out[0].Annotations) != 3 {
+		t.Fatalf("annotations = %d, want 3", len(out[0].Annotations))
+	}
+	// Confidence accompanies each propagated annotation.
+	for i, a := range out[0].Annotations {
+		if a.ID == "predAnn" && out[0].Confidences[i] != 0.42 {
+			t.Errorf("prediction confidence = %f", out[0].Confidences[i])
+		}
+		if a.ID == "rowAnn" && out[0].Confidences[i] != 1 {
+			t.Errorf("true confidence = %f", out[0].Confidences[i])
+		}
+	}
+}
+
+func TestPropagateProjectionFiltersCellAnnotations(t *testing.T) {
+	db, s := propagationFixture(t)
+	// Project only Family: the cell annotation on Name must not propagate.
+	out, err := s.PropagateQuery(db, relational.Query{
+		Table:      "Gene",
+		Predicates: []relational.Predicate{{Column: "GID", Op: relational.OpEq, Operand: relational.String("JW0013")}},
+	}, []string{"Family"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out[0].Annotations {
+		if a.ID == "cellAnn" {
+			t.Error("cell annotation propagated despite projection")
+		}
+	}
+	if len(out[0].Annotations) != 2 {
+		t.Errorf("annotations = %d, want 2 (row + predicted)", len(out[0].Annotations))
+	}
+	// Projecting Name keeps it.
+	out, _ = s.PropagateQuery(db, relational.Query{
+		Table:      "Gene",
+		Predicates: []relational.Predicate{{Column: "GID", Op: relational.OpEq, Operand: relational.String("JW0013")}},
+	}, []string{"name"}) // case-insensitive
+	found := false
+	for _, a := range out[0].Annotations {
+		if a.ID == "cellAnn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cell annotation missing when its column is projected")
+	}
+}
+
+func TestPropagateUnannotatedRows(t *testing.T) {
+	db, s := propagationFixture(t)
+	out, err := s.PropagateQuery(db, relational.Query{Table: "Gene"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	annotated := 0
+	for _, pr := range out {
+		if len(pr.Annotations) > 0 {
+			annotated++
+		}
+	}
+	if annotated != 1 {
+		t.Errorf("annotated rows = %d, want 1", annotated)
+	}
+}
+
+func TestPropagateQueryError(t *testing.T) {
+	db, s := propagationFixture(t)
+	if _, err := s.PropagateQuery(db, relational.Query{Table: "Missing"}, nil); err == nil {
+		t.Error("expected error for unknown table")
+	}
+}
+
+func TestPropagateJoin(t *testing.T) {
+	db := relational.NewDatabase()
+	gt, err := db.CreateTable(&relational.Schema{
+		Name:       "Gene",
+		Columns:    []relational.Column{{Name: "GID", Type: relational.TypeString}},
+		PrimaryKey: "GID",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := db.CreateTable(&relational.Schema{
+		Name: "Protein",
+		Columns: []relational.Column{
+			{Name: "PID", Type: relational.TypeString},
+			{Name: "PName", Type: relational.TypeString},
+			{Name: "GeneID", Type: relational.TypeString, Indexed: true},
+		},
+		PrimaryKey:  "PID",
+		ForeignKeys: []relational.ForeignKey{{Column: "GeneID", RefTable: "Gene", RefColumn: "GID"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gt.Insert([]relational.Value{relational.String("JW0001")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Insert([]relational.Value{
+		relational.String("P1"), relational.String("Actin"), relational.String("JW0001"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	_ = s.Add(&Annotation{ID: "geneAnn", Body: "on the gene"})
+	_ = s.Add(&Annotation{ID: "protAnn", Body: "on the protein"})
+	_ = s.Add(&Annotation{ID: "cellAnn", Body: "on the protein name cell"})
+	_ = s.Add(&Annotation{ID: "both", Body: "attached to both sides"})
+	g, _ := gt.GetByPK(relational.String("JW0001"))
+	p, _ := pt.GetByPK(relational.String("P1"))
+	_, _ = s.Attach(Attachment{Annotation: "geneAnn", Tuple: g.ID, Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "protAnn", Tuple: p.ID, Type: PredictedAttachment, Confidence: 0.6})
+	_, _ = s.Attach(Attachment{Annotation: "cellAnn", Tuple: p.ID, Column: "PName", Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "both", Tuple: g.ID, Type: PredictedAttachment, Confidence: 0.3})
+	_, _ = s.Attach(Attachment{Annotation: "both", Tuple: p.ID, Type: TrueAttachment})
+
+	out, err := s.PropagateJoin(db,
+		relational.Query{Table: "Protein"}, relational.Query{Table: "Gene"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("joined rows = %d", len(out))
+	}
+	got := map[ID]float64{}
+	for i, a := range out[0].Annotations {
+		got[a.ID] = out[0].Confidences[i]
+	}
+	// All four annotations propagate; "both" keeps the higher (true)
+	// confidence.
+	if len(got) != 4 {
+		t.Fatalf("annotations = %v", got)
+	}
+	if got["both"] != 1 {
+		t.Errorf("dedup kept confidence %f, want 1", got["both"])
+	}
+	if got["protAnn"] != 0.6 || got["geneAnn"] != 1 {
+		t.Errorf("confidences = %v", got)
+	}
+
+	// Projecting away PName on the protein side drops the cell annotation.
+	out, err = s.PropagateJoin(db,
+		relational.Query{Table: "Protein"}, relational.Query{Table: "Gene"},
+		[]string{"PID"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out[0].Annotations {
+		if a.ID == "cellAnn" {
+			t.Error("cell annotation propagated despite projection")
+		}
+	}
+
+	// Errors surface.
+	if _, err := s.PropagateJoin(db, relational.Query{Table: "Nope"},
+		relational.Query{Table: "Gene"}, nil, nil); err == nil {
+		t.Error("unknown table should fail")
+	}
+}

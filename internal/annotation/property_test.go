@@ -1,0 +1,95 @@
+package annotation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nebula/internal/relational"
+)
+
+// TestStoreRandomOperationInvariants drives the store with random
+// attach/detach/promote sequences and checks the structural invariants
+// after every step:
+//
+//  1. EdgeCount equals the sum of per-annotation attachment counts and the
+//     sum of per-tuple attachment counts (the two indexes agree).
+//  2. Focal(a) is exactly the true attachments of a.
+//  3. True attachments always have confidence 1; predictions are in [0,1).
+//  4. Edge() is consistent with both index views.
+func TestStoreRandomOperationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	s := NewStore()
+	const nAnn, nTup = 8, 15
+	for i := 0; i < nAnn; i++ {
+		if err := s.Add(&Annotation{ID: ID(fmt.Sprintf("a%d", i)), Body: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tup := func(i int) relational.TupleID {
+		return relational.TupleID{Table: "T", Key: fmt.Sprintf("s:%d", i)}
+	}
+	for step := 0; step < 2000; step++ {
+		a := ID(fmt.Sprintf("a%d", rng.Intn(nAnn)))
+		tu := tup(rng.Intn(nTup))
+		switch rng.Intn(4) {
+		case 0:
+			_, err := s.Attach(Attachment{Annotation: a, Tuple: tu, Type: TrueAttachment})
+			if err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			_, err := s.Attach(Attachment{Annotation: a, Tuple: tu,
+				Type: PredictedAttachment, Confidence: rng.Float64() * 0.99})
+			if err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			s.Detach(a, tu)
+		case 3:
+			_ = s.Promote(a, tu) // may fail for missing edges; that's fine
+		}
+		checkStoreInvariants(t, s, nAnn, nTup, step)
+	}
+}
+
+func checkStoreInvariants(t *testing.T, s *Store, nAnn, nTup, step int) {
+	t.Helper()
+	tup := func(i int) relational.TupleID {
+		return relational.TupleID{Table: "T", Key: fmt.Sprintf("s:%d", i)}
+	}
+	byAnn, byTup := 0, 0
+	for i := 0; i < nAnn; i++ {
+		a := ID(fmt.Sprintf("a%d", i))
+		atts := s.Attachments(a, -1)
+		byAnn += len(atts)
+		trueCount := 0
+		for _, att := range atts {
+			switch att.Type {
+			case TrueAttachment:
+				trueCount++
+				if att.Confidence != 1 {
+					t.Fatalf("step %d: true attachment with confidence %f", step, att.Confidence)
+				}
+			default:
+				if att.Confidence < 0 || att.Confidence >= 1 {
+					t.Fatalf("step %d: prediction confidence %f", step, att.Confidence)
+				}
+			}
+			// Edge() agrees with the index view.
+			if edge, ok := s.Edge(att.Annotation, att.Tuple); !ok || edge != att {
+				t.Fatalf("step %d: Edge() disagrees with byAnnotation index", step)
+			}
+		}
+		if len(s.Focal(a)) != trueCount {
+			t.Fatalf("step %d: focal size %d != true attachments %d", step, len(s.Focal(a)), trueCount)
+		}
+	}
+	for i := 0; i < nTup; i++ {
+		byTup += len(s.TupleAnnotations(tup(i), -1))
+	}
+	if byAnn != s.EdgeCount() || byTup != s.EdgeCount() {
+		t.Fatalf("step %d: index views disagree: byAnn=%d byTup=%d edges=%d",
+			step, byAnn, byTup, s.EdgeCount())
+	}
+}

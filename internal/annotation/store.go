@@ -1,0 +1,224 @@
+package annotation
+
+import (
+	"fmt"
+	"sort"
+
+	"nebula/internal/relational"
+)
+
+// Store holds annotations and their attachment edges with bidirectional
+// indexes. It is the "existing annotation management engine" the Nebula
+// prototype is realized on top of.
+type Store struct {
+	annotations map[ID]*Annotation
+	order       []ID // insertion order for deterministic iteration
+
+	// byAnnotation indexes edges from the annotation side.
+	byAnnotation map[ID][]*Attachment
+	// byTuple indexes edges from the data side.
+	byTuple map[relational.TupleID][]*Attachment
+	// edges deduplicates (annotation, tuple) pairs.
+	edges map[EdgeKey]*Attachment
+}
+
+// NewStore returns an empty annotation store.
+func NewStore() *Store {
+	return &Store{
+		annotations:  make(map[ID]*Annotation),
+		byAnnotation: make(map[ID][]*Attachment),
+		byTuple:      make(map[relational.TupleID][]*Attachment),
+		edges:        make(map[EdgeKey]*Attachment),
+	}
+}
+
+// Add registers an annotation. The ID must be unique.
+func (s *Store) Add(a *Annotation) error {
+	if a.ID == "" {
+		return fmt.Errorf("annotation: empty id")
+	}
+	if _, dup := s.annotations[a.ID]; dup {
+		return fmt.Errorf("annotation %q already exists", a.ID)
+	}
+	s.annotations[a.ID] = a
+	s.order = append(s.order, a.ID)
+	return nil
+}
+
+// Get returns the annotation by ID.
+func (s *Store) Get(id ID) (*Annotation, bool) {
+	a, ok := s.annotations[id]
+	return a, ok
+}
+
+// Len returns the number of annotations.
+func (s *Store) Len() int { return len(s.annotations) }
+
+// EdgeCount returns the number of (annotation, tuple) edges.
+func (s *Store) EdgeCount() int { return len(s.edges) }
+
+// IDs returns annotation IDs in insertion order.
+func (s *Store) IDs() []ID {
+	out := make([]ID, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Attach adds an attachment edge. If an edge between the same annotation and
+// tuple already exists, the stronger claim wins: a true attachment replaces
+// a predicted one, and a higher-confidence prediction replaces a lower one.
+// The annotation must already be registered.
+func (s *Store) Attach(att Attachment) (*Attachment, error) {
+	if _, ok := s.annotations[att.Annotation]; !ok {
+		return nil, fmt.Errorf("attach: unknown annotation %q", att.Annotation)
+	}
+	if att.Type == TrueAttachment {
+		att.Confidence = 1
+	} else if att.Confidence < 0 || att.Confidence >= 1 {
+		return nil, fmt.Errorf("attach: predicted confidence %f outside [0,1)", att.Confidence)
+	}
+	key := att.edgeKey()
+	if existing, ok := s.edges[key]; ok {
+		if existing.Type == TrueAttachment {
+			return existing, nil
+		}
+		if att.Type == TrueAttachment || att.Confidence > existing.Confidence {
+			existing.Type = att.Type
+			existing.Confidence = att.Confidence
+			existing.Column = att.Column
+		}
+		return existing, nil
+	}
+	stored := &Attachment{}
+	*stored = att
+	s.edges[key] = stored
+	s.byAnnotation[att.Annotation] = append(s.byAnnotation[att.Annotation], stored)
+	s.byTuple[att.Tuple] = append(s.byTuple[att.Tuple], stored)
+	return stored, nil
+}
+
+// Detach removes the edge between an annotation and a tuple. It reports
+// whether an edge was removed.
+func (s *Store) Detach(id ID, tuple relational.TupleID) bool {
+	key := EdgeKey{Annotation: id, Tuple: tuple}
+	att, ok := s.edges[key]
+	if !ok {
+		return false
+	}
+	delete(s.edges, key)
+	s.byAnnotation[id] = removeAttachment(s.byAnnotation[id], att)
+	if len(s.byAnnotation[id]) == 0 {
+		delete(s.byAnnotation, id)
+	}
+	s.byTuple[tuple] = removeAttachment(s.byTuple[tuple], att)
+	if len(s.byTuple[tuple]) == 0 {
+		delete(s.byTuple, tuple)
+	}
+	return true
+}
+
+func removeAttachment(list []*Attachment, target *Attachment) []*Attachment {
+	for i, a := range list {
+		if a == target {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// DetachTuple removes every attachment touching the tuple — the
+// referential-integrity hook for tuple deletion. It returns the number of
+// edges removed.
+func (s *Store) DetachTuple(tuple relational.TupleID) int {
+	atts := s.byTuple[tuple]
+	ids := make([]ID, len(atts))
+	for i, att := range atts {
+		ids[i] = att.Annotation
+	}
+	for _, id := range ids {
+		s.Detach(id, tuple)
+	}
+	return len(ids)
+}
+
+// Promote converts a predicted edge into a true attachment (confidence 1).
+// This is what happens when a verification task is accepted (§7).
+func (s *Store) Promote(id ID, tuple relational.TupleID) error {
+	att, ok := s.edges[EdgeKey{Annotation: id, Tuple: tuple}]
+	if !ok {
+		return fmt.Errorf("promote: no edge %s -> %s", id, tuple)
+	}
+	att.Type = TrueAttachment
+	att.Confidence = 1
+	return nil
+}
+
+// Edge returns the attachment between an annotation and a tuple, if any.
+func (s *Store) Edge(id ID, tuple relational.TupleID) (*Attachment, bool) {
+	att, ok := s.edges[EdgeKey{Annotation: id, Tuple: tuple}]
+	return att, ok
+}
+
+// Attachments returns the edges of one annotation, optionally filtered by
+// type. Pass -1 to return all.
+func (s *Store) Attachments(id ID, filter AttachmentType) []*Attachment {
+	var out []*Attachment
+	for _, att := range s.byAnnotation[id] {
+		if filter < 0 || att.Type == filter {
+			out = append(out, att)
+		}
+	}
+	return out
+}
+
+// TupleAnnotations returns the edges touching one tuple, optionally
+// filtered by type. Pass -1 to return all.
+func (s *Store) TupleAnnotations(tuple relational.TupleID, filter AttachmentType) []*Attachment {
+	var out []*Attachment
+	for _, att := range s.byTuple[tuple] {
+		if filter < 0 || att.Type == filter {
+			out = append(out, att)
+		}
+	}
+	return out
+}
+
+// Focal returns Foc(a) — the tuples the annotation is attached to by true
+// attachments (Definition 3.5).
+func (s *Store) Focal(id ID) []relational.TupleID {
+	var out []relational.TupleID
+	for _, att := range s.byAnnotation[id] {
+		if att.Type == TrueAttachment {
+			out = append(out, att.Tuple)
+		}
+	}
+	return out
+}
+
+// AnnotatedTuples returns every tuple that has at least one attachment,
+// sorted for determinism.
+func (s *Store) AnnotatedTuples() []relational.TupleID {
+	out := make([]relational.TupleID, 0, len(s.byTuple))
+	for t := range s.byTuple {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TrueEdgeSet returns the set of (annotation, tuple) pairs connected by true
+// attachments — the E of Definition 3.1 restricted to solid edges.
+func (s *Store) TrueEdgeSet() map[EdgeKey]struct{} {
+	out := make(map[EdgeKey]struct{})
+	for key, att := range s.edges {
+		if att.Type == TrueAttachment {
+			out[key] = struct{}{}
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package annotation
+
+import (
+	"testing"
+
+	"nebula/internal/relational"
+)
+
+func tid(table, key string) relational.TupleID {
+	return relational.TupleID{Table: table, Key: "s:" + key}
+}
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	for _, a := range []*Annotation{
+		{ID: "a1", Author: "bob", Body: "article about grpC", Kind: "article"},
+		{ID: "a2", Author: "alice", Body: "comment about yaaB", Kind: "comment"},
+		{ID: "a3", Author: "carol", Body: "rounded flag", Kind: "flag"},
+	} {
+		if err := s.Add(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAddErrors(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.Add(&Annotation{ID: "a1"}); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if err := s.Add(&Annotation{}); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestAttachBasics(t *testing.T) {
+	s := newTestStore(t)
+	g13 := tid("Gene", "jw0013")
+	att, err := s.Attach(Attachment{Annotation: "a1", Tuple: g13, Type: TrueAttachment})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Confidence != 1 {
+		t.Error("true attachment should have confidence 1")
+	}
+	if _, err := s.Attach(Attachment{Annotation: "zzz", Tuple: g13, Type: TrueAttachment}); err == nil {
+		t.Error("unknown annotation should fail")
+	}
+	if _, err := s.Attach(Attachment{Annotation: "a1", Tuple: g13, Type: PredictedAttachment, Confidence: 1.5}); err == nil {
+		t.Error("out-of-range prediction confidence should fail")
+	}
+	if s.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d", s.EdgeCount())
+	}
+}
+
+func TestAttachUpgradeSemantics(t *testing.T) {
+	s := newTestStore(t)
+	g := tid("Gene", "jw0019")
+	// Prediction first...
+	if _, err := s.Attach(Attachment{Annotation: "a2", Tuple: g, Type: PredictedAttachment, Confidence: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	// ...lower-confidence prediction does not downgrade
+	att, _ := s.Attach(Attachment{Annotation: "a2", Tuple: g, Type: PredictedAttachment, Confidence: 0.2})
+	if att.Confidence != 0.4 {
+		t.Errorf("confidence downgraded to %f", att.Confidence)
+	}
+	// ...higher-confidence prediction upgrades
+	att, _ = s.Attach(Attachment{Annotation: "a2", Tuple: g, Type: PredictedAttachment, Confidence: 0.7})
+	if att.Confidence != 0.7 {
+		t.Errorf("confidence not upgraded: %f", att.Confidence)
+	}
+	// ...true attachment wins over everything
+	att, _ = s.Attach(Attachment{Annotation: "a2", Tuple: g, Type: TrueAttachment})
+	if att.Type != TrueAttachment || att.Confidence != 1 {
+		t.Errorf("true attachment did not win: %+v", att)
+	}
+	// ...and cannot be demoted back to a prediction
+	att, _ = s.Attach(Attachment{Annotation: "a2", Tuple: g, Type: PredictedAttachment, Confidence: 0.1})
+	if att.Type != TrueAttachment {
+		t.Error("true attachment demoted")
+	}
+	if s.EdgeCount() != 1 {
+		t.Errorf("duplicate edges created: %d", s.EdgeCount())
+	}
+}
+
+func TestDetach(t *testing.T) {
+	s := newTestStore(t)
+	g := tid("Gene", "jw0013")
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: g, Type: TrueAttachment})
+	if !s.Detach("a1", g) {
+		t.Fatal("detach failed")
+	}
+	if s.Detach("a1", g) {
+		t.Fatal("double detach succeeded")
+	}
+	if len(s.TupleAnnotations(g, -1)) != 0 || len(s.Attachments("a1", -1)) != 0 {
+		t.Error("indexes not cleaned")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	s := newTestStore(t)
+	g := tid("Gene", "jw0014")
+	_, _ = s.Attach(Attachment{Annotation: "a2", Tuple: g, Type: PredictedAttachment, Confidence: 0.6})
+	if err := s.Promote("a2", g); err != nil {
+		t.Fatal(err)
+	}
+	att, _ := s.Edge("a2", g)
+	if att.Type != TrueAttachment || att.Confidence != 1 {
+		t.Errorf("promotion failed: %+v", att)
+	}
+	if err := s.Promote("a2", tid("Gene", "nope")); err == nil {
+		t.Error("promote of missing edge should fail")
+	}
+}
+
+func TestFocal(t *testing.T) {
+	s := newTestStore(t)
+	g1, g2, g3 := tid("Gene", "jw0013"), tid("Gene", "jw0014"), tid("Gene", "jw0019")
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: g1, Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: g2, Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: g3, Type: PredictedAttachment, Confidence: 0.5})
+	focal := s.Focal("a1")
+	if len(focal) != 2 {
+		t.Fatalf("focal = %v", focal)
+	}
+	for _, f := range focal {
+		if f == g3 {
+			t.Error("predicted attachment leaked into focal")
+		}
+	}
+}
+
+func TestAttachmentsFilter(t *testing.T) {
+	s := newTestStore(t)
+	g := tid("Gene", "jw0013")
+	p := tid("Protein", "p00001")
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: g, Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: p, Type: PredictedAttachment, Confidence: 0.3})
+	if n := len(s.Attachments("a1", -1)); n != 2 {
+		t.Errorf("all = %d", n)
+	}
+	if n := len(s.Attachments("a1", TrueAttachment)); n != 1 {
+		t.Errorf("true = %d", n)
+	}
+	if n := len(s.Attachments("a1", PredictedAttachment)); n != 1 {
+		t.Errorf("predicted = %d", n)
+	}
+}
+
+func TestAnnotatedTuplesSorted(t *testing.T) {
+	s := newTestStore(t)
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: tid("Protein", "p2"), Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "a2", Tuple: tid("Gene", "g9"), Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "a3", Tuple: tid("Gene", "g1"), Type: TrueAttachment})
+	tuples := s.AnnotatedTuples()
+	if len(tuples) != 3 {
+		t.Fatalf("tuples = %v", tuples)
+	}
+	if tuples[0].Table != "Gene" || tuples[0].Key != "s:g1" || tuples[2].Table != "Protein" {
+		t.Errorf("not sorted: %v", tuples)
+	}
+}
+
+func TestQualityMetrics(t *testing.T) {
+	s := newTestStore(t)
+	g1, g2, g3 := tid("Gene", "g1"), tid("Gene", "g2"), tid("Gene", "g3")
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: g1, Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: g2, Type: PredictedAttachment, Confidence: 0.8})
+
+	ideal := IdealEdges{
+		{Annotation: "a1", Tuple: g1}: {},
+		{Annotation: "a1", Tuple: g3}: {},
+	}
+	m := s.Quality(ideal)
+	// E = {g1, g2}, E_ideal = {g1, g3}: one missing (g3), one spurious (g2).
+	if m.Missing != 1 || m.Spurious != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.FalseNegativeRatio != 0.5 || m.FalsePositiveRatio != 0.5 {
+		t.Errorf("ratios = %+v", m)
+	}
+
+	// True-only view: no predictions => F_P must be 0 (per §3).
+	m2 := s.QualityTrueOnly(ideal)
+	if m2.FalsePositiveRatio != 0 {
+		t.Errorf("true-only F_P = %f, want 0", m2.FalsePositiveRatio)
+	}
+	if m2.FalseNegativeRatio != 0.5 {
+		t.Errorf("true-only F_N = %f, want 0.5", m2.FalseNegativeRatio)
+	}
+}
+
+func TestQualityEmptySets(t *testing.T) {
+	s := NewStore()
+	m := s.Quality(IdealEdges{})
+	if m.FalseNegativeRatio != 0 || m.FalsePositiveRatio != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+}
+
+func TestAttachmentString(t *testing.T) {
+	a := Attachment{Annotation: "a1", Tuple: tid("Gene", "g1"), Type: TrueAttachment, Confidence: 1}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+	b := Attachment{Annotation: "a1", Tuple: tid("Gene", "g1"), Column: "Name", Type: PredictedAttachment, Confidence: 0.5}
+	if b.String() == a.String() {
+		t.Error("cell-level attachment should render differently")
+	}
+}
+
+func TestDetachTuple(t *testing.T) {
+	s := newTestStore(t)
+	g := tid("Gene", "g1")
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: g, Type: TrueAttachment})
+	_, _ = s.Attach(Attachment{Annotation: "a2", Tuple: g, Type: PredictedAttachment, Confidence: 0.5})
+	_, _ = s.Attach(Attachment{Annotation: "a1", Tuple: tid("Gene", "g2"), Type: TrueAttachment})
+	if n := s.DetachTuple(g); n != 2 {
+		t.Fatalf("detached %d, want 2", n)
+	}
+	if len(s.TupleAnnotations(g, -1)) != 0 {
+		t.Error("edges remain")
+	}
+	if _, ok := s.Edge("a1", tid("Gene", "g2")); !ok {
+		t.Error("unrelated edge lost")
+	}
+	if s.DetachTuple(g) != 0 {
+		t.Error("second detach should be a no-op")
+	}
+}

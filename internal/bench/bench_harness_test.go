@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func tinyEnv(t testing.TB) *Env {
+	t.Helper()
+	env, err := LoadEnv("tiny", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestLoadEnvCachesAndValidates(t *testing.T) {
+	a := tinyEnv(t)
+	b := tinyEnv(t)
+	if a != b {
+		t.Error("env not cached")
+	}
+	if _, err := LoadEnv("gigantic", 1); err == nil {
+		t.Error("unknown size should fail")
+	}
+	if a.Name != "D_tiny" {
+		t.Errorf("name = %q", a.Name)
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "longcolumn"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longcolumn") {
+		t.Errorf("print output: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 5 { // title+head+sep+2 rows
+		t.Errorf("unexpected line count:\n%s", out)
+	}
+}
+
+func TestFig11Tables(t *testing.T) {
+	env := tinyEnv(t)
+	a := Fig11a(env)
+	if len(a.Rows) != len(Epsilons)*4 {
+		t.Errorf("fig11a rows = %d", len(a.Rows))
+	}
+	b := Fig11b(env)
+	// Query counts must not increase with ε within a workload class.
+	counts := map[string]map[float64]float64{}
+	for i, row := range b.Rows {
+		eps := Epsilons[i/4]
+		if counts[row[0]] == nil {
+			counts[row[0]] = map[float64]float64{}
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[row[0]][eps] = v
+	}
+	for wl, byEps := range counts {
+		if byEps[0.4] < byEps[0.6] || byEps[0.6] < byEps[0.8] {
+			t.Errorf("%s: query counts not monotone in eps: %v", wl, byEps)
+		}
+	}
+	c := Fig11c(env)
+	// ε=0.6 must have zero query false negatives (the paper's finding our
+	// default depends on).
+	for i, row := range c.Rows {
+		eps := Epsilons[i/4]
+		if eps == 0.6 && row[3] != "0.000" {
+			t.Errorf("fig11c: eps=0.6 FN%% = %s for %s", row[3], row[0])
+		}
+	}
+}
+
+func TestFig12AndFig13Tables(t *testing.T) {
+	env := tinyEnv(t)
+	a := Fig12a([]*Env{env}, false)
+	if len(a.Rows) != 4 {
+		t.Errorf("fig12a rows = %d", len(a.Rows))
+	}
+	// Naive measured on L^50, n/a elsewhere.
+	if a.Rows[0][2] == "n/a" || a.Rows[1][2] != "n/a" {
+		t.Errorf("naive columns: %v / %v", a.Rows[0], a.Rows[1])
+	}
+	b := Fig12b([]*Env{env}, false)
+	// Naive must return far more tuples than Nebula on L^50.
+	naive, err := strconv.ParseFloat(b.Rows[0][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n06, err := strconv.ParseFloat(b.Rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive <= n06*3 {
+		t.Errorf("naive %.1f tuples vs nebula %.1f — expected noisy baseline", naive, n06)
+	}
+	c := Fig13([]*Env{env})
+	if len(c.Rows) != 4 {
+		t.Errorf("fig13 rows = %d", len(c.Rows))
+	}
+}
+
+func TestFig14Tables(t *testing.T) {
+	env := tinyEnv(t)
+	a := Fig14a(env)
+	if len(a.Rows) != len(Fig14Deltas) {
+		t.Errorf("fig14a rows = %d", len(a.Rows))
+	}
+	b := Fig14b(env)
+	// Spreading must produce no more tuples than full search, and K must be
+	// monotone.
+	for _, row := range b.Rows {
+		full, _ := strconv.ParseFloat(row[1], 64)
+		k2, _ := strconv.ParseFloat(row[2], 64)
+		k3, _ := strconv.ParseFloat(row[3], 64)
+		k4, _ := strconv.ParseFloat(row[4], 64)
+		if k2 > full || k4 > full {
+			t.Errorf("spreading produced more than full search: %v", row)
+		}
+		if k2 > k3+1e-9 || k3 > k4+1e-9 {
+			t.Errorf("tuples not monotone in K: %v", row)
+		}
+	}
+}
+
+func TestFig15Tables(t *testing.T) {
+	env := tinyEnv(t)
+	a, err := Fig15a(env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 8 {
+		t.Errorf("fig15a rows = %d", len(a.Rows))
+	}
+	b := Fig15b(env)
+	if len(b.Rows) != 8 {
+		t.Errorf("fig15b rows = %d", len(b.Rows))
+	}
+	// In the no-expert configuration M_F must be 0 everywhere.
+	for _, row := range b.Rows {
+		if row[3] != "0.000" {
+			t.Errorf("fig15b M_F non-zero: %v", row)
+		}
+	}
+	n := NaiveAssessment(env)
+	if len(n.Rows) != 1 {
+		t.Errorf("naive assessment rows = %d", len(n.Rows))
+	}
+	// The naive manual effort dwarfs any Nebula configuration.
+	naiveMF, _ := strconv.ParseFloat(n.Rows[0][2], 64)
+	nebulaMF, _ := strconv.ParseFloat(a.Rows[0][3], 64)
+	if naiveMF <= nebulaMF*5 {
+		t.Errorf("naive M_F %.1f vs nebula %.1f — expected a large gap", naiveMF, nebulaMF)
+	}
+}
+
+func TestHopProfileTable(t *testing.T) {
+	env := tinyEnv(t)
+	tab := HopProfileTable(env)
+	if len(tab.Rows) < 2 {
+		t.Fatalf("profile rows = %d", len(tab.Rows))
+	}
+	// Coverage column is non-decreasing.
+	prev := 0.0
+	for _, row := range tab.Rows {
+		if row[0] == "unreachable" {
+			continue
+		}
+		c, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev {
+			t.Errorf("coverage decreasing: %v", tab.Rows)
+		}
+		prev = c
+	}
+}
+
+func TestAblationTables(t *testing.T) {
+	env := tinyEnv(t)
+	a := AblationContextAdjustment(env)
+	if len(a.Rows) != 8 {
+		t.Errorf("context ablation rows = %d", len(a.Rows))
+	}
+	b := AblationFocalAdjustment(env)
+	if len(b.Rows) != 2 {
+		t.Errorf("focal ablation rows = %d", len(b.Rows))
+	}
+	// The focal adjustment should not hurt F_N under no-expert bounds.
+	fnAdj, _ := strconv.ParseFloat(b.Rows[0][1], 64)
+	fnOff, _ := strconv.ParseFloat(b.Rows[1][1], 64)
+	if fnAdj > fnOff+0.15 {
+		t.Errorf("focal adjustment degraded F_N: %f vs %f", fnAdj, fnOff)
+	}
+}
+
+func TestTuneBoundsForEnv(t *testing.T) {
+	env := tinyEnv(t)
+	b, err := TuneBoundsForEnv(env, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("invalid tuned bounds: %v", err)
+	}
+}
+
+func TestAblationSearchTechnique(t *testing.T) {
+	env := tinyEnv(t)
+	tab := AblationSearchTechnique(env)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Both techniques should achieve useful recall on this clean fixture.
+	for _, row := range tab.Rows {
+		rec, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec < 0.5 {
+			t.Errorf("%s/%s recall = %f", row[0], row[1], rec)
+		}
+	}
+}
+
+func TestWorkloadSummaryTable(t *testing.T) {
+	env := tinyEnv(t)
+	tab := WorkloadSummary(env)
+	if len(tab.Rows) != 12 { // 4 sizes × 3 classes
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The L^50 × L7-10 cell is empty (the paper's footnote substitution).
+	for _, row := range tab.Rows {
+		if row[0] == "L^50" && row[1] == "L7-10" && row[2] != "0" {
+			t.Errorf("L^50/L7-10 should be empty: %v", row)
+		}
+	}
+	total := 0
+	for _, row := range tab.Rows {
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 60 {
+		t.Errorf("total workload annotations = %d, want 60", total)
+	}
+}
+
+func TestTableWriteFormats(t *testing.T) {
+	env := tinyEnv(t)
+	tab := WorkloadSummary(env)
+	var buf bytes.Buffer
+	if err := tab.Write(&buf, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# Figure 18") {
+		t.Errorf("csv output: %q", buf.String()[:40])
+	}
+	buf.Reset()
+	if err := tab.Write(&buf, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"title"`) {
+		t.Error("json output missing title")
+	}
+	buf.Reset()
+	if err := tab.Write(&buf, "text"); err != nil || buf.Len() == 0 {
+		t.Error("text output failed")
+	}
+	if err := tab.Write(&buf, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package keyword
+
+import (
+	"fmt"
+
+	"nebula/internal/meta"
+	"nebula/internal/relational"
+)
+
+// Engine executes keyword queries against a database using NebulaMeta for
+// keyword-to-schema mapping.
+type Engine struct {
+	db   *relational.Database
+	meta *meta.Repository
+
+	// MaxMappingsPerKeyword caps candidate interpretations per keyword.
+	MaxMappingsPerKeyword int
+	// MaxConfigurations caps configurations per query.
+	MaxConfigurations int
+	// MinMappingWeight discards keyword interpretations weaker than this
+	// when deriving mappings from metadata (hinted mappings are exempt).
+	MinMappingWeight float64
+	// IncludeRelated, when set, expands each matched tuple with its direct
+	// FK–PK neighbors at RelatedDiscount of the tuple's confidence.
+	IncludeRelated bool
+	// RelatedDiscount is the confidence multiplier for related tuples.
+	RelatedDiscount float64
+}
+
+// NewEngine builds a keyword search engine over db. The repository supplies
+// the metadata; it may be bound to a different (larger) database with the
+// same schema — the focal-spreading search exploits exactly that by running
+// the engine over a miniDB while keeping the full database's metadata.
+func NewEngine(db *relational.Database, repo *meta.Repository) *Engine {
+	return &Engine{
+		db:                    db,
+		meta:                  repo,
+		MaxMappingsPerKeyword: 3,
+		MaxConfigurations:     16,
+		MinMappingWeight:      0.3,
+		RelatedDiscount:       0.4,
+	}
+}
+
+// Database returns the engine's bound database.
+func (e *Engine) Database() *relational.Database { return e.db }
+
+// Execute runs one keyword query: it enumerates configurations, executes
+// each configuration's structured query, and returns the union of produced
+// tuples. A tuple satisfying several configurations keeps the highest
+// confidence (the engine's "internal criteria", §6.1).
+func (e *Engine) Execute(q Query) ([]Result, ExecStats, error) {
+	var stats ExecStats
+	configs := e.Configurations(q)
+	byTuple := make(map[relational.TupleID]int)
+	var out []Result
+	for _, cfg := range configs {
+		rows, st, err := e.db.Select(cfg.Structured)
+		if err != nil {
+			return nil, stats, fmt.Errorf("execute %s: %w", q.ID, err)
+		}
+		stats.StructuredQueries++
+		stats.TuplesScanned += st.TuplesScanned
+		if cfg.Join {
+			rows = e.joinProject(rows, cfg.Table)
+		}
+		stats.TuplesReturned += len(rows)
+		out = e.mergeRows(out, byTuple, rows, cfg.Confidence, q.ID)
+	}
+	return out, stats, nil
+}
+
+// joinProject maps rows across their FK–PK relationships into the target
+// table — the result-assembly half of a join configuration.
+func (e *Engine) joinProject(rows []*relational.Row, targetTable string) []*relational.Row {
+	var out []*relational.Row
+	seen := make(map[relational.TupleID]struct{})
+	for _, r := range rows {
+		for _, rel := range e.db.Related(r) {
+			if !equalFold(rel.ID.Table, targetTable) {
+				continue
+			}
+			if _, dup := seen[rel.ID]; dup {
+				continue
+			}
+			seen[rel.ID] = struct{}{}
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+// mergeRows folds rows produced at the given confidence into the result
+// set, applying the optional FK–PK related expansion.
+func (e *Engine) mergeRows(out []Result, byTuple map[relational.TupleID]int, rows []*relational.Row, conf float64, queryID string) []Result {
+	add := func(r *relational.Row, c float64) {
+		if i, ok := byTuple[r.ID]; ok {
+			if c > out[i].Confidence {
+				out[i].Confidence = c
+			}
+			return
+		}
+		byTuple[r.ID] = len(out)
+		out = append(out, Result{Tuple: r, Confidence: c, Query: queryID})
+	}
+	for _, r := range rows {
+		add(r, conf)
+		if e.IncludeRelated {
+			for _, rel := range e.db.Related(r) {
+				add(rel, conf*e.RelatedDiscount)
+			}
+		}
+	}
+	return out
+}
+
+// ExecuteBatch runs a set of keyword queries (all generated from one
+// annotation). With shared=false every query executes in isolation, exactly
+// as Execute would. With shared=true the executor applies the §6 shared
+// multi-query optimization: identical structured queries across the batch
+// (detected by fingerprint) execute only once, and the result rows are
+// distributed to every (query, configuration) that needed them.
+func (e *Engine) ExecuteBatch(qs []Query, shared bool) (map[string][]Result, ExecStats, error) {
+	var stats ExecStats
+	results := make(map[string][]Result, len(qs))
+	if !shared {
+		for _, q := range qs {
+			rs, st, err := e.Execute(q)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Add(st)
+			results[q.ID] = rs
+		}
+		return results, stats, nil
+	}
+
+	// Plan: enumerate configurations for each query up front.
+	type need struct {
+		queryIdx  int
+		conf      float64
+		join      bool
+		joinTable string
+	}
+	plans := make([][]Configuration, len(qs))
+	wanted := make(map[string][]need) // fingerprint -> consumers
+	ordered := make([]string, 0)      // deterministic execution order
+	structured := make(map[string]relational.Query)
+	for qi, q := range qs {
+		plans[qi] = e.Configurations(q)
+		for _, cfg := range plans[qi] {
+			fp := cfg.Structured.Fingerprint()
+			if _, seen := wanted[fp]; !seen {
+				ordered = append(ordered, fp)
+				structured[fp] = cfg.Structured
+			} else {
+				stats.SharedQueries++
+			}
+			wanted[fp] = append(wanted[fp], need{
+				queryIdx: qi, conf: cfg.Confidence,
+				join: cfg.Join, joinTable: cfg.Table,
+			})
+		}
+	}
+
+	// Execute the distinct structured queries in one batch: identical
+	// queries were deduplicated above, and SelectMulti shares the physical
+	// scans of the remainder (one pass per table for all scan queries).
+	batch := make([]relational.Query, len(ordered))
+	for i, fp := range ordered {
+		batch[i] = structured[fp]
+	}
+	rowSets, st, err := e.db.SelectMulti(batch)
+	if err != nil {
+		return nil, stats, fmt.Errorf("shared execute: %w", err)
+	}
+	stats.StructuredQueries += len(batch)
+	stats.TuplesScanned += st.TuplesScanned
+	byTuple := make([]map[relational.TupleID]int, len(qs))
+	merged := make([][]Result, len(qs))
+	for i := range byTuple {
+		byTuple[i] = make(map[relational.TupleID]int)
+	}
+	for i, fp := range ordered {
+		rows := rowSets[i]
+		for _, n := range wanted[fp] {
+			consumed := rows
+			if n.join {
+				consumed = e.joinProject(rows, n.joinTable)
+			}
+			stats.TuplesReturned += len(consumed)
+			merged[n.queryIdx] = e.mergeRows(merged[n.queryIdx], byTuple[n.queryIdx], consumed, n.conf, qs[n.queryIdx].ID)
+		}
+	}
+	for qi, q := range qs {
+		results[q.ID] = merged[qi]
+	}
+	return results, stats, nil
+}

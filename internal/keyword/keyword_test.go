@@ -1,0 +1,391 @@
+package keyword
+
+import (
+	"testing"
+
+	"nebula/internal/meta"
+	"nebula/internal/relational"
+)
+
+// fixture builds the running-example database with NebulaMeta populated the
+// way §8.1 describes (concepts Gene and Protein; ID and Name referencing
+// columns; regex patterns over Gene.GID and Gene.Name).
+func fixture(t testing.TB) (*relational.Database, *meta.Repository, *Engine) {
+	t.Helper()
+	db := relational.NewDatabase()
+	gene := &relational.Schema{
+		Name: "Gene",
+		Columns: []relational.Column{
+			{Name: "GID", Type: relational.TypeString, Indexed: true},
+			{Name: "Name", Type: relational.TypeString, Indexed: true},
+			{Name: "Length", Type: relational.TypeInt},
+			{Name: "Family", Type: relational.TypeString, Indexed: true},
+		},
+		PrimaryKey: "GID",
+	}
+	protein := &relational.Schema{
+		Name: "Protein",
+		Columns: []relational.Column{
+			{Name: "PID", Type: relational.TypeString, Indexed: true},
+			{Name: "PName", Type: relational.TypeString, Indexed: true},
+			{Name: "PType", Type: relational.TypeString},
+			{Name: "GeneID", Type: relational.TypeString, Indexed: true},
+		},
+		PrimaryKey:  "PID",
+		ForeignKeys: []relational.ForeignKey{{Column: "GeneID", RefTable: "Gene", RefColumn: "GID"}},
+	}
+	pub := &relational.Schema{
+		Name: "Publication",
+		Columns: []relational.Column{
+			{Name: "PubID", Type: relational.TypeString},
+			{Name: "Abstract", Type: relational.TypeString, FullText: true},
+		},
+		PrimaryKey: "PubID",
+	}
+	for _, s := range []*relational.Schema{gene, protein, pub} {
+		if _, err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gt := db.MustTable("Gene")
+	for _, g := range [][]relational.Value{
+		{relational.String("JW0013"), relational.String("grpC"), relational.Int(1130), relational.String("F1")},
+		{relational.String("JW0014"), relational.String("groP"), relational.Int(1916), relational.String("F6")},
+		{relational.String("JW0019"), relational.String("yaaB"), relational.Int(905), relational.String("F3")},
+		{relational.String("JW0012"), relational.String("yaaI"), relational.Int(404), relational.String("F1")},
+	} {
+		if _, err := gt.Insert(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt := db.MustTable("Protein")
+	if _, err := pt.Insert([]relational.Value{
+		relational.String("P00001"), relational.String("G-Actin"),
+		relational.String("structural"), relational.String("JW0013"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pubT := db.MustTable("Publication")
+	if _, err := pubT.Insert([]relational.Value{
+		relational.String("PUB1"), relational.String("study of yaaB and G-Actin regulation"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	repo := meta.NewRepository(db, nil)
+	for _, c := range []*meta.Concept{
+		{Name: "Gene", Table: "Gene", ReferencedBy: [][]string{{"GID"}, {"Name"}}},
+		{Name: "Protein", Table: "Protein", ReferencedBy: [][]string{{"PID"}, {"PName", "PType"}}},
+	} {
+		if err := repo.AddConcept(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := repo.SetPattern(meta.ColumnRef{Table: "Gene", Column: "GID"}, `JW[0-9]{4}`); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.SetPattern(meta.ColumnRef{Table: "Gene", Column: "Name"}, `[a-z]{3}[A-Z]`); err != nil {
+		t.Fatal(err)
+	}
+	return db, repo, NewEngine(db, repo)
+}
+
+func TestExecuteTypeTwoMatch(t *testing.T) {
+	_, _, e := fixture(t)
+	// "gene JW0014" — a Type-2 match (table + value).
+	q := Query{ID: "q1", Weight: 1, Keywords: []Keyword{
+		{Text: "gene", Role: RoleTable},
+		{Text: "JW0014", Role: RoleValue},
+	}}
+	rs, stats, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("results = %v", rs)
+	}
+	if rs[0].Tuple.MustGet("GID").Str() != "JW0014" {
+		t.Errorf("wrong tuple: %v", rs[0].Tuple)
+	}
+	if rs[0].Confidence <= 0 || rs[0].Confidence > 1 {
+		t.Errorf("confidence = %f", rs[0].Confidence)
+	}
+	if stats.StructuredQueries == 0 {
+		t.Error("no structured queries executed")
+	}
+}
+
+func TestExecuteValueByName(t *testing.T) {
+	_, _, e := fixture(t)
+	q := Query{ID: "q2", Weight: 1, Keywords: []Keyword{
+		{Text: "gene", Role: RoleTable},
+		{Text: "yaaB", Role: RoleValue},
+	}}
+	rs, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if r.Tuple.MustGet("Name").Str() == "yaaB" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("yaaB gene not found: %v", rs)
+	}
+}
+
+func TestExecuteWithHints(t *testing.T) {
+	_, _, e := fixture(t)
+	// Pinned mapping straight to Gene.GID, as the signature maps produce.
+	q := Query{ID: "q3", Weight: 1, Keywords: []Keyword{
+		{Text: "gene", Role: RoleTable, TargetTable: "Gene", Weight: 1},
+		{Text: "JW0019", Role: RoleValue, TargetTable: "Gene", TargetColumn: "GID", Weight: 0.95},
+	}}
+	rs, stats, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Tuple.MustGet("GID").Str() != "JW0019" {
+		t.Fatalf("results = %v", rs)
+	}
+	// The hinted configuration leads, plus alternate value probes over the
+	// concept's other referencing columns (here: Gene.Name).
+	if stats.StructuredQueries < 1 || stats.StructuredQueries > 3 {
+		t.Errorf("structured queries = %d, want 1..3", stats.StructuredQueries)
+	}
+	cfgs := e.Configurations(q)
+	if len(cfgs) == 0 || cfgs[0].Structured.Predicates[0].Column != "GID" {
+		t.Errorf("hinted configuration not ranked first: %v", cfgs)
+	}
+}
+
+func TestConfigurationsRequireValuePredicate(t *testing.T) {
+	_, _, e := fixture(t)
+	q := Query{ID: "q4", Weight: 1, Keywords: []Keyword{
+		{Text: "gene", Role: RoleTable},
+		{Text: "name", Role: RoleColumn},
+	}}
+	if cfgs := e.Configurations(q); len(cfgs) != 0 {
+		t.Errorf("concept-only query produced configurations: %v", cfgs)
+	}
+}
+
+func TestJoinConfiguration(t *testing.T) {
+	_, _, e := fixture(t)
+	// "protein JW0013": the concept names Protein, the value belongs to
+	// Gene.GID, and Protein —FK→ Gene. The engine builds a join
+	// configuration producing the protein(s) of that gene.
+	q := Query{ID: "q5", Weight: 1, Keywords: []Keyword{
+		{Text: "protein", Role: RoleTable, TargetTable: "Protein", Weight: 1},
+		{Text: "JW0013", Role: RoleValue, TargetTable: "Gene", TargetColumn: "GID", Weight: 0.9},
+	}}
+	cfgs := e.Configurations(q)
+	joins := 0
+	for _, cfg := range cfgs {
+		if cfg.Join {
+			joins++
+			if cfg.Table != "Protein" || cfg.Structured.Table != "Gene" {
+				t.Errorf("join shape wrong: %+v", cfg)
+			}
+		}
+	}
+	if joins == 0 {
+		t.Fatalf("no join configuration: %v", cfgs)
+	}
+	rs, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var protein *Result
+	for i := range rs {
+		if rs[i].Tuple.ID.Table == "Protein" {
+			protein = &rs[i]
+		}
+	}
+	if protein == nil {
+		t.Fatalf("join produced no protein: %v", rs)
+	}
+	if protein.Tuple.MustGet("PName").Str() != "G-Actin" {
+		t.Errorf("wrong protein: %v", protein.Tuple)
+	}
+	// Join results are discounted below a same-confidence direct match.
+	if protein.Confidence >= 0.9 {
+		t.Errorf("join confidence %f not discounted", protein.Confidence)
+	}
+	// The shared path yields the same results.
+	shared, _, err := e.ExecuteBatch([]Query{q}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared[q.ID]) != len(rs) {
+		t.Errorf("shared join results differ: %d vs %d", len(shared[q.ID]), len(rs))
+	}
+}
+
+func TestCrossTableWithoutFKIsRejected(t *testing.T) {
+	db, repo, _ := fixture(t)
+	// Publication has no FK relationship with Gene: a publication-concept +
+	// gene-value assignment stays invalid.
+	if err := repo.AddConcept(&meta.Concept{
+		Name: "Publication", Table: "Publication", ReferencedBy: [][]string{{"Abstract"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(db, repo)
+	q := Query{ID: "q", Weight: 1, Keywords: []Keyword{
+		{Text: "publication", Role: RoleTable, TargetTable: "Publication", Weight: 1},
+		{Text: "JW0013", Role: RoleValue, TargetTable: "Gene", TargetColumn: "GID", Weight: 0.9},
+	}}
+	for _, cfg := range e.Configurations(q) {
+		if cfg.Join && cfg.Table == "Publication" {
+			t.Errorf("unlinked cross-table configuration accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestExecuteFullTextConfiguration(t *testing.T) {
+	db, repo, _ := fixture(t)
+	if err := repo.AddConcept(&meta.Concept{
+		Name: "Publication", Table: "Publication", ReferencedBy: [][]string{{"Abstract"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(db, repo)
+	q := Query{ID: "q6", Weight: 1, Keywords: []Keyword{
+		{Text: "publication", Role: RoleTable, TargetTable: "Publication", Weight: 1},
+		{Text: "regulation", Role: RoleValue, TargetTable: "Publication", TargetColumn: "Abstract", Weight: 0.8},
+	}}
+	rs, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Tuple.ID.Table != "Publication" {
+		t.Fatalf("full-text results = %v", rs)
+	}
+}
+
+func TestIncludeRelatedExpansion(t *testing.T) {
+	_, _, e := fixture(t)
+	e.IncludeRelated = true
+	q := Query{ID: "q7", Weight: 1, Keywords: []Keyword{
+		{Text: "gene", Role: RoleTable, TargetTable: "Gene", Weight: 1},
+		{Text: "JW0013", Role: RoleValue, TargetTable: "Gene", TargetColumn: "GID", Weight: 0.95},
+	}}
+	rs, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var geneConf, protConf float64
+	for _, r := range rs {
+		switch r.Tuple.ID.Table {
+		case "Gene":
+			geneConf = r.Confidence
+		case "Protein":
+			protConf = r.Confidence
+		}
+	}
+	if protConf == 0 {
+		t.Fatalf("related protein not included: %v", rs)
+	}
+	if protConf >= geneConf {
+		t.Errorf("related tuple confidence %f not discounted vs %f", protConf, geneConf)
+	}
+}
+
+func TestExecuteBatchSharedMatchesIsolated(t *testing.T) {
+	_, _, e := fixture(t)
+	qs := []Query{
+		{ID: "a", Weight: 1, Keywords: []Keyword{
+			{Text: "gene", Role: RoleTable},
+			{Text: "JW0014", Role: RoleValue},
+		}},
+		{ID: "b", Weight: 0.9, Keywords: []Keyword{
+			{Text: "gene", Role: RoleTable},
+			{Text: "JW0014", Role: RoleValue},
+		}},
+		{ID: "c", Weight: 0.8, Keywords: []Keyword{
+			{Text: "gene", Role: RoleTable},
+			{Text: "yaaI", Role: RoleValue},
+		}},
+	}
+	iso, isoStats, err := e.ExecuteBatch(qs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, shStats, err := e.ExecuteBatch(qs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same logical results per query.
+	for _, q := range qs {
+		if len(iso[q.ID]) != len(sh[q.ID]) {
+			t.Errorf("query %s: isolated %d results, shared %d", q.ID, len(iso[q.ID]), len(sh[q.ID]))
+		}
+		isoSet := map[relational.TupleID]float64{}
+		for _, r := range iso[q.ID] {
+			isoSet[r.Tuple.ID] = r.Confidence
+		}
+		for _, r := range sh[q.ID] {
+			if c, ok := isoSet[r.Tuple.ID]; !ok || c != r.Confidence {
+				t.Errorf("query %s: tuple %v mismatch (shared %f, isolated %f)", q.ID, r.Tuple.ID, r.Confidence, c)
+			}
+		}
+	}
+	// Sharing must reduce executed structured queries: a and b are identical.
+	if shStats.StructuredQueries >= isoStats.StructuredQueries {
+		t.Errorf("sharing executed %d queries, isolated %d", shStats.StructuredQueries, isoStats.StructuredQueries)
+	}
+	if shStats.SharedQueries == 0 {
+		t.Error("no shared queries counted")
+	}
+}
+
+func TestNaiveSearchIsNoisy(t *testing.T) {
+	db, _, e := fixture(t)
+	text := "From the exp, it seems this gene is correlated to JW0014 of grpC and structural family F1"
+	rs, stats := e.NaiveSearch(text)
+	// Naive scans the entire database...
+	if stats.TuplesScanned != db.TotalRows() {
+		t.Errorf("scanned %d, want %d", stats.TuplesScanned, db.TotalRows())
+	}
+	// ...and returns far more tuples than the two real references.
+	if len(rs) < 3 {
+		t.Errorf("naive returned %d tuples; expected noisy result", len(rs))
+	}
+	for _, r := range rs {
+		if r.Confidence <= 0 || r.Confidence > 1 {
+			t.Errorf("confidence out of range: %f", r.Confidence)
+		}
+		if r.Query != "naive" {
+			t.Errorf("query label = %q", r.Query)
+		}
+	}
+}
+
+func TestNaiveSearchEmptyText(t *testing.T) {
+	_, _, e := fixture(t)
+	rs, stats := e.NaiveSearch("the of and")
+	if len(rs) != 0 || stats.TuplesScanned != 0 {
+		t.Errorf("stop-word-only text produced work: %v %+v", rs, stats)
+	}
+}
+
+func TestExecStatsAdd(t *testing.T) {
+	a := ExecStats{StructuredQueries: 1, SharedQueries: 2, TuplesScanned: 3, TuplesReturned: 4}
+	a.Add(ExecStats{StructuredQueries: 10, SharedQueries: 20, TuplesScanned: 30, TuplesReturned: 40})
+	if a.StructuredQueries != 11 || a.SharedQueries != 22 || a.TuplesScanned != 33 || a.TuplesReturned != 44 {
+		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleValue.String() != "value" || RoleTable.String() != "table" || RoleColumn.String() != "column" {
+		t.Error("Role.String wrong")
+	}
+	q := Query{ID: "x", Weight: 0.5, Keywords: []Keyword{{Text: "gene"}, {Text: "JW0001"}}}
+	if q.String() == "" {
+		t.Error("Query.String empty")
+	}
+}

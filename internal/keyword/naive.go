@@ -1,0 +1,119 @@
+package keyword
+
+import (
+	"strings"
+
+	"nebula/internal/relational"
+	"nebula/internal/textutil"
+)
+
+// NaiveSearch implements the §4 baseline: the entire annotation body is
+// passed as a single keyword query, without any of Nebula's pre-processing.
+// Every non-stop-word token is a keyword that may match any column of any
+// table, so the search must examine the whole database; any tuple matching
+// at least one token qualifies, with confidence proportional to the
+// fraction of tokens it matches. This reproduces the baseline's documented
+// pathologies: enormous scan cost and an extremely noisy result set.
+func (e *Engine) NaiveSearch(text string) ([]Result, ExecStats) {
+	var stats ExecStats
+	tokens := make([]string, 0, 64)
+	seen := make(map[string]struct{})
+	for _, tok := range textutil.Tokenize(text) {
+		if textutil.IsStopword(tok.Lower) {
+			continue
+		}
+		if _, dup := seen[tok.Lower]; dup {
+			continue
+		}
+		seen[tok.Lower] = struct{}{}
+		tokens = append(tokens, tok.Lower)
+	}
+	if len(tokens) == 0 {
+		return nil, stats
+	}
+	stats.StructuredQueries = 1 // one (gigantic) keyword query
+
+	type hit struct {
+		row     *relational.Row
+		matched int
+	}
+	var hits []hit
+	maxMatched := 0
+	for _, tableName := range e.db.TableNames() {
+		t := e.db.MustTable(tableName)
+		schema := t.Schema()
+		for _, row := range t.Rows() {
+			stats.TuplesScanned++
+			matched := 0
+			for _, tok := range tokens {
+				if rowMatchesToken(schema, row, tok) {
+					matched++
+				}
+			}
+			if matched == 0 {
+				continue
+			}
+			if matched > maxMatched {
+				maxMatched = matched
+			}
+			hits = append(hits, hit{row: row, matched: matched})
+		}
+	}
+	// Confidence model of the black-box search: every produced tuple
+	// inherits at least half of the (single, giant) query's confidence for
+	// matching one keyword; additional matched keywords raise it toward 1
+	// relative to the best-matching tuple. This reproduces the baseline's
+	// behaviour in the paper's assessment: almost nothing is confidently
+	// rejectable, a few heavily-matching (and mostly wrong) tuples exceed
+	// the acceptance bound, and the vast majority lands in the manual
+	// verification band.
+	out := make([]Result, 0, len(hits))
+	for _, h := range hits {
+		conf := 0.5
+		if maxMatched > 1 {
+			conf += 0.5 * float64(h.matched-1) / float64(maxMatched-1)
+		}
+		out = append(out, Result{Tuple: h.row, Confidence: conf, Query: "naive"})
+	}
+	stats.TuplesReturned = len(out)
+	return out, stats
+}
+
+// rowMatchesToken reports whether any cell of the row matches the token:
+// exact (case-insensitive) equality for short values, token containment for
+// text columns.
+func rowMatchesToken(schema *relational.Schema, row *relational.Row, lowerTok string) bool {
+	for i, col := range schema.Columns {
+		v := row.Values[i].Str()
+		if strings.EqualFold(v, lowerTok) {
+			return true
+		}
+		if col.FullText && textContainsToken(v, lowerTok) {
+			return true
+		}
+	}
+	return false
+}
+
+func textContainsToken(text, lowerTok string) bool {
+	lt := strings.ToLower(text)
+	idx := 0
+	for {
+		i := strings.Index(lt[idx:], lowerTok)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(lowerTok)
+		beforeOK := start == 0 || !isAlnum(lt[start-1])
+		afterOK := end == len(lt) || !isAlnum(lt[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+func isAlnum(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= '0' && b <= '9' || b >= 'A' && b <= 'Z'
+}

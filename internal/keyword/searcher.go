@@ -1,0 +1,24 @@
+package keyword
+
+import "nebula/internal/relational"
+
+// Searcher is the pluggable keyword-search technique beneath Nebula's
+// discovery pipeline. The paper uses Bergamaschi et al.'s metadata approach
+// "without loss of generality ... any other technique can be used" and
+// treats it as a black box; this interface is that box's lid. Engine (the
+// metadata approach) and SymbolTableEngine (a DBXplorer-style [5]
+// pre-built-index approach) both implement it.
+type Searcher interface {
+	// Execute runs one keyword query.
+	Execute(q Query) ([]Result, ExecStats, error)
+	// ExecuteBatch runs a batch of queries; shared enables whatever
+	// multi-query optimization the technique supports.
+	ExecuteBatch(qs []Query, shared bool) (map[string][]Result, ExecStats, error)
+	// Database returns the technique's bound database.
+	Database() *relational.Database
+}
+
+var (
+	_ Searcher = (*Engine)(nil)
+	_ Searcher = (*SymbolTableEngine)(nil)
+)

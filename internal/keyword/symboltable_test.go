@@ -1,0 +1,148 @@
+package keyword
+
+import (
+	"testing"
+
+	"nebula/internal/relational"
+)
+
+func symbolEngine(t *testing.T) (*relational.Database, *SymbolTableEngine) {
+	t.Helper()
+	db, _, _ := fixture(t)
+	return db, NewSymbolTableEngine(db)
+}
+
+func TestSymbolTablePreprocessing(t *testing.T) {
+	db, e := symbolEngine(t)
+	if e.IndexedRows() != db.TotalRows() {
+		t.Errorf("indexed %d rows, want %d", e.IndexedRows(), db.TotalRows())
+	}
+	if e.Symbols() == 0 {
+		t.Fatal("no symbols indexed")
+	}
+	if e.Database() != db {
+		t.Error("Database() wrong")
+	}
+}
+
+func TestSymbolTableExecute(t *testing.T) {
+	_, e := symbolEngine(t)
+	q := Query{ID: "q1", Weight: 1, Keywords: []Keyword{
+		{Text: "gene", Role: RoleTable, TargetTable: "Gene", Weight: 1},
+		{Text: "JW0014", Role: RoleValue, TargetTable: "Gene", TargetColumn: "GID", Weight: 0.9},
+	}}
+	rs, stats, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Tuple.MustGet("GID").Str() != "JW0014" {
+		t.Fatalf("results = %v", rs)
+	}
+	if rs[0].Confidence != 0.9 {
+		t.Errorf("confidence = %f", rs[0].Confidence)
+	}
+	if stats.TuplesReturned != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestSymbolTableFindsFullTextTokens(t *testing.T) {
+	_, e := symbolEngine(t)
+	// "regulation" occurs only inside the publication abstract.
+	q := Query{ID: "q2", Weight: 1, Keywords: []Keyword{
+		{Text: "regulation", Role: RoleValue, Weight: 0.6},
+	}}
+	rs, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Tuple.ID.Table != "Publication" {
+		t.Fatalf("results = %v", rs)
+	}
+}
+
+func TestSymbolTableColumnHintDiscount(t *testing.T) {
+	_, e := symbolEngine(t)
+	// yaaB exists in Gene.Name; a hint pointing at GID halves the credit.
+	hinted := Query{ID: "q", Weight: 1, Keywords: []Keyword{
+		{Text: "yaaB", Role: RoleValue, TargetColumn: "GID", Weight: 0.8},
+	}}
+	rs, _, err := e.Execute(hinted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("hinted mismatch should still return discounted hits")
+	}
+	foundConf := 0.0
+	for _, r := range rs {
+		if r.Tuple.ID.Table == "Gene" {
+			foundConf = r.Confidence
+		}
+	}
+	if foundConf != 0.4 {
+		t.Errorf("discounted confidence = %f, want 0.4", foundConf)
+	}
+}
+
+func TestSymbolTableConceptOnlyQueryIsEmpty(t *testing.T) {
+	_, e := symbolEngine(t)
+	q := Query{ID: "q", Weight: 1, Keywords: []Keyword{
+		{Text: "gene", Role: RoleTable, Weight: 1},
+	}}
+	rs, _, err := e.Execute(q)
+	if err != nil || rs != nil {
+		t.Errorf("concept-only query: %v %v", rs, err)
+	}
+}
+
+func TestSymbolTableBatchSharing(t *testing.T) {
+	_, e := symbolEngine(t)
+	q := func(id string) Query {
+		return Query{ID: id, Weight: 1, Keywords: []Keyword{
+			{Text: "JW0014", Role: RoleValue, TargetColumn: "GID", Weight: 0.9},
+		}}
+	}
+	qs := []Query{q("a"), q("b")}
+	res, stats, err := e.ExecuteBatch(qs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SharedQueries != 1 {
+		t.Errorf("shared = %d", stats.SharedQueries)
+	}
+	if len(res["a"]) != 1 || len(res["b"]) != 1 {
+		t.Fatalf("results = %v", res)
+	}
+	if res["b"][0].Query != "b" {
+		t.Error("relabeling failed")
+	}
+	// Unshared path executes both.
+	_, stats, err = e.ExecuteBatch(qs, false)
+	if err != nil || stats.SharedQueries != 0 || stats.StructuredQueries != 2 {
+		t.Errorf("unshared stats = %+v err=%v", stats, err)
+	}
+}
+
+func TestSymbolTableRebuildAfterDataChange(t *testing.T) {
+	db, e := symbolEngine(t)
+	gt := db.MustTable("Gene")
+	if _, err := gt.Insert([]relational.Value{
+		relational.String("JW0099"), relational.String("newG"),
+		relational.Int(500), relational.String("F9"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{ID: "q", Weight: 1, Keywords: []Keyword{
+		{Text: "JW0099", Role: RoleValue, TargetColumn: "GID", Weight: 0.9},
+	}}
+	rs, _, _ := e.Execute(q)
+	if len(rs) != 0 {
+		t.Fatal("stale index should miss the new row")
+	}
+	e.Rebuild()
+	rs, _, _ = e.Execute(q)
+	if len(rs) != 1 {
+		t.Fatalf("rebuilt index missed the new row: %v", rs)
+	}
+}

@@ -1,0 +1,145 @@
+// Package meta implements NebulaMeta, the auxiliary metadata repository of
+// §5.1: the ConceptRefs system table, equivalent names and synonyms for
+// schema elements, per-column ontologies and syntactic value patterns,
+// and random column samples. The signature-map generator (internal/sigmap)
+// consults it to score how likely an annotation word is part of an embedded
+// reference.
+package meta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Concept is one row of the ConceptRefs system table (Figure 3): a key
+// domain concept, the table that stores it, and the most probable column
+// combinations by which annotations reference instances of the concept.
+type Concept struct {
+	// Name is the concept's human name ("Gene", "Protein", "Gene Family").
+	Name string
+	// Table is the database table storing the concept.
+	Table string
+	// ReferencedBy lists the alternative referencing column sets. Each
+	// inner slice is one alternative; a reference may use any single
+	// alternative (e.g. Protein is referenced by {PID} or {PName, PType}).
+	ReferencedBy [][]string
+}
+
+// Validate checks the concept definition for obvious mistakes.
+func (c *Concept) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("concept: empty name")
+	}
+	if c.Table == "" {
+		return fmt.Errorf("concept %s: empty table", c.Name)
+	}
+	if len(c.ReferencedBy) == 0 {
+		return fmt.Errorf("concept %s: no referencing columns", c.Name)
+	}
+	for i, alt := range c.ReferencedBy {
+		if len(alt) == 0 {
+			return fmt.Errorf("concept %s: referencing alternative %d empty", c.Name, i)
+		}
+	}
+	return nil
+}
+
+// CombinationSiblings returns, for a column that participates in
+// multi-column referencing alternatives, the other columns of those
+// alternatives. For the paper's Protein concept ({PID} | {PName, PType}),
+// CombinationSiblings("PName") returns [PType]: a PName value reference is
+// stronger when a PType value stands nearby.
+func (c *Concept) CombinationSiblings(column string) []ColumnRef {
+	var out []ColumnRef
+	seen := map[string]struct{}{}
+	for _, alt := range c.ReferencedBy {
+		if len(alt) < 2 {
+			continue
+		}
+		member := false
+		for _, col := range alt {
+			if strings.EqualFold(col, column) {
+				member = true
+			}
+		}
+		if !member {
+			continue
+		}
+		for _, col := range alt {
+			if strings.EqualFold(col, column) {
+				continue
+			}
+			key := strings.ToLower(col)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, ColumnRef{Table: c.Table, Column: col})
+		}
+	}
+	return out
+}
+
+// Columns returns the set of distinct columns appearing in any referencing
+// alternative, qualified by the concept's table.
+func (c *Concept) Columns() []ColumnRef {
+	seen := make(map[string]struct{})
+	var out []ColumnRef
+	for _, alt := range c.ReferencedBy {
+		for _, col := range alt {
+			key := strings.ToLower(col)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, ColumnRef{Table: c.Table, Column: col})
+		}
+	}
+	return out
+}
+
+// ColumnRef names one column of one table.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+func (c ColumnRef) String() string { return c.Table + "." + c.Column }
+
+// key returns the canonical lookup form.
+func (c ColumnRef) key() string {
+	return strings.ToLower(c.Table) + "." + strings.ToLower(c.Column)
+}
+
+// ElementKind distinguishes what a concept word maps to.
+type ElementKind int
+
+const (
+	// TableElement means the word references a table name — rendered as a
+	// rectangle in the paper's Figure 4.
+	TableElement ElementKind = iota
+	// ColumnElement means the word references a column name — a triangle.
+	ColumnElement
+)
+
+func (k ElementKind) String() string {
+	if k == TableElement {
+		return "table"
+	}
+	return "column"
+}
+
+// SchemaElement is the target of a concept-word mapping: either a table or
+// a specific column.
+type SchemaElement struct {
+	Kind   ElementKind
+	Table  string
+	Column string // empty for TableElement
+}
+
+func (e SchemaElement) String() string {
+	if e.Kind == TableElement {
+		return e.Table
+	}
+	return e.Table + "." + e.Column
+}

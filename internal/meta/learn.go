@@ -1,0 +1,144 @@
+package meta
+
+import (
+	"sort"
+	"strings"
+
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+	"nebula/internal/textutil"
+)
+
+// LearnOptions parameterize ConceptRefs learning.
+type LearnOptions struct {
+	// MinSupport is the minimum fraction of inspected attachments of a
+	// table in which a column's value must appear verbatim in the
+	// annotation's text for the column to be proposed as a referencing
+	// column of that table's concept.
+	MinSupport float64
+	// MaxAnnotations caps how many annotations are inspected (0 = all).
+	MaxAnnotations int
+}
+
+// DefaultLearnOptions returns sensible learning defaults.
+func DefaultLearnOptions() LearnOptions {
+	return LearnOptions{MinSupport: 0.15, MaxAnnotations: 1000}
+}
+
+// ColumnSupport reports how often a column's values appeared inside the
+// bodies of annotations attached to its table's tuples.
+type ColumnSupport struct {
+	Column      ColumnRef
+	Attachments int
+	Hits        int
+	Support     float64
+}
+
+// LearnConcepts implements the extension the paper's footnote 2 sketches:
+// "a module can be developed for learning from the available annotations
+// the key concepts in the database that they frequently reference, and by
+// which column(s)". For every true attachment (a, t) in the store, it
+// checks which columns of t have their value appear as a token of a's
+// body; columns referenced in at least MinSupport of a table's inspected
+// attachments become the referencing columns of a learned concept for that
+// table. The support table is returned alongside the proposals so a DB
+// admin can review borderline columns.
+func LearnConcepts(db *relational.Database, store *annotation.Store, opts LearnOptions) ([]*Concept, []ColumnSupport) {
+	type key struct{ table, column string }
+	hits := make(map[key]int)
+	attachments := make(map[string]int) // lower(table) -> inspected attachments
+	colNames := make(map[key]ColumnRef)
+
+	inspected := 0
+	for _, id := range store.IDs() {
+		if opts.MaxAnnotations > 0 && inspected >= opts.MaxAnnotations {
+			break
+		}
+		a, ok := store.Get(id)
+		if !ok {
+			continue
+		}
+		atts := store.Attachments(id, annotation.TrueAttachment)
+		if len(atts) == 0 {
+			continue
+		}
+		inspected++
+		tokens := make(map[string]struct{})
+		for _, tok := range textutil.Tokenize(a.Body) {
+			tokens[tok.Lower] = struct{}{}
+		}
+		for _, att := range atts {
+			row, ok := db.Lookup(att.Tuple)
+			if !ok {
+				continue
+			}
+			schema := row.Schema()
+			tkey := strings.ToLower(schema.Name)
+			attachments[tkey]++
+			for i, col := range schema.Columns {
+				v := strings.ToLower(row.Values[i].Str())
+				if v == "" {
+					continue
+				}
+				if _, found := tokens[v]; !found {
+					continue
+				}
+				k := key{table: tkey, column: strings.ToLower(col.Name)}
+				hits[k]++
+				colNames[k] = ColumnRef{Table: schema.Name, Column: col.Name}
+			}
+		}
+	}
+
+	var supports []ColumnSupport
+	for k, h := range hits {
+		total := attachments[k.table]
+		if total == 0 {
+			continue
+		}
+		supports = append(supports, ColumnSupport{
+			Column:      colNames[k],
+			Attachments: total,
+			Hits:        h,
+			Support:     float64(h) / float64(total),
+		})
+	}
+	sort.Slice(supports, func(i, j int) bool {
+		if supports[i].Column.Table != supports[j].Column.Table {
+			return supports[i].Column.Table < supports[j].Column.Table
+		}
+		if supports[i].Support != supports[j].Support {
+			return supports[i].Support > supports[j].Support
+		}
+		return supports[i].Column.Column < supports[j].Column.Column
+	})
+
+	// Propose one concept per table whose supported columns pass the bar.
+	byTable := make(map[string][]string)
+	var tableOrder []string
+	for _, s := range supports {
+		if s.Support < opts.MinSupport {
+			continue
+		}
+		tkey := strings.ToLower(s.Column.Table)
+		if _, seen := byTable[tkey]; !seen {
+			tableOrder = append(tableOrder, s.Column.Table)
+		}
+		byTable[tkey] = append(byTable[tkey], s.Column.Column)
+	}
+	sort.Strings(tableOrder)
+	var concepts []*Concept
+	for _, table := range tableOrder {
+		cols := byTable[strings.ToLower(table)]
+		refs := make([][]string, len(cols))
+		for i, c := range cols {
+			refs[i] = []string{c}
+		}
+		concepts = append(concepts, &Concept{
+			Name:         table,
+			Table:        table,
+			ReferencedBy: refs,
+		})
+	}
+	return concepts, supports
+}

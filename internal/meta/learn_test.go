@@ -1,0 +1,127 @@
+package meta
+
+import (
+	"fmt"
+	"testing"
+
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+)
+
+func learnFixture(t *testing.T) (*relational.Database, *annotation.Store) {
+	t.Helper()
+	rdb := relationalCatalog(t)
+	store := annotation.NewStore()
+	gt := rdb.MustTable("Gene")
+	// Annotations reference genes by GID or Name inside their bodies; the
+	// Length value never appears.
+	rows := gt.Rows()
+	for i, r := range rows {
+		id := annotation.ID(fmt.Sprintf("a%d", i))
+		body := fmt.Sprintf("notes about %s known as %s in culture",
+			r.MustGet("GID").Str(), r.MustGet("Name").Str())
+		if err := store.Add(&annotation.Annotation{ID: id, Body: body}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Attach(annotation.Attachment{
+			Annotation: id, Tuple: r.ID, Type: annotation.TrueAttachment,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rdb, store
+}
+
+// relationalCatalog builds a small standalone Gene table.
+func relationalCatalog(t *testing.T) *relational.Database {
+	t.Helper()
+	db := relational.NewDatabase()
+	gene := &relational.Schema{
+		Name: "Gene",
+		Columns: []relational.Column{
+			{Name: "GID", Type: relational.TypeString, Indexed: true},
+			{Name: "Name", Type: relational.TypeString},
+			{Name: "Length", Type: relational.TypeInt},
+		},
+		PrimaryKey: "GID",
+	}
+	gt, err := db.CreateTable(gene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := gt.Insert([]relational.Value{
+			relational.String(fmt.Sprintf("JW%04d", i)),
+			relational.String(fmt.Sprintf("ge%cA", 'a'+i)),
+			relational.Int(int64(1000 + i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestLearnConcepts(t *testing.T) {
+	db, store := learnFixture(t)
+	concepts, supports := LearnConcepts(db, store, DefaultLearnOptions())
+	if len(concepts) != 1 || concepts[0].Table != "Gene" {
+		t.Fatalf("concepts = %v", concepts)
+	}
+	cols := map[string]bool{}
+	for _, alt := range concepts[0].ReferencedBy {
+		cols[alt[0]] = true
+	}
+	if !cols["GID"] || !cols["Name"] {
+		t.Errorf("learned columns = %v", cols)
+	}
+	if cols["Length"] {
+		t.Error("Length should not be a referencing column")
+	}
+	// Supports are complete and sorted by support within a table.
+	if len(supports) < 2 {
+		t.Fatalf("supports = %v", supports)
+	}
+	for _, s := range supports {
+		if s.Column.Column == "GID" && s.Support != 1.0 {
+			t.Errorf("GID support = %f", s.Support)
+		}
+	}
+	// The learned concept is directly registrable.
+	repo := NewRepository(db, nil)
+	if err := repo.AddConcept(concepts[0]); err != nil {
+		t.Fatalf("learned concept rejected: %v", err)
+	}
+}
+
+func TestLearnConceptsRespectsMinSupport(t *testing.T) {
+	db, store := learnFixture(t)
+	opts := DefaultLearnOptions()
+	opts.MinSupport = 1.01 // impossible bar
+	concepts, supports := LearnConcepts(db, store, opts)
+	if len(concepts) != 0 {
+		t.Errorf("concepts above impossible bar: %v", concepts)
+	}
+	if len(supports) == 0 {
+		t.Error("support table should still be reported")
+	}
+}
+
+func TestLearnConceptsMaxAnnotations(t *testing.T) {
+	db, store := learnFixture(t)
+	opts := DefaultLearnOptions()
+	opts.MaxAnnotations = 3
+	_, supports := LearnConcepts(db, store, opts)
+	for _, s := range supports {
+		if s.Attachments > 3 {
+			t.Errorf("inspected more than the cap: %+v", s)
+		}
+	}
+}
+
+func TestLearnConceptsEmptyStore(t *testing.T) {
+	db := relationalCatalog(t)
+	concepts, supports := LearnConcepts(db, annotation.NewStore(), DefaultLearnOptions())
+	if len(concepts) != 0 || len(supports) != 0 {
+		t.Errorf("empty store learned something: %v %v", concepts, supports)
+	}
+}

@@ -1,0 +1,97 @@
+package meta
+
+import "strings"
+
+// Lexicon is a small synonym dictionary standing in for the WordNet
+// repository the paper consults ("publically available lexical and semantic
+// knowledge databases, e.g., WordNet"). It maps a word to its synonym set;
+// the relation is kept symmetric by construction.
+type Lexicon struct {
+	synonyms map[string]map[string]struct{}
+}
+
+// NewLexicon returns an empty lexicon.
+func NewLexicon() *Lexicon {
+	return &Lexicon{synonyms: make(map[string]map[string]struct{})}
+}
+
+// DefaultLexicon returns a lexicon pre-loaded with the synonym groups that
+// cover the biological curation vocabulary of the reproduction workload.
+// Real deployments would load a WordNet dump through AddGroup.
+func DefaultLexicon() *Lexicon {
+	l := NewLexicon()
+	groups := [][]string{
+		{"gene", "locus", "cistron"},
+		{"protein", "polypeptide", "enzyme"},
+		{"publication", "article", "paper", "reference"},
+		{"family", "group", "class", "clade"},
+		{"sequence", "seq", "string"},
+		{"name", "identifier", "label", "symbol"},
+		{"id", "accession", "key"},
+		{"length", "size", "extent"},
+		{"function", "role", "activity"},
+		{"organism", "species", "taxon"},
+	}
+	for _, g := range groups {
+		l.AddGroup(g...)
+	}
+	return l
+}
+
+// AddGroup records that all the given words are mutual synonyms.
+func (l *Lexicon) AddGroup(words ...string) {
+	lowered := make([]string, len(words))
+	for i, w := range words {
+		lowered[i] = strings.ToLower(w)
+	}
+	for _, a := range lowered {
+		set, ok := l.synonyms[a]
+		if !ok {
+			set = make(map[string]struct{})
+			l.synonyms[a] = set
+		}
+		for _, b := range lowered {
+			if a != b {
+				set[b] = struct{}{}
+			}
+		}
+	}
+}
+
+// AreSynonyms reports whether a and b belong to a common synonym group
+// (case-insensitive). Identical words are not considered synonyms — exact
+// matching is scored separately and higher.
+func (l *Lexicon) AreSynonyms(a, b string) bool {
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	if la == lb {
+		return false
+	}
+	set, ok := l.synonyms[la]
+	if !ok {
+		return false
+	}
+	_, ok = set[lb]
+	return ok
+}
+
+// Synonyms returns the synonym set of a word (excluding the word itself).
+func (l *Lexicon) Synonyms(word string) []string {
+	set, ok := l.synonyms[strings.ToLower(word)]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package meta
+
+import (
+	"strings"
+
+	"nebula/internal/relational"
+	"nebula/internal/textutil"
+)
+
+// Matching weights for concept words (§5.2.1): exact name matches and
+// expert-defined equivalent names score higher than lexicon synonyms.
+const (
+	// WeightExactName is p(w,c) when w equals the schema element's name.
+	WeightExactName = 1.0
+	// WeightEquivalentName is p(w,c) when w matches an expert-supplied
+	// equivalent name of the element.
+	WeightEquivalentName = 0.9
+	// WeightSynonym is p(w,c) when w is a lexicon synonym of the element.
+	WeightSynonym = 0.6
+)
+
+// ConceptMatch is one potential mapping of an annotation word onto a schema
+// element mentioned in ConceptRefs, with its estimated weight p(w,c).
+type ConceptMatch struct {
+	// Element is the matched table or column.
+	Element SchemaElement
+	// Concept is the ConceptRefs row the element belongs to.
+	Concept *Concept
+	// Weight is p(w,c) ∈ (0,1].
+	Weight float64
+}
+
+// ConceptMatches computes every potential concept mapping of a word: the
+// Concept-Map generation step. A word may map to several elements (the
+// paper: "each of the emphasized words may have multiple potential
+// mappings"). Matches are deduplicated per element, keeping the highest
+// weight.
+func (r *Repository) ConceptMatches(word string) []ConceptMatch {
+	best := make(map[string]int) // element key -> index in out
+	var out []ConceptMatch
+	record := func(el SchemaElement, c *Concept, w float64) {
+		if w <= 0 {
+			return
+		}
+		key := el.String()
+		if i, ok := best[key]; ok {
+			if w > out[i].Weight {
+				out[i].Weight = w
+				out[i].Concept = c
+			}
+			return
+		}
+		best[key] = len(out)
+		out = append(out, ConceptMatch{Element: el, Concept: c, Weight: w})
+	}
+	for _, c := range r.concepts {
+		record(SchemaElement{Kind: TableElement, Table: c.Table}, c, r.nameMatch(word, c.Table))
+		// The concept name itself may differ from the table name ("Gene
+		// Family" lives in table Gene): a match on the concept name also
+		// maps the word to the concept's table.
+		if !strings.EqualFold(c.Name, c.Table) {
+			record(SchemaElement{Kind: TableElement, Table: c.Table}, c, r.nameMatch(word, c.Name))
+		}
+		for _, col := range c.Columns() {
+			record(SchemaElement{Kind: ColumnElement, Table: col.Table, Column: col.Column}, c,
+				r.nameMatch(word, col.Column))
+		}
+	}
+	return out
+}
+
+// nameMatch scores word against a schema element name using the three-level
+// scheme of §5.2.1: exact > equivalent > synonym.
+func (r *Repository) nameMatch(word, name string) float64 {
+	if equalWord(word, name) {
+		return WeightExactName
+	}
+	if r.equivalentMatch(word, name) {
+		return WeightEquivalentName
+	}
+	if r.lexicon.AreSynonyms(word, name) {
+		return WeightSynonym
+	}
+	// Multi-word concept names ("Gene Family") match on a component word.
+	if strings.ContainsAny(name, " _") {
+		for _, part := range strings.FieldsFunc(name, func(r rune) bool { return r == ' ' || r == '_' }) {
+			if equalWord(word, part) {
+				return WeightEquivalentName
+			}
+		}
+	}
+	return 0
+}
+
+// equalWord compares case-insensitively, tolerating a trailing plural "s"
+// on the annotation word ("genes" matches "Gene").
+func equalWord(word, name string) bool {
+	w, n := strings.ToLower(word), strings.ToLower(name)
+	if w == n {
+		return true
+	}
+	if strings.HasSuffix(w, "s") && strings.TrimSuffix(w, "s") == n {
+		return true
+	}
+	if strings.HasSuffix(w, "es") && strings.TrimSuffix(w, "es") == n {
+		return true
+	}
+	return false
+}
+
+// ValueMatch is one potential mapping of an annotation word onto a column's
+// value domain, with its estimated weight d(w,c).
+type ValueMatch struct {
+	// Column is the target column.
+	Column ColumnRef
+	// Weight is d(w,c) ∈ (0,1].
+	Weight float64
+}
+
+// Value-domain scoring constants. The factors follow §5.2.1's d(w,c): data
+// type compatibility is a prerequisite; then ontology membership or pattern
+// conformance give strong evidence; columns with neither fall back to
+// similarity against the drawn sample.
+const (
+	valueBase       = 0.10 // type-compatible but no positive evidence
+	valueShapeOnly  = 0.45 // identifier-shaped but fails the column's pattern
+	valueEvidence   = 0.85 // scale of the strongest positive evidence
+	sampleExactSim  = 1.0  // word occurs verbatim in the sample
+	sampleMinUseful = 0.55 // similarity below this is treated as noise
+)
+
+// ValueMatches computes every potential value mapping of a word over the
+// ConceptRefs target columns: the Value-Map generation step.
+func (r *Repository) ValueMatches(word string) []ValueMatch {
+	var out []ValueMatch
+	for _, col := range r.TargetColumns() {
+		w := r.valueMatch(word, col)
+		if w > 0 {
+			out = append(out, ValueMatch{Column: col, Weight: w})
+		}
+	}
+	return out
+}
+
+// valueMatch computes d(w,c) for one column.
+func (r *Repository) valueMatch(word string, col ColumnRef) float64 {
+	colType, ok := r.ColumnType(col)
+	if !ok {
+		return 0
+	}
+	// Factor 1 — data type compatibility is a hard prerequisite.
+	if !relational.CoercibleTo(colType, word) {
+		return 0
+	}
+	evidence := -1.0
+	hasStrongSource := false
+	hasOntology := false
+	// Factor 2 — ontology membership. An ontology is a closed vocabulary:
+	// non-membership is conclusive negative evidence.
+	if ont, ok := r.Ontology(col); ok {
+		hasStrongSource = true
+		hasOntology = true
+		if _, member := ont[strings.ToLower(word)]; member {
+			evidence = 1.0
+		}
+	}
+	// Factor 3 — syntactic pattern conformance. Patterns describe the
+	// *usual* shape of values, so failing one is soft negative evidence.
+	if pat, ok := r.Pattern(col); ok {
+		hasStrongSource = true
+		if pat.MatchString(word) && 1.0 > evidence {
+			evidence = 1.0
+		}
+	}
+	// Factor 4 — sample similarity, only when the column has neither an
+	// ontology nor a pattern (per the paper).
+	if !hasStrongSource {
+		if sample, ok := r.Sample(col); ok && len(sample) > 0 {
+			sim := bestSampleSimilarity(word, sample)
+			if sim >= sampleMinUseful {
+				evidence = sim
+			}
+		}
+	}
+	if evidence < 0 {
+		// No positive evidence. An identifier-shaped word on a column that
+		// *does* carry strong sources scores a weak middle value — it is
+		// plausibly an identifier in the wrong format (a lab code, a strain
+		// name, an accession from another repository). Such words survive a
+		// loose cutoff like ε = 0.4 and are precisely the noise the paper's
+		// Figure 11(c) attributes to low thresholds. Plain English words
+		// stay far below any reasonable ε.
+		if textutil.LooksLikeIdentifier(word) {
+			if hasStrongSource && !hasOntology {
+				return valueShapeOnly
+			}
+			return valueBase
+		}
+		return valueBase / 2
+	}
+	return valueBase + valueEvidence*evidence
+}
+
+// bestSampleSimilarity returns the best similarity between word and any
+// sampled value, using exact match first and Jaro–Winkler otherwise.
+func bestSampleSimilarity(word string, sample []string) float64 {
+	best := 0.0
+	for _, s := range sample {
+		if strings.EqualFold(word, s) {
+			return sampleExactSim
+		}
+		if sim := textutil.JaroWinkler(strings.ToLower(word), strings.ToLower(s)); sim > best {
+			best = sim
+		}
+	}
+	return best
+}

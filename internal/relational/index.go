@@ -1,0 +1,89 @@
+package relational
+
+import (
+	"nebula/internal/textutil"
+)
+
+// hashIndex maps canonical value keys to the rows holding that value in one
+// column. Row order within a bucket follows insertion order, which keeps
+// scans deterministic.
+type hashIndex struct {
+	buckets map[string][]*Row
+}
+
+func newHashIndex() *hashIndex {
+	return &hashIndex{buckets: make(map[string][]*Row)}
+}
+
+func (ix *hashIndex) add(v Value, r *Row) {
+	k := v.Key()
+	ix.buckets[k] = append(ix.buckets[k], r)
+}
+
+func (ix *hashIndex) remove(v Value, r *Row) {
+	k := v.Key()
+	rows := ix.buckets[k]
+	for i, candidate := range rows {
+		if candidate == r {
+			ix.buckets[k] = append(rows[:i:i], rows[i+1:]...)
+			break
+		}
+	}
+	if len(ix.buckets[k]) == 0 {
+		delete(ix.buckets, k)
+	}
+}
+
+func (ix *hashIndex) lookup(v Value) []*Row {
+	return ix.buckets[v.Key()]
+}
+
+// distinct returns the number of distinct values in the indexed column —
+// used by keyword mapping to estimate selectivity.
+func (ix *hashIndex) distinct() int { return len(ix.buckets) }
+
+// invertedIndex maps lower-cased tokens to the rows whose indexed column
+// contains that token. It powers keyword containment queries over text
+// columns (publication titles/abstracts).
+type invertedIndex struct {
+	postings map[string][]*Row
+}
+
+func newInvertedIndex() *invertedIndex {
+	return &invertedIndex{postings: make(map[string][]*Row)}
+}
+
+func (ix *invertedIndex) add(text string, r *Row) {
+	seen := make(map[string]struct{})
+	for _, tok := range textutil.Tokenize(text) {
+		if _, dup := seen[tok.Lower]; dup {
+			continue
+		}
+		seen[tok.Lower] = struct{}{}
+		ix.postings[tok.Lower] = append(ix.postings[tok.Lower], r)
+	}
+}
+
+func (ix *invertedIndex) remove(text string, r *Row) {
+	seen := make(map[string]struct{})
+	for _, tok := range textutil.Tokenize(text) {
+		if _, dup := seen[tok.Lower]; dup {
+			continue
+		}
+		seen[tok.Lower] = struct{}{}
+		rows := ix.postings[tok.Lower]
+		for i, candidate := range rows {
+			if candidate == r {
+				ix.postings[tok.Lower] = append(rows[:i:i], rows[i+1:]...)
+				break
+			}
+		}
+		if len(ix.postings[tok.Lower]) == 0 {
+			delete(ix.postings, tok.Lower)
+		}
+	}
+}
+
+func (ix *invertedIndex) lookup(token string) []*Row {
+	return ix.postings[token]
+}

@@ -1,0 +1,97 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JoinedRow is one output row of an FK–PK equijoin.
+type JoinedRow struct {
+	// Left and Right are the contributing tuples.
+	Left, Right *Row
+}
+
+// Join executes an FK–PK equijoin between the two selections: the join
+// condition is resolved automatically from the foreign-key relationship
+// between the tables (left→right or right→left; if both tables declare FKs
+// to each other, left→right wins). The smaller filtered side is hashed and
+// the other side probes it.
+func (db *Database) Join(left, right Query) ([]JoinedRow, SelectStats, error) {
+	var stats SelectStats
+	lt, ok := db.Table(left.Table)
+	if !ok {
+		return nil, stats, fmt.Errorf("join: unknown table %q", left.Table)
+	}
+	rt, ok := db.Table(right.Table)
+	if !ok {
+		return nil, stats, fmt.Errorf("join: unknown table %q", right.Table)
+	}
+
+	// Resolve the FK relationship and which side holds the FK column.
+	fkOnLeft, fkColumn := true, ""
+	for _, fk := range lt.schema.ForeignKeys {
+		if strings.EqualFold(fk.RefTable, rt.schema.Name) {
+			fkColumn = fk.Column
+			break
+		}
+	}
+	if fkColumn == "" {
+		for _, fk := range rt.schema.ForeignKeys {
+			if strings.EqualFold(fk.RefTable, lt.schema.Name) {
+				fkOnLeft, fkColumn = false, fk.Column
+				break
+			}
+		}
+	}
+	if fkColumn == "" {
+		return nil, stats, fmt.Errorf("join: no FK–PK relationship between %s and %s",
+			lt.schema.Name, rt.schema.Name)
+	}
+
+	leftRows, st, err := db.Select(left)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Add(st)
+	rightRows, st, err := db.Select(right)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Add(st)
+
+	var out []JoinedRow
+	if fkOnLeft {
+		// left.fkColumn = right.PK: hash right by PK key.
+		byPK := make(map[string]*Row, len(rightRows))
+		for _, r := range rightRows {
+			byPK[r.ID.Key] = r
+		}
+		for _, l := range leftRows {
+			v, ok := l.Get(fkColumn)
+			if !ok {
+				continue
+			}
+			if r, hit := byPK[v.Key()]; hit {
+				out = append(out, JoinedRow{Left: l, Right: r})
+			}
+		}
+	} else {
+		// right.fkColumn = left.PK: hash right by FK value, probe with
+		// left PKs (a left tuple may join many right tuples).
+		byFK := make(map[string][]*Row, len(rightRows))
+		for _, r := range rightRows {
+			v, ok := r.Get(fkColumn)
+			if !ok {
+				continue
+			}
+			byFK[v.Key()] = append(byFK[v.Key()], r)
+		}
+		for _, l := range leftRows {
+			for _, r := range byFK[l.ID.Key] {
+				out = append(out, JoinedRow{Left: l, Right: r})
+			}
+		}
+	}
+	stats.TuplesReturned = len(out)
+	return out, stats, nil
+}

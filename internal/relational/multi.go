@@ -1,0 +1,113 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectMulti executes a batch of queries, sharing table scans: queries
+// against the same table that lack a usable index are all evaluated in a
+// single pass over the table, instead of one scan each. Queries with an
+// index access path execute individually (index lookups are already cheap
+// and share nothing). Results align with the input order.
+//
+// This is the substrate-level half of the paper's §6 shared multi-query
+// execution: the keyword executor detects identical structured queries by
+// fingerprint, and SelectMulti shares the physical scans of the distinct
+// remainder.
+func (db *Database) SelectMulti(queries []Query) ([][]*Row, SelectStats, error) {
+	results := make([][]*Row, len(queries))
+	var stats SelectStats
+
+	// Partition: indexed queries run directly; scan queries group by table.
+	type scanItem struct {
+		idx int
+		q   Query
+	}
+	scansByTable := make(map[string][]scanItem)
+	var tableOrder []string
+	for i, q := range queries {
+		t, ok := db.Table(q.Table)
+		if !ok {
+			return nil, stats, fmt.Errorf("select: unknown table %q", q.Table)
+		}
+		for _, p := range q.Predicates {
+			if _, ok := t.schema.ColumnIndex(p.Column); !ok {
+				return nil, stats, fmt.Errorf("select: table %s has no column %q", q.Table, p.Column)
+			}
+		}
+		if _, _, indexed := db.accessPath(t, q); indexed {
+			rows, st, err := db.Select(q)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Add(st)
+			results[i] = rows
+			continue
+		}
+		key := strings.ToLower(q.Table)
+		if _, seen := scansByTable[key]; !seen {
+			tableOrder = append(tableOrder, key)
+		}
+		scansByTable[key] = append(scansByTable[key], scanItem{idx: i, q: q})
+	}
+
+	// One shared pass per table answers every scan query. Single-predicate
+	// equality queries — the overwhelmingly common shape the keyword
+	// executor generates — are folded into per-column hash probes: the
+	// row's cell value is hashed once and matched against all operands
+	// simultaneously, so the per-row cost is O(probed columns), not
+	// O(queries). Everything else falls back to per-query evaluation
+	// within the same pass.
+	for _, key := range tableOrder {
+		items := scansByTable[key]
+		t := db.tables[key]
+
+		type probe struct {
+			colIdx int
+			byKey  map[string][]int // operand key -> query indexes
+		}
+		var probes []*probe
+		probeByCol := make(map[int]*probe)
+		var residual []scanItem
+		for _, item := range items {
+			if len(item.q.Predicates) == 1 && item.q.Predicates[0].Op == OpEq {
+				ci, _ := t.schema.ColumnIndex(item.q.Predicates[0].Column)
+				p, ok := probeByCol[ci]
+				if !ok {
+					p = &probe{colIdx: ci, byKey: make(map[string][]int)}
+					probeByCol[ci] = p
+					probes = append(probes, p)
+				}
+				k := item.q.Predicates[0].Operand.Key()
+				p.byKey[k] = append(p.byKey[k], item.idx)
+				continue
+			}
+			residual = append(residual, item)
+		}
+
+		stats.TuplesScanned += t.Len()
+		for _, r := range t.rows {
+			for _, p := range probes {
+				for _, qi := range p.byKey[r.Values[p.colIdx].Key()] {
+					results[qi] = append(results[qi], r)
+					stats.TuplesReturned++
+				}
+			}
+			for _, item := range residual {
+				match := true
+				for _, pred := range item.q.Predicates {
+					if !pred.Matches(r) {
+						match = false
+						break
+					}
+				}
+				if match {
+					results[item.idx] = append(results[item.idx], r)
+					stats.TuplesReturned++
+				}
+			}
+		}
+	}
+	return results, stats, nil
+}

@@ -1,0 +1,103 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a predicate comparison operator.
+type Op int
+
+const (
+	// OpEq matches rows whose column equals the operand (case-insensitive
+	// for strings, matching the paper's keyword-to-value semantics).
+	OpEq Op = iota
+	// OpContainsToken matches rows whose (text) column contains the operand
+	// as a whole token.
+	OpContainsToken
+	// OpPrefix matches rows whose string rendering starts with the operand
+	// (case-insensitive).
+	OpPrefix
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpContainsToken:
+		return "CONTAINS"
+	case OpPrefix:
+		return "PREFIX"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Predicate is a single column comparison.
+type Predicate struct {
+	Column  string
+	Op      Op
+	Operand Value
+}
+
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %q", p.Column, p.Op, p.Operand.Str())
+}
+
+// Matches evaluates the predicate against a row.
+func (p Predicate) Matches(r *Row) bool {
+	v, ok := r.Get(p.Column)
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case OpEq:
+		return v.EqualFold(p.Operand)
+	case OpContainsToken:
+		return containsToken(v.Str(), strings.ToLower(p.Operand.Str()))
+	case OpPrefix:
+		return strings.HasPrefix(strings.ToLower(v.Str()), strings.ToLower(p.Operand.Str()))
+	default:
+		return false
+	}
+}
+
+// Query is a structured single-table selection with conjunctive predicates.
+// The keyword search layer generates these the way Bergamaschi et al.'s
+// configurations generate SQL.
+type Query struct {
+	Table      string
+	Predicates []Predicate
+}
+
+func (q Query) String() string {
+	if len(q.Predicates) == 0 {
+		return "SELECT * FROM " + q.Table
+	}
+	parts := make([]string, len(q.Predicates))
+	for i, p := range q.Predicates {
+		parts[i] = p.String()
+	}
+	return "SELECT * FROM " + q.Table + " WHERE " + strings.Join(parts, " AND ")
+}
+
+// Fingerprint returns a canonical identity for the query used by the shared
+// multi-query executor to detect identical sub-queries across keyword
+// queries (§6's shared execution optimization).
+func (q Query) Fingerprint() string {
+	parts := make([]string, len(q.Predicates))
+	for i, p := range q.Predicates {
+		parts[i] = strings.ToLower(p.Column) + "\x00" + p.Op.String() + "\x00" + p.Operand.Key()
+	}
+	// Conjunction order is irrelevant: sort for canonical form.
+	sortStrings(parts)
+	return strings.ToLower(q.Table) + "\x01" + strings.Join(parts, "\x01")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

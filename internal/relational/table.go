@@ -1,0 +1,278 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table stores the rows of one relation together with its indexes.
+type Table struct {
+	schema   *Schema
+	rows     []*Row
+	byPK     map[string]*Row
+	hash     map[string]*hashIndex     // lower(column) -> index
+	inverted map[string]*invertedIndex // lower(column) -> index
+	pkCol    int
+}
+
+func newTable(s *Schema) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	pk, _ := s.ColumnIndex(s.PrimaryKey)
+	t := &Table{
+		schema:   s,
+		byPK:     make(map[string]*Row),
+		hash:     make(map[string]*hashIndex),
+		inverted: make(map[string]*invertedIndex),
+		pkCol:    pk,
+	}
+	for _, c := range s.Columns {
+		key := strings.ToLower(c.Name)
+		if c.Indexed || strings.EqualFold(c.Name, s.PrimaryKey) {
+			t.hash[key] = newHashIndex()
+		}
+		if c.FullText {
+			t.inverted[key] = newInvertedIndex()
+		}
+	}
+	return t, nil
+}
+
+// Schema returns the table definition.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// Len returns the number of stored rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert adds a tuple. Values must match the schema's column count and
+// types; the primary key must be unique.
+func (t *Table) Insert(values []Value) (*Row, error) {
+	if len(values) != len(t.schema.Columns) {
+		return nil, fmt.Errorf("table %s: insert with %d values, schema has %d columns",
+			t.schema.Name, len(values), len(t.schema.Columns))
+	}
+	for i, v := range values {
+		if v.Kind() != t.schema.Columns[i].Type {
+			return nil, fmt.Errorf("table %s: column %s expects %v, got %v",
+				t.schema.Name, t.schema.Columns[i].Name, t.schema.Columns[i].Type, v.Kind())
+		}
+	}
+	pkKey := values[t.pkCol].Key()
+	if _, dup := t.byPK[pkKey]; dup {
+		return nil, fmt.Errorf("table %s: duplicate primary key %v", t.schema.Name, values[t.pkCol])
+	}
+	row := &Row{
+		ID:     TupleID{Table: t.schema.Name, Key: pkKey},
+		Values: values,
+		schema: t.schema,
+	}
+	t.rows = append(t.rows, row)
+	t.byPK[pkKey] = row
+	t.indexRow(row)
+	return row, nil
+}
+
+// insertValidated adds a copy of a row from another table with the same
+// (validated) schema, skipping arity/type/duplicate checks. Callers must
+// guarantee schema identity and PK uniqueness; Database.Subset does.
+func (t *Table) insertValidated(src *Row) *Row {
+	row := &Row{ID: src.ID, Values: src.Values, schema: t.schema}
+	t.rows = append(t.rows, row)
+	t.byPK[src.ID.Key] = row
+	t.indexRow(row)
+	return row
+}
+
+func (t *Table) indexRow(row *Row) {
+	for i, c := range t.schema.Columns {
+		key := strings.ToLower(c.Name)
+		if ix, ok := t.hash[key]; ok {
+			ix.add(row.Values[i], row)
+		}
+		if ix, ok := t.inverted[key]; ok {
+			ix.add(row.Values[i].Str(), row)
+		}
+	}
+}
+
+// Delete removes the tuple with the given primary-key value. It reports
+// whether a row was removed.
+func (t *Table) Delete(pk Value) bool { return t.DeleteByKey(pk.Key()) }
+
+// DeleteByKey removes the tuple with the given canonical primary-key form
+// (the Key component of a TupleID). It reports whether a row was removed.
+func (t *Table) DeleteByKey(key string) bool {
+	row, ok := t.byPK[key]
+	if !ok {
+		return false
+	}
+	delete(t.byPK, key)
+	for i, r := range t.rows {
+		if r == row {
+			t.rows = append(t.rows[:i:i], t.rows[i+1:]...)
+			break
+		}
+	}
+	for i, c := range t.schema.Columns {
+		key := strings.ToLower(c.Name)
+		if ix, ok := t.hash[key]; ok {
+			ix.remove(row.Values[i], row)
+		}
+		if ix, ok := t.inverted[key]; ok {
+			ix.remove(row.Values[i].Str(), row)
+		}
+	}
+	return true
+}
+
+// Update replaces the value of one column of the tuple identified by pk,
+// maintaining the column's hash/inverted indexes. Updating the primary-key
+// column is rejected: tuple identities (TupleID) are referenced by
+// annotations, the ACG, and verification tasks — re-keying a tuple is a
+// delete + insert at the application layer.
+func (t *Table) Update(pk Value, column string, value Value) error {
+	row, ok := t.byPK[pk.Key()]
+	if !ok {
+		return fmt.Errorf("table %s: no tuple with %s = %v", t.schema.Name, t.schema.PrimaryKey, pk)
+	}
+	ci, ok := t.schema.ColumnIndex(column)
+	if !ok {
+		return fmt.Errorf("table %s: no column %q", t.schema.Name, column)
+	}
+	if ci == t.pkCol {
+		return fmt.Errorf("table %s: primary key updates are not supported (delete and re-insert)", t.schema.Name)
+	}
+	col := t.schema.Columns[ci]
+	if value.Kind() != col.Type {
+		return fmt.Errorf("table %s: column %s expects %v, got %v", t.schema.Name, col.Name, col.Type, value.Kind())
+	}
+	old := row.Values[ci]
+	if old.Equal(value) {
+		return nil
+	}
+	key := strings.ToLower(col.Name)
+	if ix, ok := t.hash[key]; ok {
+		ix.remove(old, row)
+	}
+	if ix, ok := t.inverted[key]; ok {
+		ix.remove(old.Str(), row)
+	}
+	// Rows share value slices with miniDB copies (Subset); copy-on-write
+	// keeps materialized views unaffected by later updates.
+	values := make([]Value, len(row.Values))
+	copy(values, row.Values)
+	values[ci] = value
+	row.Values = values
+	if ix, ok := t.hash[key]; ok {
+		ix.add(value, row)
+	}
+	if ix, ok := t.inverted[key]; ok {
+		ix.add(value.Str(), row)
+	}
+	return nil
+}
+
+// GetByPK returns the tuple with the given primary-key value.
+func (t *Table) GetByPK(pk Value) (*Row, bool) {
+	r, ok := t.byPK[pk.Key()]
+	return r, ok
+}
+
+// GetByKey returns the tuple whose canonical PK key equals key (the Key
+// component of a TupleID).
+func (t *Table) GetByKey(key string) (*Row, bool) {
+	r, ok := t.byPK[key]
+	return r, ok
+}
+
+// Rows returns the stored rows in insertion order. The returned slice must
+// not be mutated.
+func (t *Table) Rows() []*Row { return t.rows }
+
+// LookupEqual returns rows whose column equals v, using the hash index when
+// present and a scan otherwise. The second result reports whether an index
+// was used (the keyword executor accounts scanned-tuple costs with it).
+func (t *Table) LookupEqual(column string, v Value) ([]*Row, bool) {
+	key := strings.ToLower(column)
+	if ix, ok := t.hash[key]; ok {
+		return ix.lookup(v), true
+	}
+	ci, ok := t.schema.ColumnIndex(column)
+	if !ok {
+		return nil, false
+	}
+	var out []*Row
+	for _, r := range t.rows {
+		if r.Values[ci].EqualFold(v) {
+			out = append(out, r)
+		}
+	}
+	return out, false
+}
+
+// LookupToken returns rows whose full-text-indexed column contains the
+// (lower-cased) token. Columns without a full-text index fall back to a
+// scan with tokenized matching.
+func (t *Table) LookupToken(column, token string) []*Row {
+	key := strings.ToLower(column)
+	if ix, ok := t.inverted[key]; ok {
+		return ix.lookup(strings.ToLower(token))
+	}
+	ci, ok := t.schema.ColumnIndex(column)
+	if !ok {
+		return nil
+	}
+	needle := strings.ToLower(token)
+	var out []*Row
+	for _, r := range t.rows {
+		if containsToken(r.Values[ci].Str(), needle) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func containsToken(text, lowerTok string) bool {
+	lt := strings.ToLower(text)
+	idx := 0
+	for {
+		i := strings.Index(lt[idx:], lowerTok)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(lowerTok)
+		beforeOK := start == 0 || !isWordByte(lt[start-1])
+		afterOK := end == len(lt) || !isWordByte(lt[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= '0' && b <= '9' || b >= 'A' && b <= 'Z'
+}
+
+// DistinctCount returns the number of distinct values in the column when a
+// hash index exists; otherwise it computes it with a scan.
+func (t *Table) DistinctCount(column string) int {
+	key := strings.ToLower(column)
+	if ix, ok := t.hash[key]; ok {
+		return ix.distinct()
+	}
+	ci, ok := t.schema.ColumnIndex(column)
+	if !ok {
+		return 0
+	}
+	seen := make(map[string]struct{})
+	for _, r := range t.rows {
+		seen[r.Values[ci].Key()] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,102 @@
+package relational
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	s := String("hello")
+	if s.Kind() != TypeString || s.Str() != "hello" {
+		t.Errorf("String value broken: %+v", s)
+	}
+	i := Int(42)
+	if i.Kind() != TypeInt || i.AsInt() != 42 || i.Str() != "42" {
+		t.Errorf("Int value broken: %+v", i)
+	}
+	f := Float(2.5)
+	if f.Kind() != TypeFloat || f.AsFloat() != 2.5 || f.Str() != "2.5" {
+		t.Errorf("Float value broken: %+v", f)
+	}
+	if Int(7).AsFloat() != 7.0 {
+		t.Error("AsFloat should convert ints")
+	}
+}
+
+func TestValueEquality(t *testing.T) {
+	if !String("a").Equal(String("a")) {
+		t.Error("equal strings not Equal")
+	}
+	if String("a").Equal(String("A")) {
+		t.Error("Equal should be case-sensitive")
+	}
+	if !String("a").EqualFold(String("A")) {
+		t.Error("EqualFold should ignore case")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Error("cross-kind values must not be Equal")
+	}
+	if Int(1).EqualFold(String("1")) {
+		t.Error("cross-kind values must not be EqualFold")
+	}
+}
+
+func TestValueKeyDistinguishesKinds(t *testing.T) {
+	keys := map[string]bool{}
+	for _, v := range []Value{Int(1), Float(1), String("1")} {
+		if keys[v.Key()] {
+			t.Fatalf("key collision for %v", v)
+		}
+		keys[v.Key()] = true
+	}
+	if String("ABC").Key() != String("abc").Key() {
+		t.Error("string keys should be case-insensitive")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(TypeInt, " 42 ")
+	if err != nil || v.AsInt() != 42 {
+		t.Errorf("ParseValue int: %v %v", v, err)
+	}
+	v, err = ParseValue(TypeFloat, "3.25")
+	if err != nil || v.AsFloat() != 3.25 {
+		t.Errorf("ParseValue float: %v %v", v, err)
+	}
+	v, err = ParseValue(TypeString, "free text")
+	if err != nil || v.Str() != "free text" {
+		t.Errorf("ParseValue string: %v %v", v, err)
+	}
+	if _, err = ParseValue(TypeInt, "notanumber"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestCoercibleTo(t *testing.T) {
+	if !CoercibleTo(TypeInt, "1130") || CoercibleTo(TypeInt, "yaaB") {
+		t.Error("CoercibleTo(TypeInt) wrong")
+	}
+	if !CoercibleTo(TypeString, "anything") {
+		t.Error("everything coerces to string")
+	}
+	if !CoercibleTo(TypeFloat, "1.5") || CoercibleTo(TypeFloat, "JW0014") {
+		t.Error("CoercibleTo(TypeFloat) wrong")
+	}
+}
+
+// Property: round-tripping an int through Str/ParseValue is the identity.
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool {
+		v, err := ParseValue(TypeInt, Int(i).Str())
+		return err == nil && v.AsInt() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeString.String() != "string" || TypeInt.String() != "int" || TypeFloat.String() != "float" {
+		t.Error("Type.String() wrong")
+	}
+}

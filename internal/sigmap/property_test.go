@@ -1,0 +1,82 @@
+package sigmap
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nebula/internal/keyword"
+)
+
+// randomBody assembles a pseudo-annotation from the fixture's vocabulary:
+// concept words, identifiers, names, filler, and junk.
+func randomBody(rng *rand.Rand) string {
+	vocab := []string{
+		"gene", "protein", "id", "name", "locus",
+		"JW0013", "JW0014", "JW0019", "grpC", "yaaB", "G-Actin", "P00001",
+		"observed", "expression", "under", "culture", "K12", "x99",
+	}
+	n := 1 + rng.Intn(20)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = vocab[rng.Intn(len(vocab))]
+	}
+	return strings.Join(words, " ")
+}
+
+// TestGenerateProperties fuzzes the generator over random bodies and checks
+// the structural invariants of its output:
+//
+//  1. Determinism: the same body yields identical queries.
+//  2. Query weights lie in (0, 1] and some query has weight 1 (normalized
+//     relative to the maximum).
+//  3. Every query has at least one value keyword and one concept keyword,
+//     all table-consistent.
+//  4. Every keyword text appears in the body.
+func TestGenerateProperties(t *testing.T) {
+	repo := fixture(t)
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 300; trial++ {
+		body := randomBody(rng)
+		g := NewGenerator(repo, 0.6)
+		q1, _ := g.Generate(body)
+		q2, _ := g.Generate(body)
+		if fmt.Sprint(q1) != fmt.Sprint(q2) {
+			t.Fatalf("non-deterministic output for %q", body)
+		}
+		maxW := 0.0
+		for _, q := range q1 {
+			if q.Weight <= 0 || q.Weight > 1 {
+				t.Fatalf("weight %f outside (0,1] for %q", q.Weight, body)
+			}
+			if q.Weight > maxW {
+				maxW = q.Weight
+			}
+			hasValue, hasConcept := false, false
+			table := ""
+			for _, k := range q.Keywords {
+				if !strings.Contains(strings.ToLower(body), strings.ToLower(k.Text)) {
+					t.Fatalf("keyword %q not in body %q", k.Text, body)
+				}
+				switch k.Role {
+				case keyword.RoleValue:
+					hasValue = true
+				default:
+					hasConcept = true
+				}
+				if table == "" {
+					table = k.TargetTable
+				} else if !strings.EqualFold(table, k.TargetTable) {
+					t.Fatalf("table-inconsistent query %v for %q", q, body)
+				}
+			}
+			if !hasValue || !hasConcept {
+				t.Fatalf("query missing roles: %v for %q", q, body)
+			}
+		}
+		if len(q1) > 0 && maxW != 1 {
+			t.Fatalf("weights not normalized (max %f) for %q", maxW, body)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package snapshot persists and restores Nebula's runtime state: the
+// relational data, the annotation store with all attachment edges, the
+// Annotations Connectivity Graph (including its stability counters), and
+// the hop-distance profile. The format is a gob stream with a version
+// header.
+//
+// The NebulaMeta repository is deliberately NOT part of a snapshot:
+// ConceptRefs, equivalent names, ontologies, and value patterns are
+// configuration, owned by the application the way schema definitions are —
+// re-register them at startup and they stay under version control instead
+// of inside opaque state files.
+package snapshot
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"nebula/internal/acg"
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+)
+
+// FormatVersion identifies the on-disk layout; Load rejects mismatches.
+const FormatVersion = 1
+
+// Snapshot is the serializable engine state.
+type Snapshot struct {
+	Version int
+
+	Tables      []tableDump
+	Annotations []annotationDump
+	Attachments []attachmentDump
+
+	GraphAttachments []graphAnnDump
+	GraphStability   stabilityDump
+
+	ProfileBuckets     []int
+	ProfileUnreachable int
+}
+
+type columnDump struct {
+	Name     string
+	Type     int
+	Indexed  bool
+	FullText bool
+}
+
+type foreignKeyDump struct {
+	Column, RefTable, RefColumn string
+}
+
+type tableDump struct {
+	Name        string
+	Columns     []columnDump
+	PrimaryKey  string
+	ForeignKeys []foreignKeyDump
+	Rows        [][]cellDump
+}
+
+type cellDump struct {
+	Kind int
+	Int  int64
+	Flt  float64
+	Str  string
+}
+
+type annotationDump struct {
+	ID, Author, Body, Kind string
+}
+
+type attachmentDump struct {
+	Annotation string
+	Table, Key string
+	Column     string
+	Type       int
+	Confidence float64
+}
+
+type graphAnnDump struct {
+	Annotation string
+	Tuples     []tupleDump
+}
+
+type tupleDump struct {
+	Table, Key string
+}
+
+type stabilityDump struct {
+	BatchSize                                      int
+	Mu                                             float64
+	BatchAnnotations, BatchAttachments, BatchEdges int
+	BatchesClosed                                  int
+	Stable                                         bool
+}
+
+// State bundles the live objects a snapshot captures or restores.
+type State struct {
+	DB      *relational.Database
+	Store   *annotation.Store
+	Graph   *acg.Graph
+	Profile *acg.Profile
+}
+
+// Capture serializes the live state into a Snapshot value.
+func Capture(st State) (*Snapshot, error) {
+	if st.DB == nil || st.Store == nil {
+		return nil, fmt.Errorf("snapshot: nil database or store")
+	}
+	s := &Snapshot{Version: FormatVersion}
+
+	for _, name := range st.DB.TableNames() {
+		t := st.DB.MustTable(name)
+		schema := t.Schema()
+		td := tableDump{Name: schema.Name, PrimaryKey: schema.PrimaryKey}
+		for _, c := range schema.Columns {
+			td.Columns = append(td.Columns, columnDump{
+				Name: c.Name, Type: int(c.Type), Indexed: c.Indexed, FullText: c.FullText,
+			})
+		}
+		for _, fk := range schema.ForeignKeys {
+			td.ForeignKeys = append(td.ForeignKeys, foreignKeyDump{
+				Column: fk.Column, RefTable: fk.RefTable, RefColumn: fk.RefColumn,
+			})
+		}
+		for _, r := range t.Rows() {
+			row := make([]cellDump, len(r.Values))
+			for i, v := range r.Values {
+				row[i] = cellDump{Kind: int(v.Kind()), Str: v.Str()}
+				switch v.Kind() {
+				case relational.TypeInt:
+					row[i].Int = v.AsInt()
+				case relational.TypeFloat:
+					row[i].Flt = v.AsFloat()
+				}
+			}
+			td.Rows = append(td.Rows, row)
+		}
+		s.Tables = append(s.Tables, td)
+	}
+
+	for _, id := range st.Store.IDs() {
+		a, _ := st.Store.Get(id)
+		s.Annotations = append(s.Annotations, annotationDump{
+			ID: string(a.ID), Author: a.Author, Body: a.Body, Kind: a.Kind,
+		})
+		for _, att := range st.Store.Attachments(id, -1) {
+			s.Attachments = append(s.Attachments, attachmentDump{
+				Annotation: string(att.Annotation),
+				Table:      att.Tuple.Table, Key: att.Tuple.Key,
+				Column: att.Column, Type: int(att.Type), Confidence: att.Confidence,
+			})
+		}
+	}
+
+	if st.Graph != nil {
+		byAnn := st.Graph.AttachmentList()
+		ids := make([]string, 0, len(byAnn))
+		for id := range byAnn {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			d := graphAnnDump{Annotation: id}
+			for _, t := range byAnn[annotation.ID(id)] {
+				d.Tuples = append(d.Tuples, tupleDump{Table: t.Table, Key: t.Key})
+			}
+			s.GraphAttachments = append(s.GraphAttachments, d)
+		}
+		bs, mu, ba, batt, be, bc, stable := st.Graph.StabilityState()
+		s.GraphStability = stabilityDump{
+			BatchSize: bs, Mu: mu,
+			BatchAnnotations: ba, BatchAttachments: batt, BatchEdges: be,
+			BatchesClosed: bc, Stable: stable,
+		}
+	}
+	if st.Profile != nil {
+		s.ProfileBuckets, s.ProfileUnreachable = st.Profile.Counts()
+	}
+	return s, nil
+}
+
+// Restore rebuilds live objects from the snapshot.
+func (s *Snapshot) Restore() (State, error) {
+	if s.Version != FormatVersion {
+		return State{}, fmt.Errorf("snapshot: unsupported version %d (want %d)", s.Version, FormatVersion)
+	}
+	st := State{
+		DB:      relational.NewDatabase(),
+		Store:   annotation.NewStore(),
+		Graph:   acg.New(s.GraphStability.BatchSize, s.GraphStability.Mu),
+		Profile: acg.NewProfile(),
+	}
+	for _, td := range s.Tables {
+		schema := &relational.Schema{Name: td.Name, PrimaryKey: td.PrimaryKey}
+		for _, c := range td.Columns {
+			schema.Columns = append(schema.Columns, relational.Column{
+				Name: c.Name, Type: relational.Type(c.Type), Indexed: c.Indexed, FullText: c.FullText,
+			})
+		}
+		for _, fk := range td.ForeignKeys {
+			schema.ForeignKeys = append(schema.ForeignKeys, relational.ForeignKey{
+				Column: fk.Column, RefTable: fk.RefTable, RefColumn: fk.RefColumn,
+			})
+		}
+		t, err := st.DB.CreateTable(schema)
+		if err != nil {
+			return State{}, fmt.Errorf("snapshot: %w", err)
+		}
+		for _, row := range td.Rows {
+			values := make([]relational.Value, len(row))
+			for i, c := range row {
+				switch relational.Type(c.Kind) {
+				case relational.TypeInt:
+					values[i] = relational.Int(c.Int)
+				case relational.TypeFloat:
+					values[i] = relational.Float(c.Flt)
+				default:
+					values[i] = relational.String(c.Str)
+				}
+			}
+			if _, err := t.Insert(values); err != nil {
+				return State{}, fmt.Errorf("snapshot: %w", err)
+			}
+		}
+	}
+	if err := st.DB.ValidateForeignKeys(); err != nil {
+		return State{}, fmt.Errorf("snapshot: %w", err)
+	}
+
+	for _, ad := range s.Annotations {
+		if err := st.Store.Add(&annotation.Annotation{
+			ID: annotation.ID(ad.ID), Author: ad.Author, Body: ad.Body, Kind: ad.Kind,
+		}); err != nil {
+			return State{}, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	for _, att := range s.Attachments {
+		if _, err := st.Store.Attach(annotation.Attachment{
+			Annotation: annotation.ID(att.Annotation),
+			Tuple:      relational.TupleID{Table: att.Table, Key: att.Key},
+			Column:     att.Column,
+			Type:       annotation.AttachmentType(att.Type),
+			Confidence: att.Confidence,
+		}); err != nil {
+			return State{}, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+
+	for _, d := range s.GraphAttachments {
+		tuples := make([]relational.TupleID, len(d.Tuples))
+		for i, t := range d.Tuples {
+			tuples[i] = relational.TupleID{Table: t.Table, Key: t.Key}
+		}
+		st.Graph.AddAnnotation(annotation.ID(d.Annotation), tuples)
+	}
+	g := s.GraphStability
+	st.Graph.RestoreStabilityState(g.BatchSize, g.Mu, g.BatchAnnotations,
+		g.BatchAttachments, g.BatchEdges, g.BatchesClosed, g.Stable)
+	st.Profile.RestoreCounts(s.ProfileBuckets, s.ProfileUnreachable)
+	return st, nil
+}
+
+// Save writes the snapshot as a gob stream.
+func Save(w io.Writer, s *Snapshot) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if s.Version != FormatVersion {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", s.Version, FormatVersion)
+	}
+	return &s, nil
+}

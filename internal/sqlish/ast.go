@@ -1,0 +1,71 @@
+package sqlish
+
+// Statement is the interface implemented by all parsed commands.
+type Statement interface{ stmt() }
+
+// VerifyStmt is `VERIFY ATTACHMENT <vid>` — accept a pending task.
+type VerifyStmt struct {
+	VID int64
+}
+
+// RejectStmt is `REJECT ATTACHMENT <vid>` — reject a pending task.
+type RejectStmt struct {
+	VID int64
+}
+
+// ListPendingStmt is `LIST PENDING [BY PRIORITY] [LIMIT n]`.
+type ListPendingStmt struct {
+	// Limit caps the listing; 0 means no limit.
+	Limit int
+	// ByPriority orders by descending confidence instead of VID.
+	ByPriority bool
+}
+
+// AnnotateStmt is `ANNOTATE <table> '<pk>' AS '<id>' BODY '<text>'`: insert
+// a new annotation attached to one tuple.
+type AnnotateStmt struct {
+	Table string
+	PK    string
+	ID    string
+	Body  string
+}
+
+// DiscoverStmt is `DISCOVER '<annotation-id>'`: run Stages 1–2 and report
+// the candidates without routing them.
+type DiscoverStmt struct {
+	ID string
+}
+
+// ProcessStmt is `PROCESS '<annotation-id>'`: run the full pipeline
+// including verification routing.
+type ProcessStmt struct {
+	ID string
+}
+
+// Condition is one `col = value` conjunct of a WHERE clause.
+type Condition struct {
+	Column string
+	// Value holds the literal text; IsNumber tells whether it was a
+	// numeric literal (the executor coerces it to the column type).
+	Value    string
+	IsNumber bool
+}
+
+// SelectStmt is the propagation-aware query:
+// `SELECT cols FROM table [WHERE ...] [WITH ANNOTATIONS]`.
+type SelectStmt struct {
+	// Columns projected; empty means `*`.
+	Columns []string
+	Table   string
+	Where   []Condition
+	// WithAnnotations requests annotation propagation over the results.
+	WithAnnotations bool
+}
+
+func (*VerifyStmt) stmt()      {}
+func (*RejectStmt) stmt()      {}
+func (*ListPendingStmt) stmt() {}
+func (*AnnotateStmt) stmt()    {}
+func (*DiscoverStmt) stmt()    {}
+func (*ProcessStmt) stmt()     {}
+func (*SelectStmt) stmt()      {}

@@ -1,0 +1,31 @@
+package sqlish
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that accepted statements
+// are non-nil. Run the seeds with `go test`; extend the corpus with
+// `go test -fuzz=FuzzParse ./internal/sqlish`.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"VERIFY ATTACHMENT 42",
+		"REJECT ATTACHEMENT 7;",
+		"LIST PENDING BY PRIORITY LIMIT 3",
+		"ANNOTATE Gene 'JW0013' AS 'a' BODY 'it''s related'",
+		"DISCOVER 'alice'",
+		"PROCESS 'x'",
+		"SELECT GID, Name FROM Gene WHERE Family = 'F1' AND Length = 1130 WITH ANNOTATIONS",
+		"SELECT * FROM t",
+		"select",
+		"'", "''", ";", "= = =", "VERIFY ATTACHMENT 99999999999999999999",
+		"LIST PENDING LIMIT -1",
+		"SELECT * FROM Gene WHERE a = -3.5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement without error", input)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+// Package sqlish parses the small SQL-flavoured command language Nebula
+// exposes on top of the engine. The paper introduces the extended command
+// `[Verify | Reject] Attachement <vid>` (§7); this package generalizes that
+// surface into the handful of statements a curator actually needs:
+//
+//	VERIFY ATTACHMENT <vid>
+//	REJECT ATTACHMENT <vid>
+//	LIST PENDING [LIMIT <n>]
+//	ANNOTATE <table> '<pk>' AS '<annotation-id>' BODY '<text>'
+//	DISCOVER '<annotation-id>'
+//	PROCESS '<annotation-id>'
+//	SELECT *|col[, col...] FROM <table> [WHERE col = <value> [AND ...]]
+//	       [WITH ANNOTATIONS]
+//
+// The package only parses — execution lives in the root nebula package,
+// which owns the engine.
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokWord
+	tokString
+	tokNumber
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Strings use single quotes with ”
+// escaping, as in SQL.
+func lex(input string) ([]token, error) {
+	var toks []token
+	runes := []rune(input)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(runes) {
+				if runes[i] == '\'' {
+					if i+1 < len(runes) && runes[i+1] == '\'' {
+						sb.WriteRune('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteRune(runes[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlish: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case unicode.IsDigit(r) || (r == '-' && i+1 < len(runes) && unicode.IsDigit(runes[i+1])):
+			start := i
+			i++
+			for i < len(runes) && (unicode.IsDigit(runes[i]) || runes[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: string(runes[start:i]), pos: start})
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{kind: tokWord, text: string(runes[start:i]), pos: start})
+		case strings.ContainsRune("*,=;", r):
+			toks = append(toks, token{kind: tokSymbol, text: string(r), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlish: unexpected character %q at offset %d", r, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(runes)})
+	return toks, nil
+}

@@ -1,0 +1,94 @@
+package textutil
+
+import "unicode"
+
+// Shape is a coarse classification of a token's character composition. The
+// Value-Map generator (§5.2.1) uses shapes as a cheap pre-filter before the
+// expensive ontology / pattern / sample checks: a purely alphabetic lowercase
+// token cannot belong to a numeric column, an all-digit token cannot be a
+// table name, etc.
+type Shape int
+
+const (
+	// ShapeWord is a plain alphabetic word ("gene", "correlated").
+	ShapeWord Shape = iota
+	// ShapeNumber is an integer or decimal literal ("1130", "3.5").
+	ShapeNumber
+	// ShapeIdentifier mixes letters and digits or unusual casing
+	// ("JW0014", "yaaB", "G-Actin") — the shape of database identifiers.
+	ShapeIdentifier
+	// ShapeOther covers everything else (rare after tokenization).
+	ShapeOther
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeWord:
+		return "word"
+	case ShapeNumber:
+		return "number"
+	case ShapeIdentifier:
+		return "identifier"
+	default:
+		return "other"
+	}
+}
+
+// ClassifyShape determines the Shape of a token.
+func ClassifyShape(token string) Shape {
+	if token == "" {
+		return ShapeOther
+	}
+	letters, digits, upper, other := 0, 0, 0, 0
+	dots := 0
+	for _, r := range token {
+		switch {
+		case unicode.IsLetter(r):
+			letters++
+			if unicode.IsUpper(r) {
+				upper++
+			}
+		case unicode.IsDigit(r):
+			digits++
+		case r == '.':
+			dots++
+		default:
+			other++
+		}
+	}
+	switch {
+	case digits > 0 && letters == 0 && other == 0 && dots <= 1:
+		return ShapeNumber
+	case letters > 0 && digits == 0 && other == 0 && dots == 0:
+		// Mixed-case interior capitals mark identifiers: "yaaB", "GrpC".
+		if hasInteriorUpper(token) {
+			return ShapeIdentifier
+		}
+		return ShapeWord
+	case letters > 0 && (digits > 0 || other > 0):
+		return ShapeIdentifier
+	default:
+		return ShapeOther
+	}
+}
+
+func hasInteriorUpper(token string) bool {
+	for i, r := range token {
+		if i > 0 && unicode.IsUpper(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// LooksLikeIdentifier reports whether the token plausibly names a database
+// object rather than being ordinary prose: identifiers, numbers, and words
+// with interior capitals qualify.
+func LooksLikeIdentifier(token string) bool {
+	switch ClassifyShape(token) {
+	case ShapeIdentifier, ShapeNumber:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,149 @@
+package textutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"gene", "gene", 0},
+		{"JW0013", "JW0014", 1},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinTriangleProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := LevenshteinSimilarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if s := LevenshteinSimilarity("", ""); s != 1 {
+		t.Errorf("identical empties = %f, want 1", s)
+	}
+	if s := LevenshteinSimilarity("gene", "gene"); s != 1 {
+		t.Errorf("identical = %f, want 1", s)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if s := JaroWinkler("JW0013", "JW0014"); s < 0.9 {
+		t.Errorf("JaroWinkler(JW0013,JW0014) = %f, want >= 0.9 (shared prefix)", s)
+	}
+	if s := JaroWinkler("gene", "zzzz"); s != 0 {
+		t.Errorf("disjoint strings = %f, want 0", s)
+	}
+	if s := JaroWinkler("same", "same"); s != 1 {
+		t.Errorf("identical = %f, want 1", s)
+	}
+	// Prefix bonus: equal Jaro, higher Winkler for shared prefix.
+	a := JaroWinkler("prefixed", "prefixxx")
+	b := JaroWinkler("xxefired", "xxefihhh")
+	if a <= b {
+		t.Errorf("prefix bonus not applied: %f <= %f", a, b)
+	}
+}
+
+func TestJaroWinklerRangeAndSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1.0000001 && s == JaroWinkler(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrigramJaccard(t *testing.T) {
+	if s := TrigramJaccard("gene", "gene"); s != 1 {
+		t.Errorf("identical = %f", s)
+	}
+	if s := TrigramJaccard("abcdef", "uvwxyz"); s != 0 {
+		t.Errorf("disjoint = %f", s)
+	}
+	if s := TrigramJaccard("ab", "AB"); s != 1 {
+		t.Errorf("short equal-fold = %f, want 1", s)
+	}
+	if s := TrigramJaccard("ab", "cd"); s != 0 {
+		t.Errorf("short different = %f, want 0", s)
+	}
+	mid := TrigramJaccard("proteins", "protein")
+	if mid <= 0.5 || mid >= 1 {
+		t.Errorf("near match = %f, want in (0.5,1)", mid)
+	}
+}
+
+func TestClassifyShape(t *testing.T) {
+	cases := map[string]Shape{
+		"gene":     ShapeWord,
+		"Gene":     ShapeWord,
+		"yaaB":     ShapeIdentifier,
+		"JW0014":   ShapeIdentifier,
+		"G-Actin":  ShapeIdentifier,
+		"1130":     ShapeNumber,
+		"3.5":      ShapeNumber,
+		"P12345.2": ShapeIdentifier,
+		"":         ShapeOther,
+	}
+	for in, want := range cases {
+		if got := ClassifyShape(in); got != want {
+			t.Errorf("ClassifyShape(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLooksLikeIdentifier(t *testing.T) {
+	for _, s := range []string{"JW0014", "yaaB", "1130", "G-Actin"} {
+		if !LooksLikeIdentifier(s) {
+			t.Errorf("LooksLikeIdentifier(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"gene", "correlated", "the"} {
+		if LooksLikeIdentifier(s) {
+			t.Errorf("LooksLikeIdentifier(%q) = true", s)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	names := map[Shape]string{
+		ShapeWord: "word", ShapeNumber: "number",
+		ShapeIdentifier: "identifier", ShapeOther: "other",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

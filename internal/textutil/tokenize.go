@@ -1,0 +1,121 @@
+// Package textutil provides the low-level text analysis primitives used by
+// Nebula's annotation processing pipeline: tokenization of free-text
+// annotations, stop-word filtering, string similarity measures, and token
+// shape classification.
+//
+// Annotations in Nebula are arbitrary free text (comments, abstracts, whole
+// articles). Before signature maps can be built (see internal/sigmap), the
+// text must be broken into word tokens that retain their position so that
+// influence ranges ("α words to the left and to the right", §5.2.2 of the
+// paper) are meaningful.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single word extracted from an annotation, with enough position
+// information to reconstruct context windows over the original text.
+type Token struct {
+	// Text is the token exactly as it appeared (original case preserved;
+	// matching code decides case sensitivity per use).
+	Text string
+	// Lower is Text lower-cased once, since nearly every consumer needs it.
+	Lower string
+	// Index is the ordinal position of the token in the token stream.
+	Index int
+	// Offset is the byte offset of the token's first byte in the input.
+	Offset int
+}
+
+// Tokenize splits an annotation's text into word tokens. A token is a maximal
+// run of letters, digits, and the connector characters '_', '-', '.' appearing
+// between alphanumerics (so identifiers such as "JW0014", "G-Actin", and
+// "P12345.2" survive as single tokens). Pure punctuation is discarded.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	runes := []rune(text)
+	n := len(runes)
+	byteOff := 0
+	i := 0
+	for i < n {
+		r := runes[i]
+		if !isWordRune(r) {
+			byteOff += len(string(r))
+			i++
+			continue
+		}
+		start := i
+		startOff := byteOff
+		for i < n {
+			r = runes[i]
+			if isWordRune(r) {
+				byteOff += len(string(r))
+				i++
+				continue
+			}
+			// Connectors stay inside a token only when the next rune
+			// continues the word: "G-Actin" is one token, "end-" is not.
+			if isConnector(r) && i+1 < n && isWordRune(runes[i+1]) {
+				byteOff += len(string(r))
+				i++
+				continue
+			}
+			break
+		}
+		word := string(runes[start:i])
+		tokens = append(tokens, Token{
+			Text:   word,
+			Lower:  strings.ToLower(word),
+			Index:  len(tokens),
+			Offset: startOff,
+		})
+	}
+	return tokens
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isConnector(r rune) bool {
+	return r == '-' || r == '_' || r == '.'
+}
+
+// Words returns just the lower-cased token texts, convenient for tests and
+// for consumers that do not need positions.
+func Words(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Lower
+	}
+	return out
+}
+
+// stopwords is a compact English stop-word list. Annotations are scientific
+// prose; filtering these words keeps signature maps small without risking the
+// loss of identifiers (identifiers never collide with stop words).
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {}, "be": {},
+	"but": {}, "by": {}, "for": {}, "from": {}, "has": {}, "have": {},
+	"he": {}, "her": {}, "his": {}, "if": {}, "in": {}, "into": {}, "is": {},
+	"it": {}, "its": {}, "may": {}, "not": {}, "of": {}, "on": {}, "or": {},
+	"our": {}, "she": {}, "so": {}, "some": {}, "such": {}, "than": {},
+	"that": {}, "the": {}, "their": {}, "them": {}, "then": {}, "there": {},
+	"these": {}, "they": {}, "this": {}, "those": {}, "to": {}, "very": {},
+	"was": {}, "we": {}, "were": {}, "which": {}, "while": {}, "who": {},
+	"will": {}, "with": {}, "would": {}, "you": {}, "your": {}, "also": {},
+	"been": {}, "between": {}, "both": {}, "can": {}, "do": {}, "does": {},
+	"each": {}, "how": {}, "i": {}, "more": {}, "most": {}, "no": {},
+	"other": {}, "out": {}, "over": {}, "same": {}, "seems": {}, "only": {},
+	"under": {}, "up": {}, "what": {}, "when": {}, "where": {},
+}
+
+// IsStopword reports whether the (already lower-cased) word is an English
+// stop word.
+func IsStopword(lower string) bool {
+	_, ok := stopwords[lower]
+	return ok
+}

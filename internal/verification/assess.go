@@ -1,0 +1,134 @@
+package verification
+
+import (
+	"fmt"
+
+	"nebula/internal/annotation"
+	"nebula/internal/discovery"
+	"nebula/internal/relational"
+)
+
+// Assessment holds the four criteria of Definition 7.2 for one annotation,
+// plus the raw Figure 8 counters they derive from.
+type Assessment struct {
+	// FN is the false-negative ratio F_N.
+	FN float64
+	// FP is the false-positive ratio F_P.
+	FP float64
+	// MF is the manual effort M_F = N_verify.
+	MF float64
+	// MH is the manual hit (conversion) ratio M_H = N_verify-T / N_verify.
+	MH float64
+
+	NIdeal   int
+	NFocal   int
+	NReject  int
+	NVerify  int
+	NVerifyT int
+	NVerifyF int
+	NAccept  int
+	NAcceptT int
+	NAcceptF int
+}
+
+func (a Assessment) String() string {
+	return fmt.Sprintf("F_N=%.3f F_P=%.3f M_F=%.0f M_H=%.4f", a.FN, a.FP, a.MF, a.MH)
+}
+
+// Assess computes the Definition 7.2 criteria for one annotation's
+// predictions, routed by the given bounds and judged by the oracle.
+//
+//	F_N = (N_ideal − (N_verify-T + N_accept-T + N_focal)) / N_ideal
+//	F_P = N_accept-F / (N_verify-T + N_accept + N_focal)
+//	M_F = N_verify
+//	M_H = N_verify-T / N_verify
+//
+// nIdeal is the number of attachments of the annotation in the ideal
+// database (focal included); nFocal is the number of focal (pre-existing
+// true) attachments.
+func Assess(a annotation.ID, candidates []discovery.Candidate, bounds Bounds, oracle Oracle, nIdeal, nFocal int) Assessment {
+	out := Assessment{NIdeal: nIdeal, NFocal: nFocal}
+	for _, c := range candidates {
+		related := oracle.IsRelated(a, c.Tuple.ID)
+		switch bounds.Route(c.Confidence) {
+		case AutoRejected:
+			out.NReject++
+		case AutoAccepted:
+			out.NAccept++
+			if related {
+				out.NAcceptT++
+			} else {
+				out.NAcceptF++
+			}
+		default:
+			out.NVerify++
+			if related {
+				out.NVerifyT++
+			} else {
+				out.NVerifyF++
+			}
+		}
+	}
+	if out.NIdeal > 0 {
+		out.FN = float64(out.NIdeal-(out.NVerifyT+out.NAcceptT+out.NFocal)) / float64(out.NIdeal)
+		if out.FN < 0 {
+			out.FN = 0
+		}
+	}
+	if denom := out.NVerifyT + out.NAccept + out.NFocal; denom > 0 {
+		out.FP = float64(out.NAcceptF) / float64(denom)
+	}
+	out.MF = float64(out.NVerify)
+	if out.NVerify > 0 {
+		out.MH = float64(out.NVerifyT) / float64(out.NVerify)
+	}
+	return out
+}
+
+// Average combines per-annotation assessments by arithmetic mean, as the
+// experiments do ("we average the assessment measures over all the
+// annotations").
+func Average(as []Assessment) Assessment {
+	var avg Assessment
+	if len(as) == 0 {
+		return avg
+	}
+	for _, a := range as {
+		avg.FN += a.FN
+		avg.FP += a.FP
+		avg.MF += a.MF
+		avg.MH += a.MH
+	}
+	n := float64(len(as))
+	avg.FN /= n
+	avg.FP /= n
+	avg.MF /= n
+	avg.MH /= n
+	return avg
+}
+
+// IdealTupleOracle is an oracle over a single annotation's ground-truth
+// tuple set, convenient for training examples.
+type IdealTupleOracle struct {
+	Annotation annotation.ID
+	Tuples     map[relational.TupleID]struct{}
+}
+
+// NewIdealTupleOracle builds the oracle from a tuple list.
+func NewIdealTupleOracle(a annotation.ID, tuples []relational.TupleID) IdealTupleOracle {
+	set := make(map[relational.TupleID]struct{}, len(tuples))
+	for _, t := range tuples {
+		set[t] = struct{}{}
+	}
+	return IdealTupleOracle{Annotation: a, Tuples: set}
+}
+
+// IsRelated reports whether the tuple belongs to the annotation's
+// ground-truth set.
+func (o IdealTupleOracle) IsRelated(a annotation.ID, t relational.TupleID) bool {
+	if a != o.Annotation {
+		return false
+	}
+	_, ok := o.Tuples[t]
+	return ok
+}

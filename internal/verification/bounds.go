@@ -1,0 +1,213 @@
+package verification
+
+import (
+	"fmt"
+	"sort"
+
+	"nebula/internal/annotation"
+	"nebula/internal/discovery"
+	"nebula/internal/relational"
+)
+
+// TrainingExample is one annotation of the D_Training dataset of Figure 9:
+// an annotation together with the complete set of tuples it is related to
+// (its attachments in the ideal database).
+type TrainingExample struct {
+	// Annotation is the training annotation.
+	Annotation *annotation.Annotation
+	// Ideal lists all tuples the annotation is related to.
+	Ideal []relational.TupleID
+}
+
+// DiscoverFunc runs the discovery pipeline for a (distorted) annotation:
+// given the annotation and its remaining focal attachments, it returns the
+// predicted candidates. BoundsSetting is generic over the pipeline so the
+// same algorithm tunes bounds for any engine configuration.
+type DiscoverFunc func(a *annotation.Annotation, focal []relational.TupleID) ([]discovery.Candidate, error)
+
+// BoundsConfig parameterizes the BoundsSetting algorithm.
+type BoundsConfig struct {
+	// Distortion is Δ: the number of attachments kept per training
+	// annotation while the rest are dropped (Step 1 of Figure 9). Δ = 1
+	// reproduces the paper's default ("removing all its attachments to the
+	// data tuples except one").
+	Distortion int
+	// Grid lists the candidate threshold values explored for both bounds.
+	Grid []float64
+	// MaxFN and MaxFP are the acceptable ceilings for the averaged F_N and
+	// F_P ("keeping F_N and F_P within an acceptable range").
+	MaxFN, MaxFP float64
+	// HitRatioGuided enables the M_H-guided refinement (§7's second
+	// enhancement): when the chosen bounds' M_H is very high, β_upper is
+	// lowered a grid step if the result stays feasible, accepting more
+	// predictions automatically.
+	HitRatioGuided bool
+}
+
+// DefaultBoundsConfig returns the configuration used by the experiments:
+// Δ=1 and a 0.1-granularity grid. The F_N/F_P ceilings are deliberately
+// tight (0.10/0.05): with looser ceilings the search happily collapses to a
+// fully automatic β_lower = β_upper point, and the whole point of the
+// expert band is reaching quality a single threshold cannot.
+func DefaultBoundsConfig() BoundsConfig {
+	return BoundsConfig{
+		Distortion: 1,
+		Grid: []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+			0.6, 0.7, 0.8, 0.9, 1.0},
+		MaxFN:          0.10,
+		MaxFP:          0.05,
+		HitRatioGuided: true,
+	}
+}
+
+// BoundsEvaluation records the averaged assessment of one (β_lower,
+// β_upper) setting over the training set.
+type BoundsEvaluation struct {
+	Bounds     Bounds
+	Assessment Assessment
+	Feasible   bool
+}
+
+// BoundsSetting implements Figure 9. For each training annotation it builds
+// the distorted version (keep Δ attachments as the focal, hide the rest),
+// runs discovery once, and then evaluates every grid setting of (β_lower ≤
+// β_upper) against the hidden ground truth. It returns the best setting —
+// the feasible one (F_N ≤ MaxFN, F_P ≤ MaxFP) with minimal expert effort
+// M_F — together with the full evaluation table for inspection. When no
+// setting is feasible it falls back to minimizing F_N + F_P, then M_F.
+func BoundsSetting(training []TrainingExample, discover DiscoverFunc, cfg BoundsConfig) (Bounds, []BoundsEvaluation, error) {
+	if len(training) == 0 {
+		return Bounds{}, nil, fmt.Errorf("bounds setting: empty training set")
+	}
+	if cfg.Distortion < 1 {
+		return Bounds{}, nil, fmt.Errorf("bounds setting: distortion %d < 1", cfg.Distortion)
+	}
+	if len(cfg.Grid) == 0 {
+		return Bounds{}, nil, fmt.Errorf("bounds setting: empty grid")
+	}
+
+	// Step 1 + 2 — distort and discover once per example; candidates do
+	// not depend on the bounds.
+	type prepared struct {
+		a          annotation.ID
+		candidates []discovery.Candidate
+		oracle     IdealTupleOracle
+		nIdeal     int
+		nFocal     int
+	}
+	prep := make([]prepared, 0, len(training))
+	for _, ex := range training {
+		if len(ex.Ideal) == 0 {
+			continue
+		}
+		delta := cfg.Distortion
+		if delta > len(ex.Ideal) {
+			delta = len(ex.Ideal)
+		}
+		focal := ex.Ideal[:delta]
+		cands, err := discover(ex.Annotation, focal)
+		if err != nil {
+			return Bounds{}, nil, fmt.Errorf("bounds setting: discover %s: %w", ex.Annotation.ID, err)
+		}
+		prep = append(prep, prepared{
+			a:          ex.Annotation.ID,
+			candidates: cands,
+			oracle:     NewIdealTupleOracle(ex.Annotation.ID, ex.Ideal),
+			nIdeal:     len(ex.Ideal),
+			nFocal:     delta,
+		})
+	}
+	if len(prep) == 0 {
+		return Bounds{}, nil, fmt.Errorf("bounds setting: no usable training annotations")
+	}
+
+	grid := append([]float64(nil), cfg.Grid...)
+	sort.Float64s(grid)
+
+	// Step 3 — evaluate every (lower ≤ upper) pair.
+	var evals []BoundsEvaluation
+	for _, lo := range grid {
+		for _, hi := range grid {
+			if lo > hi {
+				continue
+			}
+			b := Bounds{Lower: lo, Upper: hi}
+			per := make([]Assessment, len(prep))
+			for i, p := range prep {
+				per[i] = Assess(p.a, p.candidates, b, p.oracle, p.nIdeal, p.nFocal)
+			}
+			avg := Average(per)
+			evals = append(evals, BoundsEvaluation{
+				Bounds:     b,
+				Assessment: avg,
+				Feasible:   avg.FN <= cfg.MaxFN && avg.FP <= cfg.MaxFP,
+			})
+		}
+	}
+
+	best := pickBest(evals)
+	if cfg.HitRatioGuided {
+		best = hitRatioRefine(best, evals, grid)
+	}
+	return best.Bounds, evals, nil
+}
+
+// pickBest selects the feasible evaluation with minimal M_F (ties broken by
+// smaller F_N + F_P, then by wider automation band). Without a feasible
+// setting, it minimizes F_N + F_P and then M_F.
+func pickBest(evals []BoundsEvaluation) BoundsEvaluation {
+	var best *BoundsEvaluation
+	better := func(a, b *BoundsEvaluation) bool {
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if a.Feasible {
+			if a.Assessment.MF != b.Assessment.MF {
+				return a.Assessment.MF < b.Assessment.MF
+			}
+			ra, rb := a.Assessment.FN+a.Assessment.FP, b.Assessment.FN+b.Assessment.FP
+			if ra != rb {
+				return ra < rb
+			}
+			return a.Bounds.Upper-a.Bounds.Lower < b.Bounds.Upper-b.Bounds.Lower
+		}
+		ra, rb := a.Assessment.FN+a.Assessment.FP, b.Assessment.FN+b.Assessment.FP
+		if ra != rb {
+			return ra < rb
+		}
+		return a.Assessment.MF < b.Assessment.MF
+	}
+	for i := range evals {
+		if best == nil || better(&evals[i], best) {
+			best = &evals[i]
+		}
+	}
+	return *best
+}
+
+// hitRatioRefine lowers β_upper one grid step when the chosen setting's
+// M_H is very high (most manually verified predictions get accepted anyway)
+// and the adjusted setting remains feasible.
+func hitRatioRefine(best BoundsEvaluation, evals []BoundsEvaluation, grid []float64) BoundsEvaluation {
+	const highHitRatio = 0.9
+	if best.Assessment.MH < highHitRatio {
+		return best
+	}
+	// Find the grid value just below the current upper bound.
+	prev := -1.0
+	for _, g := range grid {
+		if g < best.Bounds.Upper && g >= best.Bounds.Lower {
+			prev = g
+		}
+	}
+	if prev < 0 {
+		return best
+	}
+	for i := range evals {
+		e := &evals[i]
+		if e.Bounds.Lower == best.Bounds.Lower && e.Bounds.Upper == prev && e.Feasible {
+			return *e
+		}
+	}
+	return best
+}

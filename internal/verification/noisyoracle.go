@@ -1,0 +1,55 @@
+package verification
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+)
+
+// NoisyOracle wraps another oracle with an error rate, modeling imperfect
+// domain experts. The paper's evaluation assumes "experts do not make
+// errors"; this wrapper lets deployments and experiments quantify how the
+// assessment criteria degrade when they do.
+//
+// Decisions are deterministic per (annotation, tuple) pair for a given
+// seed — the same question always receives the same (possibly wrong)
+// answer, like a human with a fixed blind spot, and independent of the
+// order in which tasks are resolved.
+type NoisyOracle struct {
+	base      Oracle
+	errorRate float64
+	seed      int64
+}
+
+// NewNoisyOracle wraps base with the given error probability in [0,1].
+func NewNoisyOracle(base Oracle, errorRate float64, seed int64) *NoisyOracle {
+	if errorRate < 0 {
+		errorRate = 0
+	}
+	if errorRate > 1 {
+		errorRate = 1
+	}
+	return &NoisyOracle{base: base, errorRate: errorRate, seed: seed}
+}
+
+// IsRelated returns the base oracle's answer, flipped with probability
+// errorRate.
+func (o *NoisyOracle) IsRelated(a annotation.ID, t relational.TupleID) bool {
+	truth := o.base.IsRelated(a, t)
+	if o.errorRate == 0 {
+		return truth
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(a))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(t.Table))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(t.Key))
+	rng := rand.New(rand.NewSource(o.seed ^ int64(h.Sum64())))
+	if rng.Float64() < o.errorRate {
+		return !truth
+	}
+	return truth
+}

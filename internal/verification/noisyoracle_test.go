@@ -1,0 +1,85 @@
+package verification
+
+import (
+	"testing"
+
+	"nebula/internal/discovery"
+	"nebula/internal/relational"
+)
+
+func TestNoisyOracleZeroRateIsTransparent(t *testing.T) {
+	base := NewIdealTupleOracle("a1", []relational.TupleID{tup(1), tup(2)})
+	noisy := NewNoisyOracle(base, 0, 7)
+	for i := 0; i < 10; i++ {
+		if noisy.IsRelated("a1", tup(i)) != base.IsRelated("a1", tup(i)) {
+			t.Fatalf("zero-rate oracle flipped tuple %d", i)
+		}
+	}
+}
+
+func TestNoisyOracleDeterministicPerPair(t *testing.T) {
+	base := NewIdealTupleOracle("a1", []relational.TupleID{tup(1)})
+	noisy := NewNoisyOracle(base, 0.5, 99)
+	for i := 0; i < 20; i++ {
+		first := noisy.IsRelated("a1", tup(i))
+		for k := 0; k < 3; k++ {
+			if noisy.IsRelated("a1", tup(i)) != first {
+				t.Fatalf("non-deterministic answer for tuple %d", i)
+			}
+		}
+	}
+}
+
+func TestNoisyOracleFlipRate(t *testing.T) {
+	var ideal []relational.TupleID
+	for i := 0; i < 500; i++ {
+		ideal = append(ideal, tup(i))
+	}
+	base := NewIdealTupleOracle("a1", ideal)
+	noisy := NewNoisyOracle(base, 0.2, 3)
+	flips := 0
+	for i := 0; i < 1000; i++ {
+		if noisy.IsRelated("a1", tup(i)) != base.IsRelated("a1", tup(i)) {
+			flips++
+		}
+	}
+	if flips < 120 || flips > 280 {
+		t.Errorf("flip count %d far from expected ~200", flips)
+	}
+	if NewNoisyOracle(base, -1, 1).errorRate != 0 {
+		t.Error("negative rate not clamped")
+	}
+	if NewNoisyOracle(base, 2, 1).errorRate != 1 {
+		t.Error(">1 rate not clamped")
+	}
+}
+
+func TestNoisyExpertDegradesAssessment(t *testing.T) {
+	// All candidates land in the expert band; half are truly related. A
+	// perfect expert converts exactly the true half (M_H = 0.5); a noisy
+	// expert's agreement with the truth drifts away from that.
+	db := fixtureDB(t, 60)
+	var ideal []relational.TupleID
+	for i := 0; i < 30; i++ {
+		ideal = append(ideal, tup(i))
+	}
+	base := NewIdealTupleOracle("a1", ideal)
+	bounds := Bounds{Lower: 0.3, Upper: 0.9}
+	var candidates []discovery.Candidate
+	for i := 0; i < 60; i++ {
+		candidates = append(candidates, cand(t, db, i, 0.5))
+	}
+	perfect := Assess("a1", candidates, bounds, base, 30, 0)
+	noisy := Assess("a1", candidates, bounds, NewNoisyOracle(base, 0.3, 11), 30, 0)
+	if perfect.MH != 0.5 {
+		t.Fatalf("perfect M_H = %f, want 0.5", perfect.MH)
+	}
+	if noisy.MH == perfect.MH {
+		t.Error("noise left the hit ratio untouched (statistically implausible)")
+	}
+	// With noise, some truly-related tuples are rejected by the expert:
+	// the verified-true count drops, raising F_N.
+	if noisy.FN <= perfect.FN {
+		t.Errorf("noisy F_N %f should exceed perfect %f", noisy.FN, perfect.FN)
+	}
+}

@@ -1,0 +1,117 @@
+// Package verification implements Stage 3 of Nebula (§7): turning
+// discovered candidates into verification tasks, routing them by the
+// β_lower/β_upper confidence bounds (auto-reject / pending expert
+// verification / auto-accept), executing the acceptance side effects
+// (attachment promotion, ACG update, hop-profile update), computing the
+// assessment criteria of Definition 7.2, and adaptively tuning the bounds
+// with the BoundsSetting algorithm of Figure 9.
+package verification
+
+import (
+	"fmt"
+
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+)
+
+// Decision is the lifecycle state of a verification task.
+type Decision int
+
+const (
+	// Pending awaits expert verification (β_lower ≤ conf ≤ β_upper).
+	Pending Decision = iota
+	// AutoAccepted was accepted automatically (conf > β_upper).
+	AutoAccepted
+	// AutoRejected was rejected automatically (conf < β_lower).
+	AutoRejected
+	// ExpertAccepted was verified positively by an expert.
+	ExpertAccepted
+	// ExpertRejected was verified negatively by an expert.
+	ExpertRejected
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Pending:
+		return "pending"
+	case AutoAccepted:
+		return "auto-accepted"
+	case AutoRejected:
+		return "auto-rejected"
+	case ExpertAccepted:
+		return "expert-accepted"
+	case ExpertRejected:
+		return "expert-rejected"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Task is a verification task v = (v_id, a, t, confidence, evidence)
+// (Definition 7.1). Its result is a Boolean decision: accept (the edge
+// becomes a True Attachment) or reject (the edge is discarded).
+type Task struct {
+	// VID is the unique system-generated identifier.
+	VID int64
+	// Annotation is the annotation side of the predicted attachment.
+	Annotation annotation.ID
+	// Tuple is the data side of the predicted attachment.
+	Tuple relational.TupleID
+	// Confidence is the estimated confidence of the attachment.
+	Confidence float64
+	// Evidence is the set of keyword-query IDs supporting the prediction,
+	// reported to help experts verify.
+	Evidence []string
+	// Decision is the task's current state.
+	Decision Decision
+}
+
+func (t *Task) String() string {
+	return fmt.Sprintf("v%d %s->%s conf=%.3f [%s]", t.VID, t.Annotation, t.Tuple, t.Confidence, t.Decision)
+}
+
+// Bounds are the two verification thresholds of Figure 8.
+type Bounds struct {
+	// Lower is β_lower: below it predictions are discarded automatically.
+	Lower float64
+	// Upper is β_upper: above it predictions are accepted automatically.
+	Upper float64
+}
+
+// Validate checks 0 ≤ Lower ≤ Upper ≤ 1.
+func (b Bounds) Validate() error {
+	if b.Lower < 0 || b.Upper > 1 || b.Lower > b.Upper {
+		return fmt.Errorf("invalid bounds [%f, %f]", b.Lower, b.Upper)
+	}
+	return nil
+}
+
+// Route classifies a confidence against the bounds: conf < Lower →
+// AutoRejected; conf > Upper → AutoAccepted; otherwise Pending.
+func (b Bounds) Route(conf float64) Decision {
+	switch {
+	case conf < b.Lower:
+		return AutoRejected
+	case conf > b.Upper:
+		return AutoAccepted
+	default:
+		return Pending
+	}
+}
+
+// Oracle answers whether an annotation is truly related to a tuple. In the
+// experiments it is backed by the workload's ground truth (the paper: "this
+// is under the assumption that experts do not make errors"); in production
+// it is the domain expert answering a pending task.
+type Oracle interface {
+	IsRelated(a annotation.ID, t relational.TupleID) bool
+}
+
+// IdealOracle adapts an ideal edge set into an Oracle.
+type IdealOracle annotation.IdealEdges
+
+// IsRelated reports membership in the ideal edge set.
+func (o IdealOracle) IsRelated(a annotation.ID, t relational.TupleID) bool {
+	_, ok := o[annotation.EdgeKey{Annotation: a, Tuple: t}]
+	return ok
+}

@@ -1,0 +1,471 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nebula/internal/acg"
+	"nebula/internal/annotation"
+	"nebula/internal/meta"
+	"nebula/internal/relational"
+)
+
+// Dataset is a fully assembled experimental environment: the database, the
+// pre-existing annotations (base publications) in the annotation store, the
+// ACG built from them, the populated NebulaMeta repository, the ground
+// truth (ideal edge set), and the workload of new annotations to insert.
+type Dataset struct {
+	// Config the dataset was generated from.
+	Config Config
+	// DB is the relational database (Gene, Protein, Publication).
+	DB *relational.Database
+	// Store holds the base publications as annotations with their true
+	// attachments.
+	Store *annotation.Store
+	// Meta is the populated NebulaMeta repository.
+	Meta *meta.Repository
+	// Graph is the ACG built from the base annotations only — the workload
+	// annotations are excluded, exactly as §8.1 step 4 prescribes.
+	Graph *acg.Graph
+	// Ideal is E_ideal: every (annotation, tuple) relationship, for base
+	// publications and workload annotations alike.
+	Ideal annotation.IdealEdges
+	// Workload is the L^m × L_{i-j} mixture of new annotations.
+	Workload []*AnnotationSpec
+	// Base describes the base publications (usable as training data).
+	Base []*AnnotationSpec
+
+	numCommunities int
+	communityGenes [][]int // community -> gene indexes
+	communityProts [][]int // community -> protein indexes
+}
+
+// AnnotationSpec describes one annotation together with its ground truth.
+type AnnotationSpec struct {
+	// Ann is the annotation (ID, body text).
+	Ann *annotation.Annotation
+	// SizeClass is the L^m byte budget (0 for base publications).
+	SizeClass int
+	// Refs is the L_{i-j} class (zero for base publications).
+	Refs RefClass
+	// Related lists every tuple the annotation is related to — its ideal
+	// attachments. Under distortion Δ, Related[:Δ] acts as the focal and
+	// Related[Δ:] are the hidden attachments to rediscover.
+	Related []relational.TupleID
+	// RefKeywords are the identifier keywords embedded in the body, one
+	// per Related tuple, used to judge generated queries (Figure 11c).
+	RefKeywords []string
+}
+
+// Focal returns the attachments kept after distortion Δ (at least one).
+func (s *AnnotationSpec) Focal(delta int) []relational.TupleID {
+	if delta < 1 {
+		delta = 1
+	}
+	if delta > len(s.Related) {
+		delta = len(s.Related)
+	}
+	return s.Related[:delta]
+}
+
+// Hidden returns the attachments dropped by distortion Δ — the discovery
+// targets.
+func (s *AnnotationSpec) Hidden(delta int) []relational.TupleID {
+	if delta < 1 {
+		delta = 1
+	}
+	if delta > len(s.Related) {
+		delta = len(s.Related)
+	}
+	return s.Related[delta:]
+}
+
+// GeneTuple returns the TupleID of the i-th gene.
+func GeneTuple(i int) relational.TupleID {
+	return relational.TupleID{Table: "Gene", Key: "s:" + strings.ToLower(geneID(i))}
+}
+
+// ProteinTuple returns the TupleID of the i-th protein.
+func ProteinTuple(i int) relational.TupleID {
+	return relational.TupleID{Table: "Protein", Key: "s:" + strings.ToLower(proteinID(i))}
+}
+
+// Generate builds the complete dataset deterministically from cfg.Seed.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Genes <= 0 || cfg.Proteins <= 0 || cfg.Publications < 0 {
+		return nil, fmt.Errorf("workload: non-positive table sizes in %+v", cfg)
+	}
+	if cfg.RefsPerPublicationMin < 1 || cfg.RefsPerPublicationMax < cfg.RefsPerPublicationMin {
+		return nil, fmt.Errorf("workload: bad refs-per-publication range")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{
+		Config: cfg,
+		DB:     relational.NewDatabase(),
+		Store:  annotation.NewStore(),
+		Graph:  acg.New(100, 0.2),
+		Ideal:  make(annotation.IdealEdges),
+	}
+	if err := d.createTables(); err != nil {
+		return nil, err
+	}
+	if err := d.populateRows(rng); err != nil {
+		return nil, err
+	}
+	if err := d.populateMeta(rng); err != nil {
+		return nil, err
+	}
+	if err := d.attachBasePublications(rng); err != nil {
+		return nil, err
+	}
+	if err := d.buildWorkload(rng); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Dataset) createTables() error {
+	// Only the primary keys and the FK column are indexed. The name columns
+	// deliberately are not: the keyword search technique the paper builds
+	// on generates ad-hoc predicates over whatever columns the metadata
+	// suggests, and a production database does not keep a secondary index
+	// on every such column — those predicates scan. This is what makes
+	// searching the entire database "a very expensive operation" (§6.3)
+	// relative to searching a focal neighborhood.
+	gene := &relational.Schema{
+		Name: "Gene",
+		Columns: []relational.Column{
+			{Name: "GID", Type: relational.TypeString, Indexed: true},
+			{Name: "Name", Type: relational.TypeString},
+			{Name: "Length", Type: relational.TypeInt},
+			{Name: "Seq", Type: relational.TypeString},
+			{Name: "Family", Type: relational.TypeString},
+		},
+		PrimaryKey: "GID",
+	}
+	protein := &relational.Schema{
+		Name: "Protein",
+		Columns: []relational.Column{
+			{Name: "PID", Type: relational.TypeString, Indexed: true},
+			{Name: "PName", Type: relational.TypeString},
+			{Name: "PType", Type: relational.TypeString},
+			{Name: "GeneID", Type: relational.TypeString, Indexed: true},
+		},
+		PrimaryKey:  "PID",
+		ForeignKeys: []relational.ForeignKey{{Column: "GeneID", RefTable: "Gene", RefColumn: "GID"}},
+	}
+	pub := &relational.Schema{
+		Name: "Publication",
+		Columns: []relational.Column{
+			{Name: "PubID", Type: relational.TypeString, Indexed: true},
+			{Name: "Title", Type: relational.TypeString, FullText: true},
+			{Name: "Abstract", Type: relational.TypeString, FullText: true},
+		},
+		PrimaryKey: "PubID",
+	}
+	for _, s := range []*relational.Schema{gene, protein, pub} {
+		if _, err := d.DB.CreateTable(s); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	return d.DB.ValidateForeignKeys()
+}
+
+// populateRows inserts genes, proteins, and (empty-abstract) publications;
+// publication text is filled by attachBasePublications, which decides the
+// references. Genes are partitioned into contiguous communities of ~30;
+// proteins join the community of their gene. Communities give the ACG the
+// locality that makes focal-based spreading meaningful (and that real
+// curated databases exhibit: publications cite related objects).
+func (d *Dataset) populateRows(rng *rand.Rand) error {
+	const communitySize = 30
+	d.numCommunities = (d.Config.Genes + communitySize - 1) / communitySize
+	d.communityGenes = make([][]int, d.numCommunities)
+	d.communityProts = make([][]int, d.numCommunities)
+
+	gt := d.DB.MustTable("Gene")
+	for i := 0; i < d.Config.Genes; i++ {
+		c := i / communitySize
+		family := fmt.Sprintf("F%d", c%d.Config.Families+1)
+		if _, err := gt.Insert([]relational.Value{
+			relational.String(geneID(i)),
+			relational.String(geneName(i)),
+			relational.Int(int64(300 + rng.Intn(2200))),
+			relational.String(dnaSeq(rng, 16)),
+			relational.String(family),
+		}); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+		d.communityGenes[c] = append(d.communityGenes[c], i)
+	}
+	pt := d.DB.MustTable("Protein")
+	for i := 0; i < d.Config.Proteins; i++ {
+		g := rng.Intn(d.Config.Genes)
+		c := g / communitySize
+		if _, err := pt.Insert([]relational.Value{
+			relational.String(proteinID(i)),
+			relational.String(proteinName(i)),
+			relational.String(proteinTypes[rng.Intn(len(proteinTypes))]),
+			relational.String(geneID(g)),
+		}); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+		d.communityProts[c] = append(d.communityProts[c], i)
+	}
+	return nil
+}
+
+// populateMeta fills NebulaMeta the way §8.1 describes: the Gene and
+// Protein concepts with their ID and Name referencing columns, regular
+// expression patterns over the identifier columns, the PType ontology, and
+// expert equivalent names for the abbreviations.
+func (d *Dataset) populateMeta(rng *rand.Rand) error {
+	repo := meta.NewRepository(d.DB, nil)
+	for _, c := range []*meta.Concept{
+		{Name: "Gene", Table: "Gene", ReferencedBy: [][]string{{"GID"}, {"Name"}}},
+		{Name: "Protein", Table: "Protein", ReferencedBy: [][]string{{"PID"}, {"PName", "PType"}}},
+	} {
+		if err := repo.AddConcept(c); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	repo.AddEquivalentNames("GID", "Gene ID")
+	repo.AddEquivalentNames("PID", "Protein ID")
+	patterns := map[meta.ColumnRef]string{
+		{Table: "Gene", Column: "GID"}:      `JW[0-9]{5}`,
+		{Table: "Gene", Column: "Name"}:     `[a-z]{3}[A-Z]`,
+		{Table: "Protein", Column: "PID"}:   `P[0-9]{5}`,
+		{Table: "Protein", Column: "PName"}: `[A-Z][a-z]{4}in`,
+	}
+	for col, p := range patterns {
+		if err := repo.SetPattern(col, p); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	repo.SetOntology(meta.ColumnRef{Table: "Protein", Column: "PType"}, proteinTypes)
+	if err := repo.DrawSample(meta.ColumnRef{Table: "Protein", Column: "PName"}, 100, rng); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	d.Meta = repo
+	return nil
+}
+
+// proteinType returns the PType of the i-th protein, or "" when absent.
+func (d *Dataset) proteinType(i int) string {
+	row, ok := d.DB.Lookup(ProteinTuple(i))
+	if !ok {
+		return ""
+	}
+	v, _ := row.Get("PType")
+	return v.Str()
+}
+
+// pickCommunityTuple samples one gene or protein from a community,
+// returning the tuple plus the rendering coordinates.
+func (d *Dataset) pickCommunityTuple(rng *rand.Rand, c int) (relational.TupleID, bool, int) {
+	genes, prots := d.communityGenes[c], d.communityProts[c]
+	if len(prots) > 0 && rng.Float64() < 0.3 {
+		p := prots[rng.Intn(len(prots))]
+		return ProteinTuple(p), true, p
+	}
+	g := genes[rng.Intn(len(genes))]
+	return GeneTuple(g), false, g
+}
+
+// attachBasePublications writes the base publication rows, registers each
+// as an annotation attached to its referenced tuples, records the ideal
+// edges, and feeds the ACG.
+func (d *Dataset) attachBasePublications(rng *rand.Rand) error {
+	pubT := d.DB.MustTable("Publication")
+	for i := 0; i < d.Config.Publications; i++ {
+		c := rng.Intn(d.numCommunities)
+		if len(d.communityGenes[c]) == 0 {
+			c = 0
+		}
+		nrefs := d.Config.RefsPerPublicationMin +
+			rng.Intn(d.Config.RefsPerPublicationMax-d.Config.RefsPerPublicationMin+1)
+		// Base publications are highly local (0.995): a curated repository's
+		// ACG keeps community structure. The rare cross-community citation
+		// is what bridges communities — too many of them and every K-hop
+		// neighborhood degenerates into the whole graph.
+		spec := d.composeAnnotation(rng, fmt.Sprintf("pub:%06d", i), c, nrefs, 400, 0.995)
+		pubID := fmt.Sprintf("PUB%06d", i)
+		title := "On " + fillerSentence(rng, 4)
+		if _, err := pubT.Insert([]relational.Value{
+			relational.String(pubID),
+			relational.String(title),
+			relational.String(spec.Ann.Body),
+		}); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+		if err := d.Store.Add(spec.Ann); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+		for _, t := range spec.Related {
+			if _, err := d.Store.Attach(annotation.Attachment{
+				Annotation: spec.Ann.ID, Tuple: t, Type: annotation.TrueAttachment,
+			}); err != nil {
+				return fmt.Errorf("workload: %w", err)
+			}
+			d.Ideal[annotation.EdgeKey{Annotation: spec.Ann.ID, Tuple: t}] = struct{}{}
+		}
+		d.Graph.AddAnnotation(spec.Ann.ID, spec.Related)
+		d.Base = append(d.Base, spec)
+	}
+	return nil
+}
+
+// composeAnnotation builds one annotation whose body embeds references to
+// nrefs distinct tuples, preferring the given community with probability
+// locality and padding with filler prose up to maxBytes.
+func (d *Dataset) composeAnnotation(rng *rand.Rand, id string, community, nrefs, maxBytes int, locality float64) *AnnotationSpec {
+	spec := &AnnotationSpec{Ann: &annotation.Annotation{ID: annotation.ID(id), Kind: "publication"}}
+	seen := make(map[relational.TupleID]struct{})
+	type ref struct {
+		isProtein bool
+		idx       int
+		keyword   string
+		byName    bool
+	}
+	var genes, prots []ref
+	for len(seen) < nrefs {
+		c := community
+		if rng.Float64() >= locality {
+			c = rng.Intn(d.numCommunities)
+		}
+		if len(d.communityGenes[c]) == 0 {
+			c = community
+		}
+		t, isProtein, idx := d.pickCommunityTuple(rng, c)
+		if _, dup := seen[t]; dup {
+			// Dense communities may run out of fresh tuples; fall back to a
+			// global pick to guarantee progress.
+			if isProtein && d.Config.Proteins > nrefs {
+				idx = rng.Intn(d.Config.Proteins)
+				t = ProteinTuple(idx)
+			} else {
+				idx = rng.Intn(d.Config.Genes)
+				t, isProtein = GeneTuple(idx), false
+			}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+		}
+		seen[t] = struct{}{}
+		byName := rng.Float64() < 0.35
+		r := ref{isProtein: isProtein, idx: idx, byName: byName}
+		if isProtein {
+			prots = append(prots, r)
+		} else {
+			genes = append(genes, r)
+		}
+		spec.Related = append(spec.Related, t)
+	}
+
+	// Render: gene references grouped after a single "gene" concept word
+	// (exercising the backward-search special case of §5.2.3), protein
+	// references after "protein". The first reference of each group uses a
+	// full template so the Type-1/2 context matching also fires. Rendering
+	// is budget-aware: a reference that does not fit in maxBytes is dropped
+	// from the text AND from the ground truth, so Related always matches
+	// what the body actually embeds.
+	var b strings.Builder
+	spec.Related = spec.Related[:0]
+	writeGroup := func(refs []ref, isProtein bool) {
+		concept := conceptWord(rng, isProtein)
+		for i, r := range refs {
+			var phrase, kw string
+			if i == 0 {
+				phrase, kw = refPhrase(rng, concept, isProtein, r.byName, r.idx)
+				// Some name-based protein references use the {PName, PType}
+				// combination of ConceptRefs: "the structural protein
+				// Abcdein". The type word maps to PType's ontology and the
+				// query generator folds it into a combination query.
+				if isProtein && r.byName && rng.Float64() < 0.5 {
+					ptype := d.proteinType(r.idx)
+					if ptype != "" {
+						kw = proteinName(r.idx)
+						phrase = "the " + ptype + " " + concept + " " + kw
+					}
+				}
+			} else {
+				// Subsequent references rely on the earlier concept word.
+				if isProtein {
+					if r.byName {
+						kw = proteinName(r.idx)
+					} else {
+						kw = proteinID(r.idx)
+					}
+				} else {
+					if r.byName {
+						kw = geneName(r.idx)
+					} else {
+						kw = geneID(r.idx)
+					}
+				}
+				phrase = "and " + kw
+			}
+			need := len(phrase)
+			if b.Len() > 0 {
+				need++
+			}
+			if b.Len()+need > maxBytes && b.Len() > 0 {
+				continue // over budget: drop this reference entirely
+			}
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(phrase)
+			spec.RefKeywords = append(spec.RefKeywords, kw)
+			if isProtein {
+				spec.Related = append(spec.Related, ProteinTuple(r.idx))
+			} else {
+				spec.Related = append(spec.Related, GeneTuple(r.idx))
+			}
+		}
+	}
+	writeGroup(genes, false)
+	writeGroup(prots, true)
+
+	// Pad with filler prose up to the byte budget, sprinkled with weak
+	// noise codes and ghost references (see text.go): the realistic noise
+	// that makes loose ε cutoffs generate false-positive queries.
+	for b.Len() < maxBytes-12 {
+		w := fillerWords[rng.Intn(len(fillerWords))]
+		switch roll := rng.Float64(); {
+		case roll < ghostRate:
+			w = ghostIdentifier(rng, d.Config.Genes, d.Config.Proteins)
+		case roll < ghostRate+noiseRate:
+			w = noiseCodes[rng.Intn(len(noiseCodes))]
+		case roll < ghostRate+noiseRate+mentionRate:
+			// A real object, mentioned but not attached (see mentionRate).
+			// Half the mentions are community-local: those share base
+			// annotations with the focal, so the §6.2 focal adjustment
+			// boosts them too and they genuinely overlap with true
+			// references in confidence — the band expert verification
+			// exists for.
+			if rng.Intn(2) == 0 && len(d.communityGenes[community]) > 0 {
+				genes := d.communityGenes[community]
+				w = geneID(genes[rng.Intn(len(genes))])
+			} else if rng.Intn(2) == 0 {
+				w = geneID(rng.Intn(d.Config.Genes))
+			} else {
+				w = proteinID(rng.Intn(d.Config.Proteins))
+			}
+		}
+		if b.Len()+len(w)+1 > maxBytes {
+			break
+		}
+		b.WriteByte(' ')
+		b.WriteString(w)
+	}
+	spec.Ann.Body = b.String()
+	// Shuffle Related (and keywords in lockstep) so the Δ-focal is not
+	// biased toward genes.
+	rng.Shuffle(len(spec.Related), func(i, j int) {
+		spec.Related[i], spec.Related[j] = spec.Related[j], spec.Related[i]
+		spec.RefKeywords[i], spec.RefKeywords[j] = spec.RefKeywords[j], spec.RefKeywords[i]
+	})
+	return spec
+}

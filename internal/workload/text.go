@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Vocabulary used to synthesize publication prose. The words are ordinary
+// biological English: none collide with the identifier grammars, so they
+// exercise the signature maps' noise rejection realistically.
+var fillerWords = []string{
+	"study", "shows", "observed", "expression", "regulation", "pathway",
+	"analysis", "measured", "significant", "binding", "upstream",
+	"downstream", "transcription", "mutant", "strain", "growth", "culture",
+	"response", "stress", "temperature", "results", "suggest", "evidence",
+	"interaction", "mechanism", "experiment", "levels", "increased",
+	"decreased", "compared", "control", "samples", "conditions", "observed",
+	"wildtype", "knockout", "assay", "cells", "membrane", "metabolic",
+	"correlated", "induced", "repressed", "activity", "domain", "complex",
+}
+
+// noiseCodes are identifier-shaped tokens that are NOT database references:
+// strain names, plasmids, lab codes. They fail every identifier pattern but
+// look like identifiers, so they pass a loose ε cutoff (0.4) and become the
+// false-positive queries of Figure 11(c).
+var noiseCodes = []string{
+	"K12", "T4", "pUC19", "DH5a", "BL21", "M9", "LB2", "pH7", "5ml", "x100",
+}
+
+// synonymRate is the fraction of references introduced by a lexicon synonym
+// of the concept word ("locus" for gene, "polypeptide" for protein) instead
+// of the canonical name. Synonym concept matches score 0.6 (WeightSynonym),
+// so these references survive ε ≤ 0.6 but are missed at ε = 0.8 — the
+// paper's "the tightest threshold 0.8 misses few embedded references".
+const synonymRate = 0.15
+
+// ghostRate is the per-padding-word probability of inserting a ghost
+// reference: a pattern-conforming identifier that does not exist in this
+// database (an object from another repository or species). Ghosts generate
+// well-formed queries that are not embedded references — the
+// false-positive mass that persists even at ε = 0.8.
+const ghostRate = 0.04
+
+// noiseRate is the per-padding-word probability of inserting a weak noise
+// code instead of prose.
+const noiseRate = 0.08
+
+// mentionRate is the per-padding-word probability of inserting a mention of
+// a real database object that is NOT among the annotation's attachments —
+// e.g. a citation of an unrelated gene as contrast. In UniProt such
+// mentioned-but-unlinked identifiers are exactly what makes an attachment
+// prediction *plausible but wrong*: the discovery pipeline finds the tuple,
+// but the ideal edge set does not contain the link. These populate the
+// middle of the confidence spectrum and give BoundsSetting something real
+// to balance.
+const mentionRate = 0.05
+
+// geneName derives the unique 3-lowercase+1-uppercase gene name of the i-th
+// gene ("yaaA", "yaaB", ..., "yabA", ...), matching the paper's
+// [a-z]{3}[A-Z] grammar.
+func geneName(i int) string {
+	upper := byte('A' + i%26)
+	i /= 26
+	c3 := byte('a' + i%26)
+	i /= 26
+	c2 := byte('a' + i%26)
+	i /= 26
+	c1 := byte('a' + i%26)
+	return string([]byte{c1, c2, c3, upper})
+}
+
+// geneID renders the i-th gene identifier, following the paper's JW-prefix
+// grammar widened to five digits for larger datasets: JW[0-9]{5}.
+func geneID(i int) string { return fmt.Sprintf("JW%05d", i) }
+
+// proteinID renders the i-th protein accession, P[0-9]{5} as in UniProt.
+func proteinID(i int) string { return fmt.Sprintf("P%05d", i) }
+
+// proteinName derives a unique protein-like name ("Abcdin") matching the
+// grammar [A-Z][a-z]{4}in.
+func proteinName(i int) string {
+	b := make([]byte, 5)
+	for k := 4; k >= 0; k-- {
+		b[k] = byte('a' + i%26)
+		i /= 26
+	}
+	b[0] = b[0] - 'a' + 'A'
+	return string(b) + "in"
+}
+
+// proteinTypes is the controlled vocabulary (ontology) of the PType column.
+var proteinTypes = []string{
+	"structural", "enzyme", "transport", "receptor", "signaling", "motor",
+}
+
+// dnaSeq renders a short random nucleotide sequence.
+func dnaSeq(rng *rand.Rand, n int) string {
+	const bases = "ACGT"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[rng.Intn(4)]
+	}
+	return string(b)
+}
+
+// fillerSentence produces n words of prose.
+func fillerSentence(rng *rand.Rand, n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = fillerWords[rng.Intn(len(fillerWords))]
+	}
+	return strings.Join(words, " ")
+}
+
+// conceptWord picks the word introducing a reference group: the canonical
+// concept name, or (with synonymRate probability) a lexicon synonym.
+func conceptWord(rng *rand.Rand, isProtein bool) string {
+	if rng.Float64() < synonymRate {
+		if isProtein {
+			return "polypeptide"
+		}
+		return "locus"
+	}
+	if isProtein {
+		return "protein"
+	}
+	return "gene"
+}
+
+// refPhrase renders one embedded reference and returns the phrase plus the
+// identifying keyword it embeds. isProtein selects the table; byName picks
+// the Name column instead of the ID column; concept is the introducing
+// concept word (from conceptWord).
+func refPhrase(rng *rand.Rand, concept string, isProtein, byName bool, idx int) (phrase, keyword string) {
+	if isProtein {
+		if byName {
+			keyword = proteinName(idx)
+		} else {
+			keyword = proteinID(idx)
+		}
+	} else {
+		if byName {
+			keyword = geneName(idx)
+		} else {
+			keyword = geneID(idx)
+		}
+	}
+	switch form := rng.Intn(3); {
+	case form == 0:
+		return "the " + concept + " " + keyword, keyword
+	case form == 1 && !byName:
+		// Type-1 triple: concept word + column word + value.
+		return concept + " id " + keyword, keyword
+	default:
+		return concept + " " + keyword, keyword
+	}
+}
+
+// ghostIdentifier renders a pattern-conforming identifier guaranteed not to
+// exist in a database with the given table sizes.
+func ghostIdentifier(rng *rand.Rand, genes, proteins int) string {
+	if rng.Intn(2) == 0 {
+		return geneID(genes + rng.Intn(90000-genes))
+	}
+	return proteinID(proteins + rng.Intn(90000-proteins))
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nebula/internal/annotation"
+)
+
+// buildWorkload creates the L^m × L_{i-j} mixture of §8.1 / Figure 18: for
+// each size class m ∈ {50,100,500,1000} bytes, AnnotationsPerCell
+// annotations from each reference class. The combination L^50 × L_{7-10}
+// cannot physically fit, so — exactly as the paper's footnote does — the
+// missing annotations are substituted by extras in the L_{1-3} and L_{4-6}
+// subsets.
+//
+// Workload annotations receive ideal edges but are NOT added to the store
+// or the ACG: they act as the "new annotations" the experiments insert.
+func (d *Dataset) buildWorkload(rng *rand.Rand) error {
+	seq := 0
+	for _, size := range AnnotationSizes {
+		for classIdx, rc := range RefClasses {
+			targetClass := rc
+			substitute := false
+			if size == 50 && rc.Min >= 7 {
+				substitute = true
+			}
+			for k := 0; k < AnnotationsPerCell; k++ {
+				actual := targetClass
+				if substitute {
+					// Alternate the substitutes between the two feasible
+					// subsets, as the paper adds them to L_{1-3} and L_{4-6}.
+					actual = RefClasses[k%2]
+				}
+				nrefs := actual.Min + rng.Intn(actual.Max-actual.Min+1)
+				nrefs = capRefsForSize(nrefs, size, actual)
+				community := rng.Intn(d.numCommunities)
+				if len(d.communityGenes[community]) == 0 {
+					community = 0
+				}
+				id := fmt.Sprintf("wl:%d:%s:%d", size, actual, seq)
+				seq++
+				spec := d.composeAnnotation(rng, id, community, nrefs, size, 0.9)
+				spec.SizeClass = size
+				spec.Refs = actual
+				if substitute {
+					spec.Refs = actual // recorded under its actual class
+				}
+				if len(spec.Ann.Body) > size {
+					return fmt.Errorf("workload: %s body %d bytes exceeds budget %d",
+						id, len(spec.Ann.Body), size)
+				}
+				for _, t := range spec.Related {
+					d.Ideal[annotation.EdgeKey{Annotation: spec.Ann.ID, Tuple: t}] = struct{}{}
+				}
+				d.Workload = append(d.Workload, spec)
+				_ = classIdx
+			}
+		}
+	}
+	return nil
+}
+
+// capRefsForSize bounds the reference count so the compact rendering fits
+// the byte budget: each reference costs ≈ 11 bytes ("and JW01234") plus the
+// two concept words.
+func capRefsForSize(nrefs, size int, rc RefClass) int {
+	maxFit := (size - 16) / 11
+	if maxFit < 1 {
+		maxFit = 1
+	}
+	if nrefs > maxFit {
+		nrefs = maxFit
+	}
+	if nrefs < rc.Min && maxFit >= rc.Min {
+		nrefs = rc.Min
+	}
+	return nrefs
+}
+
+// WorkloadSet returns the workload annotations of one L^m size class,
+// optionally restricted to one reference class (pass a zero RefClass for
+// all).
+func (d *Dataset) WorkloadSet(size int, rc RefClass) []*AnnotationSpec {
+	var out []*AnnotationSpec
+	for _, s := range d.Workload {
+		if s.SizeClass != size {
+			continue
+		}
+		if rc.Max != 0 && s.Refs != rc {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TrainingSet returns n base publications usable as D_Training: each is an
+// annotation whose complete attachment set is known.
+func (d *Dataset) TrainingSet(n int) []*AnnotationSpec {
+	if n > len(d.Base) {
+		n = len(d.Base)
+	}
+	return d.Base[:n]
+}

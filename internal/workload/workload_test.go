@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+)
+
+func tiny(t testing.TB) *Dataset {
+	t.Helper()
+	d, err := Generate(TinyConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateTableSizes(t *testing.T) {
+	d := tiny(t)
+	cfg := d.Config
+	if got := d.DB.MustTable("Gene").Len(); got != cfg.Genes {
+		t.Errorf("genes = %d, want %d", got, cfg.Genes)
+	}
+	if got := d.DB.MustTable("Protein").Len(); got != cfg.Proteins {
+		t.Errorf("proteins = %d, want %d", got, cfg.Proteins)
+	}
+	if got := d.DB.MustTable("Publication").Len(); got != cfg.Publications {
+		t.Errorf("publications = %d, want %d", got, cfg.Publications)
+	}
+	if err := d.DB.ValidateForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(TinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Workload) != len(b.Workload) {
+		t.Fatalf("workload sizes differ: %d vs %d", len(a.Workload), len(b.Workload))
+	}
+	for i := range a.Workload {
+		if a.Workload[i].Ann.Body != b.Workload[i].Ann.Body {
+			t.Fatalf("workload %d bodies differ", i)
+		}
+	}
+	if a.Graph.Edges() != b.Graph.Edges() {
+		t.Error("ACG differs between equal seeds")
+	}
+	c, err := Generate(TinyConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Workload) > 0 && len(c.Workload) > 0 &&
+		a.Workload[0].Ann.Body == c.Workload[0].Ann.Body {
+		t.Error("different seeds produced identical bodies")
+	}
+}
+
+func TestIdentifierGrammars(t *testing.T) {
+	gid := regexp.MustCompile(`^JW[0-9]{5}$`)
+	gname := regexp.MustCompile(`^[a-z]{3}[A-Z]$`)
+	pid := regexp.MustCompile(`^P[0-9]{5}$`)
+	pname := regexp.MustCompile(`^[A-Z][a-z]{4}in$`)
+	for _, i := range []int{0, 1, 25, 26, 999, 17575} {
+		if !gid.MatchString(geneID(i)) {
+			t.Errorf("geneID(%d) = %q", i, geneID(i))
+		}
+		if !gname.MatchString(geneName(i)) {
+			t.Errorf("geneName(%d) = %q", i, geneName(i))
+		}
+		if !pid.MatchString(proteinID(i)) {
+			t.Errorf("proteinID(%d) = %q", i, proteinID(i))
+		}
+		if !pname.MatchString(proteinName(i)) {
+			t.Errorf("proteinName(%d) = %q", i, proteinName(i))
+		}
+	}
+	// Uniqueness over a prefix range.
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		n := geneName(i)
+		if seen[n] {
+			t.Fatalf("duplicate gene name %q at %d", n, i)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBaseAnnotationsWiredEverywhere(t *testing.T) {
+	d := tiny(t)
+	if d.Store.Len() != d.Config.Publications {
+		t.Errorf("store annotations = %d", d.Store.Len())
+	}
+	if d.Graph.Nodes() == 0 || d.Graph.Edges() == 0 {
+		t.Error("ACG empty")
+	}
+	// Every base attachment is a true attachment and an ideal edge.
+	for _, spec := range d.Base[:10] {
+		for _, tuple := range spec.Related {
+			att, ok := d.Store.Edge(spec.Ann.ID, tuple)
+			if !ok || att.Type != annotation.TrueAttachment {
+				t.Fatalf("base attachment missing: %s -> %s", spec.Ann.ID, tuple)
+			}
+			if _, ok := d.Ideal[annotation.EdgeKey{Annotation: spec.Ann.ID, Tuple: tuple}]; !ok {
+				t.Fatalf("ideal edge missing: %s -> %s", spec.Ann.ID, tuple)
+			}
+			if _, ok := d.DB.Lookup(tuple); !ok {
+				t.Fatalf("related tuple %s not in DB", tuple)
+			}
+		}
+	}
+	// Store quality against ideal: base edges all true, workload edges all
+	// missing → F_P = 0, F_N = workload share.
+	m := d.Store.QualityTrueOnly(d.Ideal)
+	if m.FalsePositiveRatio != 0 {
+		t.Errorf("F_P = %f", m.FalsePositiveRatio)
+	}
+	if m.FalseNegativeRatio <= 0 {
+		t.Error("expected missing workload edges")
+	}
+}
+
+func TestWorkloadComposition(t *testing.T) {
+	d := tiny(t)
+	// 4 size classes × 3 ref classes × 5 = 60 annotations.
+	if len(d.Workload) != 60 {
+		t.Fatalf("workload = %d annotations", len(d.Workload))
+	}
+	for _, spec := range d.Workload {
+		if len(spec.Ann.Body) > spec.SizeClass {
+			t.Errorf("%s: body %d > budget %d", spec.Ann.ID, len(spec.Ann.Body), spec.SizeClass)
+		}
+		if len(spec.Related) == 0 || len(spec.Related) != len(spec.RefKeywords) {
+			t.Errorf("%s: related/keywords mismatch: %d vs %d",
+				spec.Ann.ID, len(spec.Related), len(spec.RefKeywords))
+		}
+		// Reference counts respect the class bounds; small size budgets may
+		// cap the count below the class minimum (the paper's L^50 footnote),
+		// but never above the maximum.
+		if len(spec.Related) > spec.Refs.Max {
+			t.Errorf("%s: %d refs above %s", spec.Ann.ID, len(spec.Related), spec.Refs)
+		}
+		if spec.SizeClass >= 500 {
+			if len(spec.Related) < spec.Refs.Min {
+				t.Errorf("%s: %d refs below %s", spec.Ann.ID, len(spec.Related), spec.Refs)
+			}
+		}
+		// Workload annotations are NOT in the store or the ACG.
+		if _, ok := d.Store.Get(spec.Ann.ID); ok {
+			t.Errorf("%s leaked into the store", spec.Ann.ID)
+		}
+		// But their edges are in the ideal set.
+		for _, tuple := range spec.Related {
+			if _, ok := d.Ideal[annotation.EdgeKey{Annotation: spec.Ann.ID, Tuple: tuple}]; !ok {
+				t.Errorf("%s: ideal edge missing for %s", spec.Ann.ID, tuple)
+			}
+		}
+	}
+}
+
+func TestWorkloadBodiesEmbedKeywords(t *testing.T) {
+	d := tiny(t)
+	for _, spec := range d.Workload {
+		for _, kw := range spec.RefKeywords {
+			if !strings.Contains(spec.Ann.Body, kw) {
+				t.Errorf("%s: keyword %q not in body %q", spec.Ann.ID, kw, spec.Ann.Body)
+			}
+		}
+		// Concept words (or their synonyms) present so the references are
+		// discoverable.
+		body := strings.ToLower(spec.Ann.Body)
+		hasConcept := false
+		for _, w := range []string{"gene", "locus", "protein", "polypeptide"} {
+			if strings.Contains(body, w) {
+				hasConcept = true
+			}
+		}
+		if !hasConcept {
+			t.Errorf("%s: no concept word in body %q", spec.Ann.ID, spec.Ann.Body)
+		}
+	}
+}
+
+func TestWorkloadSetFiltering(t *testing.T) {
+	d := tiny(t)
+	l100 := d.WorkloadSet(100, RefClass{})
+	if len(l100) != 15 {
+		t.Errorf("L^100 = %d annotations", len(l100))
+	}
+	l100mid := d.WorkloadSet(100, RefClass{4, 6})
+	if len(l100mid) != 5 {
+		t.Errorf("L^100.L_4-6 = %d annotations", len(l100mid))
+	}
+	for _, s := range l100mid {
+		if s.Refs != (RefClass{4, 6}) {
+			t.Errorf("wrong class: %v", s.Refs)
+		}
+	}
+}
+
+func TestFocalAndHidden(t *testing.T) {
+	d := tiny(t)
+	spec := d.WorkloadSet(500, RefClass{4, 6})[0]
+	r := len(spec.Related)
+	f := spec.Focal(2)
+	h := spec.Hidden(2)
+	if len(f) != 2 || len(h) != r-2 {
+		t.Errorf("focal/hidden split: %d/%d of %d", len(f), len(h), r)
+	}
+	// Degenerate deltas clamp.
+	if len(spec.Focal(0)) != 1 {
+		t.Error("Focal(0) should clamp to 1")
+	}
+	if len(spec.Focal(100)) != r {
+		t.Error("Focal(100) should clamp to len(Related)")
+	}
+	if len(spec.Hidden(100)) != 0 {
+		t.Error("Hidden(100) should be empty")
+	}
+}
+
+func TestTrainingSet(t *testing.T) {
+	d := tiny(t)
+	tr := d.TrainingSet(10)
+	if len(tr) != 10 {
+		t.Fatalf("training = %d", len(tr))
+	}
+	if len(d.TrainingSet(10*1000*1000)) != len(d.Base) {
+		t.Error("oversized training request should clamp")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+	bad := TinyConfig(1)
+	bad.RefsPerPublicationMin = 5
+	bad.RefsPerPublicationMax = 2
+	if _, err := Generate(bad); err == nil {
+		t.Error("inverted refs range should fail")
+	}
+}
+
+func TestRefClassString(t *testing.T) {
+	if (RefClass{1, 3}).String() != "L1-3" || (RefClass{7, 10}).String() != "L7-10" {
+		t.Error("RefClass.String wrong")
+	}
+}
+
+// TestFocalHiddenPartitionProperty: for every spec and every Δ, Focal(Δ)
+// and Hidden(Δ) partition Related.
+func TestFocalHiddenPartitionProperty(t *testing.T) {
+	d := tiny(t)
+	for _, spec := range d.Workload {
+		for delta := 0; delta <= len(spec.Related)+1; delta++ {
+			f, h := spec.Focal(delta), spec.Hidden(delta)
+			if len(f)+len(h) != len(spec.Related) {
+				t.Fatalf("%s Δ=%d: %d+%d != %d", spec.Ann.ID, delta, len(f), len(h), len(spec.Related))
+			}
+			seen := map[relational.TupleID]bool{}
+			for _, x := range f {
+				seen[x] = true
+			}
+			for _, x := range h {
+				if seen[x] {
+					t.Fatalf("%s Δ=%d: focal/hidden overlap on %v", spec.Ann.ID, delta, x)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkloadIdealConsistency: every Related tuple resolves in the DB and
+// is recorded in the ideal edge set; RefKeywords stay aligned.
+func TestWorkloadIdealConsistency(t *testing.T) {
+	d := tiny(t)
+	for _, spec := range append(append([]*AnnotationSpec{}, d.Workload...), d.Base...) {
+		if len(spec.Related) != len(spec.RefKeywords) {
+			t.Fatalf("%s: related/keyword length mismatch", spec.Ann.ID)
+		}
+		for i, tuple := range spec.Related {
+			row, ok := d.DB.Lookup(tuple)
+			if !ok {
+				t.Fatalf("%s: tuple %v missing from DB", spec.Ann.ID, tuple)
+			}
+			// The keyword identifies the tuple: it equals one of the row's
+			// cell values.
+			kw := spec.RefKeywords[i]
+			match := false
+			for _, v := range row.Values {
+				if v.Str() == kw {
+					match = true
+				}
+			}
+			if !match {
+				t.Fatalf("%s: keyword %q does not identify %v", spec.Ann.ID, kw, tuple)
+			}
+			if _, ok := d.Ideal[annotation.EdgeKey{Annotation: spec.Ann.ID, Tuple: tuple}]; !ok {
+				t.Fatalf("%s: ideal edge missing for %v", spec.Ann.ID, tuple)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package nebula_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nebula/internal/acg"
+	"nebula/internal/bench"
+	"nebula/internal/keyword"
+	"nebula/internal/relational"
+	"nebula/internal/sigmap"
+	"nebula/internal/workload"
+)
+
+// Micro-benchmarks for the individual substrates, complementing the
+// figure-level benchmarks in bench_test.go. Run with -benchmem to see the
+// allocation profiles.
+
+func microDataset(b *testing.B) *workload.Dataset {
+	b.Helper()
+	env, err := bench.LoadEnv("small", 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env.Dataset
+}
+
+// BenchmarkRelationalIndexedSelect measures a hash-indexed point query.
+func BenchmarkRelationalIndexedSelect(b *testing.B) {
+	ds := microDataset(b)
+	q := relational.Query{Table: "Gene", Predicates: []relational.Predicate{
+		{Column: "GID", Op: relational.OpEq, Operand: relational.String("JW00042")},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.DB.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelationalScanSelect measures a non-indexed column scan.
+func BenchmarkRelationalScanSelect(b *testing.B) {
+	ds := microDataset(b)
+	q := relational.Query{Table: "Gene", Predicates: []relational.Predicate{
+		{Column: "Name", Op: relational.OpEq, Operand: relational.String("aabX")},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.DB.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelationalSharedScan measures the batched-scan path of
+// SelectMulti with 8 same-column scan queries.
+func BenchmarkRelationalSharedScan(b *testing.B) {
+	ds := microDataset(b)
+	queries := make([]relational.Query, 8)
+	for i := range queries {
+		queries[i] = relational.Query{Table: "Gene", Predicates: []relational.Predicate{
+			{Column: "Name", Op: relational.OpEq,
+				Operand: relational.String(fmt.Sprintf("aa%cX", 'a'+i))},
+		}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.DB.SelectMulti(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSigmapGenerate measures Stage-1 query generation on an L^500
+// annotation.
+func BenchmarkSigmapGenerate(b *testing.B) {
+	ds := microDataset(b)
+	spec := ds.WorkloadSet(500, workload.RefClass{})[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := sigmap.NewGenerator(ds.Meta, 0.6)
+		gen.Generate(spec.Ann.Body)
+	}
+}
+
+// BenchmarkKeywordExecute measures one hinted Type-2 query through the
+// metadata engine.
+func BenchmarkKeywordExecute(b *testing.B) {
+	ds := microDataset(b)
+	engine := keyword.NewEngine(ds.DB, ds.Meta)
+	q := keyword.Query{ID: "q", Weight: 1, Keywords: []keyword.Keyword{
+		{Text: "gene", Role: keyword.RoleTable, TargetTable: "Gene", Weight: 1},
+		{Text: "JW00042", Role: keyword.RoleValue, TargetTable: "Gene", TargetColumn: "GID", Weight: 0.9},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := engine.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymbolTableBuild measures the pre-processing pass of the
+// index-first technique over D_small.
+func BenchmarkSymbolTableBuild(b *testing.B) {
+	ds := microDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keyword.NewSymbolTableEngine(ds.DB)
+	}
+}
+
+// BenchmarkACGNeighborhood measures the K=3 BFS + sort used by the
+// spreading search.
+func BenchmarkACGNeighborhood(b *testing.B) {
+	ds := microDataset(b)
+	spec := ds.WorkloadSet(100, workload.RefClass{})[0]
+	focal := spec.Focal(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.Graph.Neighborhood(focal, 3)
+	}
+}
+
+// BenchmarkSubsetMaterialize measures miniDB materialization for a K=3
+// neighborhood.
+func BenchmarkSubsetMaterialize(b *testing.B) {
+	ds := microDataset(b)
+	spec := ds.WorkloadSet(100, workload.RefClass{})[0]
+	ids := ds.Graph.Neighborhood(spec.Focal(1), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.DB.Subset(ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkACGPathWeights measures the multi-hop focal adjustment's
+// strongest-shortest-path computation.
+func BenchmarkACGPathWeights(b *testing.B) {
+	ds := microDataset(b)
+	spec := ds.WorkloadSet(100, workload.RefClass{})[0]
+	source := spec.Focal(1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.Graph.PathWeights(source, 3)
+	}
+}
+
+// BenchmarkProfileRecord measures hop-profile updates.
+func BenchmarkProfileRecord(b *testing.B) {
+	p := acg.NewProfile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Record(i%6, i%17 != 0)
+	}
+}

@@ -1,0 +1,115 @@
+package nebula
+
+import (
+	"fmt"
+
+	"nebula/internal/verification"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Epsilon is the signature-map cutoff threshold ε (§5.2.1). The paper
+	// finds values between 0.5 and 0.8 work well; the default is 0.6.
+	Epsilon float64
+	// Alpha is the context influence range α in words (§5.2.2).
+	Alpha int
+	// SharedExecution enables the §6 multi-query shared executor.
+	SharedExecution bool
+	// FocalAdjustment enables the §6.2 ACG-based confidence adjustment.
+	FocalAdjustment bool
+	// AdjustmentHops extends the focal adjustment to shortest paths of up
+	// to this many hops (the §6.2 extension, multiplying in-between edge
+	// weights). 0 or 1 keeps the paper's default of direct edges only,
+	// which it prefers as "semantically stronger" and less prone to
+	// overfitting.
+	AdjustmentHops int
+	// Spreading enables the §6.3 approximate focal-based spreading search.
+	Spreading bool
+	// SpreadingK is the spreading radius; 0 selects it automatically from
+	// the hop profile targeting SpreadingCoverage. Automatic selection is
+	// only sound once the profile has been seeded by full-database
+	// discoveries (the paper builds its Figure 7 profile from
+	// entire-database searches): under spreading-only operation the profile
+	// never observes candidates beyond the current radius and can only
+	// shrink K.
+	SpreadingK int
+	// SpreadingCoverage is the desired candidate coverage when K is
+	// selected automatically (Figure 7's guidance).
+	SpreadingCoverage float64
+	// RequireStableACG restricts spreading to a stable ACG (Def 6.1),
+	// falling back to full search otherwise.
+	RequireStableACG bool
+	// Bounds are the initial verification thresholds β_lower/β_upper.
+	Bounds Bounds
+	// ACGBatchSize is the stability batch size B (Def 6.1).
+	ACGBatchSize int
+	// ACGMu is the stability threshold μ (Def 6.1).
+	ACGMu float64
+	// IncludeRelated expands keyword matches with FK–PK neighbors.
+	IncludeRelated bool
+	// SearchTechnique selects the underlying keyword-search technique:
+	// "metadata" (default; the [7]-style approach driven by NebulaMeta) or
+	// "symboltable" (a DBXplorer-style pre-built token index). The
+	// technique is a black box to the rest of the pipeline, per §4.
+	SearchTechnique string
+	// SpamFraction, when positive, makes Discover/Process fail with a
+	// spam-annotation error if an annotation's candidates exceed this
+	// fraction of the database (see footnote 1 of the paper).
+	SpamFraction float64
+}
+
+// Search technique names for Options.SearchTechnique.
+const (
+	// TechniqueMetadata is the default metadata approach.
+	TechniqueMetadata = "metadata"
+	// TechniqueSymbolTable is the pre-built-index approach.
+	TechniqueSymbolTable = "symboltable"
+)
+
+// DefaultOptions returns the configuration used throughout the paper's
+// headline experiments: ε = 0.6, α = 3, sharing and focal adjustment on,
+// spreading off (full-database search), and the β bounds the BoundsSetting
+// run of §8.2 converged to (0.32, 0.86).
+func DefaultOptions() Options {
+	return Options{
+		Epsilon:           0.6,
+		Alpha:             3,
+		SharedExecution:   true,
+		FocalAdjustment:   true,
+		Spreading:         false,
+		SpreadingK:        3,
+		SpreadingCoverage: 0.9,
+		RequireStableACG:  false,
+		Bounds:            Bounds{Lower: 0.32, Upper: 0.86},
+		ACGBatchSize:      100,
+		ACGMu:             0.2,
+	}
+}
+
+// Validate checks option consistency.
+func (o Options) Validate() error {
+	if o.Epsilon < 0 || o.Epsilon > 1 {
+		return fmt.Errorf("nebula: epsilon %f outside [0,1]", o.Epsilon)
+	}
+	if o.Alpha < 1 {
+		return fmt.Errorf("nebula: alpha %d < 1", o.Alpha)
+	}
+	if err := verification.Bounds(o.Bounds).Validate(); err != nil {
+		return fmt.Errorf("nebula: %w", err)
+	}
+	if o.Spreading && o.SpreadingK < 0 {
+		return fmt.Errorf("nebula: negative spreading radius")
+	}
+	if o.SpreadingCoverage < 0 || o.SpreadingCoverage > 1 {
+		return fmt.Errorf("nebula: spreading coverage %f outside [0,1]", o.SpreadingCoverage)
+	}
+	switch o.SearchTechnique {
+	case "", TechniqueMetadata, TechniqueSymbolTable:
+	default:
+		return fmt.Errorf("nebula: unknown search technique %q", o.SearchTechnique)
+	}
+	if o.SpamFraction < 0 || o.SpamFraction > 1 {
+		return fmt.Errorf("nebula: spam fraction %f outside [0,1]", o.SpamFraction)
+	}
+	return nil
+}

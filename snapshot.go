@@ -1,0 +1,54 @@
+package nebula
+
+import (
+	"fmt"
+	"io"
+
+	"nebula/internal/snapshot"
+)
+
+// SaveSnapshot persists the engine's runtime state — data, annotations,
+// attachments, ACG, hop profile — as a versioned gob stream. The NebulaMeta
+// repository is configuration, not state, and is NOT captured: re-register
+// concepts/patterns/ontologies when restoring (see RestoreEngine).
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap, err := snapshot.Capture(snapshot.State{
+		DB:      e.db,
+		Store:   e.store,
+		Graph:   e.graph,
+		Profile: e.profile,
+	})
+	if err != nil {
+		return err
+	}
+	return snapshot.Save(w, snap)
+}
+
+// RestoreEngine rebuilds an engine from a snapshot stream. configureMeta
+// receives the restored database and must return the NebulaMeta repository
+// for it (typically the same registration code the application ran when it
+// first created the engine).
+func RestoreEngine(r io.Reader, configureMeta func(*Database) (*MetaRepository, error), opts Options) (*Engine, error) {
+	snap, err := snapshot.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	st, err := snap.Restore()
+	if err != nil {
+		return nil, err
+	}
+	repo, err := configureMeta(st.DB)
+	if err != nil {
+		return nil, fmt.Errorf("nebula: configure meta: %w", err)
+	}
+	e, err := NewWithState(st.DB, repo, st.Store, st.Graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	// NewWithState created a fresh profile; adopt the restored counters.
+	buckets, unreachable := st.Profile.Counts()
+	e.profile.RestoreCounts(buckets, unreachable)
+	return e, nil
+}

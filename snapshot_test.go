@@ -1,0 +1,103 @@
+package nebula_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nebula"
+	"nebula/internal/meta"
+	"nebula/internal/workload"
+)
+
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	e, ds := engineFixture(t, nebula.DefaultOptions())
+	// Do some work so there is nontrivial state: process one annotation.
+	spec := ds.WorkloadSet(500, workload.RefClass{Min: 4, Max: 6})[0]
+	if err := e.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Process(spec.Ann.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	configure := func(db *nebula.Database) (*nebula.MetaRepository, error) {
+		repo := nebula.NewMetaRepository(db, nil)
+		for _, c := range []*nebula.Concept{
+			{Name: "Gene", Table: "Gene", ReferencedBy: [][]string{{"GID"}, {"Name"}}},
+			{Name: "Protein", Table: "Protein", ReferencedBy: [][]string{{"PID"}, {"PName", "PType"}}},
+		} {
+			if err := repo.AddConcept(c); err != nil {
+				return nil, err
+			}
+		}
+		if err := repo.SetPattern(nebula.ColumnRef{Table: "Gene", Column: "GID"}, `JW[0-9]{5}`); err != nil {
+			return nil, err
+		}
+		if err := repo.SetPattern(nebula.ColumnRef{Table: "Gene", Column: "Name"}, `[a-z]{3}[A-Z]`); err != nil {
+			return nil, err
+		}
+		if err := repo.SetPattern(nebula.ColumnRef{Table: "Protein", Column: "PID"}, `P[0-9]{5}`); err != nil {
+			return nil, err
+		}
+		return repo, nil
+	}
+	restored, err := nebula.RestoreEngine(bytes.NewReader(buf.Bytes()), configure, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// State carried over.
+	if restored.DB().TotalRows() != e.DB().TotalRows() {
+		t.Errorf("rows %d != %d", restored.DB().TotalRows(), e.DB().TotalRows())
+	}
+	if restored.Store().Len() != e.Store().Len() ||
+		restored.Store().EdgeCount() != e.Store().EdgeCount() {
+		t.Error("annotation state mismatch")
+	}
+	if restored.Graph().Nodes() != e.Graph().Nodes() || restored.Graph().Edges() != e.Graph().Edges() {
+		t.Error("ACG mismatch")
+	}
+	if restored.Profile().Total() != e.Profile().Total() {
+		t.Errorf("profile %d != %d", restored.Profile().Total(), e.Profile().Total())
+	}
+
+	// The restored engine is fully operational: rediscovering the same
+	// annotation works and finds the same candidates.
+	origDisc, err := e.Discover(spec.Ann.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restDisc, err := restored.Discover(spec.Ann.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restDisc.Candidates) != len(origDisc.Candidates) {
+		t.Errorf("rediscovery: %d vs %d candidates", len(restDisc.Candidates), len(origDisc.Candidates))
+	}
+}
+
+func TestRestoreEngineErrors(t *testing.T) {
+	// Garbage stream.
+	if _, err := nebula.RestoreEngine(strings.NewReader("junk"), nil, nebula.DefaultOptions()); err == nil {
+		t.Error("garbage stream accepted")
+	}
+	// configureMeta failure propagates.
+	e, _ := engineFixture(t, nebula.DefaultOptions())
+	var buf bytes.Buffer
+	if err := e.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := func(db *nebula.Database) (*nebula.MetaRepository, error) {
+		repo := meta.NewRepository(db, nil)
+		return repo, repo.AddConcept(&nebula.Concept{Name: "X", Table: "Missing", ReferencedBy: [][]string{{"A"}}})
+	}
+	if _, err := nebula.RestoreEngine(bytes.NewReader(buf.Bytes()), bad, nebula.DefaultOptions()); err == nil {
+		t.Error("configureMeta error not propagated")
+	}
+}
