@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fmt vet clean
+.PHONY: all build test race cover bench experiments examples fmt vet check clean
 
 all: build test
+
+# Full pre-merge gate: static checks, build, race-enabled tests, and the
+# fault-injection / governance smoke suite.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run 'Fault|Inject|Governor|Deadline|Cancel|Budget|Degraded|Retry|Panic|Truncat|BitFlip|SaveFile' ./internal/faultinject/ ./internal/snapshot/ .
 
 build:
 	$(GO) build ./...

@@ -9,10 +9,12 @@
 //	nebulactl experiment --figure 12a --size small [--all-sizes] [--tune] [--full-naive]
 //	nebulactl experiment --figure all --size small
 //	nebulactl discover   --size tiny --index 3 --delta 1 [--epsilon 0.6] [--spread K]
+//	                     [--timeout 50ms] [--max-candidates N] [--max-queries N]
 //	nebulactl demo
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -219,6 +221,9 @@ func cmdDiscover(args []string) error {
 	delta := fs.Int("delta", 1, "distortion degree Δ (focal attachments kept)")
 	epsilon := fs.Float64("epsilon", 0.6, "cutoff threshold ε")
 	spreadK := fs.Int("spread", 0, "focal-spreading radius K (0 = full search)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget per run (0 = none); partial candidates are reported when it fires")
+	maxCand := fs.Int("max-candidates", 0, "keep only the N strongest candidates (0 = all)")
+	maxQueries := fs.Int("max-queries", 0, "cap Stage 1 at the N highest-weight queries (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -238,6 +243,11 @@ func cmdDiscover(args []string) error {
 		opts.Spreading = true
 		opts.SpreadingK = *spreadK
 	}
+	opts.Budget = nebula.Budget{
+		MaxCandidates: *maxCand,
+		MaxQueries:    *maxQueries,
+		Deadline:      *timeout,
+	}
 	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, opts)
 	if err != nil {
 		return err
@@ -253,7 +263,18 @@ func cmdDiscover(args []string) error {
 
 	disc, outcome, err := engine.Process(spec.Ann.ID)
 	if err != nil {
-		return err
+		if disc == nil || (!errors.Is(err, nebula.ErrCancelled) && !errors.Is(err, nebula.ErrBudgetExceeded)) {
+			return err
+		}
+		// Governed interruption: report the partial run instead of dying.
+		fmt.Printf("run interrupted (%v); reporting partial results, nothing routed to verification\n\n", err)
+	}
+	if degraded := disc.Degraded(); len(degraded) > 0 {
+		fmt.Println("degraded run:")
+		for _, reason := range degraded {
+			fmt.Printf("  - %s\n", reason)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("generated %d keyword queries (maps %v, context %v, queries %v):\n",
 		len(disc.Queries), disc.GenStats.MapGeneration, disc.GenStats.ContextAdjustment,

@@ -30,15 +30,10 @@ func cmdSnapshot(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	if err := engine.SaveSnapshot(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	// Durable save: temp file + fsync + atomic rename, so an interrupted
+	// run never leaves a truncated state file under *out. All write and
+	// close errors surface here.
+	if err := engine.SaveSnapshotFile(*out); err != nil {
 		return err
 	}
 	info, err := os.Stat(*out)

@@ -1,8 +1,11 @@
 package nebula
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"nebula/internal/relational"
 	"nebula/internal/sqlish"
@@ -28,8 +31,15 @@ type CommandResult struct {
 //	LIST PENDING [LIMIT n]         show the pending-task system table
 //	ANNOTATE <tbl> '<pk>' AS '<id>' BODY '<text>'
 //	                               insert an annotation attached to a tuple
-//	DISCOVER '<annotation-id>'     run discovery, report candidates
-//	PROCESS '<annotation-id>'      run discovery + verification routing
+//	DISCOVER '<annotation-id>' [TIMEOUT ms] [MAX n]
+//	                               run discovery, report candidates; TIMEOUT
+//	                               bounds the run's wall clock (partial
+//	                               candidates are reported when it fires) and
+//	                               MAX keeps only the n strongest candidates
+//	PROCESS '<annotation-id>' [TIMEOUT ms] [MAX n]
+//	                               run discovery + verification routing under
+//	                               the same governors; an interrupted run
+//	                               submits nothing to verification
 //	SELECT cols FROM tbl [WHERE col = lit [AND ...]] [WITH ANNOTATIONS]
 //	                               query with optional annotation propagation
 //
@@ -59,9 +69,9 @@ func (e *Engine) ExecCommand(command string) (*CommandResult, error) {
 	case *sqlish.AnnotateStmt:
 		return e.execAnnotate(s)
 	case *sqlish.DiscoverStmt:
-		return e.execDiscover(s.ID, false)
+		return e.execDiscover(s.ID, false, s.TimeoutMillis, s.MaxCandidates)
 	case *sqlish.ProcessStmt:
-		return e.execDiscover(s.ID, true)
+		return e.execDiscover(s.ID, true, s.TimeoutMillis, s.MaxCandidates)
 	case *sqlish.SelectStmt:
 		return e.execSelect(s)
 	default:
@@ -112,44 +122,63 @@ func (e *Engine) execAnnotate(s *sqlish.AnnotateStmt) (*CommandResult, error) {
 	return &CommandResult{Message: fmt.Sprintf("annotation %q attached to %s", s.ID, row.ID)}, nil
 }
 
-func (e *Engine) execDiscover(id string, process bool) (*CommandResult, error) {
-	res := &CommandResult{Columns: []string{"tuple", "confidence", "evidence", "routing"}}
-	if process {
-		disc, outcome, err := e.process(AnnotationID(id))
-		if err != nil {
-			return nil, err
-		}
-		routing := make(map[TupleID]string)
-		for _, t := range outcome.Accepted {
-			routing[t.Tuple] = "auto-accepted"
-		}
-		for _, t := range outcome.Pending {
-			routing[t.Tuple] = fmt.Sprintf("pending v%d", t.VID)
-		}
-		for _, t := range outcome.Rejected {
-			routing[t.Tuple] = "auto-rejected"
-		}
-		for _, c := range disc.Candidates {
-			res.Rows = append(res.Rows, []string{
-				c.Tuple.ID.String(), fmt.Sprintf("%.3f", c.Confidence),
-				strings.Join(c.Evidence, " "), routing[c.Tuple.ID],
-			})
-		}
-		res.Message = fmt.Sprintf("%d candidates: %d accepted, %d pending, %d rejected",
-			len(disc.Candidates), len(outcome.Accepted), len(outcome.Pending), len(outcome.Rejected))
-		return res, nil
+func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxCandidates int) (*CommandResult, error) {
+	ctx := context.Background()
+	if timeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMillis)*time.Millisecond)
+		defer cancel()
 	}
-	disc, err := e.discoverByID(AnnotationID(id))
-	if err != nil {
+	if maxCandidates > 0 {
+		// Per-statement override of the engine budget; e.mu is held for the
+		// whole ExecCommand, so the restore races with nothing.
+		saved := e.opts.Budget.MaxCandidates
+		e.opts.Budget.MaxCandidates = maxCandidates
+		defer func() { e.opts.Budget.MaxCandidates = saved }()
+	}
+	res := &CommandResult{Columns: []string{"tuple", "confidence", "evidence", "routing"}}
+	var (
+		disc    *Discovery
+		outcome VerificationOutcome
+		err     error
+	)
+	if process {
+		disc, outcome, err = e.process(ctx, AnnotationID(id))
+	} else {
+		disc, err = e.discoverByID(ctx, AnnotationID(id))
+	}
+	interrupted := err != nil && (errors.Is(err, ErrCancelled) || errors.Is(err, ErrBudgetExceeded))
+	if err != nil && !interrupted {
 		return nil, err
+	}
+	routing := make(map[TupleID]string)
+	for _, t := range outcome.Accepted {
+		routing[t.Tuple] = "auto-accepted"
+	}
+	for _, t := range outcome.Pending {
+		routing[t.Tuple] = fmt.Sprintf("pending v%d", t.VID)
+	}
+	for _, t := range outcome.Rejected {
+		routing[t.Tuple] = "auto-rejected"
 	}
 	for _, c := range disc.Candidates {
 		res.Rows = append(res.Rows, []string{
 			c.Tuple.ID.String(), fmt.Sprintf("%.3f", c.Confidence),
-			strings.Join(c.Evidence, " "), "",
+			strings.Join(c.Evidence, " "), routing[c.Tuple.ID],
 		})
 	}
-	res.Message = fmt.Sprintf("%d candidates from %d queries", len(disc.Candidates), len(disc.Queries))
+	switch {
+	case interrupted:
+		res.Message = fmt.Sprintf("interrupted (%v): %d partial candidates, nothing routed", err, len(disc.Candidates))
+	case process:
+		res.Message = fmt.Sprintf("%d candidates: %d accepted, %d pending, %d rejected",
+			len(disc.Candidates), len(outcome.Accepted), len(outcome.Pending), len(outcome.Rejected))
+	default:
+		res.Message = fmt.Sprintf("%d candidates from %d queries", len(disc.Candidates), len(disc.Queries))
+	}
+	if degraded := disc.Degraded(); len(degraded) > 0 {
+		res.Message += "; degraded: " + strings.Join(degraded, " | ")
+	}
 	return res, nil
 }
 

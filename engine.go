@@ -1,7 +1,10 @@
 package nebula
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"nebula/internal/acg"
@@ -12,6 +15,34 @@ import (
 	"nebula/internal/sigmap"
 	"nebula/internal/verification"
 )
+
+// Typed pipeline errors, re-exported for callers that match with
+// errors.Is. ErrInternal wraps a panic recovered at the Engine's public
+// boundary: one poisoned annotation (or a bug underneath it) surfaces as an
+// error on its own call instead of taking down the serving process.
+var (
+	// ErrCancelled reports a run interrupted by caller cancellation;
+	// partial candidates accompany it on the returned Discovery.
+	ErrCancelled = discovery.ErrCancelled
+	// ErrBudgetExceeded reports a run stopped by its wall-clock budget;
+	// partial candidates accompany it on the returned Discovery.
+	ErrBudgetExceeded = discovery.ErrBudgetExceeded
+	// ErrSpamAnnotation flags an annotation referencing an implausible
+	// share of the database (see Options.SpamFraction). The concrete
+	// error is a *discovery.SpamError carrying the candidate count.
+	ErrSpamAnnotation = discovery.ErrSpamAnnotation
+	// ErrInternal wraps a recovered panic.
+	ErrInternal = errors.New("nebula: internal error")
+)
+
+// recoverPanic converts a panic into an ErrInternal on the method's error
+// return. Deferred at every public entry point that runs annotation-driven
+// pipeline code.
+func recoverPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: panic: %v\n%s", ErrInternal, r, debug.Stack())
+	}
+}
 
 // Engine is the proactive annotation manager: it owns the annotation store,
 // the ACG, the hop profile, and the verification pipeline, and orchestrates
@@ -184,27 +215,60 @@ type Discovery struct {
 	ExecStats DiscoveryStats
 }
 
+// Degraded lists every way the run deviated from the full, unbounded
+// pipeline, across both stages: query-budget truncation, scan-budget
+// exhaustion, deadline interruption, unstable-ACG spreading fallback,
+// retried transient faults. Empty means the run is exactly what the
+// ungoverned algorithm would have produced; non-empty candidate sets are
+// never auto-accepted by Process.
+func (d *Discovery) Degraded() []string {
+	if len(d.GenStats.Degraded) == 0 {
+		return d.ExecStats.Degraded
+	}
+	out := make([]string, 0, len(d.GenStats.Degraded)+len(d.ExecStats.Degraded))
+	out = append(out, d.GenStats.Degraded...)
+	return append(out, d.ExecStats.Degraded...)
+}
+
 // Discover runs Stages 1 and 2 for a stored annotation: signature maps →
 // keyword queries → execution with the engine's configured refinements.
 func (e *Engine) Discover(id AnnotationID) (*Discovery, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.discoverByID(id)
+	return e.DiscoverContext(context.Background(), id)
 }
 
-func (e *Engine) discoverByID(id AnnotationID) (*Discovery, error) {
+// DiscoverContext is Discover under governance: the run honors ctx (checked
+// at per-query and per-tuple-batch granularity) and the engine's
+// Options.Budget. On cancellation or deadline it returns the partial
+// Discovery produced so far together with a typed ErrCancelled/
+// ErrBudgetExceeded; count budgets degrade the run (see Discovery.Degraded)
+// without error. With a background context and a zero budget it is
+// byte-identical to Discover.
+func (e *Engine) DiscoverContext(ctx context.Context, id AnnotationID) (d *Discovery, err error) {
+	defer recoverPanic(&err)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.discoverByID(ctx, id)
+}
+
+func (e *Engine) discoverByID(ctx context.Context, id AnnotationID) (*Discovery, error) {
 	a, ok := e.store.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("nebula: unknown annotation %q", id)
 	}
-	return e.discover(a, e.store.Focal(id))
+	return e.discover(ctx, a, e.store.Focal(id))
 }
 
 // discover is the focal-parameterized core, shared with bounds training.
 // Callers must hold e.mu.
-func (e *Engine) discover(a *Annotation, focal []TupleID) (*Discovery, error) {
+func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID) (*Discovery, error) {
+	if e.opts.Budget.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Budget.Deadline)
+		defer cancel()
+	}
 	gen := sigmap.NewGenerator(e.meta, e.opts.Epsilon)
 	gen.Alpha = e.opts.Alpha
+	gen.MaxQueries = e.opts.Budget.MaxQueries
 	queries, genStats := gen.Generate(a.Body)
 
 	k := e.opts.SpreadingK
@@ -213,10 +277,13 @@ func (e *Engine) discover(a *Annotation, focal []TupleID) (*Discovery, error) {
 	}
 	d := discovery.New(e.db, e.meta, e.graph)
 	d.IncludeRelated = e.opts.IncludeRelated
-	if e.opts.SearchTechnique == TechniqueSymbolTable {
+	switch {
+	case e.opts.SearcherFactory != nil:
+		d.NewSearcher = e.opts.SearcherFactory
+	case e.opts.SearchTechnique == TechniqueSymbolTable:
 		d.NewSearcher = e.symbolSearcher
 	}
-	cands, execStats, err := d.IdentifyRelatedTuples(queries, focal, discovery.Options{
+	cands, execStats, err := d.IdentifyRelatedTuplesContext(ctx, queries, focal, discovery.Options{
 		Shared:          e.opts.SharedExecution,
 		FocalAdjustment: e.opts.FocalAdjustment,
 		AdjustmentHops:  e.opts.AdjustmentHops,
@@ -224,17 +291,26 @@ func (e *Engine) discover(a *Annotation, focal []TupleID) (*Discovery, error) {
 		K:               k,
 		RequireStable:   e.opts.RequireStableACG,
 		SpamFraction:    e.opts.SpamFraction,
+		MaxScannedRows:  e.opts.Budget.MaxSearchedRows,
+		MaxCandidates:   e.opts.Budget.MaxCandidates,
+		Retry:           e.opts.Retry,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &Discovery{
+	disc := &Discovery{
 		Queries:    queries,
 		Candidates: cands,
 		Focal:      focal,
 		GenStats:   genStats,
 		ExecStats:  execStats,
-	}, nil
+	}
+	if err != nil {
+		if errors.Is(err, ErrCancelled) || errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrSpamAnnotation) {
+			// Partial (or quarantined) results travel with the typed
+			// error so operators can inspect what the run produced.
+			return disc, err
+		}
+		return nil, err
+	}
+	return disc, nil
 }
 
 // symbolSearcher returns the symbol-table technique for the given search
@@ -266,16 +342,37 @@ func (e *Engine) RefreshSearchIndex() {
 // NaiveDiscover runs the §4 baseline for a stored annotation: the whole
 // body as one keyword query, no preprocessing, full-database search.
 func (e *Engine) NaiveDiscover(id AnnotationID) (*Discovery, error) {
+	return e.NaiveDiscoverContext(context.Background(), id)
+}
+
+// NaiveDiscoverContext is NaiveDiscover under governance: the baseline's
+// full-database scan polls ctx per tuple batch and honors the engine's
+// Options.Budget scan/candidate/deadline bounds. The baseline has no Stage 1,
+// so MaxQueries does not apply.
+func (e *Engine) NaiveDiscoverContext(ctx context.Context, id AnnotationID) (disc *Discovery, err error) {
+	defer recoverPanic(&err)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	a, ok := e.store.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("nebula: unknown annotation %q", id)
 	}
+	if e.opts.Budget.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Budget.Deadline)
+		defer cancel()
+	}
 	focal := e.store.Focal(id)
 	d := discovery.New(e.db, e.meta, e.graph)
-	cands, stats := d.NaiveIdentify(a.Body, focal)
-	return &Discovery{Candidates: cands, Focal: focal, ExecStats: stats}, nil
+	cands, stats, err := d.NaiveIdentifyContext(ctx, a.Body, focal, discovery.Options{
+		MaxScannedRows: e.opts.Budget.MaxSearchedRows,
+		MaxCandidates:  e.opts.Budget.MaxCandidates,
+	})
+	disc = &Discovery{Candidates: cands, Focal: focal, ExecStats: stats}
+	if err != nil {
+		return disc, err
+	}
+	return disc, nil
 }
 
 // Process runs the full pipeline for a stored annotation: discovery
@@ -283,17 +380,34 @@ func (e *Engine) NaiveDiscover(id AnnotationID) (*Discovery, error) {
 // attached immediately (with ACG and profile updates); mid-confidence ones
 // become pending tasks.
 func (e *Engine) Process(id AnnotationID) (*Discovery, VerificationOutcome, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.process(id)
+	return e.ProcessContext(context.Background(), id)
 }
 
-func (e *Engine) process(id AnnotationID) (*Discovery, VerificationOutcome, error) {
-	disc, err := e.discoverByID(id)
+// ProcessContext is Process under governance. Discovery errors — typed
+// cancellation/deadline errors, spam quarantine — abort before Stage 3:
+// nothing is submitted to verification, and the partial Discovery travels
+// with the error. A degraded-but-complete run (count budgets bit, spreading
+// fell back, transient faults were retried) does reach Stage 3, but through
+// the degraded path: its would-be auto-accepts become pending
+// expert-verification tasks, because confidences computed over a truncated
+// evidence base cannot be trusted to clear β_upper unattended.
+func (e *Engine) ProcessContext(ctx context.Context, id AnnotationID) (disc *Discovery, outcome VerificationOutcome, err error) {
+	defer recoverPanic(&err)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.process(ctx, id)
+}
+
+func (e *Engine) process(ctx context.Context, id AnnotationID) (*Discovery, VerificationOutcome, error) {
+	disc, err := e.discoverByID(ctx, id)
 	if err != nil {
-		return nil, VerificationOutcome{}, err
+		return disc, VerificationOutcome{}, err
 	}
-	outcome, err := e.manager.Submit(id, disc.Focal, disc.Candidates)
+	submit := e.manager.Submit
+	if len(disc.Degraded()) > 0 {
+		submit = e.manager.SubmitDegraded
+	}
+	outcome, err := submit(id, disc.Focal, disc.Candidates)
 	if err != nil {
 		return disc, VerificationOutcome{}, err
 	}
@@ -346,10 +460,8 @@ func (e *Engine) rejectAttachment(vid int64) error {
 }
 
 func (e *Engine) findPending(vid int64) (*VerificationTask, error) {
-	for _, t := range e.manager.PendingTasks() {
-		if t.VID == vid {
-			return t, nil
-		}
+	if t, ok := e.manager.Pending(vid); ok {
+		return t, nil
 	}
 	return nil, fmt.Errorf("nebula: no pending task v%d", vid)
 }
@@ -393,7 +505,7 @@ func (e *Engine) TuneBounds(training []TrainingExample, cfg BoundsConfig) (Bound
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	discover := func(a *Annotation, focal []TupleID) ([]Candidate, error) {
-		d, err := e.discover(a, focal)
+		d, err := e.discover(context.Background(), a, focal)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package discovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,8 +25,30 @@ import (
 // guard is the minimal defense a production deployment needs: such
 // annotations are surfaced to the caller for quarantine instead of
 // flooding the verification pipeline. The candidates are still returned
-// alongside the error for inspection.
+// alongside the error for inspection. The concrete error is a *SpamError
+// carrying the counts quarantine tooling needs; errors.Is against this
+// sentinel matches it.
 var ErrSpamAnnotation = errors.New("discovery: annotation references an implausible share of the database")
+
+// SpamError is the concrete spam-guard error: it records how many
+// candidates the annotation produced against how large a database, so
+// quarantine tooling can log and threshold without re-running discovery.
+type SpamError struct {
+	// Candidates is the number of candidate tuples discovered.
+	Candidates int
+	// DatabaseRows is the total tuple count of the database searched.
+	DatabaseRows int
+	// Fraction is the configured SpamFraction threshold that tripped.
+	Fraction float64
+}
+
+func (e *SpamError) Error() string {
+	return fmt.Sprintf("%v: %d candidates over %d tuples (threshold %.2f)",
+		ErrSpamAnnotation, e.Candidates, e.DatabaseRows, e.Fraction)
+}
+
+// Is makes errors.Is(err, ErrSpamAnnotation) match a *SpamError.
+func (e *SpamError) Is(target error) bool { return target == ErrSpamAnnotation }
 
 // Candidate is one predicted attachment: a tuple the annotation is believed
 // to reference, with Nebula's confidence and the supporting evidence.
@@ -63,6 +86,16 @@ type Options struct {
 	// SpamFraction, when positive, raises ErrSpamAnnotation if the
 	// candidate set exceeds this fraction of the database's tuples.
 	SpamFraction float64
+	// MaxScannedRows stops keyword execution once this many tuples have
+	// been searched; the run degrades to the results produced so far. 0
+	// means unlimited.
+	MaxScannedRows int
+	// MaxCandidates truncates the final candidate list to the N strongest
+	// predictions. 0 means unlimited.
+	MaxCandidates int
+	// Retry is applied to transient searcher errors (see RetryPolicy).
+	// The zero value disables retries.
+	Retry RetryPolicy
 }
 
 // Stats reports the cost of one discovery run.
@@ -76,7 +109,19 @@ type Stats struct {
 	MiniDBUsed bool
 	// Candidates is the number of candidates produced.
 	Candidates int
+	// Retries counts searcher re-attempts spent on transient errors.
+	Retries int
+	// Degraded lists every way this run deviated from the full, unbounded
+	// pipeline: budget truncations, cancelled scans, the unstable-ACG
+	// spreading fallback, retried transient faults. Empty means the run
+	// is exactly what the paper's algorithm would have produced. Callers
+	// routing candidates into verification must treat a non-empty list as
+	// "do not auto-accept".
+	Degraded []string
 }
+
+// degrade appends a reason to the run's degradation record.
+func (s *Stats) degrade(reason string) { s.Degraded = append(s.Degraded, reason) }
 
 // Discoverer runs the discovery pipeline against one database.
 type Discoverer struct {
@@ -110,9 +155,24 @@ func New(db *relational.Database, repo *meta.Repository, graph *acg.Graph) *Disc
 // relative to the maximum confidence. Tuples already in the focal are
 // excluded: Definition 3.4 asks for the *other* related tuples.
 func (d *Discoverer) IdentifyRelatedTuples(queries []keyword.Query, focal []relational.TupleID, opts Options) ([]Candidate, Stats, error) {
+	return d.IdentifyRelatedTuplesContext(context.Background(), queries, focal, opts)
+}
+
+// IdentifyRelatedTuplesContext is IdentifyRelatedTuples under governance:
+// ctx is checked at per-query (and per-tuple-batch) granularity inside the
+// keyword executor, the Options budgets bound the work, and transient
+// searcher errors are retried per Options.Retry. On cancellation or
+// deadline the candidates aggregated from the partial execution are
+// returned together with a typed ErrCancelled/ErrBudgetExceeded; budget
+// truncations are not errors and only mark the run degraded. Every
+// deviation from the unbounded pipeline is listed in Stats.Degraded.
+func (d *Discoverer) IdentifyRelatedTuplesContext(ctx context.Context, queries []keyword.Query, focal []relational.TupleID, opts Options) ([]Candidate, Stats, error) {
 	var stats Stats
 	if len(queries) == 0 {
 		return nil, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, wrapCtxErr(err)
 	}
 
 	// Choose the search database: full, or the spreading miniDB.
@@ -129,6 +189,12 @@ func (d *Discoverer) IdentifyRelatedTuples(queries []keyword.Query, focal []rela
 			}
 			searchDB = mini
 			stats.MiniDBUsed = true
+		} else {
+			// The paper prescribes this fallback (Definition 6.1) but a
+			// production operator must be able to see it: the run pays a
+			// full-database search the caller asked to avoid.
+			stats.degrade(fmt.Sprintf(
+				"discovery: ACG unstable; spreading (K=%d) fell back to full-database search", opts.K))
 		}
 	}
 	stats.SearchedDB = searchDB.TotalRows()
@@ -143,11 +209,35 @@ func (d *Discoverer) IdentifyRelatedTuples(queries []keyword.Query, focal []rela
 	}
 
 	// Step 1 — execute the queries; incorporate each query's weight.
-	results, execStats, err := searcher.ExecuteBatch(queries, opts.Shared)
-	if err != nil {
-		return nil, stats, err
+	// Transient searcher faults are retried with capped backoff; the
+	// final attempt's results are kept and its stats accumulate the total
+	// work spent. A surviving context error degrades the run to whatever
+	// the partial execution produced.
+	lim := keyword.Limits{MaxScannedRows: opts.MaxScannedRows}
+	var results map[string][]keyword.Result
+	retries, err := opts.Retry.do(ctx, func() error {
+		var attemptErr error
+		var st keyword.ExecStats
+		results, st, attemptErr = searcher.ExecuteBatchContext(ctx, queries, opts.Shared, lim)
+		stats.Exec.Add(st)
+		return attemptErr
+	})
+	stats.Retries = retries
+	if retries > 0 {
+		stats.degrade(fmt.Sprintf("discovery: %d transient searcher error(s) retried", retries))
 	}
-	stats.Exec = execStats
+	var execErr error
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Cancelled or out of budget: aggregate the partial results
+			// below and surface the typed error with them.
+			execErr = wrapCtxErr(err)
+			stats.degrade(fmt.Sprintf("discovery: execution interrupted (%v); candidates are partial", err))
+		} else {
+			return nil, stats, fmt.Errorf("discovery: search failed: %w", err)
+		}
+	}
+	stats.Degraded = append(stats.Degraded, stats.Exec.Degraded...)
 
 	type agg struct {
 		conf     float64
@@ -225,9 +315,21 @@ func (d *Discoverer) IdentifyRelatedTuples(queries []keyword.Query, focal []rela
 		out = append(out, Candidate{Tuple: row, Confidence: conf, Evidence: a.evidence})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Confidence > out[j].Confidence })
+	if opts.MaxCandidates > 0 && len(out) > opts.MaxCandidates {
+		stats.degrade(fmt.Sprintf(
+			"discovery: candidate budget truncated %d candidates to the strongest %d", len(out), opts.MaxCandidates))
+		out = out[:opts.MaxCandidates]
+	}
 	stats.Candidates = len(out)
+	if execErr != nil {
+		return out, stats, execErr
+	}
 	if opts.SpamFraction > 0 && float64(len(out)) > opts.SpamFraction*float64(d.db.TotalRows()) {
-		return out, stats, ErrSpamAnnotation
+		return out, stats, &SpamError{
+			Candidates:   len(out),
+			DatabaseRows: d.db.TotalRows(),
+			Fraction:     opts.SpamFraction,
+		}
 	}
 	return out, stats, nil
 }
@@ -237,10 +339,25 @@ func (d *Discoverer) IdentifyRelatedTuples(queries []keyword.Query, focal []rela
 // the naive engine's confidence (no grouping reward, no focal adjustment —
 // the baseline has none of Nebula's context).
 func (d *Discoverer) NaiveIdentify(body string, focal []relational.TupleID) ([]Candidate, Stats) {
+	out, stats, _ := d.NaiveIdentifyContext(context.Background(), body, focal, Options{})
+	return out, stats
+}
+
+// NaiveIdentifyContext is NaiveIdentify under governance: the baseline's
+// full-database scan — its defining pathology — polls ctx per tuple batch
+// and honors Options.MaxScannedRows/MaxCandidates. Partial results come
+// back with a typed ErrCancelled/ErrBudgetExceeded on interruption.
+func (d *Discoverer) NaiveIdentifyContext(ctx context.Context, body string, focal []relational.TupleID, opts Options) ([]Candidate, Stats, error) {
 	var stats Stats
 	engine := keyword.NewEngine(d.db, d.meta)
-	rs, execStats := engine.NaiveSearch(body)
+	rs, execStats, err := engine.NaiveSearchContext(ctx, body, keyword.Limits{MaxScannedRows: opts.MaxScannedRows})
 	stats.Exec = execStats
+	stats.Degraded = append(stats.Degraded, execStats.Degraded...)
+	var execErr error
+	if err != nil {
+		execErr = wrapCtxErr(err)
+		stats.degrade(fmt.Sprintf("discovery: naive scan interrupted (%v); candidates are partial", err))
+	}
 	stats.SearchedDB = d.db.TotalRows()
 	focalSet := make(map[relational.TupleID]struct{}, len(focal))
 	for _, f := range focal {
@@ -254,6 +371,11 @@ func (d *Discoverer) NaiveIdentify(body string, focal []relational.TupleID) ([]C
 		out = append(out, Candidate{Tuple: r.Tuple, Confidence: r.Confidence, Evidence: []string{"naive"}})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Confidence > out[j].Confidence })
+	if opts.MaxCandidates > 0 && len(out) > opts.MaxCandidates {
+		stats.degrade(fmt.Sprintf(
+			"discovery: candidate budget truncated %d candidates to the strongest %d", len(out), opts.MaxCandidates))
+		out = out[:opts.MaxCandidates]
+	}
 	stats.Candidates = len(out)
-	return out, stats
+	return out, stats, execErr
 }

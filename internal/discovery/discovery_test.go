@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -311,8 +312,15 @@ func TestSpamGuard(t *testing.T) {
 	}
 	qs := queries(ids...)
 	cands, _, err := d.IdentifyRelatedTuples(qs, nil, Options{SpamFraction: 0.5})
-	if err != ErrSpamAnnotation {
+	if !errors.Is(err, ErrSpamAnnotation) {
 		t.Fatalf("expected ErrSpamAnnotation, got %v", err)
+	}
+	var spam *SpamError
+	if !errors.As(err, &spam) {
+		t.Fatalf("expected *SpamError, got %T", err)
+	}
+	if spam.Candidates != 15 || spam.DatabaseRows != 20 || spam.Fraction != 0.5 {
+		t.Errorf("spam error counts wrong: %+v", spam)
 	}
 	if len(cands) != 15 {
 		t.Errorf("candidates should still be returned for inspection: %d", len(cands))

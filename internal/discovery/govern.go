@@ -1,0 +1,107 @@
+package discovery
+
+// This file holds the pipeline's governance layer: typed
+// cancellation/budget errors, transient-error classification, and the
+// retry-with-capped-backoff policy the discoverer applies to the keyword
+// searcher. The paper's pipeline is unbounded (the Naive baseline alone
+// emits ~318k candidate tuples for one L^50 workload, §8.2); a serving
+// deployment needs every run to be interruptible and every shortcut it
+// takes to be observable.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrCancelled reports a discovery run interrupted by caller cancellation.
+// The partial candidates produced before the interrupt are returned
+// alongside it; errors.Is(err, ErrCancelled) matches.
+var ErrCancelled = errors.New("discovery: run cancelled")
+
+// ErrBudgetExceeded reports a discovery run stopped by its wall-clock
+// budget (a context deadline). Partial candidates are returned alongside
+// it; errors.Is(err, ErrBudgetExceeded) matches.
+var ErrBudgetExceeded = errors.New("discovery: wall-clock budget exceeded")
+
+// wrapCtxErr converts a context error observed mid-pipeline into the
+// pipeline's typed errors, preserving the original cause for errors.Is.
+func wrapCtxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrBudgetExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	default:
+		return err
+	}
+}
+
+// transienter is the self-classification contract for searcher errors: an
+// error advertising Transient() == true is worth retrying (a flaky index
+// node, an injected fault); anything else is treated as persistent.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err (or an error in its chain) advertises
+// itself as transient.
+func IsTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
+// RetryPolicy controls the discoverer's handling of transient searcher
+// errors: up to MaxRetries re-attempts with exponential backoff starting
+// at BaseDelay and capped at MaxDelay. The zero value disables retries —
+// the legacy behavior.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure.
+	MaxRetries int
+	// BaseDelay is the first backoff; each subsequent retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 defaults to 16×BaseDelay.
+	MaxDelay time.Duration
+}
+
+// backoff returns the delay before re-attempt number retry (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < retry; i++ {
+		d *= 2
+	}
+	ceiling := p.MaxDelay
+	if ceiling <= 0 {
+		ceiling = 16 * p.BaseDelay
+		if ceiling <= 0 {
+			ceiling = 16 * time.Millisecond
+		}
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	return d
+}
+
+// do runs attempt, retrying transient errors per the policy. Context
+// errors are never retried (the caller is gone or out of time), and the
+// backoff sleep itself respects ctx. It returns the retry count actually
+// spent and the final error.
+func (p RetryPolicy) do(ctx context.Context, attempt func() error) (int, error) {
+	err := attempt()
+	retries := 0
+	for err != nil && retries < p.MaxRetries && IsTransient(err) && ctx.Err() == nil {
+		retries++
+		t := time.NewTimer(p.backoff(retries))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return retries, ctx.Err()
+		}
+		err = attempt()
+	}
+	return retries, err
+}

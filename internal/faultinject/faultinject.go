@@ -1,0 +1,192 @@
+// Package faultinject wraps a keyword.Searcher with deterministic,
+// seed-driven fault injection: transient and persistent errors, added
+// latency, and partial batches. It exists to exercise the discovery
+// pipeline's governance surfaces — retry-with-backoff, typed cancellation,
+// degraded-run routing — without a flaky real substrate underneath the
+// tests. Deployments can install it through Options.SearcherFactory.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"nebula/internal/keyword"
+	"nebula/internal/relational"
+)
+
+// ErrInjected is the sentinel all injected faults match via errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Error is one injected fault. It implements the Transient() classification
+// the discoverer's retry policy keys on: transient faults are retried with
+// capped backoff, persistent ones surface immediately.
+type Error struct {
+	// Call is the 1-based batch-call ordinal the fault fired on.
+	Call int
+	// Persistent marks faults the retry policy must not absorb.
+	Persistent bool
+}
+
+func (e *Error) Error() string {
+	kind := "transient"
+	if e.Persistent {
+		kind = "persistent"
+	}
+	return fmt.Sprintf("faultinject: injected %s fault on call %d", kind, e.Call)
+}
+
+// Transient reports whether a retry may succeed.
+func (e *Error) Transient() bool { return !e.Persistent }
+
+// Is matches the ErrInjected sentinel.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// Config selects which faults to inject. The zero value injects nothing.
+// All schedules are keyed on the wrapper's batch-call counter and, for
+// FailProbability, on a rand.Rand seeded with Seed — two searchers built
+// from the same Config observe the exact same fault sequence.
+type Config struct {
+	// Seed drives the probabilistic schedules. The same seed always
+	// reproduces the same fault sequence.
+	Seed int64
+	// FailFirst makes the first N batch calls fail with a transient Error
+	// — the canonical retry-until-healthy scenario.
+	FailFirst int
+	// FailEvery makes every Nth batch call (N, 2N, ...) fail with a
+	// persistent Error. 0 disables.
+	FailEvery int
+	// FailProbability injects a transient Error on each batch call with
+	// this probability, drawn from the seeded generator. 0 disables.
+	FailProbability float64
+	// Latency is added before each batch call, honoring ctx: if the
+	// context dies during the sleep, its error is returned with no results
+	// — the searcher never ran.
+	Latency time.Duration
+	// PartialEvery makes every Nth batch call answer only the first half
+	// of its queries (at least one), recording the drop in
+	// ExecStats.Degraded. 0 disables.
+	PartialEvery int
+}
+
+// Searcher wraps an inner keyword.Searcher with the configured faults.
+// It is safe for concurrent use; the fault schedule serializes on an
+// internal mutex so the call ordinals stay deterministic.
+type Searcher struct {
+	inner keyword.Searcher
+	cfg   Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	calls    int
+	injected int
+}
+
+// Wrap builds a fault-injecting searcher around inner.
+func Wrap(inner keyword.Searcher, cfg Config) *Searcher {
+	return &Searcher{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Calls returns how many batch calls the searcher has observed.
+func (s *Searcher) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// Injected returns how many faults (errors and partial batches) have fired.
+func (s *Searcher) Injected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
+// plan advances the deterministic schedule by one batch call and decides
+// what to inject.
+func (s *Searcher) plan() (call int, fault *Error, partial bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	call = s.calls
+	switch {
+	case s.cfg.FailFirst > 0 && call <= s.cfg.FailFirst:
+		fault = &Error{Call: call}
+	case s.cfg.FailEvery > 0 && call%s.cfg.FailEvery == 0:
+		fault = &Error{Call: call, Persistent: true}
+	case s.cfg.FailProbability > 0 && s.rng.Float64() < s.cfg.FailProbability:
+		fault = &Error{Call: call}
+	case s.cfg.PartialEvery > 0 && call%s.cfg.PartialEvery == 0:
+		partial = true
+	}
+	if fault != nil || partial {
+		s.injected++
+	}
+	return call, fault, partial
+}
+
+// sleep waits the configured latency, aborting early if ctx dies.
+func (s *Searcher) sleep(ctx context.Context) error {
+	if s.cfg.Latency <= 0 {
+		return nil
+	}
+	if ctx.Done() == nil {
+		time.Sleep(s.cfg.Latency)
+		return nil
+	}
+	t := time.NewTimer(s.cfg.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Execute runs one query through the inner technique, unfaulted: the
+// discovery pipeline drives batches, which is where the schedules apply.
+func (s *Searcher) Execute(q keyword.Query) ([]keyword.Result, keyword.ExecStats, error) {
+	return s.inner.Execute(q)
+}
+
+// ExecuteBatch delegates to ExecuteBatchContext without governance.
+func (s *Searcher) ExecuteBatch(qs []keyword.Query, shared bool) (map[string][]keyword.Result, keyword.ExecStats, error) {
+	return s.ExecuteBatchContext(context.Background(), qs, shared, keyword.Limits{})
+}
+
+// ExecuteBatchContext applies the fault schedule, then delegates to the
+// inner technique. Injected errors carry no results (the batch "failed");
+// partial batches run the inner technique on a prefix of the queries and
+// record the drop as a Degraded reason.
+func (s *Searcher) ExecuteBatchContext(ctx context.Context, qs []keyword.Query, shared bool, lim keyword.Limits) (map[string][]keyword.Result, keyword.ExecStats, error) {
+	call, fault, partial := s.plan()
+	if err := s.sleep(ctx); err != nil {
+		return nil, keyword.ExecStats{}, err
+	}
+	if fault != nil {
+		return nil, keyword.ExecStats{}, fault
+	}
+	if partial && len(qs) > 1 {
+		keep := len(qs) / 2
+		if keep < 1 {
+			keep = 1
+		}
+		rs, stats, err := s.inner.ExecuteBatchContext(ctx, qs[:keep], shared, lim)
+		stats.Degraded = append(stats.Degraded,
+			fmt.Sprintf("faultinject: partial batch on call %d (%d of %d queries answered)", call, keep, len(qs)))
+		return rs, stats, err
+	}
+	return s.inner.ExecuteBatchContext(ctx, qs, shared, lim)
+}
+
+// Database returns the inner technique's bound database.
+func (s *Searcher) Database() *relational.Database { return s.inner.Database() }
+
+var _ keyword.Searcher = (*Searcher)(nil)

@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nebula/internal/keyword"
+	"nebula/internal/relational"
+)
+
+// stub is a healthy inner searcher: one unit-confidence result per query.
+type stub struct {
+	batches int
+}
+
+func (s *stub) Execute(q keyword.Query) ([]keyword.Result, keyword.ExecStats, error) {
+	return []keyword.Result{{Confidence: 1, Query: q.ID}}, keyword.ExecStats{StructuredQueries: 1}, nil
+}
+
+func (s *stub) ExecuteBatch(qs []keyword.Query, shared bool) (map[string][]keyword.Result, keyword.ExecStats, error) {
+	return s.ExecuteBatchContext(context.Background(), qs, shared, keyword.Limits{})
+}
+
+func (s *stub) ExecuteBatchContext(ctx context.Context, qs []keyword.Query, shared bool, lim keyword.Limits) (map[string][]keyword.Result, keyword.ExecStats, error) {
+	s.batches++
+	out := make(map[string][]keyword.Result, len(qs))
+	for _, q := range qs {
+		out[q.ID] = []keyword.Result{{Confidence: 1, Query: q.ID}}
+	}
+	return out, keyword.ExecStats{StructuredQueries: len(qs)}, nil
+}
+
+func (s *stub) Database() *relational.Database { return nil }
+
+func queries(n int) []keyword.Query {
+	qs := make([]keyword.Query, n)
+	for i := range qs {
+		qs[i] = keyword.Query{ID: string(rune('a' + i)), Weight: 1}
+	}
+	return qs
+}
+
+func TestFailFirstIsTransientThenHeals(t *testing.T) {
+	s := Wrap(&stub{}, Config{FailFirst: 2})
+	for i := 0; i < 2; i++ {
+		_, _, err := s.ExecuteBatch(queries(3), true)
+		if err == nil {
+			t.Fatalf("call %d: expected injected fault", i+1)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("call %d: error %v does not match ErrInjected", i+1, err)
+		}
+		var fe *Error
+		if !errors.As(err, &fe) || !fe.Transient() {
+			t.Errorf("call %d: expected transient fault, got %v", i+1, err)
+		}
+	}
+	rs, _, err := s.ExecuteBatch(queries(3), true)
+	if err != nil {
+		t.Fatalf("call 3 should heal: %v", err)
+	}
+	if len(rs) != 3 {
+		t.Errorf("healed call returned %d query results, want 3", len(rs))
+	}
+	if s.Injected() != 2 {
+		t.Errorf("Injected() = %d, want 2", s.Injected())
+	}
+}
+
+func TestFailEveryIsPersistent(t *testing.T) {
+	s := Wrap(&stub{}, Config{FailEvery: 2})
+	if _, _, err := s.ExecuteBatch(queries(1), false); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	_, _, err := s.ExecuteBatch(queries(1), false)
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("call 2: expected injected fault, got %v", err)
+	}
+	if fe.Transient() {
+		t.Error("FailEvery fault must be persistent")
+	}
+	if fe.Call != 2 {
+		t.Errorf("fault fired on call %d, want 2", fe.Call)
+	}
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, FailProbability: 0.5}
+	a, b := Wrap(&stub{}, cfg), Wrap(&stub{}, cfg)
+	for i := 0; i < 50; i++ {
+		_, _, errA := a.ExecuteBatch(queries(1), false)
+		_, _, errB := b.ExecuteBatch(queries(1), false)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("call %d: schedules diverged (%v vs %v)", i+1, errA, errB)
+		}
+	}
+	if a.Injected() != b.Injected() {
+		t.Errorf("injected counts diverged: %d vs %d", a.Injected(), b.Injected())
+	}
+	if a.Injected() == 0 || a.Injected() == 50 {
+		t.Errorf("p=0.5 over 50 calls injected %d faults; schedule looks degenerate", a.Injected())
+	}
+}
+
+func TestPartialBatchRecordsDegraded(t *testing.T) {
+	s := Wrap(&stub{}, Config{PartialEvery: 1})
+	rs, stats, err := s.ExecuteBatch(queries(4), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Errorf("partial batch answered %d queries, want 2", len(rs))
+	}
+	if len(stats.Degraded) != 1 {
+		t.Fatalf("Degraded = %v, want one partial-batch reason", stats.Degraded)
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	s := Wrap(&stub{}, Config{Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := s.ExecuteBatchContext(ctx, queries(1), false, keyword.Limits{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("latency sleep ignored the context (%v elapsed)", elapsed)
+	}
+}

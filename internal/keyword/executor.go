@@ -1,6 +1,7 @@
 package keyword
 
 import (
+	"context"
 	"fmt"
 
 	"nebula/internal/meta"
@@ -121,13 +122,34 @@ func (e *Engine) mergeRows(out []Result, byTuple map[relational.TupleID]int, row
 // (detected by fingerprint) execute only once, and the result rows are
 // distributed to every (query, configuration) that needed them.
 func (e *Engine) ExecuteBatch(qs []Query, shared bool) (map[string][]Result, ExecStats, error) {
+	return e.ExecuteBatchContext(context.Background(), qs, shared, Limits{})
+}
+
+// ExecuteBatchContext is ExecuteBatch under governance: between queries —
+// and between structured-query chunks on the shared path — the executor
+// checks ctx and the scan budget. Cancellation returns the results
+// completed so far together with the context's error; a spent scan budget
+// stops execution, keeps the partial results, and records the reason in
+// ExecStats.Degraded. An ungoverned call (background context, zero Limits)
+// takes the exact legacy path.
+func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared bool, lim Limits) (map[string][]Result, ExecStats, error) {
 	var stats ExecStats
 	results := make(map[string][]Result, len(qs))
+	gov := governed(ctx, lim)
 	if !shared {
 		for _, q := range qs {
+			if gov {
+				if err := ctx.Err(); err != nil {
+					return results, stats, err
+				}
+				if !lim.Unlimited() && stats.TuplesScanned >= lim.MaxScannedRows {
+					stats.Degraded = append(stats.Degraded, degradedScanBudget(stats.TuplesScanned, lim.MaxScannedRows))
+					return results, stats, nil
+				}
+			}
 			rs, st, err := e.Execute(q)
 			if err != nil {
-				return nil, stats, err
+				return results, stats, err
 			}
 			stats.Add(st)
 			results[q.ID] = rs
@@ -147,6 +169,11 @@ func (e *Engine) ExecuteBatch(qs []Query, shared bool) (map[string][]Result, Exe
 	ordered := make([]string, 0)      // deterministic execution order
 	structured := make(map[string]relational.Query)
 	for qi, q := range qs {
+		if gov {
+			if err := ctx.Err(); err != nil {
+				return results, stats, err
+			}
+		}
 		plans[qi] = e.Configurations(q)
 		for _, cfg := range plans[qi] {
 			fp := cfg.Structured.Fingerprint()
@@ -163,25 +190,54 @@ func (e *Engine) ExecuteBatch(qs []Query, shared bool) (map[string][]Result, Exe
 		}
 	}
 
-	// Execute the distinct structured queries in one batch: identical
-	// queries were deduplicated above, and SelectMulti shares the physical
-	// scans of the remainder (one pass per table for all scan queries).
-	batch := make([]relational.Query, len(ordered))
-	for i, fp := range ordered {
-		batch[i] = structured[fp]
+	// Execute the distinct structured queries: identical queries were
+	// deduplicated above, and SelectMulti shares the physical scans of the
+	// remainder (one pass per table for all scan queries). Ungoverned runs
+	// submit everything in one batch; governed runs chunk the batch so
+	// cancellation and the scan budget are honored mid-execution.
+	rowSets := make([][]*relational.Row, len(ordered))
+	executed := len(ordered) // fingerprints actually executed
+	chunk := len(ordered)
+	if gov && chunk > sharedChunk {
+		chunk = sharedChunk
 	}
-	rowSets, st, err := e.db.SelectMulti(batch)
-	if err != nil {
-		return nil, stats, fmt.Errorf("shared execute: %w", err)
+	var cancelErr error
+	for lo := 0; lo < len(ordered); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ordered) {
+			hi = len(ordered)
+		}
+		if gov {
+			if err := ctx.Err(); err != nil {
+				executed = lo
+				cancelErr = err
+				break
+			}
+			if !lim.Unlimited() && stats.TuplesScanned >= lim.MaxScannedRows {
+				executed = lo
+				stats.Degraded = append(stats.Degraded, degradedScanBudget(stats.TuplesScanned, lim.MaxScannedRows))
+				break
+			}
+		}
+		batch := make([]relational.Query, hi-lo)
+		for i := lo; i < hi; i++ {
+			batch[i-lo] = structured[ordered[i]]
+		}
+		sets, st, err := e.db.SelectMulti(batch)
+		if err != nil {
+			return results, stats, fmt.Errorf("shared execute: %w", err)
+		}
+		copy(rowSets[lo:hi], sets)
+		stats.StructuredQueries += len(batch)
+		stats.TuplesScanned += st.TuplesScanned
 	}
-	stats.StructuredQueries += len(batch)
-	stats.TuplesScanned += st.TuplesScanned
+
 	byTuple := make([]map[relational.TupleID]int, len(qs))
 	merged := make([][]Result, len(qs))
 	for i := range byTuple {
 		byTuple[i] = make(map[relational.TupleID]int)
 	}
-	for i, fp := range ordered {
+	for i, fp := range ordered[:executed] {
 		rows := rowSets[i]
 		for _, n := range wanted[fp] {
 			consumed := rows
@@ -195,5 +251,5 @@ func (e *Engine) ExecuteBatch(qs []Query, shared bool) (map[string][]Result, Exe
 	for qi, q := range qs {
 		results[q.ID] = merged[qi]
 	}
-	return results, stats, nil
+	return results, stats, cancelErr
 }

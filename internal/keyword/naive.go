@@ -1,6 +1,7 @@
 package keyword
 
 import (
+	"context"
 	"strings"
 
 	"nebula/internal/relational"
@@ -15,7 +16,18 @@ import (
 // fraction of tokens it matches. This reproduces the baseline's documented
 // pathologies: enormous scan cost and an extremely noisy result set.
 func (e *Engine) NaiveSearch(text string) ([]Result, ExecStats) {
+	rs, stats, _ := e.NaiveSearchContext(context.Background(), text, Limits{})
+	return rs, stats
+}
+
+// NaiveSearchContext is NaiveSearch under governance. The scan polls ctx
+// every scanBatch tuples — the unbounded full-database pass is exactly the
+// baseline pathology a deadline must be able to interrupt — and stops when
+// the scan budget is spent, recording the truncation in stats.Degraded.
+// Partial hits collected before cancellation are returned with ctx's error.
+func (e *Engine) NaiveSearchContext(ctx context.Context, text string, lim Limits) ([]Result, ExecStats, error) {
 	var stats ExecStats
+	gov := governed(ctx, lim)
 	tokens := make([]string, 0, 64)
 	seen := make(map[string]struct{})
 	for _, tok := range textutil.Tokenize(text) {
@@ -29,7 +41,7 @@ func (e *Engine) NaiveSearch(text string) ([]Result, ExecStats) {
 		tokens = append(tokens, tok.Lower)
 	}
 	if len(tokens) == 0 {
-		return nil, stats
+		return nil, stats, nil
 	}
 	stats.StructuredQueries = 1 // one (gigantic) keyword query
 
@@ -38,11 +50,23 @@ func (e *Engine) NaiveSearch(text string) ([]Result, ExecStats) {
 		matched int
 	}
 	var hits []hit
+	var scanErr error
 	maxMatched := 0
+scan:
 	for _, tableName := range e.db.TableNames() {
 		t := e.db.MustTable(tableName)
 		schema := t.Schema()
 		for _, row := range t.Rows() {
+			if gov && stats.TuplesScanned%scanBatch == 0 {
+				if err := ctx.Err(); err != nil {
+					scanErr = err
+					break scan
+				}
+				if !lim.Unlimited() && stats.TuplesScanned >= lim.MaxScannedRows {
+					stats.Degraded = append(stats.Degraded, degradedScanBudget(stats.TuplesScanned, lim.MaxScannedRows))
+					break scan
+				}
+			}
 			stats.TuplesScanned++
 			matched := 0
 			for _, tok := range tokens {
@@ -76,7 +100,7 @@ func (e *Engine) NaiveSearch(text string) ([]Result, ExecStats) {
 		out = append(out, Result{Tuple: h.row, Confidence: conf, Query: "naive"})
 	}
 	stats.TuplesReturned = len(out)
-	return out, stats
+	return out, stats, scanErr
 }
 
 // rowMatchesToken reports whether any cell of the row matches the token:

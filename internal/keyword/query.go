@@ -109,6 +109,10 @@ type ExecStats struct {
 	TuplesScanned int
 	// TuplesReturned totals tuples produced (before deduplication).
 	TuplesReturned int
+	// Degraded lists human-readable reasons the execution deviated from
+	// the full, unbounded run (budget truncations, cancelled scans).
+	// Empty for a complete run.
+	Degraded []string
 }
 
 // Add accumulates another stats record.
@@ -117,4 +121,5 @@ func (s *ExecStats) Add(o ExecStats) {
 	s.SharedQueries += o.SharedQueries
 	s.TuplesScanned += o.TuplesScanned
 	s.TuplesReturned += o.TuplesReturned
+	s.Degraded = append(s.Degraded, o.Degraded...)
 }

@@ -1,6 +1,10 @@
 package keyword
 
-import "nebula/internal/relational"
+import (
+	"context"
+
+	"nebula/internal/relational"
+)
 
 // Searcher is the pluggable keyword-search technique beneath Nebula's
 // discovery pipeline. The paper uses Bergamaschi et al.'s metadata approach
@@ -14,6 +18,13 @@ type Searcher interface {
 	// ExecuteBatch runs a batch of queries; shared enables whatever
 	// multi-query optimization the technique supports.
 	ExecuteBatch(qs []Query, shared bool) (map[string][]Result, ExecStats, error)
+	// ExecuteBatchContext is ExecuteBatch under governance: execution
+	// checks ctx at per-query (and, where the technique scans, per-tuple-
+	// batch) granularity and stops once lim is exhausted. On cancellation
+	// the partial results produced so far are returned together with the
+	// context's error; budget truncations are not errors — they return the
+	// partial results with the reason appended to ExecStats.Degraded.
+	ExecuteBatchContext(ctx context.Context, qs []Query, shared bool, lim Limits) (map[string][]Result, ExecStats, error)
 	// Database returns the technique's bound database.
 	Database() *relational.Database
 }

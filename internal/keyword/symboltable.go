@@ -1,6 +1,7 @@
 package keyword
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -150,10 +151,27 @@ func (e *SymbolTableEngine) Execute(q Query) ([]Result, ExecStats, error) {
 // share; with shared=true identical queries (by structural identity) are
 // answered once.
 func (e *SymbolTableEngine) ExecuteBatch(qs []Query, shared bool) (map[string][]Result, ExecStats, error) {
+	return e.ExecuteBatchContext(context.Background(), qs, shared, Limits{})
+}
+
+// ExecuteBatchContext is ExecuteBatch under governance: index probes are
+// cheap, so ctx and the scan budget (counting index hits examined) are
+// checked between queries. Partial results survive cancellation.
+func (e *SymbolTableEngine) ExecuteBatchContext(ctx context.Context, qs []Query, shared bool, lim Limits) (map[string][]Result, ExecStats, error) {
 	var stats ExecStats
+	gov := governed(ctx, lim)
 	results := make(map[string][]Result, len(qs))
 	cache := make(map[string][]Result)
 	for _, q := range qs {
+		if gov {
+			if err := ctx.Err(); err != nil {
+				return results, stats, err
+			}
+			if !lim.Unlimited() && stats.TuplesScanned >= lim.MaxScannedRows {
+				stats.Degraded = append(stats.Degraded, degradedScanBudget(stats.TuplesScanned, lim.MaxScannedRows))
+				return results, stats, nil
+			}
+		}
 		key := ""
 		if shared {
 			key = queryIdentity(q)

@@ -1,6 +1,7 @@
 package sigmap
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -30,6 +31,11 @@ type Generator struct {
 	// it is a category, not an embedded reference. Such keywords still
 	// participate in queries through combination siblings (PName + PType).
 	MinSelectivity float64
+	// MaxQueries caps the number of generated queries — the Stage 1 half
+	// of the discovery budget. When the cap bites, the highest-weight
+	// queries are kept (in generation order) and the truncation is
+	// recorded in Stats.Degraded. 0 means unlimited.
+	MaxQueries int
 }
 
 // NewGenerator returns a Generator with the paper-inspired defaults.
@@ -70,6 +76,10 @@ type Stats struct {
 	ContextAdjustment time.Duration
 	// QueryGeneration is the time of phase 3 (query formation).
 	QueryGeneration time.Duration
+	// Degraded lists human-readable reasons the generation deviated from
+	// the unbounded run (currently only the MaxQueries truncation). Empty
+	// for a complete run.
+	Degraded []string
 }
 
 // Generate runs the full pipeline on an annotation body and returns the
@@ -93,9 +103,40 @@ func (g *Generator) Generate(body string) ([]Query, Stats) {
 
 	start = time.Now()
 	queries := g.ConceptMapToQueries(cm)
+	if g.MaxQueries > 0 && len(queries) > g.MaxQueries {
+		kept := truncateByWeight(queries, g.MaxQueries)
+		stats.Degraded = append(stats.Degraded, fmt.Sprintf(
+			"sigmap: query budget truncated generation from %d to %d queries (highest-weight kept)",
+			len(queries), len(kept)))
+		queries = kept
+	}
 	stats.QueryGeneration = time.Since(start)
 	stats.Queries = len(queries)
 	return queries, stats
+}
+
+// truncateByWeight keeps the n highest-weight queries, preserving their
+// original (deterministic) generation order; ties at the cut keep the
+// earlier query.
+func truncateByWeight(queries []Query, n int) []Query {
+	idx := make([]int, len(queries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return queries[idx[a]].Weight > queries[idx[b]].Weight
+	})
+	keep := make(map[int]bool, n)
+	for _, i := range idx[:n] {
+		keep[i] = true
+	}
+	out := make([]Query, 0, n)
+	for i, q := range queries {
+		if keep[i] {
+			out = append(out, q)
+		}
+	}
+	return out
 }
 
 // ConceptMap builds the Concept-Map (Step 1 of Figure 4a): words with a

@@ -1,0 +1,124 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func encoded(t *testing.T) []byte {
+	t.Helper()
+	_, snap := capture(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	data := encoded(t)
+	// Every truncation point past the magic must fail loudly; points inside
+	// the payload must fail as ErrCorrupt specifically.
+	for _, cut := range []int{len(magic) + 3, len(magic) + 16, len(data) / 2, len(data) - 1} {
+		_, err := Load(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d of %d loaded successfully", cut, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation at %d: error %v is not ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestLoadDetectsBitFlips(t *testing.T) {
+	data := encoded(t)
+	headerLen := len(magic) + 16
+	// Flip one bit at several payload offsets; the checksum must catch all.
+	for _, off := range []int{headerLen, headerLen + 100, len(data) - 1} {
+		flipped := append([]byte(nil), data...)
+		flipped[off] ^= 0x40
+		_, err := Load(bytes.NewReader(flipped))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("bit flip at offset %d: error %v is not ErrCorrupt", off, err)
+		}
+	}
+}
+
+func TestLoadLegacyBareGob(t *testing.T) {
+	// Pre-checksum snapshots are bare gob streams; they must still load.
+	_, snap := capture(t)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("legacy stream rejected: %v", err)
+	}
+	if loaded.Version != FormatVersion || len(loaded.Tables) != len(snap.Tables) {
+		t.Error("legacy stream decoded incorrectly")
+	}
+}
+
+func TestSaveFileRoundTripAndCleanup(t *testing.T) {
+	_, snap := capture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.nebsnap")
+	if err := SaveFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Tables) != len(snap.Tables) || len(loaded.Attachments) != len(snap.Attachments) {
+		t.Error("SaveFile/LoadFile round trip mismatch")
+	}
+	// Overwrite is atomic and leaves no temp litter behind.
+	if err := SaveFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want only the snapshot", len(entries))
+	}
+}
+
+func TestSaveFileFailureLeavesTargetUntouched(t *testing.T) {
+	_, snap := capture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.nebsnap")
+	if err := SaveFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A save into a directory that vanishes mid-flight must not destroy the
+	// existing file; simulate with an unwritable temp dir via a bogus path
+	// whose parent is a file.
+	if err := SaveFile(filepath.Join(path, "child.nebsnap"), snap); err == nil {
+		t.Fatal("save under a file path should fail")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed save mutated the existing snapshot")
+	}
+}

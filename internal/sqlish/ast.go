@@ -30,16 +30,23 @@ type AnnotateStmt struct {
 	Body  string
 }
 
-// DiscoverStmt is `DISCOVER '<annotation-id>'`: run Stages 1–2 and report
-// the candidates without routing them.
+// DiscoverStmt is `DISCOVER '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]`:
+// run Stages 1–2 and report the candidates without routing them. TIMEOUT
+// bounds the run's wall clock in milliseconds; MAX keeps only the n
+// strongest candidates. Zero means no bound.
 type DiscoverStmt struct {
-	ID string
+	ID            string
+	TimeoutMillis int64
+	MaxCandidates int
 }
 
-// ProcessStmt is `PROCESS '<annotation-id>'`: run the full pipeline
-// including verification routing.
+// ProcessStmt is `PROCESS '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]`: run
+// the full pipeline including verification routing, under the same optional
+// governors as DiscoverStmt.
 type ProcessStmt struct {
-	ID string
+	ID            string
+	TimeoutMillis int64
+	MaxCandidates int
 }
 
 // Condition is one `col = value` conjunct of a WHERE clause.

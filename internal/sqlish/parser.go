@@ -128,17 +128,54 @@ func (p *parser) statement() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &DiscoverStmt{ID: id}, nil
+		stmt := &DiscoverStmt{ID: id}
+		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates); err != nil {
+			return nil, err
+		}
+		return stmt, nil
 	case p.acceptWord("PROCESS"):
 		id, err := p.expectString()
 		if err != nil {
 			return nil, err
 		}
-		return &ProcessStmt{ID: id}, nil
+		stmt := &ProcessStmt{ID: id}
+		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates); err != nil {
+			return nil, err
+		}
+		return stmt, nil
 	case p.acceptWord("SELECT"):
 		return p.selectStmt()
 	default:
 		return nil, fmt.Errorf("sqlish: unknown statement at offset %d", p.peek().pos)
+	}
+}
+
+// governors parses the optional `TIMEOUT <ms>` and `MAX <n>` clauses of
+// DISCOVER/PROCESS, in either order.
+func (p *parser) governors(timeoutMillis *int64, maxCandidates *int) error {
+	for {
+		switch {
+		case p.acceptWord("TIMEOUT"):
+			n, err := p.expectInt()
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return fmt.Errorf("sqlish: TIMEOUT must be positive")
+			}
+			*timeoutMillis = n
+		case p.acceptWord("MAX"):
+			n, err := p.expectInt()
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return fmt.Errorf("sqlish: MAX must be positive")
+			}
+			*maxCandidates = int(n)
+		default:
+			return nil
+		}
 	}
 }
 

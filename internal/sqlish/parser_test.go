@@ -89,6 +89,33 @@ func TestParseDiscoverProcess(t *testing.T) {
 	}
 }
 
+func TestParseDiscoverGovernors(t *testing.T) {
+	d := parseOK(t, "DISCOVER 'alice' TIMEOUT 250 MAX 10").(*DiscoverStmt)
+	if d.ID != "alice" || d.TimeoutMillis != 250 || d.MaxCandidates != 10 {
+		t.Fatalf("got %#v", d)
+	}
+	// Clauses compose in either order, and each is optional.
+	p := parseOK(t, "PROCESS 'alice' MAX 5 TIMEOUT 100;").(*ProcessStmt)
+	if p.TimeoutMillis != 100 || p.MaxCandidates != 5 {
+		t.Fatalf("got %#v", p)
+	}
+	only := parseOK(t, "DISCOVER 'alice' MAX 2").(*DiscoverStmt)
+	if only.TimeoutMillis != 0 || only.MaxCandidates != 2 {
+		t.Fatalf("got %#v", only)
+	}
+	for _, bad := range []string{
+		"DISCOVER 'alice' TIMEOUT",
+		"DISCOVER 'alice' TIMEOUT 'soon'",
+		"DISCOVER 'alice' TIMEOUT 0",
+		"DISCOVER 'alice' MAX -3",
+		"PROCESS 'alice' MAX 0",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
 func TestParseSelect(t *testing.T) {
 	s := parseOK(t, "SELECT * FROM Gene")
 	sel := s.(*SelectStmt)

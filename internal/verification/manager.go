@@ -73,6 +73,22 @@ type Outcome struct {
 // are added (per §6.3's profile-update protocol), so Submit measures all
 // accepted tuples' distances first, then applies the graph updates.
 func (m *Manager) Submit(a annotation.ID, focal []relational.TupleID, candidates []discovery.Candidate) (Outcome, error) {
+	return m.submit(a, focal, candidates, false)
+}
+
+// SubmitDegraded routes the candidates of a degraded discovery run — one
+// that was truncated by a budget, interrupted by a deadline, or forced off
+// its configured search strategy. Confidences from such runs are computed
+// against an incomplete evidence base (normalization saw only part of the
+// result set), so nothing is auto-accepted: candidates that would clear
+// β_upper become pending expert-verification tasks instead. Auto-rejection
+// below β_lower still applies — a truncated run only ever under-reports
+// confidence-inflating evidence for the tuples it did produce.
+func (m *Manager) SubmitDegraded(a annotation.ID, focal []relational.TupleID, candidates []discovery.Candidate) (Outcome, error) {
+	return m.submit(a, focal, candidates, true)
+}
+
+func (m *Manager) submit(a annotation.ID, focal []relational.TupleID, candidates []discovery.Candidate, degraded bool) (Outcome, error) {
 	var out Outcome
 	if _, ok := m.store.Get(a); !ok {
 		return out, fmt.Errorf("verification: unknown annotation %q", a)
@@ -85,6 +101,9 @@ func (m *Manager) Submit(a annotation.ID, focal []relational.TupleID, candidates
 			Confidence: c.Confidence,
 			Evidence:   append([]string(nil), c.Evidence...),
 			Decision:   m.bounds.Route(c.Confidence),
+		}
+		if degraded && task.Decision == AutoAccepted {
+			task.Decision = Pending
 		}
 		m.nextVID++
 		switch task.Decision {
@@ -101,6 +120,14 @@ func (m *Manager) Submit(a annotation.ID, focal []relational.TupleID, candidates
 		return out, err
 	}
 	return out, nil
+}
+
+// Pending returns the pending task with the given VID, if any — the
+// VID-keyed lookup behind `Verify/Reject Attachment <vid>`. O(1); the
+// returned task is live and must not be mutated by callers.
+func (m *Manager) Pending(vid int64) (*Task, bool) {
+	t, ok := m.pending[vid]
+	return t, ok
 }
 
 // applyAcceptances runs the acceptance side effects for a batch of tasks of

@@ -134,6 +134,68 @@ func TestSubmitRouting(t *testing.T) {
 	}
 }
 
+func TestSubmitDegradedRoutesAcceptsToPending(t *testing.T) {
+	db, store, _, _, m := managerFixture(t)
+	focal := []relational.TupleID{tup(0)}
+	out, err := m.SubmitDegraded("a1", focal, []discovery.Candidate{
+		cand(t, db, 1, 0.95), // would auto-accept; must go pending
+		cand(t, db, 2, 0.5),  // pending either way
+		cand(t, db, 3, 0.1),  // auto-reject still applies
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Accepted) != 0 {
+		t.Fatalf("degraded submission auto-accepted: %+v", out)
+	}
+	if len(out.Pending) != 2 || len(out.Rejected) != 1 {
+		t.Fatalf("routing: %+v", out)
+	}
+	// No acceptance side effects ran.
+	if _, ok := store.Edge("a1", tup(1)); ok {
+		t.Error("degraded candidate attached without expert review")
+	}
+	// The rerouted task keeps its confidence and is expert-resolvable.
+	top := out.Pending[0]
+	if top.Confidence != 0.95 {
+		t.Errorf("confidence lost in rerouting: %f", top.Confidence)
+	}
+	if err := m.Verify(top.VID, focal); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Edge("a1", tup(1)); !ok {
+		t.Error("expert verification of rerouted task did not attach")
+	}
+}
+
+func TestPendingLookupByVID(t *testing.T) {
+	db, _, _, _, m := managerFixture(t)
+	out, err := m.Submit("a1", []relational.TupleID{tup(0)}, []discovery.Candidate{
+		cand(t, db, 2, 0.5),
+		cand(t, db, 3, 0.6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range out.Pending {
+		got, ok := m.Pending(want.VID)
+		if !ok || got != want {
+			t.Errorf("Pending(%d) = %v, %v", want.VID, got, ok)
+		}
+	}
+	if _, ok := m.Pending(99999); ok {
+		t.Error("unknown VID resolved")
+	}
+	// Resolved tasks leave the index.
+	vid := out.Pending[0].VID
+	if err := m.Reject(vid); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Pending(vid); ok {
+		t.Error("rejected task still pending")
+	}
+}
+
 func TestSubmitUnknownAnnotation(t *testing.T) {
 	db, _, _, _, m := managerFixture(t)
 	if _, err := m.Submit("nope", nil, []discovery.Candidate{cand(t, db, 1, 0.9)}); err == nil {

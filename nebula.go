@@ -154,6 +154,9 @@ type (
 	Candidate = discovery.Candidate
 	// DiscoveryStats reports Stage 2 cost counters.
 	DiscoveryStats = discovery.Stats
+	// SpamError is the concrete ErrSpamAnnotation error, carrying the
+	// candidate and database counts quarantine tooling needs.
+	SpamError = discovery.SpamError
 	// ACG is the Annotations Connectivity Graph (§6.2).
 	ACG = acg.Graph
 	// HopProfile is the Figure 7 hop-distance histogram.

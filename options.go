@@ -2,9 +2,56 @@ package nebula
 
 import (
 	"fmt"
+	"time"
 
+	"nebula/internal/discovery"
+	"nebula/internal/keyword"
 	"nebula/internal/verification"
 )
+
+// Budget bounds one discovery run. The zero value imposes no bounds and
+// selects the exact ungoverned pipeline — governance is free when off.
+// When a bound bites, the run degrades instead of failing: it keeps the
+// strongest work completed so far and records every shortcut in the
+// GenerationStats/DiscoveryStats Degraded lists. Only the wall-clock
+// Deadline produces an error (a typed ErrBudgetExceeded with partial
+// candidates attached to the returned Discovery).
+type Budget struct {
+	// MaxQueries caps the keyword queries generated from one annotation
+	// (Stage 1). The highest-weight queries are kept.
+	MaxQueries int
+	// MaxCandidates truncates the candidate list to the strongest N
+	// predictions (Stage 2 output).
+	MaxCandidates int
+	// MaxSearchedRows stops keyword execution once this many tuples have
+	// been scanned.
+	MaxSearchedRows int
+	// Deadline is the wall-clock budget for one discovery run; it is
+	// combined (as context.WithTimeout) with whatever context the caller
+	// passes to DiscoverContext/ProcessContext.
+	Deadline time.Duration
+}
+
+// Enabled reports whether any bound is set.
+func (b Budget) Enabled() bool {
+	return b.MaxQueries > 0 || b.MaxCandidates > 0 || b.MaxSearchedRows > 0 || b.Deadline > 0
+}
+
+// Validate rejects negative bounds.
+func (b Budget) Validate() error {
+	if b.MaxQueries < 0 || b.MaxCandidates < 0 || b.MaxSearchedRows < 0 || b.Deadline < 0 {
+		return fmt.Errorf("nebula: negative budget %+v", b)
+	}
+	return nil
+}
+
+// RetryPolicy re-exports the discoverer's transient-error retry policy.
+type RetryPolicy = discovery.RetryPolicy
+
+// KeywordSearcher re-exports the pluggable keyword-search technique
+// interface, so deployments (and the fault-injection harness) can wrap the
+// engine's searcher with middleware via Options.SearcherFactory.
+type KeywordSearcher = keyword.Searcher
 
 // Options configure an Engine.
 type Options struct {
@@ -56,6 +103,19 @@ type Options struct {
 	// spam-annotation error if an annotation's candidates exceed this
 	// fraction of the database (see footnote 1 of the paper).
 	SpamFraction float64
+	// Budget bounds every discovery run (see Budget). Zero = unbounded,
+	// the exact ungoverned pipeline.
+	Budget Budget
+	// Retry governs re-attempts of transient keyword-searcher errors with
+	// capped exponential backoff. Zero = no retries.
+	Retry RetryPolicy
+	// SearcherFactory, when non-nil, overrides the keyword-search
+	// technique: it receives the database to search (the full database,
+	// or a spreading miniDB) and returns the technique to use. It takes
+	// precedence over SearchTechnique. Deployments use it to wrap the
+	// searcher with middleware — retry observers, fault injection,
+	// instrumentation.
+	SearcherFactory func(db *Database) KeywordSearcher
 }
 
 // Search technique names for Options.SearchTechnique.
@@ -110,6 +170,12 @@ func (o Options) Validate() error {
 	}
 	if o.SpamFraction < 0 || o.SpamFraction > 1 {
 		return fmt.Errorf("nebula: spam fraction %f outside [0,1]", o.SpamFraction)
+	}
+	if err := o.Budget.Validate(); err != nil {
+		return err
+	}
+	if o.Retry.MaxRetries < 0 {
+		return fmt.Errorf("nebula: negative retry count %d", o.Retry.MaxRetries)
 	}
 	return nil
 }

@@ -26,6 +26,29 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	return snapshot.Save(w, snap)
 }
 
+// SaveSnapshotFile persists the engine's state to path durably and
+// atomically: the checksummed stream is written to a temp file in the same
+// directory, fsynced, and renamed over path, so a crash mid-save never
+// leaves a half-written state file where the previous snapshot was.
+func (e *Engine) SaveSnapshotFile(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap, err := snapshot.Capture(snapshot.State{
+		DB:      e.db,
+		Store:   e.store,
+		Graph:   e.graph,
+		Profile: e.profile,
+	})
+	if err != nil {
+		return err
+	}
+	return snapshot.SaveFile(path, snap)
+}
+
+// ErrSnapshotCorrupt reports a snapshot stream that failed integrity
+// verification (truncated or bit-flipped). Match with errors.Is.
+var ErrSnapshotCorrupt = snapshot.ErrCorrupt
+
 // RestoreEngine rebuilds an engine from a snapshot stream. configureMeta
 // receives the restored database and must return the NebulaMeta repository
 // for it (typically the same registration code the application ran when it
