@@ -3,17 +3,20 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fmt vet check clean
+.PHONY: all build test race cover bench bench-parallel experiments examples fmt vet check clean
 
 all: build test
 
-# Full pre-merge gate: static checks, build, race-enabled tests, and the
-# fault-injection / governance smoke suite.
+# Full pre-merge gate: static checks, build, race-enabled tests, the
+# fault-injection / governance smoke suite, the fuzz seed corpora, and the
+# parallel-determinism suite.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'Fault|Inject|Governor|Deadline|Cancel|Budget|Degraded|Retry|Panic|Truncat|BitFlip|SaveFile' ./internal/faultinject/ ./internal/snapshot/ .
+	$(GO) test -run Fuzz ./internal/sqlish/ ./internal/snapshot/
+	$(GO) test -run Determinis ./internal/keyword/ ./internal/relational/ .
 
 build:
 	$(GO) build ./...
@@ -29,6 +32,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+	$(MAKE) bench-parallel
+
+# Sequential vs parallel keyword-batch execution; the JSON artifact records
+# the measured speedups (bounded by GOMAXPROCS) and the byte-identity check.
+bench-parallel:
+	$(GO) run ./cmd/nebulactl bench-parallel --size large --workers 2,4,8 --rounds 3 --out BENCH_parallel.json
 
 experiments:
 	$(GO) run ./cmd/nebulactl experiment --figure all --size small

@@ -10,6 +10,8 @@
 //	nebulactl experiment --figure all --size small
 //	nebulactl discover   --size tiny --index 3 --delta 1 [--epsilon 0.6] [--spread K]
 //	                     [--timeout 50ms] [--max-candidates N] [--max-queries N]
+//	                     [--parallelism N]
+//	nebulactl bench-parallel --size large --workers 2,4,8 --rounds 3 --out BENCH_parallel.json
 //	nebulactl demo
 package main
 
@@ -18,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"nebula"
 	"nebula/internal/bench"
@@ -45,6 +49,8 @@ func main() {
 		err = cmdLearn(os.Args[2:])
 	case "snapshot":
 		err = cmdSnapshot(os.Args[2:])
+	case "bench-parallel":
+		err = cmdBenchParallel(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -70,6 +76,9 @@ commands:
   sql         interactive extended-SQL shell over a generated dataset
   learn       mine ConceptRefs proposals from the existing annotations
   snapshot    save a dataset's engine state to disk and verify the round trip
+  bench-parallel
+              measure sequential vs parallel keyword-batch execution and
+              record the comparison (including byte-identity of results)
 `)
 }
 
@@ -224,6 +233,7 @@ func cmdDiscover(args []string) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget per run (0 = none); partial candidates are reported when it fires")
 	maxCand := fs.Int("max-candidates", 0, "keep only the N strongest candidates (0 = all)")
 	maxQueries := fs.Int("max-queries", 0, "cap Stage 1 at the N highest-weight queries (0 = all)")
+	parallelism := fs.Int("parallelism", 0, "worker pool size for keyword execution (0 = NumCPU, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -248,6 +258,7 @@ func cmdDiscover(args []string) error {
 		MaxQueries:    *maxQueries,
 		Deadline:      *timeout,
 	}
+	opts.Parallelism = *parallelism
 	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, opts)
 	if err != nil {
 		return err
@@ -298,6 +309,57 @@ func cmdDiscover(args []string) error {
 	fmt.Printf("\nverification (bounds [%.2f, %.2f]): %d auto-accepted, %d pending, %d auto-rejected\n",
 		engine.Bounds().Lower, engine.Bounds().Upper,
 		len(outcome.Accepted), len(outcome.Pending), len(outcome.Rejected))
+	return nil
+}
+
+// cmdBenchParallel measures sequential vs parallel execution of the
+// workload's keyword-query batch and records the comparison as JSON. The
+// speedup is bounded by GOMAXPROCS — on a single-core host the interesting
+// output is the identity check, which must hold at every worker count.
+func cmdBenchParallel(args []string) error {
+	fs := flag.NewFlagSet("bench-parallel", flag.ExitOnError)
+	size := fs.String("size", "large", "dataset size: tiny|small|mid|large")
+	seed := fs.Int64("seed", 42, "generator seed")
+	workers := fs.String("workers", "2,4,8", "comma-separated worker counts to compare against sequential")
+	rounds := fs.Int("rounds", 3, "measurement rounds per configuration (best time kept)")
+	out := fs.String("out", "BENCH_parallel.json", "output JSON path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var counts []int
+	for _, part := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return fmt.Errorf("bad worker count %q (need integers >= 2)", part)
+		}
+		counts = append(counts, n)
+	}
+	env, err := bench.LoadEnv(*size, *seed)
+	if err != nil {
+		return err
+	}
+	results, err := bench.RunParallelBench(env, counts, *rounds)
+	if err != nil {
+		return err
+	}
+	bench.ParallelTable(results).Print(os.Stdout)
+	for _, r := range results {
+		if !r.Identical {
+			return fmt.Errorf("parallel results diverged from sequential (workers=%d shared=%v)", r.Workers, r.Shared)
+		}
+	}
+	if *out == "" {
+		return bench.WriteParallelJSON(os.Stdout, results)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteParallelJSON(f, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
 	return nil
 }
 

@@ -69,9 +69,9 @@ func (e *Engine) ExecCommand(command string) (*CommandResult, error) {
 	case *sqlish.AnnotateStmt:
 		return e.execAnnotate(s)
 	case *sqlish.DiscoverStmt:
-		return e.execDiscover(s.ID, false, s.TimeoutMillis, s.MaxCandidates)
+		return e.execDiscover(s.ID, false, s.TimeoutMillis, s.MaxCandidates, s.Parallel)
 	case *sqlish.ProcessStmt:
-		return e.execDiscover(s.ID, true, s.TimeoutMillis, s.MaxCandidates)
+		return e.execDiscover(s.ID, true, s.TimeoutMillis, s.MaxCandidates, s.Parallel)
 	case *sqlish.SelectStmt:
 		return e.execSelect(s)
 	default:
@@ -122,7 +122,7 @@ func (e *Engine) execAnnotate(s *sqlish.AnnotateStmt) (*CommandResult, error) {
 	return &CommandResult{Message: fmt.Sprintf("annotation %q attached to %s", s.ID, row.ID)}, nil
 }
 
-func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxCandidates int) (*CommandResult, error) {
+func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxCandidates, parallel int) (*CommandResult, error) {
 	ctx := context.Background()
 	if timeoutMillis > 0 {
 		var cancel context.CancelFunc
@@ -135,6 +135,12 @@ func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxC
 		saved := e.opts.Budget.MaxCandidates
 		e.opts.Budget.MaxCandidates = maxCandidates
 		defer func() { e.opts.Budget.MaxCandidates = saved }()
+	}
+	if parallel > 0 {
+		// Same per-statement override pattern for the worker pool.
+		saved := e.opts.Parallelism
+		e.opts.Parallelism = parallel
+		defer func() { e.opts.Parallelism = saved }()
 	}
 	res := &CommandResult{Columns: []string{"tuple", "confidence", "evidence", "routing"}}
 	var (

@@ -2,6 +2,7 @@ package nebula_test
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -77,5 +78,112 @@ func TestConcurrentEngineUse(t *testing.T) {
 	// Sanity: state is coherent afterwards.
 	if e.Store().Len() == 0 || e.Graph().Nodes() == 0 {
 		t.Error("engine state lost")
+	}
+}
+
+// TestConcurrentBatchUse drives the parallel batch APIs from many
+// goroutines at once — disjoint ProcessBatch slices, DiscoverBatch
+// readers, snapshot writers, pending listings — on an engine with a
+// worker pool (Parallelism = 4). Run with -race. Afterwards the pending
+// queue must be exactly the union of the per-batch outcomes: no lost
+// tasks, no duplicates, every VID unique.
+func TestConcurrentBatchUse(t *testing.T) {
+	opts := nebula.DefaultOptions()
+	opts.Bounds = nebula.Bounds{Lower: 0.2, Upper: 0.8}
+	opts.Parallelism = 4
+	e, ds := engineFixture(t, opts)
+
+	specs := ds.WorkloadSet(500, workload.RefClass{})
+	if len(specs) < 8 {
+		t.Fatalf("fixture too small: %d specs", len(specs))
+	}
+	specs = specs[:8]
+	for i, spec := range specs {
+		if err := e.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	var mu sync.Mutex
+	var outcomes []nebula.BatchResult
+
+	// Processors: each owns a disjoint half of the workload.
+	for lo := 0; lo < len(specs); lo += 4 {
+		hi := lo + 4
+		wg.Add(1)
+		go func(part []*workload.AnnotationSpec) {
+			defer wg.Done()
+			ids := make([]nebula.AnnotationID, len(part))
+			for i, s := range part {
+				ids[i] = s.Ann.ID
+			}
+			results := e.ProcessBatch(ids)
+			for _, r := range results {
+				if r.Err != nil {
+					errs <- fmt.Errorf("process %s: %w", r.ID, r.Err)
+				}
+			}
+			mu.Lock()
+			outcomes = append(outcomes, results...)
+			mu.Unlock()
+		}(specs[lo:hi])
+	}
+	// Rediscoverers: read-only batch discovery racing the processors.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := []nebula.AnnotationID{specs[0].Ann.ID, specs[5].Ann.ID}
+			for k := 0; k < 5; k++ {
+				for _, r := range e.DiscoverBatch(ids) {
+					if r.Err != nil {
+						errs <- fmt.Errorf("discover %s: %w", r.ID, r.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Snapshotter and pending readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 5; k++ {
+			if err := e.SaveSnapshot(io.Discard); err != nil {
+				errs <- fmt.Errorf("snapshot: %w", err)
+				return
+			}
+			_ = e.PendingTasks()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Consistency: the queue holds exactly the tasks the batches reported
+	// pending (order-insensitive; interleaving may vary VID assignment).
+	want := 0
+	seen := make(map[int64]bool)
+	for _, r := range outcomes {
+		want += len(r.Outcome.Pending)
+		for _, p := range r.Outcome.Pending {
+			if seen[p.VID] {
+				t.Errorf("VID %d assigned twice", p.VID)
+			}
+			seen[p.VID] = true
+		}
+	}
+	tasks := e.PendingTasks()
+	if len(tasks) != want {
+		t.Errorf("pending queue has %d tasks, batches reported %d", len(tasks), want)
+	}
+	for _, task := range tasks {
+		if !seen[task.VID] {
+			t.Errorf("queued VID %d missing from batch outcomes", task.VID)
+		}
 	}
 }

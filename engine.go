@@ -293,6 +293,7 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID) (
 		SpamFraction:    e.opts.SpamFraction,
 		MaxScannedRows:  e.opts.Budget.MaxSearchedRows,
 		MaxCandidates:   e.opts.Budget.MaxCandidates,
+		MaxWorkers:      resolveWorkers(e.opts.Parallelism),
 		Retry:           e.opts.Retry,
 	})
 	disc := &Discovery{

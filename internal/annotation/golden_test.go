@@ -1,0 +1,223 @@
+package annotation
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nebula/internal/relational"
+)
+
+// update rewrites the golden files under testdata/golden/ instead of
+// comparing against them:
+//
+//	go test ./internal/annotation -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenFixture builds a Gene–Protein database (FK Protein.GeneID →
+// Gene.GID) with annotations at every granularity the propagation rules
+// distinguish: row-level true, cell-level true, predicted, and one
+// annotation attached on both sides of the join.
+func goldenFixture(t *testing.T) (*relational.Database, *Store) {
+	t.Helper()
+	db := relational.NewDatabase()
+	gt, err := db.CreateTable(&relational.Schema{
+		Name: "Gene",
+		Columns: []relational.Column{
+			{Name: "GID", Type: relational.TypeString},
+			{Name: "Name", Type: relational.TypeString, Indexed: true},
+			{Name: "Family", Type: relational.TypeString, Indexed: true},
+		},
+		PrimaryKey: "GID",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := db.CreateTable(&relational.Schema{
+		Name: "Protein",
+		Columns: []relational.Column{
+			{Name: "PID", Type: relational.TypeString},
+			{Name: "PName", Type: relational.TypeString},
+			{Name: "GeneID", Type: relational.TypeString, Indexed: true},
+		},
+		PrimaryKey:  "PID",
+		ForeignKeys: []relational.ForeignKey{{Column: "GeneID", RefTable: "Gene", RefColumn: "GID"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][]relational.Value{
+		{relational.String("JW0013"), relational.String("grpC"), relational.String("F1")},
+		{relational.String("JW0019"), relational.String("yaaB"), relational.String("F3")},
+		{relational.String("JW0012"), relational.String("yaaI"), relational.String("F1")},
+	} {
+		if _, err := gt.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range [][]relational.Value{
+		{relational.String("P1"), relational.String("Actin"), relational.String("JW0013")},
+		{relational.String("P2"), relational.String("Tubulin"), relational.String("JW0013")},
+		{relational.String("P3"), relational.String("Myosin"), relational.String("JW0019")},
+	} {
+		if _, err := pt.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewStore()
+	for _, a := range []*Annotation{
+		{ID: "rowAnn", Author: "curator", Body: "row-level note on JW0013", Kind: "comment"},
+		{ID: "cellAnn", Author: "curator", Body: "cell note on grpC's Name", Kind: "comment"},
+		{ID: "predAnn", Author: "nebula", Body: "predicted relevance", Kind: "flag"},
+		{ID: "famAnn", Author: "curator", Body: "family F1 review", Kind: "comment"},
+		{ID: "protCell", Author: "curator", Body: "cell note on Actin's PName", Kind: "comment"},
+		{ID: "bothSides", Author: "curator", Body: "attached to gene and protein", Kind: "article"},
+	} {
+		if err := s.Add(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g13, _ := gt.GetByPK(relational.String("JW0013"))
+	g12, _ := gt.GetByPK(relational.String("JW0012"))
+	p1, _ := pt.GetByPK(relational.String("P1"))
+	p2, _ := pt.GetByPK(relational.String("P2"))
+	for _, att := range []Attachment{
+		{Annotation: "rowAnn", Tuple: g13.ID, Type: TrueAttachment},
+		{Annotation: "cellAnn", Tuple: g13.ID, Column: "Name", Type: TrueAttachment},
+		{Annotation: "predAnn", Tuple: g13.ID, Type: PredictedAttachment, Confidence: 0.42},
+		{Annotation: "famAnn", Tuple: g13.ID, Column: "Family", Type: PredictedAttachment, Confidence: 0.8},
+		{Annotation: "famAnn", Tuple: g12.ID, Column: "Family", Type: TrueAttachment},
+		{Annotation: "protCell", Tuple: p1.ID, Column: "PName", Type: TrueAttachment},
+		{Annotation: "bothSides", Tuple: g13.ID, Type: PredictedAttachment, Confidence: 0.3},
+		{Annotation: "bothSides", Tuple: p2.ID, Type: TrueAttachment},
+	} {
+		if _, err := s.Attach(att); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, s
+}
+
+func renderPropagated(rows []PropagatedRow) string {
+	var b strings.Builder
+	for _, pr := range rows {
+		fmt.Fprintf(&b, "%s:", pr.Row.ID)
+		if len(pr.Annotations) == 0 {
+			b.WriteString(" (none)")
+		}
+		for i, a := range pr.Annotations {
+			fmt.Fprintf(&b, " %s[%s]@%.2f", a.ID, a.Kind, pr.Confidences[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderJoined(rows []PropagatedJoinRow) string {
+	var b strings.Builder
+	for _, jr := range rows {
+		fmt.Fprintf(&b, "%s ⋈ %s:", jr.Left.ID, jr.Right.ID)
+		if len(jr.Annotations) == 0 {
+			b.WriteString(" (none)")
+		}
+		for i, a := range jr.Annotations {
+			fmt.Fprintf(&b, " %s[%s]@%.2f", a.ID, a.Kind, jr.Confidences[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// checkGolden compares got against testdata/golden/<name>.golden, or
+// rewrites the file when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create it): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run with -update after intentional changes)\n--- want\n%s--- got\n%s",
+			path, want, got)
+	}
+}
+
+// TestGoldenPropagateSelection pins the full propagation output of plain
+// selections: row-level, cell-level, and predicted attachments over a
+// family scan and a point lookup.
+func TestGoldenPropagateSelection(t *testing.T) {
+	db, s := goldenFixture(t)
+	for _, tc := range []struct {
+		name string
+		q    relational.Query
+	}{
+		{"select-family-f1", relational.Query{Table: "Gene", Predicates: []relational.Predicate{
+			{Column: "Family", Op: relational.OpEq, Operand: relational.String("F1")}}}},
+		{"select-all-genes", relational.Query{Table: "Gene"}},
+	} {
+		out, err := s.PropagateQuery(db, tc.q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, renderPropagated(out))
+	}
+}
+
+// TestGoldenPropagateProjection pins the projection rule: cell-level
+// attachments ride along only when their column is projected; row-level
+// and predicted (row-granularity) attachments always do.
+func TestGoldenPropagateProjection(t *testing.T) {
+	db, s := goldenFixture(t)
+	q := relational.Query{Table: "Gene"}
+	for _, tc := range []struct {
+		name      string
+		projected []string
+	}{
+		{"project-name", []string{"GID", "Name"}},
+		{"project-family", []string{"GID", "Family"}},
+		{"project-neither-cell", []string{"GID"}},
+	} {
+		out, err := s.PropagateQuery(db, q, tc.projected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, renderPropagated(out))
+	}
+}
+
+// TestGoldenPropagateJoin pins join propagation: annotations from either
+// contributing tuple reach the joined row, deduplicated with the higher
+// confidence winning, and per-side projections gate cell-level edges.
+func TestGoldenPropagateJoin(t *testing.T) {
+	db, s := goldenFixture(t)
+	left := relational.Query{Table: "Protein"}
+	right := relational.Query{Table: "Gene"}
+	for _, tc := range []struct {
+		name                string
+		projLeft, projRight []string
+	}{
+		{"join-all-columns", nil, nil},
+		{"join-project-pname", []string{"PID", "PName"}, []string{"GID"}},
+		{"join-project-no-cells", []string{"PID"}, []string{"GID"}},
+	} {
+		out, err := s.PropagateJoin(db, left, right, tc.projLeft, tc.projRight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, renderJoined(out))
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"nebula/internal/keyword"
+	"nebula/internal/sigmap"
+)
+
+// ParallelResult records one sequential-vs-parallel comparison of the
+// keyword executor over the same query batch. SequentialNS/ParallelNS are
+// the best (minimum) wall-clock times observed across the measurement
+// rounds; Identical reports whether the parallel run's rendered results —
+// tuples, order, confidences, producing queries, degradations — matched
+// the sequential run byte for byte (it must: parallelism changes
+// scheduling, never output).
+type ParallelResult struct {
+	Dataset      string  `json:"dataset"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	Shared       bool    `json:"shared"`
+	Queries      int     `json:"queries"`
+	SequentialNS int64   `json:"sequential_ns"`
+	ParallelNS   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+	Identical    bool    `json:"identical"`
+}
+
+// parallelBatch generates the benchmark's query batch: every workload
+// annotation of the dataset contributes its Stage-1 keyword queries, with
+// IDs prefixed by the annotation so they stay unique across the batch.
+func parallelBatch(env *Env) []keyword.Query {
+	ds := env.Dataset
+	gen := sigmap.NewGenerator(ds.Meta, 0.6)
+	var batch []keyword.Query
+	for _, spec := range ds.Workload {
+		queries, _ := gen.Generate(spec.Ann.Body)
+		for _, q := range queries {
+			q.ID = string(spec.Ann.ID) + "/" + q.ID
+			batch = append(batch, q)
+		}
+	}
+	return batch
+}
+
+// renderResults folds an executor result map into a canonical string for
+// byte-identity comparison. Iteration follows the batch order, so the
+// rendering is deterministic; the scheduling-only ExecStats fields
+// (Workers, ParallelBatches) are deliberately excluded.
+func renderResults(batch []keyword.Query, res map[string][]keyword.Result, stats keyword.ExecStats) string {
+	var b strings.Builder
+	for _, q := range batch {
+		fmt.Fprintf(&b, "%s:", q.ID)
+		for _, r := range res[q.ID] {
+			fmt.Fprintf(&b, " %v=%.9f@%s", r.Tuple.ID, r.Confidence, r.Query)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "stats: sq=%d shared=%d scanned=%d returned=%d degraded=%v\n",
+		stats.StructuredQueries, stats.SharedQueries, stats.TuplesScanned,
+		stats.TuplesReturned, stats.Degraded)
+	return b.String()
+}
+
+// measureBatch runs the batch `rounds` times at the given worker count and
+// returns the best wall-clock time plus the rendering of the last run.
+func measureBatch(eng *keyword.Engine, batch []keyword.Query, shared bool, workers, rounds int) (time.Duration, string, error) {
+	best := time.Duration(0)
+	var rendered string
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		res, stats, err := eng.ExecuteBatchContext(context.Background(), batch, shared, keyword.Limits{MaxWorkers: workers})
+		elapsed := time.Since(start)
+		if err != nil {
+			return 0, "", fmt.Errorf("bench: parallel batch (workers=%d): %w", workers, err)
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		rendered = renderResults(batch, res, stats)
+	}
+	return best, rendered, nil
+}
+
+// RunParallelBench compares sequential and parallel execution of the same
+// keyword-query batch for every requested worker count, on both the
+// isolated and the §6 shared execution strategies. Each comparison also
+// verifies byte-identity of the results.
+func RunParallelBench(env *Env, workerCounts []int, rounds int) ([]ParallelResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	batch := parallelBatch(env)
+	eng := keyword.NewEngine(env.Dataset.DB, env.Dataset.Meta)
+	var out []ParallelResult
+	for _, shared := range []bool{false, true} {
+		seqTime, seqRender, err := measureBatch(eng, batch, shared, 1, rounds)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range workerCounts {
+			parTime, parRender, err := measureBatch(eng, batch, shared, w, rounds)
+			if err != nil {
+				return nil, err
+			}
+			res := ParallelResult{
+				Dataset:      env.Name,
+				GOMAXPROCS:   runtime.GOMAXPROCS(0),
+				Workers:      w,
+				Shared:       shared,
+				Queries:      len(batch),
+				SequentialNS: seqTime.Nanoseconds(),
+				ParallelNS:   parTime.Nanoseconds(),
+				Identical:    parRender == seqRender,
+			}
+			if parTime > 0 {
+				res.Speedup = float64(seqTime) / float64(parTime)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// ParallelTable renders benchmark results as a printable table.
+func ParallelTable(results []ParallelResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Parallel ExecuteBatch — sequential vs worker pool (GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Header: []string{"dataset", "shared", "queries", "workers", "sequential-ms", "parallel-ms", "speedup", "identical"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, fmt.Sprintf("%v", r.Shared), fmtI(r.Queries), fmtI(r.Workers),
+			fmtMs(r.SequentialNS), fmtMs(r.ParallelNS),
+			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%v", r.Identical),
+		})
+	}
+	return t
+}
+
+// WriteParallelJSON writes the results as indented JSON (the
+// BENCH_parallel.json artifact).
+func WriteParallelJSON(w io.Writer, results []ParallelResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -93,6 +93,10 @@ type Options struct {
 	// MaxCandidates truncates the final candidate list to the N strongest
 	// predictions. 0 means unlimited.
 	MaxCandidates int
+	// MaxWorkers bounds the keyword executor's worker pool. 0 and 1 select
+	// the sequential legacy path; n > 1 executes independent keyword work
+	// concurrently while keeping results byte-identical to sequential.
+	MaxWorkers int
 	// Retry is applied to transient searcher errors (see RetryPolicy).
 	// The zero value disables retries.
 	Retry RetryPolicy
@@ -213,7 +217,7 @@ func (d *Discoverer) IdentifyRelatedTuplesContext(ctx context.Context, queries [
 	// final attempt's results are kept and its stats accumulate the total
 	// work spent. A surviving context error degrades the run to whatever
 	// the partial execution produced.
-	lim := keyword.Limits{MaxScannedRows: opts.MaxScannedRows}
+	lim := keyword.Limits{MaxScannedRows: opts.MaxScannedRows, MaxWorkers: opts.MaxWorkers}
 	var results map[string][]keyword.Result
 	retries, err := opts.Retry.do(ctx, func() error {
 		var attemptErr error

@@ -1,0 +1,238 @@
+package keyword
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nebula/internal/meta"
+	"nebula/internal/relational"
+)
+
+// detFixture builds a Gene table large enough that shared scans split into
+// multiple row segments, with both indexed (GID) and unindexed (Family)
+// access paths, plus the metadata to interpret hinted keywords.
+func detFixture(t testing.TB, rows int) *Engine {
+	t.Helper()
+	db := relational.NewDatabase()
+	gene := &relational.Schema{
+		Name: "Gene",
+		Columns: []relational.Column{
+			{Name: "GID", Type: relational.TypeString, Indexed: true},
+			{Name: "Name", Type: relational.TypeString, Indexed: true},
+			{Name: "Family", Type: relational.TypeString}, // unindexed: forces shared scans
+			{Name: "Length", Type: relational.TypeInt},
+		},
+		PrimaryKey: "GID",
+	}
+	if _, err := db.CreateTable(gene); err != nil {
+		t.Fatal(err)
+	}
+	gt := db.MustTable("Gene")
+	for i := 0; i < rows; i++ {
+		_, err := gt.Insert([]relational.Value{
+			relational.String(fmt.Sprintf("JW%05d", i)),
+			relational.String(fmt.Sprintf("gen%03d", i%97)),
+			relational.String(fmt.Sprintf("F%d", i%23)),
+			relational.Int(int64(300 + i%1700)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	repo := meta.NewRepository(db, nil)
+	if err := repo.AddConcept(&meta.Concept{
+		Name: "Gene", Table: "Gene", ReferencedBy: [][]string{{"GID"}, {"Name"}, {"Family"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(db, repo)
+}
+
+// detQueries builds a batch mixing scan-path (Family) and index-path (GID)
+// queries, with deliberate duplicates so the shared executor has work to
+// dedupe.
+func detQueries(n int) []Query {
+	qs := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		var k Keyword
+		switch i % 3 {
+		case 0, 1: // duplicate family probes across the batch
+			k = Keyword{Text: fmt.Sprintf("F%d", i%11), Role: RoleValue,
+				TargetTable: "Gene", TargetColumn: "Family", Weight: 0.9}
+		default:
+			k = Keyword{Text: fmt.Sprintf("JW%05d", (i*37)%500), Role: RoleValue,
+				TargetTable: "Gene", TargetColumn: "GID", Weight: 0.8}
+		}
+		qs = append(qs, Query{ID: fmt.Sprintf("q%03d", i), Weight: 1, Keywords: []Keyword{k}})
+	}
+	return qs
+}
+
+// renderBatch folds a batch outcome into one canonical string. The
+// scheduling-only stats fields (Workers, ParallelBatches) are zeroed: they
+// legitimately differ across worker counts; everything else must not.
+func renderBatch(qs []Query, res map[string][]Result, stats ExecStats, err error) string {
+	var b strings.Builder
+	for _, q := range qs {
+		fmt.Fprintf(&b, "%s:", q.ID)
+		for _, r := range res[q.ID] {
+			fmt.Fprintf(&b, " %v=%.9f@%s", r.Tuple.ID, r.Confidence, r.Query)
+		}
+		b.WriteByte('\n')
+	}
+	st := stats
+	st.Workers, st.ParallelBatches = 0, 0
+	fmt.Fprintf(&b, "stats=%+v err=%v\n", st, err)
+	return b.String()
+}
+
+// TestExecuteBatchDeterministicAcrossWorkers checks the tentpole contract:
+// ExecuteBatchContext output is byte-identical at parallelism 1, 2, 3, and
+// 8, on both execution strategies, both ungoverned and under a live
+// (uncancelled) context.
+func TestExecuteBatchDeterministicAcrossWorkers(t *testing.T) {
+	e := detFixture(t, 3000)
+	qs := detQueries(48)
+	for _, shared := range []bool{false, true} {
+		baseRes, baseStats, baseErr := e.ExecuteBatchContext(context.Background(), qs, shared, Limits{})
+		if baseErr != nil {
+			t.Fatalf("shared=%v: %v", shared, baseErr)
+		}
+		if shared && baseStats.SharedQueries == 0 {
+			t.Fatalf("fixture produced no shared queries; batch does not exercise dedup")
+		}
+		base := renderBatch(qs, baseRes, baseStats, baseErr)
+
+		// Governed baseline (cancellable context, no budget): the shared
+		// path chunks its scans, so its stats legitimately differ from the
+		// single-batch ungoverned run — but its results must not.
+		govCtx, govCancel := context.WithCancel(context.Background())
+		govRes, govStats, govErr := e.ExecuteBatchContext(govCtx, qs, shared, Limits{})
+		govCancel()
+		if govErr != nil {
+			t.Fatalf("shared=%v governed: %v", shared, govErr)
+		}
+		govBase := renderBatch(qs, govRes, govStats, govErr)
+		if onlyResults(base) != onlyResults(govBase) {
+			t.Fatalf("shared=%v: governed sequential results differ from ungoverned", shared)
+		}
+
+		for _, workers := range []int{2, 3, 8} {
+			// Ungoverned parallel.
+			res, stats, err := e.ExecuteBatchContext(context.Background(), qs, shared, Limits{MaxWorkers: workers})
+			if got := renderBatch(qs, res, stats, err); got != base {
+				t.Errorf("shared=%v workers=%d (ungoverned): output diverged\n--- workers=1\n%s--- workers=%d\n%s",
+					shared, workers, base, workers, got)
+			}
+			if stats.Workers != workers {
+				t.Errorf("shared=%v workers=%d: stats.Workers = %d", shared, workers, stats.Workers)
+			}
+			// Governed parallel: compared against the governed sequential
+			// baseline, whose chunking it must reproduce exactly.
+			ctx, cancel := context.WithCancel(context.Background())
+			res, stats, err = e.ExecuteBatchContext(ctx, qs, shared, Limits{MaxWorkers: workers})
+			cancel()
+			if got := renderBatch(qs, res, stats, err); got != govBase {
+				t.Errorf("shared=%v workers=%d (governed): output diverged\n--- workers=1\n%s--- workers=%d\n%s",
+					shared, workers, govBase, workers, got)
+			}
+		}
+	}
+}
+
+// TestExecuteBatchDeterministicUnderBudget checks the harder half of the
+// contract: when MaxScannedRows truncates the run, the truncation point,
+// the partial results, and the Degraded reasons are identical at every
+// worker count.
+func TestExecuteBatchDeterministicUnderBudget(t *testing.T) {
+	e := detFixture(t, 3000)
+	qs := detQueries(48)
+	for _, shared := range []bool{false, true} {
+		for _, budget := range []int{1, 3000, 7000, 50000} {
+			lim := Limits{MaxScannedRows: budget}
+			baseRes, baseStats, baseErr := e.ExecuteBatchContext(context.Background(), qs, shared, lim)
+			if baseErr != nil {
+				t.Fatalf("shared=%v budget=%d: %v", shared, budget, baseErr)
+			}
+			base := renderBatch(qs, baseRes, baseStats, baseErr)
+			if budget <= 7000 && len(baseStats.Degraded) == 0 {
+				t.Fatalf("shared=%v budget=%d: run was not truncated; test exercises nothing", shared, budget)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				lim := Limits{MaxScannedRows: budget, MaxWorkers: workers}
+				res, stats, err := e.ExecuteBatchContext(context.Background(), qs, shared, lim)
+				if got := renderBatch(qs, res, stats, err); got != base {
+					t.Errorf("shared=%v budget=%d workers=%d: truncated output diverged\n--- workers=1\n%s--- workers=%d\n%s",
+						shared, budget, workers, base, workers, got)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteBatchCancellationDrains checks that cancelling mid-batch at
+// any parallelism returns the typed context error and a consistent prefix:
+// every returned result set matches the ungoverned run's for that query.
+func TestExecuteBatchCancellationDrains(t *testing.T) {
+	e := detFixture(t, 3000)
+	qs := detQueries(48)
+	full, _, err := e.ExecuteBatch(qs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // already cancelled: the batch must drain immediately
+		res, _, err := e.ExecuteBatchContext(ctx, qs, true, Limits{MaxWorkers: workers})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		for id, rs := range res {
+			if len(rs) > 0 && renderOne(rs) != renderOne(full[id]) {
+				t.Errorf("workers=%d: partial results for %s are not a prefix of the full run", workers, id)
+			}
+		}
+	}
+}
+
+// onlyResults strips the trailing stats line from a renderBatch string,
+// keeping just the per-query result lines.
+func onlyResults(rendered string) string {
+	if i := strings.LastIndex(rendered, "stats="); i >= 0 {
+		return rendered[:i]
+	}
+	return rendered
+}
+
+func renderOne(rs []Result) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%v=%.9f@%s ", r.Tuple.ID, r.Confidence, r.Query)
+	}
+	return b.String()
+}
+
+// TestMergeRowsTieKeepsFirstQuery pins the tie rule: when two queries
+// produce the same tuple at equal confidence, the result stays attributed
+// to the first producer; a strictly higher confidence re-attributes.
+func TestMergeRowsTieKeepsFirstQuery(t *testing.T) {
+	e := detFixture(t, 10)
+	row := e.db.MustTable("Gene").Rows()[0]
+
+	byTuple := make(map[relational.TupleID]int)
+	out := e.mergeRows(nil, byTuple, []*relational.Row{row}, 0.5, "first")
+	out = e.mergeRows(out, byTuple, []*relational.Row{row}, 0.5, "second")
+	if len(out) != 1 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	if out[0].Query != "first" || out[0].Confidence != 0.5 {
+		t.Errorf("equal-confidence tie re-attributed: got %s@%f, want first@0.5", out[0].Query, out[0].Confidence)
+	}
+
+	out = e.mergeRows(out, byTuple, []*relational.Row{row}, 0.9, "third")
+	if out[0].Query != "third" || out[0].Confidence != 0.9 {
+		t.Errorf("higher confidence did not re-attribute: got %s@%f, want third@0.9", out[0].Query, out[0].Confidence)
+	}
+}

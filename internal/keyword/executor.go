@@ -92,12 +92,17 @@ func (e *Engine) joinProject(rows []*relational.Row, targetTable string) []*rela
 }
 
 // mergeRows folds rows produced at the given confidence into the result
-// set, applying the optional FK–PK related expansion.
+// set, applying the optional FK–PK related expansion. When a tuple is
+// produced again at a strictly higher confidence, the result is
+// re-attributed to the producing query; an equal confidence keeps the
+// first query ID, so ties resolve deterministically to the earliest
+// producer whatever order later configurations arrive in.
 func (e *Engine) mergeRows(out []Result, byTuple map[relational.TupleID]int, rows []*relational.Row, conf float64, queryID string) []Result {
 	add := func(r *relational.Row, c float64) {
 		if i, ok := byTuple[r.ID]; ok {
 			if c > out[i].Confidence {
 				out[i].Confidence = c
+				out[i].Query = queryID
 			}
 			return
 		}
@@ -132,11 +137,25 @@ func (e *Engine) ExecuteBatch(qs []Query, shared bool) (map[string][]Result, Exe
 // stops execution, keeps the partial results, and records the reason in
 // ExecStats.Degraded. An ungoverned call (background context, zero Limits)
 // takes the exact legacy path.
+//
+// Limits.MaxWorkers > 1 executes independent work concurrently: distinct
+// queries on the unshared path, structured-query chunks on the governed
+// shared path, and row segments of the shared scans on the ungoverned one.
+// Execution order is the only thing that changes — results are folded in
+// the sequential order afterwards, applying the exact sequential
+// cancellation and budget rules, so output (tuples, confidences, Degraded
+// reasons, truncation point) is byte-identical at any worker count. Only
+// the scheduling fields of ExecStats (Workers, ParallelBatches) differ.
 func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared bool, lim Limits) (map[string][]Result, ExecStats, error) {
 	var stats ExecStats
 	results := make(map[string][]Result, len(qs))
 	gov := governed(ctx, lim)
+	workers := lim.Workers()
+	stats.Workers = workers
 	if !shared {
+		if workers > 1 {
+			return e.executeUnsharedParallel(ctx, qs, lim, gov, workers)
+		}
 		for _, q := range qs {
 			if gov {
 				if err := ctx.Err(); err != nil {
@@ -197,39 +216,121 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 	// cancellation and the scan budget are honored mid-execution.
 	rowSets := make([][]*relational.Row, len(ordered))
 	executed := len(ordered) // fingerprints actually executed
-	chunk := len(ordered)
-	if gov && chunk > sharedChunk {
-		chunk = sharedChunk
-	}
 	var cancelErr error
-	for lo := 0; lo < len(ordered); lo += chunk {
-		hi := lo + chunk
-		if hi > len(ordered) {
-			hi = len(ordered)
-		}
-		if gov {
-			if err := ctx.Err(); err != nil {
-				executed = lo
-				cancelErr = err
-				break
+	switch {
+	case workers > 1 && !gov:
+		// Ungoverned parallel: one batch, segment-parallel shared scans.
+		if len(ordered) > 0 {
+			batch := make([]relational.Query, len(ordered))
+			for i, fp := range ordered {
+				batch[i] = structured[fp]
 			}
-			if !lim.Unlimited() && stats.TuplesScanned >= lim.MaxScannedRows {
-				executed = lo
-				stats.Degraded = append(stats.Degraded, degradedScanBudget(stats.TuplesScanned, lim.MaxScannedRows))
-				break
+			sets, st, err := e.db.SelectMultiWorkers(batch, workers)
+			if err != nil {
+				return results, stats, fmt.Errorf("shared execute: %w", err)
+			}
+			copy(rowSets, sets)
+			stats.StructuredQueries += len(batch)
+			stats.TuplesScanned += st.TuplesScanned
+			stats.ParallelBatches++
+		}
+	case workers > 1:
+		// Governed parallel: chunks execute optimistically in waves of
+		// `workers`, then fold in chunk order applying the exact sequential
+		// cancellation/budget rule before each chunk. Per-chunk scan counts
+		// are deterministic, so the prefix sums — and therefore the
+		// truncation point and Degraded reasons — match workers == 1; at
+		// most workers-1 chunks of speculative work are discarded.
+		type chunkOut struct {
+			sets [][]*relational.Row
+			st   relational.SelectStats
+			err  error
+			done bool
+		}
+		nChunks := (len(ordered) + sharedChunk - 1) / sharedChunk
+		outs := make([]chunkOut, nChunks)
+		runChunk := func(ci int) {
+			lo := ci * sharedChunk
+			hi := lo + sharedChunk
+			if hi > len(ordered) {
+				hi = len(ordered)
+			}
+			batch := make([]relational.Query, hi-lo)
+			for i := lo; i < hi; i++ {
+				batch[i-lo] = structured[ordered[i]]
+			}
+			outs[ci].sets, outs[ci].st, outs[ci].err = e.db.SelectMulti(batch)
+			outs[ci].done = true
+		}
+		stop := false
+		for waveLo := 0; waveLo < nChunks && !stop; waveLo += workers {
+			waveHi := waveLo + workers
+			if waveHi > nChunks {
+				waveHi = nChunks
+			}
+			runPool(ctx, waveHi-waveLo, workers, func(i int) { runChunk(waveLo + i) })
+			stats.ParallelBatches++
+			for ci := waveLo; ci < waveHi; ci++ {
+				lo := ci * sharedChunk
+				if err := ctx.Err(); err != nil {
+					executed = lo
+					cancelErr = err
+					stop = true
+					break
+				}
+				if !lim.Unlimited() && stats.TuplesScanned >= lim.MaxScannedRows {
+					executed = lo
+					stats.Degraded = append(stats.Degraded, degradedScanBudget(stats.TuplesScanned, lim.MaxScannedRows))
+					stop = true
+					break
+				}
+				if !outs[ci].done {
+					// The pool skips tasks after a cancellation observed
+					// mid-wave; ctx is live here, so run the chunk inline.
+					runChunk(ci)
+				}
+				if outs[ci].err != nil {
+					return results, stats, fmt.Errorf("shared execute: %w", outs[ci].err)
+				}
+				copy(rowSets[lo:lo+len(outs[ci].sets)], outs[ci].sets)
+				stats.StructuredQueries += len(outs[ci].sets)
+				stats.TuplesScanned += outs[ci].st.TuplesScanned
 			}
 		}
-		batch := make([]relational.Query, hi-lo)
-		for i := lo; i < hi; i++ {
-			batch[i-lo] = structured[ordered[i]]
+	default:
+		chunk := len(ordered)
+		if gov && chunk > sharedChunk {
+			chunk = sharedChunk
 		}
-		sets, st, err := e.db.SelectMulti(batch)
-		if err != nil {
-			return results, stats, fmt.Errorf("shared execute: %w", err)
+		for lo := 0; lo < len(ordered); lo += chunk {
+			hi := lo + chunk
+			if hi > len(ordered) {
+				hi = len(ordered)
+			}
+			if gov {
+				if err := ctx.Err(); err != nil {
+					executed = lo
+					cancelErr = err
+					break
+				}
+				if !lim.Unlimited() && stats.TuplesScanned >= lim.MaxScannedRows {
+					executed = lo
+					stats.Degraded = append(stats.Degraded, degradedScanBudget(stats.TuplesScanned, lim.MaxScannedRows))
+					break
+				}
+			}
+			batch := make([]relational.Query, hi-lo)
+			for i := lo; i < hi; i++ {
+				batch[i-lo] = structured[ordered[i]]
+			}
+			sets, st, err := e.db.SelectMulti(batch)
+			if err != nil {
+				return results, stats, fmt.Errorf("shared execute: %w", err)
+			}
+			copy(rowSets[lo:hi], sets)
+			stats.StructuredQueries += len(batch)
+			stats.TuplesScanned += st.TuplesScanned
 		}
-		copy(rowSets[lo:hi], sets)
-		stats.StructuredQueries += len(batch)
-		stats.TuplesScanned += st.TuplesScanned
 	}
 
 	byTuple := make([]map[relational.TupleID]int, len(qs))
@@ -252,4 +353,56 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 		results[q.ID] = merged[qi]
 	}
 	return results, stats, cancelErr
+}
+
+// executeUnsharedParallel is the unshared path with a worker pool: queries
+// execute optimistically in waves of `workers`, and the fold applies the
+// sequential governance rules (context first, then scan budget) in query
+// order before consuming each result. The accumulated TuplesScanned at each
+// fold step equals the sequential prefix sum, so partial results under a
+// spent budget — and the Degraded reason recording it — are identical to
+// the workers == 1 path.
+func (e *Engine) executeUnsharedParallel(ctx context.Context, qs []Query, lim Limits, gov bool, workers int) (map[string][]Result, ExecStats, error) {
+	var stats ExecStats
+	stats.Workers = workers
+	results := make(map[string][]Result, len(qs))
+	type qOut struct {
+		rs   []Result
+		st   ExecStats
+		err  error
+		done bool
+	}
+	outs := make([]qOut, len(qs))
+	run := func(i int) {
+		outs[i].rs, outs[i].st, outs[i].err = e.Execute(qs[i])
+		outs[i].done = true
+	}
+	for waveLo := 0; waveLo < len(qs); waveLo += workers {
+		waveHi := waveLo + workers
+		if waveHi > len(qs) {
+			waveHi = len(qs)
+		}
+		runPool(ctx, waveHi-waveLo, workers, func(i int) { run(waveLo + i) })
+		stats.ParallelBatches++
+		for i := waveLo; i < waveHi; i++ {
+			if gov {
+				if err := ctx.Err(); err != nil {
+					return results, stats, err
+				}
+				if !lim.Unlimited() && stats.TuplesScanned >= lim.MaxScannedRows {
+					stats.Degraded = append(stats.Degraded, degradedScanBudget(stats.TuplesScanned, lim.MaxScannedRows))
+					return results, stats, nil
+				}
+			}
+			if !outs[i].done {
+				run(i)
+			}
+			if outs[i].err != nil {
+				return results, stats, outs[i].err
+			}
+			stats.Add(outs[i].st)
+			results[qs[i].ID] = outs[i].rs
+		}
+	}
+	return results, stats, nil
 }

@@ -12,10 +12,27 @@ type Limits struct {
 	// scanned; already-produced results are kept and the truncation is
 	// recorded in ExecStats.Degraded. 0 means unlimited.
 	MaxScannedRows int
+	// MaxWorkers bounds the executor's worker pool. 0 and 1 select the
+	// sequential legacy path; n > 1 fans independent structured queries
+	// (and row segments of shared scans) across up to n goroutines.
+	// Whatever the worker count, results are merged in the deterministic
+	// sequential order, so parallel output is byte-identical to sequential
+	// — including the truncation point when MaxScannedRows bites.
+	MaxWorkers int
 }
 
-// Unlimited reports whether the limits impose no bound.
+// Unlimited reports whether the limits impose no scan bound. Parallelism
+// is not a bound: MaxWorkers alone does not make an execution governed.
 func (l Limits) Unlimited() bool { return l.MaxScannedRows <= 0 }
+
+// Workers resolves the executor's worker count: values below 2 select the
+// sequential path.
+func (l Limits) Workers() int {
+	if l.MaxWorkers > 1 {
+		return l.MaxWorkers
+	}
+	return 1
+}
 
 // governed reports whether the executor must take the governed path: either
 // a row budget is set or the context can actually be cancelled.

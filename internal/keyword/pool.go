@@ -1,0 +1,67 @@
+package keyword
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// runPool executes n tasks on up to workers goroutines. Tasks are handed
+// out through an atomic counter; once ctx is cancelled workers stop
+// picking up new tasks and the pool drains (tasks already running finish).
+// Every task must write only to its own result slots. workers <= 1 runs
+// the tasks inline, with the same early exit on cancellation.
+//
+// A panic inside a worker is captured and re-raised on the calling
+// goroutine after the drain, so callers observe the sequential
+// panic-on-my-stack behavior and the engine's public boundary can convert
+// it to ErrInternal instead of the process dying inside a pool goroutine.
+func runPool(ctx context.Context, n, workers int, task func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			task(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+						}
+					}()
+					task(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("keyword: worker panic: %v", panicked))
+	}
+}

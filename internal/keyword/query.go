@@ -109,17 +109,30 @@ type ExecStats struct {
 	TuplesScanned int
 	// TuplesReturned totals tuples produced (before deduplication).
 	TuplesReturned int
+	// Workers is the size of the worker pool the execution ran with
+	// (1 = the sequential legacy path). A scheduling property, not a cost:
+	// results are byte-identical whatever its value.
+	Workers int
+	// ParallelBatches counts the waves of concurrently executed work the
+	// parallel path dispatched (0 on the sequential path). Like Workers it
+	// describes scheduling, not results.
+	ParallelBatches int
 	// Degraded lists human-readable reasons the execution deviated from
 	// the full, unbounded run (budget truncations, cancelled scans).
 	// Empty for a complete run.
 	Degraded []string
 }
 
-// Add accumulates another stats record.
+// Add accumulates another stats record. The scheduling fields do not sum:
+// Workers keeps the widest pool seen, ParallelBatches accumulates.
 func (s *ExecStats) Add(o ExecStats) {
 	s.StructuredQueries += o.StructuredQueries
 	s.SharedQueries += o.SharedQueries
 	s.TuplesScanned += o.TuplesScanned
 	s.TuplesReturned += o.TuplesReturned
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.ParallelBatches += o.ParallelBatches
 	s.Degraded = append(s.Degraded, o.Degraded...)
 }

@@ -2,8 +2,13 @@ package relational
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 )
+
+// minSegmentRows is the smallest slice of a shared table pass worth handing
+// to its own worker; below it the scheduling overhead dominates the scan.
+const minSegmentRows = 256
 
 // SelectMulti executes a batch of queries, sharing table scans: queries
 // against the same table that lack a usable index are all evaluated in a
@@ -16,14 +21,32 @@ import (
 // fingerprint, and SelectMulti shares the physical scans of the distinct
 // remainder.
 func (db *Database) SelectMulti(queries []Query) ([][]*Row, SelectStats, error) {
+	return db.SelectMultiWorkers(queries, 1)
+}
+
+// SelectMultiWorkers is SelectMulti with a worker pool: the per-table scan
+// groups are split into row segments and partitioned — together with the
+// individual indexed lookups — across up to workers goroutines
+// (workers <= 0 selects runtime.GOMAXPROCS). Results and stats are merged
+// in the sequential order (indexed queries first, then tables in
+// first-seen order, then row order), so the output is byte-identical to
+// SelectMulti whatever the worker count; workers == 1 runs everything
+// inline on the calling goroutine.
+func (db *Database) SelectMultiWorkers(queries []Query, workers int) ([][]*Row, SelectStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	results := make([][]*Row, len(queries))
 	var stats SelectStats
 
-	// Partition: indexed queries run directly; scan queries group by table.
+	// Partition (sequential, deterministic): indexed queries run directly;
+	// scan queries group by table. Validation errors surface here, before
+	// any execution, in input order.
 	type scanItem struct {
 		idx int
 		q   Query
 	}
+	var indexed []scanItem
 	scansByTable := make(map[string][]scanItem)
 	var tableOrder []string
 	for i, q := range queries {
@@ -36,13 +59,8 @@ func (db *Database) SelectMulti(queries []Query) ([][]*Row, SelectStats, error) 
 				return nil, stats, fmt.Errorf("select: table %s has no column %q", q.Table, p.Column)
 			}
 		}
-		if _, _, indexed := db.accessPath(t, q); indexed {
-			rows, st, err := db.Select(q)
-			if err != nil {
-				return nil, stats, err
-			}
-			stats.Add(st)
-			results[i] = rows
+		if _, _, ok := db.accessPath(t, q); ok {
+			indexed = append(indexed, scanItem{idx: i, q: q})
 			continue
 		}
 		key := strings.ToLower(q.Table)
@@ -59,17 +77,21 @@ func (db *Database) SelectMulti(queries []Query) ([][]*Row, SelectStats, error) 
 	// simultaneously, so the per-row cost is O(probed columns), not
 	// O(queries). Everything else falls back to per-query evaluation
 	// within the same pass.
-	for _, key := range tableOrder {
+	type probe struct {
+		colIdx int
+		byKey  map[string][]int // operand key -> query indexes
+	}
+	type tablePass struct {
+		t        *Table
+		probes   []*probe
+		residual []scanItem
+	}
+	passes := make([]*tablePass, len(tableOrder))
+	for pi, key := range tableOrder {
 		items := scansByTable[key]
 		t := db.tables[key]
-
-		type probe struct {
-			colIdx int
-			byKey  map[string][]int // operand key -> query indexes
-		}
-		var probes []*probe
+		pass := &tablePass{t: t}
 		probeByCol := make(map[int]*probe)
-		var residual []scanItem
 		for _, item := range items {
 			if len(item.q.Predicates) == 1 && item.q.Predicates[0].Op == OpEq {
 				ci, _ := t.schema.ColumnIndex(item.q.Predicates[0].Column)
@@ -77,24 +99,67 @@ func (db *Database) SelectMulti(queries []Query) ([][]*Row, SelectStats, error) 
 				if !ok {
 					p = &probe{colIdx: ci, byKey: make(map[string][]int)}
 					probeByCol[ci] = p
-					probes = append(probes, p)
+					pass.probes = append(pass.probes, p)
 				}
 				k := item.q.Predicates[0].Operand.Key()
 				p.byKey[k] = append(p.byKey[k], item.idx)
 				continue
 			}
-			residual = append(residual, item)
+			pass.residual = append(pass.residual, item)
 		}
+		passes[pi] = pass
+	}
 
-		stats.TuplesScanned += t.Len()
-		for _, r := range t.rows {
-			for _, p := range probes {
+	// Task list: one task per indexed query, then one per row segment of
+	// each table pass. Every task writes only its own slot, so the pool
+	// needs no locking and the merge below fixes the deterministic order.
+	type hit struct {
+		qi int
+		r  *Row
+	}
+	type segment struct {
+		pass   *tablePass
+		lo, hi int
+		hits   []hit
+	}
+	var segments []*segment
+	segsByPass := make([][]*segment, len(passes))
+	for pi, pass := range passes {
+		n := pass.t.Len()
+		size := n
+		if workers > 1 {
+			size = (n + workers - 1) / workers
+			if size < minSegmentRows {
+				size = minSegmentRows
+			}
+		}
+		for lo := 0; lo < n; lo += size {
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			seg := &segment{pass: pass, lo: lo, hi: hi}
+			segments = append(segments, seg)
+			segsByPass[pi] = append(segsByPass[pi], seg)
+		}
+	}
+	idxRows := make([][]*Row, len(indexed))
+	idxStats := make([]SelectStats, len(indexed))
+	runTasks(len(indexed)+len(segments), workers, func(ti int) {
+		if ti < len(indexed) {
+			// Validation above guarantees these cannot error.
+			rows, st, _ := db.Select(indexed[ti].q)
+			idxRows[ti], idxStats[ti] = rows, st
+			return
+		}
+		seg := segments[ti-len(indexed)]
+		for _, r := range seg.pass.t.rows[seg.lo:seg.hi] {
+			for _, p := range seg.pass.probes {
 				for _, qi := range p.byKey[r.Values[p.colIdx].Key()] {
-					results[qi] = append(results[qi], r)
-					stats.TuplesReturned++
+					seg.hits = append(seg.hits, hit{qi: qi, r: r})
 				}
 			}
-			for _, item := range residual {
+			for _, item := range seg.pass.residual {
 				match := true
 				for _, pred := range item.q.Predicates {
 					if !pred.Matches(r) {
@@ -103,9 +168,23 @@ func (db *Database) SelectMulti(queries []Query) ([][]*Row, SelectStats, error) 
 					}
 				}
 				if match {
-					results[item.idx] = append(results[item.idx], r)
-					stats.TuplesReturned++
+					seg.hits = append(seg.hits, hit{qi: item.idx, r: r})
 				}
+			}
+		}
+	})
+
+	// Merge in the fixed sequential order.
+	for ti, item := range indexed {
+		results[item.idx] = idxRows[ti]
+		stats.Add(idxStats[ti])
+	}
+	for pi, pass := range passes {
+		stats.TuplesScanned += pass.t.Len()
+		for _, seg := range segsByPass[pi] {
+			for _, h := range seg.hits {
+				results[h.qi] = append(results[h.qi], h.r)
+				stats.TuplesReturned++
 			}
 		}
 	}

@@ -334,14 +334,20 @@ func Load(r io.Reader) (*Snapshot, error) {
 	if version != FormatVersion {
 		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", version, FormatVersion)
 	}
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload (%v)", ErrCorrupt, err)
+	// The length field itself may be corrupt, so never trust it for an
+	// upfront allocation (a flipped high bit would ask for terabytes):
+	// copy incrementally and let the actual stream size bound memory.
+	if int64(length) < 0 {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, length)
 	}
-	if got := crc32.Checksum(payload, castagnoli); got != sum {
+	var payload bytes.Buffer
+	if n, err := io.CopyN(&payload, r, int64(length)); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload at %d/%d bytes (%v)", ErrCorrupt, n, length, err)
+	}
+	if got := crc32.Checksum(payload.Bytes(), castagnoli); got != sum {
 		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, sum, got)
 	}
-	return loadGob(bytes.NewReader(payload))
+	return loadGob(&payload)
 }
 
 func loadGob(r io.Reader) (*Snapshot, error) {

@@ -30,23 +30,27 @@ type AnnotateStmt struct {
 	Body  string
 }
 
-// DiscoverStmt is `DISCOVER '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]`:
-// run Stages 1–2 and report the candidates without routing them. TIMEOUT
-// bounds the run's wall clock in milliseconds; MAX keeps only the n
-// strongest candidates. Zero means no bound.
+// DiscoverStmt is `DISCOVER '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]
+// [PARALLEL <workers>]`: run Stages 1–2 and report the candidates without
+// routing them. TIMEOUT bounds the run's wall clock in milliseconds; MAX
+// keeps only the n strongest candidates; PARALLEL sizes the worker pool for
+// this statement (1 = sequential). Zero means no bound / the engine's
+// configured parallelism.
 type DiscoverStmt struct {
 	ID            string
 	TimeoutMillis int64
 	MaxCandidates int
+	Parallel      int
 }
 
-// ProcessStmt is `PROCESS '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]`: run
-// the full pipeline including verification routing, under the same optional
-// governors as DiscoverStmt.
+// ProcessStmt is `PROCESS '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]
+// [PARALLEL <workers>]`: run the full pipeline including verification
+// routing, under the same optional governors as DiscoverStmt.
 type ProcessStmt struct {
 	ID            string
 	TimeoutMillis int64
 	MaxCandidates int
+	Parallel      int
 }
 
 // Condition is one `col = value` conjunct of a WHERE clause.

@@ -2,17 +2,27 @@ package sqlish
 
 import "testing"
 
-// FuzzParse asserts the parser never panics and that accepted statements
-// are non-nil. Run the seeds with `go test`; extend the corpus with
-// `go test -fuzz=FuzzParse ./internal/sqlish`.
-func FuzzParse(f *testing.F) {
+// FuzzParseCommand asserts the parser never panics and that accepted
+// statements are non-nil and re-parseable invariants hold. Run the seeds
+// with `go test`; extend the corpus with
+// `go test -fuzz=FuzzParseCommand ./internal/sqlish`. The checked-in corpus
+// lives under testdata/fuzz/FuzzParseCommand/.
+func FuzzParseCommand(f *testing.F) {
 	for _, seed := range []string{
 		"VERIFY ATTACHMENT 42",
 		"REJECT ATTACHEMENT 7;",
 		"LIST PENDING BY PRIORITY LIMIT 3",
 		"ANNOTATE Gene 'JW0013' AS 'a' BODY 'it''s related'",
 		"DISCOVER 'alice'",
+		"DISCOVER 'alice' TIMEOUT 50 MAX 10",
+		"DISCOVER 'alice' PARALLEL 4",
+		"DISCOVER 'alice' MAX 5 PARALLEL 8 TIMEOUT 100",
 		"PROCESS 'x'",
+		"PROCESS 'x' PARALLEL 1",
+		"PROCESS 'x' PARALLEL 0",
+		"PROCESS 'x' PARALLEL -2",
+		"PROCESS 'x' PARALLEL",
+		"DISCOVER 'a' PARALLEL 99999999999999999999",
 		"SELECT GID, Name FROM Gene WHERE Family = 'F1' AND Length = 1130 WITH ANNOTATIONS",
 		"SELECT * FROM t",
 		"select",
@@ -24,8 +34,23 @@ func FuzzParse(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, input string) {
 		stmt, err := Parse(input)
-		if err == nil && stmt == nil {
+		if err != nil {
+			return
+		}
+		if stmt == nil {
 			t.Fatalf("Parse(%q) returned nil statement without error", input)
+		}
+		// Accepted governors must satisfy the parser's own validation:
+		// positive or absent, never negative.
+		switch s := stmt.(type) {
+		case *DiscoverStmt:
+			if s.TimeoutMillis < 0 || s.MaxCandidates < 0 || s.Parallel < 0 {
+				t.Fatalf("Parse(%q) accepted negative governor: %+v", input, s)
+			}
+		case *ProcessStmt:
+			if s.TimeoutMillis < 0 || s.MaxCandidates < 0 || s.Parallel < 0 {
+				t.Fatalf("Parse(%q) accepted negative governor: %+v", input, s)
+			}
 		}
 	})
 }

@@ -129,7 +129,7 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		stmt := &DiscoverStmt{ID: id}
-		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates); err != nil {
+		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel); err != nil {
 			return nil, err
 		}
 		return stmt, nil
@@ -139,7 +139,7 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		stmt := &ProcessStmt{ID: id}
-		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates); err != nil {
+		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel); err != nil {
 			return nil, err
 		}
 		return stmt, nil
@@ -150,9 +150,9 @@ func (p *parser) statement() (Statement, error) {
 	}
 }
 
-// governors parses the optional `TIMEOUT <ms>` and `MAX <n>` clauses of
-// DISCOVER/PROCESS, in either order.
-func (p *parser) governors(timeoutMillis *int64, maxCandidates *int) error {
+// governors parses the optional `TIMEOUT <ms>`, `MAX <n>`, and
+// `PARALLEL <workers>` clauses of DISCOVER/PROCESS, in any order.
+func (p *parser) governors(timeoutMillis *int64, maxCandidates *int, parallel *int) error {
 	for {
 		switch {
 		case p.acceptWord("TIMEOUT"):
@@ -173,6 +173,15 @@ func (p *parser) governors(timeoutMillis *int64, maxCandidates *int) error {
 				return fmt.Errorf("sqlish: MAX must be positive")
 			}
 			*maxCandidates = int(n)
+		case p.acceptWord("PARALLEL"):
+			n, err := p.expectInt()
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return fmt.Errorf("sqlish: PARALLEL must be positive")
+			}
+			*parallel = int(n)
 		default:
 			return nil
 		}

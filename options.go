@@ -2,6 +2,7 @@ package nebula
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"nebula/internal/discovery"
@@ -116,6 +117,13 @@ type Options struct {
 	// searcher with middleware — retry observers, fault injection,
 	// instrumentation.
 	SearcherFactory func(db *Database) KeywordSearcher
+	// Parallelism sizes the worker pool used for keyword execution and for
+	// the engine's batch APIs (DiscoverBatch/ProcessBatch). 0 selects
+	// runtime.NumCPU(); 1 forces the exact sequential legacy path; n > 1
+	// uses up to n workers. Whatever the value, results are byte-identical
+	// to sequential execution — parallelism changes scheduling, never
+	// output.
+	Parallelism int
 }
 
 // Search technique names for Options.SearchTechnique.
@@ -177,5 +185,17 @@ func (o Options) Validate() error {
 	if o.Retry.MaxRetries < 0 {
 		return fmt.Errorf("nebula: negative retry count %d", o.Retry.MaxRetries)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("nebula: negative parallelism %d", o.Parallelism)
+	}
 	return nil
+}
+
+// resolveWorkers maps an Options.Parallelism value to a concrete worker
+// count: 0 means "one worker per CPU", anything else is taken literally.
+func resolveWorkers(parallelism int) int {
+	if parallelism == 0 {
+		return runtime.NumCPU()
+	}
+	return parallelism
 }
