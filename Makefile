@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-parallel experiments examples fmt vet check clean
+.PHONY: all build test race cover bench bench-parallel bench-server run-server experiments examples fmt vet check clean
 
 all: build test
 
@@ -38,6 +38,18 @@ bench:
 # the measured speedups (bounded by GOMAXPROCS) and the byte-identity check.
 bench-parallel:
 	$(GO) run ./cmd/nebulactl bench-parallel --size large --workers 2,4,8 --rounds 3 --out BENCH_parallel.json
+
+# Load-test the nebulad serving layer in-process: discovery round trips
+# through the full HTTP stack at two client concurrency levels; the JSON
+# artifact records throughput, p50/p99 latency, and shed requests.
+bench-server:
+	$(GO) run ./cmd/nebulactl bench-server --size tiny --levels 4,32 --requests 200 --out BENCH_server.json
+
+# Serving smoke test: boot nebulad on an ephemeral port, hit /healthz, run
+# one discovery round trip, SIGTERM it, and verify the drain snapshot
+# reloads — all self-driven by the daemon's --smoke mode.
+run-server:
+	$(GO) run ./cmd/nebulad --smoke
 
 experiments:
 	$(GO) run ./cmd/nebulactl experiment --figure all --size small

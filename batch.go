@@ -40,9 +40,30 @@ func (e *Engine) DiscoverBatch(ids []AnnotationID) []BatchResult {
 // error without running. A panic inside one worker poisons only that
 // annotation's result (ErrInternal), never its batch-mates.
 func (e *Engine) DiscoverBatchContext(ctx context.Context, ids []AnnotationID) []BatchResult {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.runBatch(ctx, ids, false)
+	return e.DiscoverBatchRequest(ctx, ids, RequestOptions{})
+}
+
+// DiscoverBatchRequest is DiscoverBatchContext with per-request governance
+// (see RequestOptions). The batch is read-only against engine state, so it
+// holds the engine's read lock and runs concurrently with other discover
+// requests and snapshot captures. An invalid request poisons every slot
+// with the validation error rather than silently running unbounded.
+func (e *Engine) DiscoverBatchRequest(ctx context.Context, ids []AnnotationID, req RequestOptions) []BatchResult {
+	if err := req.Validate(); err != nil {
+		return batchError(ids, err)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.runBatch(ctx, ids, false, req.apply(e.opts))
+}
+
+// batchError fills one BatchResult per input with the same error.
+func batchError(ids []AnnotationID, err error) []BatchResult {
+	results := make([]BatchResult, len(ids))
+	for i, id := range ids {
+		results[i] = BatchResult{ID: id, Err: err}
+	}
+	return results
 }
 
 // ProcessBatch runs the full pipeline for a set of stored annotations:
@@ -58,17 +79,29 @@ func (e *Engine) ProcessBatch(ids []AnnotationID) []BatchResult {
 // An annotation whose discovery errors (cancellation, budget, spam, panic)
 // is not submitted to verification, exactly as ProcessContext would.
 func (e *Engine) ProcessBatchContext(ctx context.Context, ids []AnnotationID) []BatchResult {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.runBatch(ctx, ids, true)
+	return e.ProcessBatchRequest(ctx, ids, RequestOptions{})
 }
 
-// runBatch is the shared batch core. Callers hold e.mu for the whole batch:
-// the discovery phase is read-only against the engine state (annotation
-// lookups happen before fan-out, the symbol index is pre-built below), so
-// the runs are safe to execute concurrently under the one lock; the
-// verification phase mutates state and runs sequentially in input order.
-func (e *Engine) runBatch(ctx context.Context, ids []AnnotationID, process bool) []BatchResult {
+// ProcessBatchRequest is ProcessBatchContext with per-request governance.
+// Stage 3 mutates engine state, so the whole batch holds the engine lock
+// exclusively (unlike DiscoverBatchRequest).
+func (e *Engine) ProcessBatchRequest(ctx context.Context, ids []AnnotationID, req RequestOptions) []BatchResult {
+	if err := req.Validate(); err != nil {
+		return batchError(ids, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runBatch(ctx, ids, true, req.apply(e.opts))
+}
+
+// runBatch is the shared batch core. Callers hold e.mu for the whole batch
+// — in read mode for discover-only batches, exclusively when process is
+// set: the discovery phase is read-only against the engine state
+// (annotation lookups happen before fan-out, the symbol index is pre-built
+// below), so the runs are safe to execute concurrently under the one lock;
+// the verification phase mutates state and runs sequentially in input
+// order.
+func (e *Engine) runBatch(ctx context.Context, ids []AnnotationID, process bool, opts Options) []BatchResult {
 	results := make([]BatchResult, len(ids))
 	type input struct {
 		a     *Annotation
@@ -79,18 +112,18 @@ func (e *Engine) runBatch(ctx context.Context, ids []AnnotationID, process bool)
 		results[i].ID = id
 		a, ok := e.store.Get(id)
 		if !ok {
-			results[i].Err = fmt.Errorf("nebula: unknown annotation %q", id)
+			results[i].Err = fmt.Errorf("%w %q", ErrUnknownAnnotation, id)
 			continue
 		}
 		inputs[i] = input{a: a, focal: e.store.Focal(id)}
 	}
 	// The symbol-table technique builds its full-database index lazily on
 	// first use; build it before fan-out so workers only read it.
-	if e.opts.SearcherFactory == nil && e.opts.SearchTechnique == TechniqueSymbolTable {
+	if opts.SearcherFactory == nil && opts.SearchTechnique == TechniqueSymbolTable {
 		e.symbolSearcher(e.db)
 	}
 
-	workers := resolveWorkers(e.opts.Parallelism)
+	workers := resolveWorkers(opts.Parallelism)
 	started := make([]bool, len(ids))
 	batchPool(ctx, len(ids), workers, func(i int) {
 		if inputs[i].a == nil {
@@ -102,7 +135,7 @@ func (e *Engine) runBatch(ctx context.Context, ids []AnnotationID, process bool)
 				results[i].Err = fmt.Errorf("%w: panic: %v\n%s", ErrInternal, r, debug.Stack())
 			}
 		}()
-		results[i].Discovery, results[i].Err = e.discover(ctx, inputs[i].a, inputs[i].focal)
+		results[i].Discovery, results[i].Err = e.discover(ctx, inputs[i].a, inputs[i].focal, opts)
 	})
 	for i := range results {
 		if inputs[i].a != nil && !started[i] {

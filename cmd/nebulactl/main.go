@@ -12,6 +12,7 @@
 //	                     [--timeout 50ms] [--max-candidates N] [--max-queries N]
 //	                     [--parallelism N]
 //	nebulactl bench-parallel --size large --workers 2,4,8 --rounds 3 --out BENCH_parallel.json
+//	nebulactl bench-server --size tiny --levels 4,32 --requests 200 --out BENCH_server.json
 //	nebulactl demo
 package main
 
@@ -25,6 +26,7 @@ import (
 
 	"nebula"
 	"nebula/internal/bench"
+	"nebula/internal/flagcheck"
 	"nebula/internal/meta"
 )
 
@@ -51,6 +53,8 @@ func main() {
 		err = cmdSnapshot(os.Args[2:])
 	case "bench-parallel":
 		err = cmdBenchParallel(os.Args[2:])
+	case "bench-server":
+		err = cmdBenchServer(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -79,6 +83,9 @@ commands:
   bench-parallel
               measure sequential vs parallel keyword-batch execution and
               record the comparison (including byte-identity of results)
+  bench-server
+              load-test the nebulad serving layer in-process: throughput,
+              latency percentiles, and shed load per concurrency level
 `)
 }
 
@@ -237,6 +244,15 @@ func cmdDiscover(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := flagcheck.All(
+		flagcheck.NonNegativeDuration("timeout", *timeout),
+		flagcheck.NonNegative("max-candidates", *maxCand),
+		flagcheck.NonNegative("max-queries", *maxQueries),
+		flagcheck.NonNegative("parallelism", *parallelism),
+		flagcheck.NonNegative("spread", *spreadK),
+	); err != nil {
+		return err
+	}
 	env, err := bench.LoadEnv(*size, *seed)
 	if err != nil {
 		return err
@@ -326,6 +342,9 @@ func cmdBenchParallel(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := flagcheck.Positive("rounds", *rounds); err != nil {
+		return err
+	}
 	var counts []int
 	for _, part := range strings.Split(*workers, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -357,6 +376,63 @@ func cmdBenchParallel(args []string) error {
 	}
 	defer f.Close()
 	if err := bench.WriteParallelJSON(f, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdBenchServer load-tests the nebulad serving layer in-process: discovery
+// round trips through the full HTTP stack (admission gate included) at each
+// concurrency level, recording throughput, latency percentiles, and the
+// 429s the bounded queue shed.
+func cmdBenchServer(args []string) error {
+	fs := flag.NewFlagSet("bench-server", flag.ExitOnError)
+	size := fs.String("size", "tiny", "dataset size: tiny|small|mid|large")
+	seed := fs.Int64("seed", 42, "generator seed")
+	levels := fs.String("levels", "4,32", "comma-separated client concurrency levels")
+	requests := fs.Int("requests", 200, "discovery requests per level")
+	maxInFlight := fs.Int("max-inflight", 4, "server execution slots")
+	queueDepth := fs.Int("queue-depth", 8, "server admission queue depth")
+	out := fs.String("out", "BENCH_server.json", "output JSON path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flagcheck.All(
+		flagcheck.Positive("requests", *requests),
+		flagcheck.Positive("max-inflight", *maxInFlight),
+		flagcheck.Positive("queue-depth", *queueDepth),
+	); err != nil {
+		return err
+	}
+	var counts []int
+	for _, part := range strings.Split(*levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad concurrency level %q (need integers >= 1)", part)
+		}
+		counts = append(counts, n)
+	}
+	cfg := bench.ServerBenchConfig{
+		Levels:      counts,
+		Requests:    *requests,
+		MaxInFlight: *maxInFlight,
+		QueueDepth:  *queueDepth,
+	}
+	results, err := bench.RunServerBench(*size, *seed, cfg)
+	if err != nil {
+		return err
+	}
+	bench.ServerTable(results).Print(os.Stdout)
+	if *out == "" {
+		return bench.WriteServerJSON(os.Stdout, results)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteServerJSON(f, results); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

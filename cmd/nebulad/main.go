@@ -1,0 +1,322 @@
+// Command nebulad serves a nebula engine over HTTP/JSON: the network face
+// of the proactive annotation pipeline. It generates a deterministic §8.1
+// dataset (or restores a previous snapshot of one), then exposes the full
+// annotation lifecycle — insert, discover, naive baseline, batch, process,
+// pending-verification review, accept/reject, snapshot save/load — behind
+// the internal/server admission gate, with /healthz and /metrics for
+// operators. SIGINT/SIGTERM triggers a graceful drain: accepted requests
+// finish, new ones get 503, and the engine state is persisted as a
+// checksummed snapshot before exit.
+//
+// Usage:
+//
+//	nebulad [--host 127.0.0.1] [--port 8080] [--size tiny] [--seed 42]
+//	        [--parallelism N] [--max-inflight N] [--queue-depth N]
+//	        [--max-per-conn N] [--request-timeout D] [--drain-timeout D]
+//	        [--snapshot FILE] [--smoke]
+//
+// With --smoke, nebulad starts on an ephemeral port, performs one health
+// check and one discovery round trip against itself, sends itself SIGTERM,
+// verifies the drain snapshot reloads, and exits — a self-contained serving
+// smoke test for `make run-server`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"nebula"
+	"nebula/internal/bench"
+	"nebula/internal/flagcheck"
+	"nebula/internal/server"
+	"nebula/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "nebulad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type daemonConfig struct {
+	host           string
+	port           int
+	size           string
+	seed           int64
+	parallelism    int
+	maxInFlight    int
+	queueDepth     int
+	maxPerConn     int
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	snapshotPath   string
+	smoke          bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nebulad", flag.ExitOnError)
+	var cfg daemonConfig
+	fs.StringVar(&cfg.host, "host", "127.0.0.1", "listen address")
+	fs.IntVar(&cfg.port, "port", 8080, "listen port (0 = OS-assigned ephemeral port)")
+	fs.StringVar(&cfg.size, "size", "tiny", "dataset size: tiny|small|mid|large")
+	fs.Int64Var(&cfg.seed, "seed", 42, "dataset generator seed")
+	fs.IntVar(&cfg.parallelism, "parallelism", 0, "engine worker pool size (0 = NumCPU, 1 = sequential)")
+	fs.IntVar(&cfg.maxInFlight, "max-inflight", 8, "requests executing concurrently (0 = default)")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 64, "requests waiting for a slot before 429 (0 = default)")
+	fs.IntVar(&cfg.maxPerConn, "max-per-conn", 0, "per-connection in-flight ceiling (0 = none)")
+	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 0, "per-request wall-clock cap (0 = none)")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
+	fs.StringVar(&cfg.snapshotPath, "snapshot", "", "snapshot file: restored on boot when present, written on drain")
+	fs.BoolVar(&cfg.smoke, "smoke", false, "self-check serving round trip, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flagcheck.All(
+		flagcheck.Port("port", cfg.port, true),
+		flagcheck.NonNegative("parallelism", cfg.parallelism),
+		flagcheck.NonNegative("max-inflight", cfg.maxInFlight),
+		flagcheck.NonNegative("queue-depth", cfg.queueDepth),
+		flagcheck.NonNegative("max-per-conn", cfg.maxPerConn),
+		flagcheck.NonNegativeDuration("request-timeout", cfg.requestTimeout),
+		flagcheck.NonNegativeDuration("drain-timeout", cfg.drainTimeout),
+	); err != nil {
+		return err
+	}
+	if cfg.smoke {
+		return smoke(cfg)
+	}
+	return serve(cfg, nil)
+}
+
+// buildEngine prepares the served engine: a fresh deterministic dataset, or
+// — when the snapshot file exists — the state persisted by a previous
+// drain, with NebulaMeta re-registered against the restored database.
+func buildEngine(cfg daemonConfig) (*nebula.Engine, func(*nebula.Database) (*nebula.MetaRepository, error), error) {
+	opts := nebula.DefaultOptions()
+	opts.Parallelism = cfg.parallelism
+	configureMeta := func(db *nebula.Database) (*nebula.MetaRepository, error) {
+		// The repository is configuration, not snapshot state; rebuild the
+		// §8.1 registration deterministically from the seed.
+		return workload.BuildMeta(db, rand.New(rand.NewSource(cfg.seed)))
+	}
+	if cfg.snapshotPath != "" {
+		if f, err := os.Open(cfg.snapshotPath); err == nil {
+			defer f.Close()
+			engine, err := nebula.RestoreEngine(f, configureMeta, opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("restore %s: %w", cfg.snapshotPath, err)
+			}
+			log.Printf("nebulad: restored snapshot %s (%d annotations, %d tuples)",
+				cfg.snapshotPath, engine.Store().Len(), engine.DB().TotalRows())
+			return engine, configureMeta, nil
+		}
+	}
+	env, err := bench.LoadEnv(cfg.size, cfg.seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := env.Dataset
+	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	log.Printf("nebulad: generated dataset %s seed=%d (%d annotations, %d tuples)",
+		env.Name, cfg.seed, engine.Store().Len(), engine.DB().TotalRows())
+	return engine, configureMeta, nil
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully. When
+// ready is non-nil it receives the bound address once the listener is up
+// (used by smoke mode).
+func serve(cfg daemonConfig, ready chan<- string) error {
+	engine, configureMeta, err := buildEngine(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Engine:         engine,
+		MaxInFlight:    cfg.maxInFlight,
+		QueueDepth:     cfg.queueDepth,
+		MaxPerConn:     cfg.maxPerConn,
+		RequestTimeout: cfg.requestTimeout,
+		SnapshotPath:   cfg.snapshotPath,
+		ConfigureMeta:  configureMeta,
+	})
+	if err != nil {
+		return err
+	}
+
+	addr := net.JoinHostPort(cfg.host, fmt.Sprint(cfg.port))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("nebulad: serving on http://%s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("nebulad: %v received, draining (timeout %v)", sig, cfg.drainTimeout)
+	case err := <-serveErr:
+		return err
+	}
+
+	// Drain order matters: flip the admission gate first so in-flight work
+	// finishes and late arrivals get typed 503s while the listener is still
+	// up, persist the snapshot, then close the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	log.Printf("nebulad: shutdown complete")
+	return nil
+}
+
+// smoke is the self-check mode behind `make run-server`: boot on an
+// ephemeral port, exercise one health check and one discovery round trip,
+// SIGTERM ourselves, and verify the drain snapshot reloads.
+func smoke(cfg daemonConfig) error {
+	cfg.port = 0
+	if cfg.snapshotPath == "" {
+		dir, err := os.MkdirTemp("", "nebulad-smoke")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.snapshotPath = filepath.Join(dir, "smoke.snapshot")
+	}
+
+	ready := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() { served <- serve(cfg, ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-served:
+		return fmt.Errorf("smoke: server exited before listening: %w", err)
+	}
+
+	if err := smokeRoundTrip(cfg, base); err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return fmt.Errorf("smoke: signal self: %w", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			return fmt.Errorf("smoke: drain: %w", err)
+		}
+	case <-time.After(2 * cfg.drainTimeout):
+		return errors.New("smoke: drain did not complete")
+	}
+
+	// The drain must have produced a loadable snapshot.
+	f, err := os.Open(cfg.snapshotPath)
+	if err != nil {
+		return fmt.Errorf("smoke: drain snapshot missing: %w", err)
+	}
+	defer f.Close()
+	restored, err := nebula.RestoreEngine(f, func(db *nebula.Database) (*nebula.MetaRepository, error) {
+		return workload.BuildMeta(db, rand.New(rand.NewSource(cfg.seed)))
+	}, nebula.DefaultOptions())
+	if err != nil {
+		return fmt.Errorf("smoke: drain snapshot corrupt: %w", err)
+	}
+	fmt.Printf("smoke ok: healthz + discovery round trip + graceful drain; snapshot reloads (%d annotations, %d tuples)\n",
+		restored.Store().Len(), restored.DB().TotalRows())
+	return nil
+}
+
+// smokeRoundTrip drives the serving API once: health check, then a full
+// discovery for a workload annotation inserted over the wire.
+func smokeRoundTrip(cfg daemonConfig, base string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	env, err := bench.LoadEnv(cfg.size, cfg.seed)
+	if err != nil {
+		return err
+	}
+	spec := env.Dataset.Workload[0]
+	focal := make([]string, 0, 1)
+	for _, t := range spec.Focal(1) {
+		focal = append(focal, t.String())
+	}
+	add := map[string]any{"id": string(spec.Ann.ID) + "-smoke", "body": spec.Ann.Body, "attach_to": focal}
+	if err := postJSON(client, base+"/v1/annotations", add, http.StatusCreated, nil); err != nil {
+		return fmt.Errorf("add annotation: %w", err)
+	}
+	var disc struct {
+		Candidates []json.RawMessage `json:"candidates"`
+		Error      string            `json:"error"`
+	}
+	discover := map[string]any{"id": string(spec.Ann.ID) + "-smoke"}
+	if err := postJSON(client, base+"/v1/discover", discover, http.StatusOK, &disc); err != nil {
+		return fmt.Errorf("discover: %w", err)
+	}
+	if disc.Error != "" {
+		return fmt.Errorf("discover: degraded to error %q", disc.Error)
+	}
+	log.Printf("nebulad: smoke discovery returned %d candidates", len(disc.Candidates))
+	return nil
+}
+
+// postJSON posts a JSON body and decodes the response, enforcing the
+// expected status.
+func postJSON(client *http.Client, url string, body any, wantStatus int, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("%s: status %d (want %d): %s", url, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}

@@ -129,19 +129,9 @@ func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxC
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
-	if maxCandidates > 0 {
-		// Per-statement override of the engine budget; e.mu is held for the
-		// whole ExecCommand, so the restore races with nothing.
-		saved := e.opts.Budget.MaxCandidates
-		e.opts.Budget.MaxCandidates = maxCandidates
-		defer func() { e.opts.Budget.MaxCandidates = saved }()
-	}
-	if parallel > 0 {
-		// Same per-statement override pattern for the worker pool.
-		saved := e.opts.Parallelism
-		e.opts.Parallelism = parallel
-		defer func() { e.opts.Parallelism = saved }()
-	}
+	// Per-statement governance rides the same RequestOptions overlay the
+	// serving layer uses; the engine's configuration is never touched.
+	opts := RequestOptions{MaxCandidates: maxCandidates, Parallelism: parallel}.apply(e.opts)
 	res := &CommandResult{Columns: []string{"tuple", "confidence", "evidence", "routing"}}
 	var (
 		disc    *Discovery
@@ -149,9 +139,9 @@ func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxC
 		err     error
 	)
 	if process {
-		disc, outcome, err = e.process(ctx, AnnotationID(id))
+		disc, outcome, err = e.process(ctx, AnnotationID(id), opts)
 	} else {
-		disc, err = e.discoverByID(ctx, AnnotationID(id))
+		disc, err = e.discoverByID(ctx, AnnotationID(id), opts)
 	}
 	interrupted := err != nil && (errors.Is(err, ErrCancelled) || errors.Is(err, ErrBudgetExceeded))
 	if err != nil && !interrupted {

@@ -1,8 +1,10 @@
 package nebula_test
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"testing"
 
@@ -185,5 +187,88 @@ func TestConcurrentBatchUse(t *testing.T) {
 		if !seen[task.VID] {
 			t.Errorf("queued VID %d missing from batch outcomes", task.VID)
 		}
+	}
+}
+
+// TestConcurrentRequestOptions races read-locked DiscoverRequest calls with
+// different per-request governance overlays against snapshot captures. The
+// overlay is applied per call, never written back: the engine's configured
+// options must be untouched afterwards, and runs with identical overlays
+// must produce identical candidate sets whatever interleaving occurred.
+// Run with -race.
+func TestConcurrentRequestOptions(t *testing.T) {
+	e, ds := engineFixture(t, nebula.DefaultOptions())
+	specs := ds.WorkloadSet(500, workload.RefClass{})
+	if len(specs) < 2 {
+		t.Fatalf("fixture too small: %d specs", len(specs))
+	}
+	for i, spec := range specs[:2] {
+		if err := e.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	id := specs[0].Ann.ID
+	before := e.Options()
+
+	render := func(d *nebula.Discovery) string {
+		var b strings.Builder
+		for _, c := range d.Candidates {
+			fmt.Fprintf(&b, "%v=%.9f;", c.Tuple.ID, c.Confidence)
+		}
+		return b.String()
+	}
+	baseline, err := e.DiscoverRequest(context.Background(), id, nebula.RequestOptions{MaxCandidates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated, err := e.DiscoverRequest(context.Background(), id, nebula.RequestOptions{MaxCandidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truncated.Candidates) > 1 {
+		t.Errorf("MaxCandidates=1 overlay returned %d candidates", len(truncated.Candidates))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			req := nebula.RequestOptions{MaxCandidates: 3, Parallelism: 1 + g%3}
+			for k := 0; k < 5; k++ {
+				d, err := e.DiscoverRequest(context.Background(), id, req)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+				if got := render(d); got != render(baseline) {
+					errs <- fmt.Errorf("goroutine %d: overlay run diverged: %q vs %q", g, got, render(baseline))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 5; k++ {
+			if err := e.SaveSnapshot(io.Discard); err != nil {
+				errs <- fmt.Errorf("snapshot: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Per-request overlays must never leak into the engine's options.
+	after := e.Options()
+	if after.Budget != before.Budget || after.Parallelism != before.Parallelism {
+		t.Errorf("engine options mutated by request overlays: before %+v/%d, after %+v/%d",
+			before.Budget, before.Parallelism, after.Budget, after.Parallelism)
 	}
 }

@@ -33,6 +33,9 @@ var (
 	ErrSpamAnnotation = discovery.ErrSpamAnnotation
 	// ErrInternal wraps a recovered panic.
 	ErrInternal = errors.New("nebula: internal error")
+	// ErrUnknownAnnotation reports an ID with no stored annotation. Serving
+	// layers match it with errors.Is to answer 404 instead of 500.
+	ErrUnknownAnnotation = errors.New("nebula: unknown annotation")
 )
 
 // recoverPanic converts a panic into an ErrInternal on the method's error
@@ -49,12 +52,18 @@ func recoverPanic(err *error) {
 // the three processing stages of Figure 16 on top of a relational database
 // and a NebulaMeta repository.
 //
-// All Engine methods are safe for concurrent use; operations serialize on
-// an internal mutex. The underlying database, store, and graph returned by
-// the accessors are NOT independently synchronized — mutate them through
-// the engine, or only before sharing the engine across goroutines.
+// All Engine methods are safe for concurrent use. Operations synchronize on
+// an internal readers–writer lock: discovery (Stages 1–2), snapshot capture,
+// and the pending/bounds accessors are read-only against engine state and
+// run concurrently with each other, while mutations (adding annotations,
+// Stage-3 verification routing, expert decisions, deletions) take the lock
+// exclusively. This is what lets a serving layer fan many simultaneous
+// discover requests over one engine. The underlying database, store, and
+// graph returned by the accessors are NOT independently synchronized —
+// mutate them through the engine, or only before sharing the engine across
+// goroutines.
 type Engine struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	db      *Database
 	meta    *MetaRepository
@@ -64,6 +73,10 @@ type Engine struct {
 	manager *verification.Manager
 	opts    Options
 
+	// symMu guards symbolEngine independently of mu: the lazy index build
+	// is a mutation that happens on the (read-locked) discovery path, so it
+	// cannot hide behind the RW lock's read side.
+	symMu sync.Mutex
 	// symbolEngine caches the pre-built index of the symbol-table search
 	// technique for the full database. It is built lazily on first use and
 	// invalidated only by RefreshSearchIndex — index-first techniques go
@@ -121,8 +134,8 @@ func (e *Engine) Profile() *HopProfile { return e.profile }
 
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.opts
 }
 
@@ -143,8 +156,8 @@ func (e *Engine) setBounds(b Bounds) error {
 
 // Bounds returns the current verification thresholds.
 func (e *Engine) Bounds() Bounds {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return Bounds(e.manager.Bounds())
 }
 
@@ -244,57 +257,70 @@ func (e *Engine) Discover(id AnnotationID) (*Discovery, error) {
 // without error. With a background context and a zero budget it is
 // byte-identical to Discover.
 func (e *Engine) DiscoverContext(ctx context.Context, id AnnotationID) (d *Discovery, err error) {
-	defer recoverPanic(&err)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.discoverByID(ctx, id)
+	return e.DiscoverRequest(ctx, id, RequestOptions{})
 }
 
-func (e *Engine) discoverByID(ctx context.Context, id AnnotationID) (*Discovery, error) {
+// DiscoverRequest is DiscoverContext with per-request governance: the
+// serializable RequestOptions overlay the engine's configured budget and
+// parallelism for this one run. Discovery is read-only against engine
+// state, so concurrent DiscoverRequest calls proceed in parallel under the
+// engine's read lock.
+func (e *Engine) DiscoverRequest(ctx context.Context, id AnnotationID, req RequestOptions) (d *Discovery, err error) {
+	defer recoverPanic(&err)
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.discoverByID(ctx, id, req.apply(e.opts))
+}
+
+func (e *Engine) discoverByID(ctx context.Context, id AnnotationID, opts Options) (*Discovery, error) {
 	a, ok := e.store.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("nebula: unknown annotation %q", id)
+		return nil, fmt.Errorf("%w %q", ErrUnknownAnnotation, id)
 	}
-	return e.discover(ctx, a, e.store.Focal(id))
+	return e.discover(ctx, a, e.store.Focal(id), opts)
 }
 
-// discover is the focal-parameterized core, shared with bounds training.
-// Callers must hold e.mu.
-func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID) (*Discovery, error) {
-	if e.opts.Budget.Deadline > 0 {
+// discover is the focal- and options-parameterized core, shared with bounds
+// training and the per-request serving surface. Callers must hold e.mu (in
+// read or write mode); the run touches engine state only through reads.
+func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, opts Options) (*Discovery, error) {
+	if opts.Budget.Deadline > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.opts.Budget.Deadline)
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget.Deadline)
 		defer cancel()
 	}
-	gen := sigmap.NewGenerator(e.meta, e.opts.Epsilon)
-	gen.Alpha = e.opts.Alpha
-	gen.MaxQueries = e.opts.Budget.MaxQueries
+	gen := sigmap.NewGenerator(e.meta, opts.Epsilon)
+	gen.Alpha = opts.Alpha
+	gen.MaxQueries = opts.Budget.MaxQueries
 	queries, genStats := gen.Generate(a.Body)
 
-	k := e.opts.SpreadingK
-	if e.opts.Spreading && k <= 0 {
-		k = e.profile.SelectK(e.opts.SpreadingCoverage, 3)
+	k := opts.SpreadingK
+	if opts.Spreading && k <= 0 {
+		k = e.profile.SelectK(opts.SpreadingCoverage, 3)
 	}
 	d := discovery.New(e.db, e.meta, e.graph)
-	d.IncludeRelated = e.opts.IncludeRelated
+	d.IncludeRelated = opts.IncludeRelated
 	switch {
-	case e.opts.SearcherFactory != nil:
-		d.NewSearcher = e.opts.SearcherFactory
-	case e.opts.SearchTechnique == TechniqueSymbolTable:
+	case opts.SearcherFactory != nil:
+		d.NewSearcher = opts.SearcherFactory
+	case opts.SearchTechnique == TechniqueSymbolTable:
 		d.NewSearcher = e.symbolSearcher
 	}
 	cands, execStats, err := d.IdentifyRelatedTuplesContext(ctx, queries, focal, discovery.Options{
-		Shared:          e.opts.SharedExecution,
-		FocalAdjustment: e.opts.FocalAdjustment,
-		AdjustmentHops:  e.opts.AdjustmentHops,
-		Spreading:       e.opts.Spreading,
+		Shared:          opts.SharedExecution,
+		FocalAdjustment: opts.FocalAdjustment,
+		AdjustmentHops:  opts.AdjustmentHops,
+		Spreading:       opts.Spreading,
 		K:               k,
-		RequireStable:   e.opts.RequireStableACG,
-		SpamFraction:    e.opts.SpamFraction,
-		MaxScannedRows:  e.opts.Budget.MaxSearchedRows,
-		MaxCandidates:   e.opts.Budget.MaxCandidates,
-		MaxWorkers:      resolveWorkers(e.opts.Parallelism),
-		Retry:           e.opts.Retry,
+		RequireStable:   opts.RequireStableACG,
+		SpamFraction:    opts.SpamFraction,
+		MaxScannedRows:  opts.Budget.MaxSearchedRows,
+		MaxCandidates:   opts.Budget.MaxCandidates,
+		MaxWorkers:      resolveWorkers(opts.Parallelism),
+		Retry:           opts.Retry,
 	})
 	disc := &Discovery{
 		Queries:    queries,
@@ -315,10 +341,13 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID) (
 }
 
 // symbolSearcher returns the symbol-table technique for the given search
-// database, caching the full-database index across calls. Callers hold
-// e.mu.
+// database, caching the full-database index across calls. The cache is
+// guarded by symMu (not e.mu) because concurrent read-locked discoveries
+// race to build it; after the first build they share the immutable index.
 func (e *Engine) symbolSearcher(db *relational.Database) keyword.Searcher {
 	if db == e.db {
+		e.symMu.Lock()
+		defer e.symMu.Unlock()
 		if e.symbolEngine == nil {
 			e.symbolEngine = keyword.NewSymbolTableEngine(db)
 		}
@@ -331,10 +360,13 @@ func (e *Engine) symbolSearcher(db *relational.Database) keyword.Searcher {
 
 // RefreshSearchIndex rebuilds the symbol-table technique's pre-built index
 // after data changes. A no-op for the metadata technique, which reads live
-// indexes.
+// indexes. It takes the engine lock exclusively: a rebuild must not run
+// under the feet of read-locked discoveries sharing the index.
 func (e *Engine) RefreshSearchIndex() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.symMu.Lock()
+	defer e.symMu.Unlock()
 	if e.symbolEngine != nil {
 		e.symbolEngine.Rebuild()
 	}
@@ -351,23 +383,34 @@ func (e *Engine) NaiveDiscover(id AnnotationID) (*Discovery, error) {
 // Options.Budget scan/candidate/deadline bounds. The baseline has no Stage 1,
 // so MaxQueries does not apply.
 func (e *Engine) NaiveDiscoverContext(ctx context.Context, id AnnotationID) (disc *Discovery, err error) {
+	return e.NaiveDiscoverRequest(ctx, id, RequestOptions{})
+}
+
+// NaiveDiscoverRequest is NaiveDiscoverContext with per-request governance;
+// like DiscoverRequest it runs under the engine's read lock, so concurrent
+// baseline scans proceed in parallel.
+func (e *Engine) NaiveDiscoverRequest(ctx context.Context, id AnnotationID, req RequestOptions) (disc *Discovery, err error) {
 	defer recoverPanic(&err)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	opts := req.apply(e.opts)
 	a, ok := e.store.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("nebula: unknown annotation %q", id)
+		return nil, fmt.Errorf("%w %q", ErrUnknownAnnotation, id)
 	}
-	if e.opts.Budget.Deadline > 0 {
+	if opts.Budget.Deadline > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.opts.Budget.Deadline)
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget.Deadline)
 		defer cancel()
 	}
 	focal := e.store.Focal(id)
 	d := discovery.New(e.db, e.meta, e.graph)
 	cands, stats, err := d.NaiveIdentifyContext(ctx, a.Body, focal, discovery.Options{
-		MaxScannedRows: e.opts.Budget.MaxSearchedRows,
-		MaxCandidates:  e.opts.Budget.MaxCandidates,
+		MaxScannedRows: opts.Budget.MaxSearchedRows,
+		MaxCandidates:  opts.Budget.MaxCandidates,
 	})
 	disc = &Discovery{Candidates: cands, Focal: focal, ExecStats: stats}
 	if err != nil {
@@ -393,14 +436,24 @@ func (e *Engine) Process(id AnnotationID) (*Discovery, VerificationOutcome, erro
 // expert-verification tasks, because confidences computed over a truncated
 // evidence base cannot be trusted to clear β_upper unattended.
 func (e *Engine) ProcessContext(ctx context.Context, id AnnotationID) (disc *Discovery, outcome VerificationOutcome, err error) {
-	defer recoverPanic(&err)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.process(ctx, id)
+	return e.ProcessRequest(ctx, id, RequestOptions{})
 }
 
-func (e *Engine) process(ctx context.Context, id AnnotationID) (*Discovery, VerificationOutcome, error) {
-	disc, err := e.discoverByID(ctx, id)
+// ProcessRequest is ProcessContext with per-request governance. Stage 3
+// mutates engine state (attachments, ACG, hop profile, VIDs), so unlike
+// DiscoverRequest it holds the engine lock exclusively for the whole run.
+func (e *Engine) ProcessRequest(ctx context.Context, id AnnotationID, req RequestOptions) (disc *Discovery, outcome VerificationOutcome, err error) {
+	defer recoverPanic(&err)
+	if err := req.Validate(); err != nil {
+		return nil, VerificationOutcome{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.process(ctx, id, req.apply(e.opts))
+}
+
+func (e *Engine) process(ctx context.Context, id AnnotationID, opts Options) (*Discovery, VerificationOutcome, error) {
+	disc, err := e.discoverByID(ctx, id, opts)
 	if err != nil {
 		return disc, VerificationOutcome{}, err
 	}
@@ -417,16 +470,16 @@ func (e *Engine) process(ctx context.Context, id AnnotationID) (*Discovery, Veri
 
 // PendingTasks returns the pending verification tasks, ordered by VID.
 func (e *Engine) PendingTasks() []*VerificationTask {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.manager.PendingTasks()
 }
 
 // PendingTasksByPriority returns the pending tasks ordered by descending
 // confidence — the order an expert with limited time should work in.
 func (e *Engine) PendingTasksByPriority() []*VerificationTask {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.manager.PendingTasksByPriority()
 }
 
@@ -478,8 +531,8 @@ func (e *Engine) ResolveWithOracle(id AnnotationID, oracle Oracle) (accepted, re
 // Quality computes the §3 database quality metrics against an ideal edge
 // set.
 func (e *Engine) Quality(ideal IdealEdges) QualityMetrics {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.store.Quality(ideal)
 }
 
@@ -506,7 +559,7 @@ func (e *Engine) TuneBounds(training []TrainingExample, cfg BoundsConfig) (Bound
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	discover := func(a *Annotation, focal []TupleID) ([]Candidate, error) {
-		d, err := e.discover(context.Background(), a, focal)
+		d, err := e.discover(context.Background(), a, focal, e.opts)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,13 +29,15 @@ func addSpec(t *testing.T, e *nebula.Engine, ds *workload.Dataset, idx int) nebu
 
 // injectingFactory returns a SearcherFactory wrapping the default metadata
 // technique with fault injection, and a pointer through which the test can
-// reach the injector the last discovery run used.
-func injectingFactory(ds *workload.Dataset, cfg faultinject.Config) (nebula.Options, **faultinject.Searcher) {
-	var last *faultinject.Searcher
+// reach the injector the last discovery run used. The pointer write is
+// atomic because read-locked discoveries invoke the factory concurrently.
+func injectingFactory(ds *workload.Dataset, cfg faultinject.Config) (nebula.Options, *atomic.Pointer[faultinject.Searcher]) {
+	var last atomic.Pointer[faultinject.Searcher]
 	opts := nebula.DefaultOptions()
 	opts.SearcherFactory = func(db *nebula.Database) nebula.KeywordSearcher {
-		last = faultinject.Wrap(keyword.NewEngine(db, ds.Meta), cfg)
-		return last
+		s := faultinject.Wrap(keyword.NewEngine(db, ds.Meta), cfg)
+		last.Store(s)
+		return s
 	}
 	return opts, &last
 }
@@ -269,8 +272,8 @@ func TestTransientFaultsAreRetried(t *testing.T) {
 	if err != nil {
 		t.Fatalf("retries should heal two transient faults: %v", err)
 	}
-	if (*inj).Calls() != 3 {
-		t.Errorf("searcher saw %d calls, want 3 (2 faults + success)", (*inj).Calls())
+	if inj.Load().Calls() != 3 {
+		t.Errorf("searcher saw %d calls, want 3 (2 faults + success)", inj.Load().Calls())
 	}
 	if disc.ExecStats.Retries != 2 {
 		t.Errorf("Stats.Retries = %d, want 2", disc.ExecStats.Retries)
@@ -306,8 +309,8 @@ func TestPersistentFaultsAreNotRetried(t *testing.T) {
 	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Errorf("cause lost from %v", err)
 	}
-	if (*inj).Calls() != 1 {
-		t.Errorf("persistent fault was retried (%d calls)", (*inj).Calls())
+	if inj.Load().Calls() != 1 {
+		t.Errorf("persistent fault was retried (%d calls)", inj.Load().Calls())
 	}
 }
 
@@ -326,8 +329,8 @@ func TestRetryBudgetExhausts(t *testing.T) {
 	if _, err := e.Discover(id); err == nil {
 		t.Fatal("exhausted retries should surface the fault")
 	}
-	if (*inj).Calls() != 3 {
-		t.Errorf("searcher saw %d calls, want 3 (initial + 2 retries)", (*inj).Calls())
+	if inj.Load().Calls() != 3 {
+		t.Errorf("searcher saw %d calls, want 3 (initial + 2 retries)", inj.Load().Calls())
 	}
 }
 

@@ -163,7 +163,9 @@ var (
 // LoadEnv generates (or returns the cached) dataset of the given size.
 // Sizes: "tiny", "small", "mid", "large". Generation is deterministic in
 // the seed, and environments are cached per (size, seed) for the lifetime
-// of the process because benchmarks reuse them heavily.
+// of the process because benchmarks reuse them heavily. The cached dataset
+// is shared: callers must not mutate it (use FreshEnv to get a private
+// copy to grow an engine on).
 func LoadEnv(size string, seed int64) (*Env, error) {
 	key := fmt.Sprintf("%s/%d", size, seed)
 	envMu.Lock()
@@ -171,6 +173,19 @@ func LoadEnv(size string, seed int64) (*Env, error) {
 	if e, ok := envCache[key]; ok {
 		return e, nil
 	}
+	e, err := FreshEnv(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	envCache[key] = e
+	return e, nil
+}
+
+// FreshEnv generates a private, uncached dataset of the given size —
+// byte-identical to what LoadEnv would cache (generation is deterministic
+// in the seed) but safe for callers that mutate it, such as the serving
+// load test inserting workload annotations into the store.
+func FreshEnv(size string, seed int64) (*Env, error) {
 	var cfg workload.Config
 	switch size {
 	case "tiny":
@@ -188,9 +203,7 @@ func LoadEnv(size string, seed int64) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Env{Name: "D_" + size, Dataset: ds}
-	envCache[key] = e
-	return e, nil
+	return &Env{Name: "D_" + size, Dataset: ds}, nil
 }
 
 // fmtDur renders a duration in milliseconds with 3 decimals.

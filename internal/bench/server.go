@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nebula"
+	"nebula/internal/server"
+)
+
+// ServerResult records one concurrency level of the serving-layer load
+// test: a fixed number of discovery requests fired at nebulad's handler
+// from N concurrent clients. Latency percentiles cover the requests that
+// completed with 200; Rejected counts the typed 429 backpressure responses
+// (the admission gate shedding load), which is a correct outcome under
+// saturation, not an error.
+type ServerResult struct {
+	Dataset       string  `json:"dataset"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Concurrency   int     `json:"concurrency"`
+	MaxInFlight   int     `json:"max_inflight"`
+	QueueDepth    int     `json:"queue_depth"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Rejected      int     `json:"rejected"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50NS         int64   `json:"p50_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	TotalNS       int64   `json:"total_ns"`
+}
+
+// ServerBenchConfig parameterizes RunServerBench.
+type ServerBenchConfig struct {
+	// Levels are the client concurrency levels to measure.
+	Levels []int
+	// Requests is the total number of discovery requests per level.
+	Requests int
+	// MaxInFlight / QueueDepth configure the admission gate under test.
+	MaxInFlight int
+	QueueDepth  int
+}
+
+// DefaultServerBenchConfig exercises an uncontended and a saturated level
+// against a deliberately small queue, so the second level demonstrates
+// load shedding rather than unbounded queueing.
+func DefaultServerBenchConfig() ServerBenchConfig {
+	return ServerBenchConfig{
+		Levels:      []int{4, 32},
+		Requests:    200,
+		MaxInFlight: 4,
+		QueueDepth:  8,
+	}
+}
+
+// RunServerBench stands up the serving layer over a freshly generated
+// dataset's engine (in-process, via httptest) and measures discovery round
+// trips at each concurrency level. The workload annotations are inserted
+// once, then the clients cycle over them so every request is a real
+// Stage 1–2 run. The dataset is private (FreshEnv, not the LoadEnv cache)
+// because seeding the engine mutates its store.
+func RunServerBench(size string, seed int64, cfg ServerBenchConfig) ([]ServerResult, error) {
+	if cfg.Requests < 1 {
+		cfg.Requests = 1
+	}
+	env, err := FreshEnv(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	ds := env.Dataset
+	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, nebula.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(ds.Workload))
+	for _, spec := range ds.Workload {
+		if err := engine.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+			return nil, fmt.Errorf("bench: seed annotation %s: %w", spec.Ann.ID, err)
+		}
+		ids = append(ids, string(spec.Ann.ID))
+	}
+	srv, err := server.New(server.Config{
+		Engine:      engine,
+		MaxInFlight: cfg.MaxInFlight,
+		QueueDepth:  cfg.QueueDepth,
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out []ServerResult
+	for _, level := range cfg.Levels {
+		res, err := runServerLevel(ts.URL, ids, level, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Dataset = env.Name
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runServerLevel fires cfg.Requests discovery requests from `level`
+// concurrent clients and aggregates the outcome.
+func runServerLevel(baseURL string, ids []string, level int, cfg ServerBenchConfig) (ServerResult, error) {
+	client := &http.Client{Timeout: 60 * time.Second, Transport: &http.Transport{
+		MaxIdleConnsPerHost: level,
+	}}
+	defer client.CloseIdleConnections()
+
+	var (
+		next      atomic.Int64
+		ok        atomic.Int64
+		rejected  atomic.Int64
+		errored   atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	next.Store(-1)
+	start := time.Now()
+	for w := 0; w < level; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= cfg.Requests {
+					return
+				}
+				body, _ := json.Marshal(map[string]any{"id": ids[i%len(ids)]})
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/v1/discover", "application/json", bytes.NewReader(body))
+				elapsed := time.Since(t0)
+				if err != nil {
+					errored.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, elapsed)
+					latMu.Unlock()
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					rejected.Add(1)
+				default:
+					errored.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := time.Since(start)
+
+	res := ServerResult{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Concurrency: level,
+		MaxInFlight: cfg.MaxInFlight,
+		QueueDepth:  cfg.QueueDepth,
+		Requests:    cfg.Requests,
+		OK:          int(ok.Load()),
+		Rejected:    int(rejected.Load()),
+		Errors:      int(errored.Load()),
+		TotalNS:     total.Nanoseconds(),
+	}
+	if total > 0 {
+		res.ThroughputRPS = float64(res.OK) / total.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50NS = latencies[percentileIndex(len(latencies), 50)].Nanoseconds()
+		res.P99NS = latencies[percentileIndex(len(latencies), 99)].Nanoseconds()
+	}
+	return res, nil
+}
+
+// percentileIndex maps a percentile onto a sorted slice index.
+func percentileIndex(n, pct int) int {
+	i := n*pct/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// ServerTable renders load-test results as a printable table.
+func ServerTable(results []ServerResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Serving layer — discovery round trips under concurrency (GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Header: []string{"dataset", "conc", "inflight", "queue", "requests", "ok", "rejected", "errors", "rps", "p50-ms", "p99-ms"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, fmtI(r.Concurrency), fmtI(r.MaxInFlight), fmtI(r.QueueDepth),
+			fmtI(r.Requests), fmtI(r.OK), fmtI(r.Rejected), fmtI(r.Errors),
+			fmt.Sprintf("%.1f", r.ThroughputRPS), fmtMs(r.P50NS), fmtMs(r.P99NS),
+		})
+	}
+	return t
+}
+
+// WriteServerJSON writes the results as indented JSON (the
+// BENCH_server.json artifact).
+func WriteServerJSON(w io.Writer, results []ServerResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

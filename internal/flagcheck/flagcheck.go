@@ -1,0 +1,57 @@
+// Package flagcheck validates the numeric command-line inputs the nebula
+// binaries share. The flag package parses syntax; this package enforces the
+// semantic ranges — budgets and worker counts cannot be negative, ports
+// must be addressable — so nebulactl and nebulad reject bad invocations
+// identically, with one error message style, before any work starts.
+package flagcheck
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// NonNegative rejects a negative count flag (budgets, worker counts,
+// queue sizes — where zero means "unlimited" or "default").
+func NonNegative(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("--%s must be >= 0, got %d", name, v)
+	}
+	return nil
+}
+
+// Positive rejects a zero or negative count flag (sizes where zero has no
+// meaning, such as rounds or concurrency levels).
+func Positive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("--%s must be > 0, got %d", name, v)
+	}
+	return nil
+}
+
+// NonNegativeDuration rejects a negative duration flag (deadlines and
+// timeouts — where zero means "none").
+func NonNegativeDuration(name string, d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("--%s must be >= 0, got %v", name, d)
+	}
+	return nil
+}
+
+// Port rejects a TCP port outside [1, 65535]. Zero is allowed only when
+// ephemeral is set (the OS picks a free port).
+func Port(name string, v int, ephemeral bool) error {
+	if v == 0 && ephemeral {
+		return nil
+	}
+	if v < 1 || v > 65535 {
+		return fmt.Errorf("--%s must be in [1, 65535], got %d", name, v)
+	}
+	return nil
+}
+
+// All combines the checks, reporting every violation at once so a bad
+// invocation is fixed in one edit, not one error message at a time.
+func All(checks ...error) error {
+	return errors.Join(checks...)
+}

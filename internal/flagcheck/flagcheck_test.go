@@ -1,0 +1,88 @@
+package flagcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNonNegative(t *testing.T) {
+	if err := NonNegative("parallelism", 0); err != nil {
+		t.Errorf("NonNegative(0) = %v, want nil", err)
+	}
+	if err := NonNegative("parallelism", 4); err != nil {
+		t.Errorf("NonNegative(4) = %v, want nil", err)
+	}
+	err := NonNegative("parallelism", -1)
+	if err == nil {
+		t.Fatal("NonNegative(-1) = nil, want error")
+	}
+	if !strings.Contains(err.Error(), "--parallelism") {
+		t.Errorf("error %q does not name the flag", err)
+	}
+}
+
+func TestPositive(t *testing.T) {
+	if err := Positive("rounds", 1); err != nil {
+		t.Errorf("Positive(1) = %v, want nil", err)
+	}
+	for _, v := range []int{0, -3} {
+		if err := Positive("rounds", v); err == nil {
+			t.Errorf("Positive(%d) = nil, want error", v)
+		}
+	}
+}
+
+func TestNonNegativeDuration(t *testing.T) {
+	if err := NonNegativeDuration("timeout", 0); err != nil {
+		t.Errorf("NonNegativeDuration(0) = %v, want nil", err)
+	}
+	if err := NonNegativeDuration("timeout", time.Second); err != nil {
+		t.Errorf("NonNegativeDuration(1s) = %v, want nil", err)
+	}
+	if err := NonNegativeDuration("timeout", -time.Second); err == nil {
+		t.Error("NonNegativeDuration(-1s) = nil, want error")
+	}
+}
+
+func TestPort(t *testing.T) {
+	cases := []struct {
+		port      int
+		ephemeral bool
+		ok        bool
+	}{
+		{8080, false, true},
+		{1, false, true},
+		{65535, false, true},
+		{0, true, true},
+		{0, false, false},
+		{-1, true, false},
+		{65536, false, false},
+		{70000, true, false},
+	}
+	for _, c := range cases {
+		err := Port("port", c.port, c.ephemeral)
+		if (err == nil) != c.ok {
+			t.Errorf("Port(%d, ephemeral=%v) = %v, want ok=%v", c.port, c.ephemeral, err, c.ok)
+		}
+	}
+}
+
+func TestAllCollectsEveryViolation(t *testing.T) {
+	err := All(
+		NonNegative("parallelism", -2),
+		Port("port", 99999, false),
+		NonNegativeDuration("timeout", -1),
+	)
+	if err == nil {
+		t.Fatal("All with three violations = nil, want error")
+	}
+	for _, flag := range []string{"--parallelism", "--port", "--timeout"} {
+		if !strings.Contains(err.Error(), flag) {
+			t.Errorf("joined error %q is missing %s", err, flag)
+		}
+	}
+	if err := All(nil, nil, nil); err != nil {
+		t.Errorf("All(nil...) = %v, want nil", err)
+	}
+}

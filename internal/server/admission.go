@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Typed admission errors; the HTTP layer maps them to backpressure status
+// codes (429 for load shedding the client should retry, 503 for a server
+// that is going away).
+var (
+	// ErrQueueFull reports that the bounded admission queue is at capacity:
+	// the server is saturated and the request was shed without queuing.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining reports a server in graceful shutdown: in-flight work is
+	// finishing, new work is refused.
+	ErrDraining = errors.New("server: draining")
+	// ErrConnLimit reports a single connection exceeding its in-flight
+	// request allowance.
+	ErrConnLimit = errors.New("server: per-connection in-flight limit")
+)
+
+// admission is the server's bounded work queue. Requests first occupy a
+// queue position (bounded by queueDepth — beyond it they are shed with
+// ErrQueueFull, never buffered), then wait for one of maxInFlight execution
+// slots. A per-connection ceiling stops one chatty client from occupying
+// the whole queue. Draining flips the gate atomically: requests admitted
+// before the flip complete normally, later ones get ErrDraining, and
+// drain() blocks until the in-flight count reaches zero.
+type admission struct {
+	slots chan struct{} // execution slots, buffered to maxInFlight
+
+	mu         sync.Mutex
+	queued     int
+	queueDepth int
+	maxPerConn int
+	perConn    map[string]int
+	inflight   int
+	draining   bool
+	idle       chan struct{} // closed when draining and inflight hits 0
+
+	metrics *metrics
+}
+
+func newAdmission(maxInFlight, queueDepth, maxPerConn int, m *metrics) *admission {
+	return &admission{
+		slots:      make(chan struct{}, maxInFlight),
+		queueDepth: queueDepth,
+		maxPerConn: maxPerConn,
+		perConn:    make(map[string]int),
+		metrics:    m,
+	}
+}
+
+// acquire admits one request for the given connection key, blocking (under
+// ctx) for an execution slot. On success the caller MUST release(connKey)
+// when the request finishes.
+func (a *admission) acquire(ctx context.Context, connKey string) error {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	if a.maxPerConn > 0 && a.perConn[connKey] >= a.maxPerConn {
+		a.mu.Unlock()
+		return ErrConnLimit
+	}
+	if a.queued >= a.queueDepth {
+		a.mu.Unlock()
+		return ErrQueueFull
+	}
+	a.queued++
+	a.perConn[connKey]++
+	a.metrics.observeAdmission(a.queued)
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.queued--
+		a.decConn(connKey)
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+
+	a.mu.Lock()
+	a.queued--
+	if a.draining {
+		// Drain began while this request waited for a slot; it was never
+		// admitted, so it must not extend the drain.
+		a.decConn(connKey)
+		a.mu.Unlock()
+		<-a.slots
+		return ErrDraining
+	}
+	a.inflight++
+	a.mu.Unlock()
+	return nil
+}
+
+// decConn drops a connection's in-flight count, reaping zero entries so the
+// map does not grow with every client that ever connected. Callers hold mu.
+func (a *admission) decConn(connKey string) {
+	if a.perConn[connKey]--; a.perConn[connKey] <= 0 {
+		delete(a.perConn, connKey)
+	}
+}
+
+// release returns an execution slot after a request finishes.
+func (a *admission) release(connKey string) {
+	<-a.slots
+	a.mu.Lock()
+	a.inflight--
+	a.decConn(connKey)
+	if a.inflight == 0 && a.draining && a.idle != nil {
+		close(a.idle)
+		a.idle = nil
+	}
+	a.mu.Unlock()
+}
+
+// startDrain flips the admission gate: every acquire from now on fails with
+// ErrDraining. Idempotent.
+func (a *admission) startDrain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// drain blocks until every admitted request has released its slot, or ctx
+// expires. Callers should startDrain first; drain does it defensively.
+func (a *admission) drain(ctx context.Context) error {
+	a.mu.Lock()
+	a.draining = true
+	if a.inflight == 0 {
+		a.mu.Unlock()
+		return nil
+	}
+	if a.idle == nil {
+		a.idle = make(chan struct{})
+	}
+	idle := a.idle
+	a.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// isDraining reports whether the gate has flipped.
+func (a *admission) isDraining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// state reports the current queue depth and in-flight count (for /healthz
+// and /metrics gauges).
+func (a *admission) state() (queued, inflight int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.inflight
+}

@@ -1,0 +1,189 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"nebula"
+	"nebula/internal/server"
+	"nebula/internal/workload"
+)
+
+// TestGracefulDrain is the shutdown acceptance test: with slow discoveries
+// in flight, Shutdown must (1) complete every accepted request with 200,
+// (2) refuse new work with 503, and (3) persist a checksummed snapshot
+// that restores — and whose restored state re-saves byte-identically.
+func TestGracefulDrain(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "drain.snapshot")
+	f := newFixture(t, func(ds *workload.Dataset, opts *nebula.Options, cfg *server.Config) {
+		opts.SearcherFactory = latencyFactory(ds, 300*time.Millisecond)
+		cfg.MaxInFlight = 4
+		cfg.SnapshotPath = snapPath
+	})
+	id := f.addWorkloadAnnotation(t, 0)
+
+	// Launch slow in-flight discoveries.
+	const inFlight = 3
+	statuses := make([]int, inFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload, _ := json.Marshal(map[string]any{"id": id})
+			resp, err := http.Post(f.ts.URL+"/v1/discover", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	// Let the requests reach the engine before the drain flips the gate.
+	time.Sleep(100 * time.Millisecond)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- f.srv.Shutdown(ctx)
+	}()
+	// Wait for the gate to flip, then probe: new work must get a typed 503
+	// and the health check must fail so load balancers route away.
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.srv.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	payload, _ := json.Marshal(map[string]any{"id": id})
+	resp, err := http.Post(f.ts.URL+"/v1/discover", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("discover while draining: status %d (%s), want 503", resp.StatusCode, rejBody)
+	}
+	var rej struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(rejBody, &rej); err != nil || rej.Reason != "draining" {
+		t.Errorf("draining rejection body %s, want reason=draining", rejBody)
+	}
+	if status, _ := f.get(t, "/healthz"); status != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", status)
+	}
+
+	wg.Wait()
+	for i, s := range statuses {
+		if s != http.StatusOK {
+			t.Errorf("in-flight request %d finished with %d, want 200 (accepted work must not be dropped)", i, s)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The drain snapshot must restore, and the restored engine must re-save
+	// byte-identically — proof the persisted state is complete and the
+	// capture is deterministic.
+	original, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("drain snapshot missing: %v", err)
+	}
+	fh, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	restored, err := nebula.RestoreEngine(fh, func(db *nebula.Database) (*nebula.MetaRepository, error) {
+		return workload.BuildMeta(db, rand.New(rand.NewSource(11)))
+	}, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatalf("drain snapshot does not restore: %v", err)
+	}
+	if restored.Store().Len() != f.eng.Store().Len() {
+		t.Errorf("restored %d annotations, engine had %d", restored.Store().Len(), f.eng.Store().Len())
+	}
+	resaved := filepath.Join(t.TempDir(), "resave.snapshot")
+	if err := restored.SaveSnapshotFile(resaved); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(original, roundTrip) {
+		t.Errorf("restore→re-save changed the snapshot (%d vs %d bytes); capture is not deterministic",
+			len(original), len(roundTrip))
+	}
+}
+
+// TestShutdownIdleServer drains with nothing in flight: immediate, snapshot
+// still written.
+func TestShutdownIdleServer(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "idle.snapshot")
+	f := newFixture(t, func(ds *workload.Dataset, opts *nebula.Options, cfg *server.Config) {
+		cfg.SnapshotPath = snapPath
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("idle drain snapshot missing: %v", err)
+	}
+	// Shutdown again is a no-op that must not error or rewrite state.
+	if err := f.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestDrainTimeoutStillSnapshots pins the contract that a hung request
+// cannot cost the state file: drain times out, Shutdown reports the
+// timeout, but the snapshot is written anyway.
+func TestDrainTimeoutStillSnapshots(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "timeout.snapshot")
+	f := newFixture(t, func(ds *workload.Dataset, opts *nebula.Options, cfg *server.Config) {
+		opts.SearcherFactory = latencyFactory(ds, 2*time.Second)
+		cfg.SnapshotPath = snapPath
+	})
+	id := f.addWorkloadAnnotation(t, 0)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		payload, _ := json.Marshal(map[string]any{"id": id})
+		resp, err := http.Post(f.ts.URL+"/v1/discover", "application/json", bytes.NewReader(payload))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := f.srv.Shutdown(ctx)
+	if err == nil {
+		t.Error("Shutdown returned nil despite a hung request; want the drain timeout")
+	}
+	if _, statErr := os.Stat(snapPath); statErr != nil {
+		t.Errorf("snapshot missing after drain timeout: %v", statErr)
+	}
+	<-done // let the slow request finish before the test server closes
+}

@@ -1,0 +1,506 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"nebula"
+)
+
+// ---- JSON wire types -------------------------------------------------------
+
+type errorResponse struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+}
+
+type annotationRequest struct {
+	ID       string   `json:"id"`
+	Author   string   `json:"author,omitempty"`
+	Body     string   `json:"body"`
+	Kind     string   `json:"kind,omitempty"`
+	AttachTo []string `json:"attach_to"` // "Table/Key" tuple references
+}
+
+type discoverRequest struct {
+	ID      string                `json:"id"`
+	Options nebula.RequestOptions `json:"options"`
+}
+
+type batchRequest struct {
+	IDs     []string              `json:"ids"`
+	Process bool                  `json:"process,omitempty"`
+	Options nebula.RequestOptions `json:"options"`
+}
+
+type verdictRequest struct{} // accept/reject carry the VID in the path
+
+type snapshotRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+type candidateJSON struct {
+	Tuple      string   `json:"tuple"`
+	Confidence float64  `json:"confidence"`
+	Evidence   []string `json:"evidence,omitempty"`
+}
+
+type statsJSON struct {
+	Queries           int  `json:"queries"`
+	SearchedDB        int  `json:"searched_db"`
+	MiniDBUsed        bool `json:"minidb_used,omitempty"`
+	StructuredQueries int  `json:"structured_queries"`
+	SharedQueries     int  `json:"shared_queries"`
+	TuplesScanned     int  `json:"tuples_scanned"`
+	Workers           int  `json:"workers,omitempty"`
+	ParallelBatches   int  `json:"parallel_batches,omitempty"`
+	Retries           int  `json:"retries,omitempty"`
+}
+
+type taskJSON struct {
+	VID        int64    `json:"vid"`
+	Annotation string   `json:"annotation"`
+	Tuple      string   `json:"tuple"`
+	Confidence float64  `json:"confidence"`
+	Evidence   []string `json:"evidence,omitempty"`
+}
+
+type outcomeJSON struct {
+	Accepted []taskJSON `json:"accepted"`
+	Pending  []taskJSON `json:"pending"`
+	Rejected []taskJSON `json:"rejected"`
+}
+
+// discoverResponse reports one run. Degraded lists every governance
+// shortcut the run took; Partial+Error mark a run interrupted by its
+// deadline or cancellation (the candidates are the partial prefix). A
+// degraded or partial run is therefore always distinguishable from a clean
+// success by the response body alone.
+type discoverResponse struct {
+	ID         string          `json:"id"`
+	Candidates []candidateJSON `json:"candidates"`
+	Degraded   []string        `json:"degraded,omitempty"`
+	Partial    bool            `json:"partial,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Stats      statsJSON       `json:"stats"`
+	Outcome    *outcomeJSON    `json:"outcome,omitempty"`
+}
+
+type batchResponse struct {
+	Results []discoverResponse `json:"results"`
+}
+
+type pendingResponse struct {
+	Tasks []taskJSON `json:"tasks"`
+}
+
+type snapshotResponse struct {
+	Path        string `json:"path"`
+	Bytes       int64  `json:"bytes,omitempty"`
+	Annotations int    `json:"annotations,omitempty"`
+	Tuples      int    `json:"tuples,omitempty"`
+}
+
+type healthResponse struct {
+	Status   string `json:"status"`
+	Queued   int    `json:"queued"`
+	InFlight int    `json:"inflight"`
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, reason, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg, Reason: reason})
+}
+
+// decodeJSON parses a request body, answering 400 on malformed or
+// unexpected input. It reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("malformed request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// parseTupleID parses the wire form "Table/Key" (the String() rendering of
+// a TupleID; keys may themselves contain slashes).
+func parseTupleID(s string) (nebula.TupleID, error) {
+	table, key, ok := strings.Cut(s, "/")
+	if !ok || table == "" || key == "" {
+		return nebula.TupleID{}, fmt.Errorf("tuple reference %q is not Table/Key", s)
+	}
+	return nebula.TupleID{Table: table, Key: key}, nil
+}
+
+func candidatesJSON(cands []nebula.Candidate) []candidateJSON {
+	out := make([]candidateJSON, len(cands))
+	for i, c := range cands {
+		out[i] = candidateJSON{
+			Tuple:      c.Tuple.ID.String(),
+			Confidence: c.Confidence,
+			Evidence:   c.Evidence,
+		}
+	}
+	return out
+}
+
+func tasksJSON(tasks []*nebula.VerificationTask) []taskJSON {
+	out := make([]taskJSON, len(tasks))
+	for i, t := range tasks {
+		out[i] = taskJSON{
+			VID:        t.VID,
+			Annotation: string(t.Annotation),
+			Tuple:      t.Tuple.String(),
+			Confidence: t.Confidence,
+			Evidence:   t.Evidence,
+		}
+	}
+	return out
+}
+
+func outcomeToJSON(o nebula.VerificationOutcome) *outcomeJSON {
+	return &outcomeJSON{
+		Accepted: tasksJSON(o.Accepted),
+		Pending:  tasksJSON(o.Pending),
+		Rejected: tasksJSON(o.Rejected),
+	}
+}
+
+// discoveryToJSON renders a (possibly partial) run. runErr is the typed
+// pipeline error, nil for a clean run.
+func discoveryToJSON(id string, disc *nebula.Discovery, runErr error) discoverResponse {
+	resp := discoverResponse{ID: id, Candidates: []candidateJSON{}}
+	if disc != nil {
+		resp.Candidates = candidatesJSON(disc.Candidates)
+		resp.Degraded = disc.Degraded()
+		resp.Stats = statsJSON{
+			Queries:           len(disc.Queries),
+			SearchedDB:        disc.ExecStats.SearchedDB,
+			MiniDBUsed:        disc.ExecStats.MiniDBUsed,
+			StructuredQueries: disc.ExecStats.Exec.StructuredQueries,
+			SharedQueries:     disc.ExecStats.Exec.SharedQueries,
+			TuplesScanned:     disc.ExecStats.Exec.TuplesScanned,
+			Workers:           disc.ExecStats.Exec.Workers,
+			ParallelBatches:   disc.ExecStats.Exec.ParallelBatches,
+			Retries:           disc.ExecStats.Retries,
+		}
+	}
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, nebula.ErrBudgetExceeded):
+		resp.Partial = true
+		resp.Error = "budget_exceeded"
+	case errors.Is(runErr, nebula.ErrCancelled):
+		resp.Partial = true
+		resp.Error = "cancelled"
+	case errors.Is(runErr, nebula.ErrSpamAnnotation):
+		resp.Error = "spam_annotation"
+	case errors.Is(runErr, nebula.ErrInternal):
+		resp.Error = "internal"
+	default:
+		resp.Error = runErr.Error()
+	}
+	return resp
+}
+
+// classifyRun maps a pipeline error to the metrics outcome.
+func classifyRun(err error) runOutcome {
+	switch {
+	case err == nil:
+		return runOK
+	case errors.Is(err, nebula.ErrBudgetExceeded):
+		return runBudgetExceeded
+	case errors.Is(err, nebula.ErrCancelled):
+		return runCancelled
+	case errors.Is(err, nebula.ErrInternal):
+		return runInternalError
+	default:
+		return runOK
+	}
+}
+
+// observeDiscovery folds one run into the metrics registry.
+func (s *Server) observeDiscovery(disc *nebula.Discovery, err error) {
+	if disc == nil {
+		s.metrics.observeRun(nil, classifyRun(err), nebula.DiscoveryStats{}.Exec)
+		return
+	}
+	s.metrics.observeRun(disc.Degraded(), classifyRun(err), disc.ExecStats.Exec)
+}
+
+// ---- handlers --------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, inflight := s.admission.state()
+	resp := healthResponse{Status: "ok", Queued: queued, InFlight: inflight}
+	code := http.StatusOK
+	if s.admission.isDraining() {
+		// A draining replica must fail its health check so load balancers
+		// stop routing to it, while /metrics stays scrapable.
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, inflight := s.admission.state()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, queued, inflight, s.admission.isDraining())
+}
+
+// handleAddAnnotation implements Stage 0 over the wire: insert an
+// annotation with its true attachments.
+func (s *Server) handleAddAnnotation(w http.ResponseWriter, r *http.Request) {
+	var req annotationRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.ID == "" || req.Body == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "id and body are required")
+		return
+	}
+	attach := make([]nebula.TupleID, 0, len(req.AttachTo))
+	for _, ref := range req.AttachTo {
+		t, err := parseTupleID(ref)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_tuple", err.Error())
+			return
+		}
+		attach = append(attach, t)
+	}
+	err := s.Engine().AddAnnotation(&nebula.Annotation{
+		ID:     nebula.AnnotationID(req.ID),
+		Author: req.Author,
+		Body:   req.Body,
+		Kind:   req.Kind,
+	}, attach)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "rejected", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+// runDiscover is the shared core of the three single-annotation endpoints.
+func (s *Server) runDiscover(w http.ResponseWriter, r *http.Request, kind string) {
+	var req discoverRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "id is required")
+		return
+	}
+	if err := req.Options.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_options", err.Error())
+		return
+	}
+	eng := s.Engine()
+	id := nebula.AnnotationID(req.ID)
+	var (
+		disc    *nebula.Discovery
+		outcome nebula.VerificationOutcome
+		err     error
+	)
+	switch kind {
+	case "discover":
+		disc, err = eng.DiscoverRequest(r.Context(), id, req.Options)
+	case "naive":
+		disc, err = eng.NaiveDiscoverRequest(r.Context(), id, req.Options)
+	case "process":
+		disc, outcome, err = eng.ProcessRequest(r.Context(), id, req.Options)
+	}
+	s.observeDiscovery(disc, err)
+	switch {
+	case err == nil:
+		resp := discoveryToJSON(req.ID, disc, nil)
+		if kind == "process" {
+			resp.Outcome = outcomeToJSON(outcome)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, nebula.ErrUnknownAnnotation):
+		writeError(w, http.StatusNotFound, "unknown_annotation", err.Error())
+	case errors.Is(err, nebula.ErrBudgetExceeded), errors.Is(err, nebula.ErrCancelled):
+		// Governed interruption is not a server failure: the partial
+		// results ship with HTTP 200 and the body says why they are
+		// partial, mirroring the CLI's degraded-run reporting.
+		writeJSON(w, http.StatusOK, discoveryToJSON(req.ID, disc, err))
+	case errors.Is(err, nebula.ErrSpamAnnotation):
+		writeJSON(w, http.StatusUnprocessableEntity, discoveryToJSON(req.ID, disc, err))
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	s.runDiscover(w, r, "discover")
+}
+
+func (s *Server) handleNaiveDiscover(w http.ResponseWriter, r *http.Request) {
+	s.runDiscover(w, r, "naive")
+}
+
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+	s.runDiscover(w, r, "process")
+}
+
+func (s *Server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "ids is required")
+		return
+	}
+	if err := req.Options.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_options", err.Error())
+		return
+	}
+	ids := make([]nebula.AnnotationID, len(req.IDs))
+	for i, id := range req.IDs {
+		ids[i] = nebula.AnnotationID(id)
+	}
+	eng := s.Engine()
+	var results []nebula.BatchResult
+	if req.Process {
+		results = eng.ProcessBatchRequest(r.Context(), ids, req.Options)
+	} else {
+		results = eng.DiscoverBatchRequest(r.Context(), ids, req.Options)
+	}
+	resp := batchResponse{Results: make([]discoverResponse, len(results))}
+	for i, res := range results {
+		s.observeDiscovery(res.Discovery, res.Err)
+		one := discoveryToJSON(string(res.ID), res.Discovery, res.Err)
+		if errors.Is(res.Err, nebula.ErrUnknownAnnotation) {
+			one.Error = "unknown_annotation"
+		}
+		if req.Process && res.Err == nil {
+			one.Outcome = outcomeToJSON(res.Outcome)
+		}
+		resp.Results[i] = one
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePending(w http.ResponseWriter, r *http.Request) {
+	eng := s.Engine()
+	var tasks []*nebula.VerificationTask
+	if r.URL.Query().Get("order") == "priority" {
+		tasks = eng.PendingTasksByPriority()
+	} else {
+		tasks = eng.PendingTasks()
+	}
+	writeJSON(w, http.StatusOK, pendingResponse{Tasks: tasksJSON(tasks)})
+}
+
+// handleVerdict resolves one pending verification task — the wire form of
+// the extended SQL `Verify/Reject Attachement <vid>` commands.
+func (s *Server) handleVerdict(accept bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		vid, err := strconv.ParseInt(r.PathValue("vid"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_vid", fmt.Sprintf("vid %q is not an integer", r.PathValue("vid")))
+			return
+		}
+		eng := s.Engine()
+		if accept {
+			err = eng.VerifyAttachment(vid)
+		} else {
+			err = eng.RejectAttachment(vid)
+		}
+		if err != nil {
+			writeError(w, http.StatusNotFound, "unknown_task", err.Error())
+			return
+		}
+		verdict := "rejected"
+		if accept {
+			verdict = "accepted"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"vid": vid, "verdict": verdict})
+	}
+}
+
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.cfg.SnapshotPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no_path", "no snapshot path given or configured")
+		return
+	}
+	eng := s.Engine()
+	if err := eng.SaveSnapshotFile(path); err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot_failed", err.Error())
+		return
+	}
+	s.metrics.observeSnapshot(false)
+	resp := snapshotResponse{
+		Path:        path,
+		Annotations: eng.Store().Len(),
+		Tuples:      eng.DB().TotalRows(),
+	}
+	if info, err := os.Stat(path); err == nil {
+		resp.Bytes = info.Size()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.cfg.SnapshotPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no_path", "no snapshot path given or configured")
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no_snapshot", err.Error())
+		return
+	}
+	defer f.Close()
+	restored, err := nebula.RestoreEngine(f, s.cfg.ConfigureMeta, s.Engine().Options())
+	if err != nil {
+		if errors.Is(err, nebula.ErrSnapshotCorrupt) {
+			writeError(w, http.StatusUnprocessableEntity, "snapshot_corrupt", err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "restore_failed", err.Error())
+		return
+	}
+	s.setEngine(restored)
+	s.metrics.observeSnapshot(true)
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Path:        path,
+		Annotations: restored.Store().Len(),
+		Tuples:      restored.DB().TotalRows(),
+	})
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nebula/internal/keyword"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond index hits to multi-second governed scans.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram (cumulative counts are
+// computed at render time, so observation is a single index increment).
+type histogram struct {
+	counts []int64 // one per bucket, plus a final +Inf slot
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.counts[sort.SearchFloat64s(latencyBuckets, seconds)]++
+	h.sum += seconds
+	h.total++
+}
+
+// runOutcome classifies one engine run for the counters.
+type runOutcome int
+
+const (
+	runOK runOutcome = iota
+	runBudgetExceeded
+	runCancelled
+	runInternalError
+)
+
+// metrics is the server's counter registry. Everything is guarded by one
+// mutex — the serving path touches it a handful of times per request, which
+// is noise next to a discovery run.
+type metrics struct {
+	mu sync.Mutex
+
+	requests  map[string]int64 // "endpoint code" → count
+	latencies map[string]*histogram
+	rejected  map[string]int64 // reason → count
+
+	queueDepthPeak int
+	admittedTotal  int64
+
+	degradedRuns   int64
+	budgetExceeded int64
+	cancelledRuns  int64
+	internalErrors int64
+	panics         int64
+
+	execWorkersMax  int
+	parallelBatches int64
+	structuredQs    int64
+	sharedQs        int64
+	tuplesScanned   int64
+
+	snapshotSaves int64
+	snapshotLoads int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  make(map[string]int64),
+		latencies: make(map[string]*histogram),
+		rejected:  make(map[string]int64),
+	}
+}
+
+func (m *metrics) observeRequest(endpoint string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s %d", endpoint, code)]++
+	h := m.latencies[endpoint]
+	if h == nil {
+		h = newHistogram()
+		m.latencies[endpoint] = h
+	}
+	h.observe(elapsed.Seconds())
+}
+
+func (m *metrics) observeRejection(reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected[reason]++
+}
+
+// observeAdmission records one pass through the admission queue; depth is
+// the queue occupancy the request saw on entry.
+func (m *metrics) observeAdmission(depth int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admittedTotal++
+	if depth > m.queueDepthPeak {
+		m.queueDepthPeak = depth
+	}
+}
+
+// observeRun folds one discovery/process outcome into the run counters:
+// degraded-but-complete runs, budget-interrupted runs, and cancellations
+// stay distinguishable from clean successes.
+func (m *metrics) observeRun(degraded []string, outcome runOutcome, stats keyword.ExecStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(degraded) > 0 {
+		m.degradedRuns++
+	}
+	switch outcome {
+	case runBudgetExceeded:
+		m.budgetExceeded++
+	case runCancelled:
+		m.cancelledRuns++
+	case runInternalError:
+		m.internalErrors++
+	}
+	if stats.Workers > m.execWorkersMax {
+		m.execWorkersMax = stats.Workers
+	}
+	m.parallelBatches += int64(stats.ParallelBatches)
+	m.structuredQs += int64(stats.StructuredQueries)
+	m.sharedQs += int64(stats.SharedQueries)
+	m.tuplesScanned += int64(stats.TuplesScanned)
+}
+
+func (m *metrics) observePanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
+}
+
+func (m *metrics) observeSnapshot(load bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if load {
+		m.snapshotLoads++
+	} else {
+		m.snapshotSaves++
+	}
+}
+
+// render writes the registry in the Prometheus text exposition format.
+// Output is sorted so scrapes (and tests) see a stable document.
+func (m *metrics) render(w io.Writer, queued, inflight int, draining bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE nebula_requests_total counter\n")
+	for _, k := range sortedKeys(m.requests) {
+		endpoint, code, _ := strings.Cut(k, " ")
+		fmt.Fprintf(w, "nebula_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# TYPE nebula_rejected_total counter\n")
+	for _, reason := range sortedKeys(m.rejected) {
+		fmt.Fprintf(w, "nebula_rejected_total{reason=%q} %d\n", reason, m.rejected[reason])
+	}
+
+	fmt.Fprintf(w, "# TYPE nebula_queue_depth gauge\nnebula_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "# TYPE nebula_queue_depth_peak gauge\nnebula_queue_depth_peak %d\n", m.queueDepthPeak)
+	fmt.Fprintf(w, "# TYPE nebula_inflight gauge\nnebula_inflight %d\n", inflight)
+	fmt.Fprintf(w, "# TYPE nebula_draining gauge\nnebula_draining %d\n", boolGauge(draining))
+	fmt.Fprintf(w, "# TYPE nebula_admitted_total counter\nnebula_admitted_total %d\n", m.admittedTotal)
+
+	fmt.Fprintf(w, "# TYPE nebula_runs_degraded_total counter\nnebula_runs_degraded_total %d\n", m.degradedRuns)
+	fmt.Fprintf(w, "# TYPE nebula_runs_budget_exceeded_total counter\nnebula_runs_budget_exceeded_total %d\n", m.budgetExceeded)
+	fmt.Fprintf(w, "# TYPE nebula_runs_cancelled_total counter\nnebula_runs_cancelled_total %d\n", m.cancelledRuns)
+	fmt.Fprintf(w, "# TYPE nebula_runs_internal_error_total counter\nnebula_runs_internal_error_total %d\n", m.internalErrors)
+	fmt.Fprintf(w, "# TYPE nebula_panics_total counter\nnebula_panics_total %d\n", m.panics)
+
+	fmt.Fprintf(w, "# TYPE nebula_exec_workers_max gauge\nnebula_exec_workers_max %d\n", m.execWorkersMax)
+	fmt.Fprintf(w, "# TYPE nebula_exec_parallel_batches_total counter\nnebula_exec_parallel_batches_total %d\n", m.parallelBatches)
+	fmt.Fprintf(w, "# TYPE nebula_exec_structured_queries_total counter\nnebula_exec_structured_queries_total %d\n", m.structuredQs)
+	fmt.Fprintf(w, "# TYPE nebula_exec_shared_queries_total counter\nnebula_exec_shared_queries_total %d\n", m.sharedQs)
+	fmt.Fprintf(w, "# TYPE nebula_exec_tuples_scanned_total counter\nnebula_exec_tuples_scanned_total %d\n", m.tuplesScanned)
+
+	fmt.Fprintf(w, "# TYPE nebula_snapshot_saves_total counter\nnebula_snapshot_saves_total %d\n", m.snapshotSaves)
+	fmt.Fprintf(w, "# TYPE nebula_snapshot_loads_total counter\nnebula_snapshot_loads_total %d\n", m.snapshotLoads)
+
+	fmt.Fprintf(w, "# TYPE nebula_request_seconds histogram\n")
+	for _, endpoint := range sortedKeys(m.latencies) {
+		h := m.latencies[endpoint]
+		var cum int64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "nebula_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", endpoint, le, cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "nebula_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, cum)
+		fmt.Fprintf(w, "nebula_request_seconds_sum{endpoint=%q} %g\n", endpoint, h.sum)
+		fmt.Fprintf(w, "nebula_request_seconds_count{endpoint=%q} %d\n", endpoint, h.total)
+	}
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

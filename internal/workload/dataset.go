@@ -221,13 +221,27 @@ func (d *Dataset) populateRows(rng *rand.Rand) error {
 // expression patterns over the identifier columns, the PType ontology, and
 // expert equivalent names for the abbreviations.
 func (d *Dataset) populateMeta(rng *rand.Rand) error {
-	repo := meta.NewRepository(d.DB, nil)
+	repo, err := BuildMeta(d.DB, rng)
+	if err != nil {
+		return err
+	}
+	d.Meta = repo
+	return nil
+}
+
+// BuildMeta registers the §8.1 NebulaMeta configuration against db. The
+// repository is configuration, not state, so it is excluded from engine
+// snapshots; tools that restore a snapshot of a generated dataset call
+// BuildMeta to rebuild the repository for the restored database. rng feeds
+// only the PName column sample.
+func BuildMeta(db *relational.Database, rng *rand.Rand) (*meta.Repository, error) {
+	repo := meta.NewRepository(db, nil)
 	for _, c := range []*meta.Concept{
 		{Name: "Gene", Table: "Gene", ReferencedBy: [][]string{{"GID"}, {"Name"}}},
 		{Name: "Protein", Table: "Protein", ReferencedBy: [][]string{{"PID"}, {"PName", "PType"}}},
 	} {
 		if err := repo.AddConcept(c); err != nil {
-			return fmt.Errorf("workload: %w", err)
+			return nil, fmt.Errorf("workload: %w", err)
 		}
 	}
 	repo.AddEquivalentNames("GID", "Gene ID")
@@ -240,15 +254,14 @@ func (d *Dataset) populateMeta(rng *rand.Rand) error {
 	}
 	for col, p := range patterns {
 		if err := repo.SetPattern(col, p); err != nil {
-			return fmt.Errorf("workload: %w", err)
+			return nil, fmt.Errorf("workload: %w", err)
 		}
 	}
 	repo.SetOntology(meta.ColumnRef{Table: "Protein", Column: "PType"}, proteinTypes)
 	if err := repo.DrawSample(meta.ColumnRef{Table: "Protein", Column: "PName"}, 100, rng); err != nil {
-		return fmt.Errorf("workload: %w", err)
+		return nil, fmt.Errorf("workload: %w", err)
 	}
-	d.Meta = repo
-	return nil
+	return repo, nil
 }
 
 // proteinType returns the PType of the i-th protein, or "" when absent.

@@ -46,6 +46,71 @@ func (b Budget) Validate() error {
 	return nil
 }
 
+// RequestOptions is the serializable per-request governance surface: the
+// subset of Options a single caller — one HTTP request, one CLI invocation —
+// may override without reconfiguring the engine. The zero value overrides
+// nothing and selects the engine's configured behavior, so clients only
+// name the knobs they care about. Field semantics match Budget and
+// Options.Parallelism; DeadlineMS is a wall-clock budget in milliseconds
+// (JSON has no duration type).
+type RequestOptions struct {
+	// MaxQueries caps Stage 1 at the N highest-weight keyword queries.
+	MaxQueries int `json:"max_queries,omitempty"`
+	// MaxCandidates truncates the candidate list to the strongest N.
+	MaxCandidates int `json:"max_candidates,omitempty"`
+	// MaxSearchedRows stops keyword execution after scanning N tuples.
+	MaxSearchedRows int `json:"max_searched_rows,omitempty"`
+	// DeadlineMS is the wall-clock budget in milliseconds; when it fires
+	// the run returns its partial results with ErrBudgetExceeded.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Parallelism overrides the worker-pool size for this request only
+	// (0 = keep the engine's configured value).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// Enabled reports whether the request overrides anything.
+func (r RequestOptions) Enabled() bool {
+	return r != RequestOptions{}
+}
+
+// Validate rejects negative overrides.
+func (r RequestOptions) Validate() error {
+	if r.MaxQueries < 0 || r.MaxCandidates < 0 || r.MaxSearchedRows < 0 || r.DeadlineMS < 0 {
+		return fmt.Errorf("nebula: negative request budget %+v", r)
+	}
+	if r.Parallelism < 0 {
+		return fmt.Errorf("nebula: negative request parallelism %d", r.Parallelism)
+	}
+	return nil
+}
+
+// Deadline converts DeadlineMS to a duration.
+func (r RequestOptions) Deadline() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
+}
+
+// apply overlays the request's non-zero overrides on a base configuration.
+// Unset fields inherit the engine's values, so per-request governance can
+// only be added to, never silently reset, by omitting a field.
+func (r RequestOptions) apply(base Options) Options {
+	if r.MaxQueries > 0 {
+		base.Budget.MaxQueries = r.MaxQueries
+	}
+	if r.MaxCandidates > 0 {
+		base.Budget.MaxCandidates = r.MaxCandidates
+	}
+	if r.MaxSearchedRows > 0 {
+		base.Budget.MaxSearchedRows = r.MaxSearchedRows
+	}
+	if r.DeadlineMS > 0 {
+		base.Budget.Deadline = r.Deadline()
+	}
+	if r.Parallelism > 0 {
+		base.Parallelism = r.Parallelism
+	}
+	return base
+}
+
 // RetryPolicy re-exports the discoverer's transient-error retry policy.
 type RetryPolicy = discovery.RetryPolicy
 

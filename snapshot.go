@@ -12,8 +12,8 @@ import (
 // repository is configuration, not state, and is NOT captured: re-register
 // concepts/patterns/ontologies when restoring (see RestoreEngine).
 func (e *Engine) SaveSnapshot(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	snap, err := snapshot.Capture(snapshot.State{
 		DB:      e.db,
 		Store:   e.store,
@@ -31,8 +31,8 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 // directory, fsynced, and renamed over path, so a crash mid-save never
 // leaves a half-written state file where the previous snapshot was.
 func (e *Engine) SaveSnapshotFile(path string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	snap, err := snapshot.Capture(snapshot.State{
 		DB:      e.db,
 		Store:   e.store,
