@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-parallel bench-server run-server experiments examples fmt vet check clean
+.PHONY: all build test race cover bench bench-parallel bench-server bench-cache run-server experiments examples fmt vet check clean
 
 all: build test
 
@@ -16,7 +16,7 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -run 'Fault|Inject|Governor|Deadline|Cancel|Budget|Degraded|Retry|Panic|Truncat|BitFlip|SaveFile' ./internal/faultinject/ ./internal/snapshot/ .
 	$(GO) test -run Fuzz ./internal/sqlish/ ./internal/snapshot/
-	$(GO) test -run Determinis ./internal/keyword/ ./internal/relational/ .
+	$(GO) test -run 'Determinis|Cache' ./internal/cache/ ./internal/keyword/ ./internal/relational/ .
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ bench-parallel:
 # artifact records throughput, p50/p99 latency, and shed requests.
 bench-server:
 	$(GO) run ./cmd/nebulactl bench-server --size tiny --levels 4,32 --requests 200 --out BENCH_server.json
+
+# Measure the multi-level result cache: cold vs warm discovery sweeps at two
+# dataset sizes; the JSON artifact records the speedup, hit rates, occupancy,
+# and the byte-identity check against an uncached control engine.
+bench-cache:
+	$(GO) run ./cmd/nebulactl bench-cache --sizes small,mid --rounds 3 --out BENCH_cache.json
 
 # Serving smoke test: boot nebulad on an ephemeral port, hit /healthz, run
 # one discovery round trip, SIGTERM it, and verify the drain snapshot

@@ -1,0 +1,131 @@
+package nebula
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nebula/internal/cache"
+)
+
+// CacheCounters re-exports one cache layer's counter snapshot.
+type CacheCounters = cache.Stats
+
+// CacheStats reports the engine's result caches, one entry per layer:
+// the relational scan cache, the keyword structured-query cache, the
+// mapper memoization, and the whole-pipeline discovery cache.
+type CacheStats struct {
+	// Enabled reports whether the engine was built with caching on.
+	Enabled bool `json:"enabled"`
+	// Scan is the relational full-scan result cache.
+	Scan CacheCounters `json:"scan"`
+	// Query is the keyword structured-query result cache.
+	Query CacheCounters `json:"query"`
+	// Mapping is the keyword→schema-element weight memoization.
+	Mapping CacheCounters `json:"mapping"`
+	// Discovery is the whole-pipeline discovery cache.
+	Discovery CacheCounters `json:"discovery"`
+}
+
+// Totals sums the four layers (hit rates over Totals describe the stack
+// as a whole; MaxBytes sums to the configured overall budget).
+func (s CacheStats) Totals() CacheCounters {
+	var t CacheCounters
+	t.Add(s.Scan)
+	t.Add(s.Query)
+	t.Add(s.Mapping)
+	t.Add(s.Discovery)
+	return t
+}
+
+// CacheStats returns a snapshot of the engine's cache counters. Safe for
+// concurrent use; the caches synchronize internally.
+func (e *Engine) CacheStats() CacheStats {
+	s := CacheStats{Enabled: e.discCache != nil}
+	s.Scan = e.db.ScanCacheStats()
+	s.Query = e.queryCache.ResultStats()
+	s.Mapping = e.queryCache.MappingStats()
+	s.Discovery = e.discCache.Stats()
+	return s
+}
+
+// SetCacheLimit resizes the total cache budget (split evenly across the
+// layers), evicting as needed. It is the live-resize half of the sqlish
+// `CACHE <bytes>` governor. On an engine built with caching disabled it
+// returns an error rather than silently doing nothing.
+func (e *Engine) SetCacheLimit(maxBytes int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.setCacheLimit(maxBytes)
+}
+
+func (e *Engine) setCacheLimit(maxBytes int64) error {
+	if maxBytes <= 0 {
+		return fmt.Errorf("nebula: cache budget %d must be positive", maxBytes)
+	}
+	if e.discCache == nil {
+		return fmt.Errorf("nebula: caching is disabled on this engine")
+	}
+	per := maxBytes / 3
+	e.db.SetScanCacheLimit(per)
+	e.queryCache.SetMaxBytes(per)
+	e.discCache.SetMaxBytes(per)
+	e.opts.Cache.MaxBytes = maxBytes
+	return nil
+}
+
+// cacheEpoch combines the database's data epoch with the engine's
+// annotation-mutation epoch: any change that could alter a discovery's
+// result moves it, invalidating cached discoveries.
+func (e *Engine) cacheEpoch() uint64 {
+	return e.db.Epoch() + e.mutEpoch.Load()
+}
+
+// bumpMutEpoch records an annotation-side mutation (attachments, ACG
+// edges, verification decisions, profile updates, index refreshes).
+// Data-side mutations are tracked by the per-table epochs.
+func (e *Engine) bumpMutEpoch() { e.mutEpoch.Add(1) }
+
+// discoveryCacheKey fingerprints everything a discovery run's clean
+// result depends on besides engine state: the annotation text
+// (whitespace-normalized, order preserved — signature-map generation is
+// word-order- and context-sensitive through Alpha, so a token multiset
+// would over-merge), the focal set, and the options that shape the
+// pipeline. Parallelism and Deadline are excluded: the first changes
+// only scheduling, and only clean (non-truncated) runs are ever cached.
+func discoveryCacheKey(body string, focal []TupleID, opts Options, k int) string {
+	var b strings.Builder
+	b.Grow(len(body) + 16*len(focal) + 96)
+	b.WriteString(strings.Join(strings.Fields(body), " "))
+	b.WriteByte(0)
+	ids := make([]string, len(focal))
+	for i, f := range focal {
+		ids[i] = f.String()
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b.WriteString(id)
+		b.WriteByte(1)
+	}
+	b.WriteByte(0)
+	fmt.Fprintf(&b, "%g|%d|%t|%t|%d|%t|%d|%g|%t|%t|%s|%g|%d|%d|%d",
+		opts.Epsilon, opts.Alpha, opts.SharedExecution, opts.FocalAdjustment,
+		opts.AdjustmentHops, opts.Spreading, k, opts.SpreadingCoverage,
+		opts.RequireStableACG, opts.IncludeRelated, opts.SearchTechnique,
+		opts.SpamFraction, opts.Budget.MaxQueries, opts.Budget.MaxCandidates,
+		opts.Budget.MaxSearchedRows)
+	return b.String()
+}
+
+// discoveryCost approximates the memory held by one cached discovery.
+func discoveryCost(key string, d *Discovery) int64 {
+	cost := int64(len(key)) + 256
+	cost += int64(len(d.Queries)) * 96
+	for _, c := range d.Candidates {
+		cost += 96
+		for _, ev := range c.Evidence {
+			cost += int64(len(ev)) + 16
+		}
+	}
+	return cost
+}

@@ -10,9 +10,10 @@
 //	nebulactl experiment --figure all --size small
 //	nebulactl discover   --size tiny --index 3 --delta 1 [--epsilon 0.6] [--spread K]
 //	                     [--timeout 50ms] [--max-candidates N] [--max-queries N]
-//	                     [--parallelism N]
+//	                     [--parallelism N] [--cache on|off|bytes]
 //	nebulactl bench-parallel --size large --workers 2,4,8 --rounds 3 --out BENCH_parallel.json
 //	nebulactl bench-server --size tiny --levels 4,32 --requests 200 --out BENCH_server.json
+//	nebulactl bench-cache --sizes small,mid --rounds 3 --out BENCH_cache.json
 //	nebulactl demo
 package main
 
@@ -55,6 +56,8 @@ func main() {
 		err = cmdBenchParallel(os.Args[2:])
 	case "bench-server":
 		err = cmdBenchServer(os.Args[2:])
+	case "bench-cache":
+		err = cmdBenchCache(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -86,6 +89,10 @@ commands:
   bench-server
               load-test the nebulad serving layer in-process: throughput,
               latency percentiles, and shed load per concurrency level
+  bench-cache
+              measure the multi-level result cache: cold vs warm discovery
+              sweeps, hit rates, occupancy, and byte-identity against an
+              uncached control engine
 `)
 }
 
@@ -241,6 +248,7 @@ func cmdDiscover(args []string) error {
 	maxCand := fs.Int("max-candidates", 0, "keep only the N strongest candidates (0 = all)")
 	maxQueries := fs.Int("max-queries", 0, "cap Stage 1 at the N highest-weight queries (0 = all)")
 	parallelism := fs.Int("parallelism", 0, "worker pool size for keyword execution (0 = NumCPU, 1 = sequential)")
+	cacheFlag := fs.String("cache", "", "result caching: on, off, or a byte budget (default on at 64 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -275,6 +283,11 @@ func cmdDiscover(args []string) error {
 		Deadline:      *timeout,
 	}
 	opts.Parallelism = *parallelism
+	cacheCfg, err := nebula.ParseCacheConfig(*cacheFlag)
+	if err != nil {
+		return err
+	}
+	opts.Cache = cacheCfg
 	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, opts)
 	if err != nil {
 		return err
@@ -433,6 +446,61 @@ func cmdBenchServer(args []string) error {
 	}
 	defer f.Close()
 	if err := bench.WriteServerJSON(f, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdBenchCache measures the multi-level result cache: one cold discovery
+// sweep per dataset size, repeated warm sweeps, hit-rate/occupancy deltas,
+// and byte-identity against a caching-disabled control engine. The warm
+// sweeps short-circuit on the discovery cache, so the speedup holds even on
+// a single-core host.
+func cmdBenchCache(args []string) error {
+	fs := flag.NewFlagSet("bench-cache", flag.ExitOnError)
+	sizes := fs.String("sizes", "small,mid", "comma-separated dataset sizes to measure")
+	seed := fs.Int64("seed", 42, "generator seed")
+	rounds := fs.Int("rounds", 3, "warm sweeps per size (best time kept)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "cache byte budget (0 = engine default, 64 MiB)")
+	out := fs.String("out", "BENCH_cache.json", "output JSON path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flagcheck.All(
+		flagcheck.Positive("rounds", *rounds),
+		flagcheck.NonNegative("cache-bytes", int(*cacheBytes)),
+	); err != nil {
+		return err
+	}
+	var names []string
+	for _, part := range strings.Split(*sizes, ",") {
+		if s := strings.TrimSpace(part); s != "" {
+			names = append(names, s)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no dataset sizes given")
+	}
+	results, err := bench.RunCacheBench(names, *seed, *rounds, *cacheBytes)
+	if err != nil {
+		return err
+	}
+	bench.CacheTable(results).Print(os.Stdout)
+	for _, r := range results {
+		if !r.Identical {
+			return fmt.Errorf("cached results diverged from the uncached control (%s)", r.Dataset)
+		}
+	}
+	if *out == "" {
+		return bench.WriteCacheJSON(os.Stdout, results)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteCacheJSON(f, results); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

@@ -11,9 +11,9 @@
 // Usage:
 //
 //	nebulad [--host 127.0.0.1] [--port 8080] [--size tiny] [--seed 42]
-//	        [--parallelism N] [--max-inflight N] [--queue-depth N]
-//	        [--max-per-conn N] [--request-timeout D] [--drain-timeout D]
-//	        [--snapshot FILE] [--smoke]
+//	        [--parallelism N] [--cache on|off|bytes] [--max-inflight N]
+//	        [--queue-depth N] [--max-per-conn N] [--request-timeout D]
+//	        [--drain-timeout D] [--snapshot FILE] [--smoke]
 //
 // With --smoke, nebulad starts on an ephemeral port, performs one health
 // check and one discovery round trip against itself, sends itself SIGTERM,
@@ -59,6 +59,7 @@ type daemonConfig struct {
 	size           string
 	seed           int64
 	parallelism    int
+	cache          string
 	maxInFlight    int
 	queueDepth     int
 	maxPerConn     int
@@ -76,6 +77,7 @@ func run(args []string) error {
 	fs.StringVar(&cfg.size, "size", "tiny", "dataset size: tiny|small|mid|large")
 	fs.Int64Var(&cfg.seed, "seed", 42, "dataset generator seed")
 	fs.IntVar(&cfg.parallelism, "parallelism", 0, "engine worker pool size (0 = NumCPU, 1 = sequential)")
+	fs.StringVar(&cfg.cache, "cache", "", "result caching: on, off, or a byte budget (default on at 64 MiB)")
 	fs.IntVar(&cfg.maxInFlight, "max-inflight", 8, "requests executing concurrently (0 = default)")
 	fs.IntVar(&cfg.queueDepth, "queue-depth", 64, "requests waiting for a slot before 429 (0 = default)")
 	fs.IntVar(&cfg.maxPerConn, "max-per-conn", 0, "per-connection in-flight ceiling (0 = none)")
@@ -109,6 +111,11 @@ func run(args []string) error {
 func buildEngine(cfg daemonConfig) (*nebula.Engine, func(*nebula.Database) (*nebula.MetaRepository, error), error) {
 	opts := nebula.DefaultOptions()
 	opts.Parallelism = cfg.parallelism
+	cacheCfg, err := nebula.ParseCacheConfig(cfg.cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Cache = cacheCfg
 	configureMeta := func(db *nebula.Database) (*nebula.MetaRepository, error) {
 		// The repository is configuration, not snapshot state; rebuild the
 		// §8.1 registration deterministically from the seed.

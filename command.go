@@ -31,12 +31,15 @@ type CommandResult struct {
 //	LIST PENDING [LIMIT n]         show the pending-task system table
 //	ANNOTATE <tbl> '<pk>' AS '<id>' BODY '<text>'
 //	                               insert an annotation attached to a tuple
-//	DISCOVER '<annotation-id>' [TIMEOUT ms] [MAX n]
+//	DISCOVER '<annotation-id>' [TIMEOUT ms] [MAX n] [CACHE ON|OFF|bytes]
 //	                               run discovery, report candidates; TIMEOUT
 //	                               bounds the run's wall clock (partial
-//	                               candidates are reported when it fires) and
-//	                               MAX keeps only the n strongest candidates
-//	PROCESS '<annotation-id>' [TIMEOUT ms] [MAX n]
+//	                               candidates are reported when it fires),
+//	                               MAX keeps only the n strongest candidates,
+//	                               and CACHE overrides result caching for
+//	                               this run (a byte count resizes the
+//	                               engine's cache budget)
+//	PROCESS '<annotation-id>' [TIMEOUT ms] [MAX n] [CACHE ON|OFF|bytes]
 //	                               run discovery + verification routing under
 //	                               the same governors; an interrupted run
 //	                               submits nothing to verification
@@ -69,9 +72,9 @@ func (e *Engine) ExecCommand(command string) (*CommandResult, error) {
 	case *sqlish.AnnotateStmt:
 		return e.execAnnotate(s)
 	case *sqlish.DiscoverStmt:
-		return e.execDiscover(s.ID, false, s.TimeoutMillis, s.MaxCandidates, s.Parallel)
+		return e.execDiscover(s.ID, false, s.TimeoutMillis, s.MaxCandidates, s.Parallel, s.Cache, s.CacheBytes)
 	case *sqlish.ProcessStmt:
-		return e.execDiscover(s.ID, true, s.TimeoutMillis, s.MaxCandidates, s.Parallel)
+		return e.execDiscover(s.ID, true, s.TimeoutMillis, s.MaxCandidates, s.Parallel, s.Cache, s.CacheBytes)
 	case *sqlish.SelectStmt:
 		return e.execSelect(s)
 	default:
@@ -122,16 +125,23 @@ func (e *Engine) execAnnotate(s *sqlish.AnnotateStmt) (*CommandResult, error) {
 	return &CommandResult{Message: fmt.Sprintf("annotation %q attached to %s", s.ID, row.ID)}, nil
 }
 
-func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxCandidates, parallel int) (*CommandResult, error) {
+func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxCandidates, parallel int, cacheMode string, cacheBytes int64) (*CommandResult, error) {
 	ctx := context.Background()
 	if timeoutMillis > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
+	if cacheBytes > 0 {
+		// `CACHE <bytes>` is the live-resize half of the governor: it
+		// adjusts the engine's budget (the caller already holds e.mu).
+		if err := e.setCacheLimit(cacheBytes); err != nil {
+			return nil, err
+		}
+	}
 	// Per-statement governance rides the same RequestOptions overlay the
 	// serving layer uses; the engine's configuration is never touched.
-	opts := RequestOptions{MaxCandidates: maxCandidates, Parallelism: parallel}.apply(e.opts)
+	opts := RequestOptions{MaxCandidates: maxCandidates, Parallelism: parallel, Cache: cacheMode}.apply(e.opts)
 	res := &CommandResult{Columns: []string{"tuple", "confidence", "evidence", "routing"}}
 	var (
 		disc    *Discovery

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"nebula/internal/acg"
 	"nebula/internal/annotation"
+	"nebula/internal/cache"
 	"nebula/internal/discovery"
 	"nebula/internal/keyword"
 	"nebula/internal/relational"
@@ -82,6 +84,16 @@ type Engine struct {
 	// invalidated only by RefreshSearchIndex — index-first techniques go
 	// stale as data changes, which is exactly their documented trade-off.
 	symbolEngine *keyword.SymbolTableEngine
+
+	// mutEpoch counts annotation-side mutations (attachments, deletions,
+	// verification decisions, bounds training, index refreshes). Combined
+	// with the database's per-table data epochs it forms cacheEpoch, the
+	// version every cached discovery is stamped with.
+	mutEpoch atomic.Uint64
+	// discCache memoizes whole clean discovery runs keyed by annotation
+	// body + focal + options fingerprint. Nil when caching is disabled.
+	queryCache *keyword.QueryCache
+	discCache  *cache.LRU[*Discovery]
 }
 
 // New creates an engine with a fresh annotation store and ACG.
@@ -106,7 +118,7 @@ func NewWithState(db *Database, repo *MetaRepository, store *AnnotationStore, gr
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		db:      db,
 		meta:    repo,
 		store:   store,
@@ -114,7 +126,18 @@ func NewWithState(db *Database, repo *MetaRepository, store *AnnotationStore, gr
 		profile: profile,
 		manager: manager,
 		opts:    opts,
-	}, nil
+	}
+	if !opts.Cache.Disabled {
+		// The byte budget splits evenly across the three LRU layers (the
+		// keyword layer further splits its share between results and
+		// mapping memos). Engines are rebuilt on snapshot restore, so a
+		// Load always starts from cold, coherent caches.
+		per := opts.Cache.bytes() / 3
+		db.EnableScanCache(per)
+		e.queryCache = keyword.NewQueryCache(per)
+		e.discCache = cache.New[*Discovery](per)
+	}
+	return e, nil
 }
 
 // DB returns the engine's database.
@@ -179,6 +202,7 @@ func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
 	if err := e.store.Add(a); err != nil {
 		return err
 	}
+	e.bumpMutEpoch()
 	for _, t := range attachTo {
 		if _, err := e.store.Attach(annotation.Attachment{
 			Annotation: a.ID, Tuple: t, Type: annotation.TrueAttachment,
@@ -208,6 +232,7 @@ func (e *Engine) DeleteTuple(id TupleID) (detached, cancelled int, err error) {
 	if !t.DeleteByKey(id.Key) {
 		return 0, 0, fmt.Errorf("nebula: no tuple %s", id)
 	}
+	e.bumpMutEpoch()
 	detached = e.store.DetachTuple(id)
 	e.graph.RemoveTuple(id)
 	cancelled = e.manager.CancelTasksForTuple(id)
@@ -292,17 +317,48 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget.Deadline)
 		defer cancel()
 	}
+	k := opts.SpreadingK
+	if opts.Spreading && k <= 0 {
+		k = e.profile.SelectK(opts.SpreadingCoverage, 3)
+	}
+	// Whole-pipeline memoization. Scan budgets force uncached runs (their
+	// results depend on scan order and stats must reflect actual work), and
+	// injected searcher factories are opaque — their behavior cannot be
+	// fingerprinted into a key.
+	useCache := e.discCache != nil && !opts.Cache.Disabled &&
+		opts.SearcherFactory == nil && opts.Budget.MaxSearchedRows == 0
+	var cacheKey string
+	var epoch uint64
+	if useCache {
+		cacheKey = discoveryCacheKey(a.Body, focal, opts, k)
+		epoch = e.cacheEpoch()
+		if hit, ok := e.discCache.Get(cacheKey, epoch); ok {
+			out := &Discovery{
+				Queries:    hit.Queries,
+				Candidates: append([]Candidate(nil), hit.Candidates...),
+				Focal:      focal,
+				GenStats:   hit.GenStats,
+				// Stats account actual work: a short-circuited run scanned
+				// nothing; it only records itself as one discovery-cache hit.
+				ExecStats: DiscoveryStats{
+					Candidates: len(hit.Candidates),
+					Exec:       keyword.ExecStats{CacheHits: 1},
+				},
+			}
+			return out, nil
+		}
+	}
 	gen := sigmap.NewGenerator(e.meta, opts.Epsilon)
 	gen.Alpha = opts.Alpha
 	gen.MaxQueries = opts.Budget.MaxQueries
 	queries, genStats := gen.Generate(a.Body)
 
-	k := opts.SpreadingK
-	if opts.Spreading && k <= 0 {
-		k = e.profile.SelectK(opts.SpreadingCoverage, 3)
-	}
 	d := discovery.New(e.db, e.meta, e.graph)
 	d.IncludeRelated = opts.IncludeRelated
+	d.Uncached = opts.Cache.Disabled || opts.Budget.MaxSearchedRows > 0
+	if !d.Uncached {
+		d.Cache = e.queryCache
+	}
 	switch {
 	case opts.SearcherFactory != nil:
 		d.NewSearcher = opts.SearcherFactory
@@ -337,6 +393,15 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 		}
 		return nil, err
 	}
+	if useCache && len(disc.Degraded()) == 0 {
+		// Only clean runs are cached: a degraded result is an artifact of
+		// this run's governance, not the annotation's answer. The stored
+		// copy owns its candidate slice so later callers mutating the
+		// returned Discovery cannot corrupt the cache.
+		stored := *disc
+		stored.Candidates = append([]Candidate(nil), disc.Candidates...)
+		e.discCache.Put(cacheKey, epoch, &stored, discoveryCost(cacheKey, &stored))
+	}
 	return disc, nil
 }
 
@@ -370,6 +435,9 @@ func (e *Engine) RefreshSearchIndex() {
 	if e.symbolEngine != nil {
 		e.symbolEngine.Rebuild()
 	}
+	// A rebuilt index can answer differently than the stale one whose
+	// results may be cached; move the epoch so those entries die.
+	e.bumpMutEpoch()
 }
 
 // NaiveDiscover runs the §4 baseline for a stored annotation: the whole
@@ -461,6 +529,9 @@ func (e *Engine) process(ctx context.Context, id AnnotationID, opts Options) (*D
 	if len(disc.Degraded()) > 0 {
 		submit = e.manager.SubmitDegraded
 	}
+	// Submit mutates attachments, the ACG, and the hop profile even on
+	// partial failure, so the epoch moves regardless of the outcome.
+	e.bumpMutEpoch()
 	outcome, err := submit(id, disc.Focal, disc.Candidates)
 	if err != nil {
 		return disc, VerificationOutcome{}, err
@@ -496,7 +567,11 @@ func (e *Engine) verifyAttachment(vid int64) error {
 	if err != nil {
 		return err
 	}
-	return e.manager.Verify(vid, e.store.Focal(task.Annotation))
+	if err := e.manager.Verify(vid, e.store.Focal(task.Annotation)); err != nil {
+		return err
+	}
+	e.bumpMutEpoch()
+	return nil
 }
 
 // RejectAttachment implements `Reject Attachement <vid>`.
@@ -510,7 +585,11 @@ func (e *Engine) rejectAttachment(vid int64) error {
 	if _, err := e.findPending(vid); err != nil {
 		return err
 	}
-	return e.manager.Reject(vid)
+	if err := e.manager.Reject(vid); err != nil {
+		return err
+	}
+	e.bumpMutEpoch()
+	return nil
 }
 
 func (e *Engine) findPending(vid int64) (*VerificationTask, error) {
@@ -525,7 +604,11 @@ func (e *Engine) findPending(vid int64) (*VerificationTask, error) {
 func (e *Engine) ResolveWithOracle(id AnnotationID, oracle Oracle) (accepted, rejected []*VerificationTask, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.manager.ResolveWithOracle(id, e.store.Focal(id), oracle)
+	accepted, rejected, err = e.manager.ResolveWithOracle(id, e.store.Focal(id), oracle)
+	if len(accepted) > 0 || len(rejected) > 0 {
+		e.bumpMutEpoch()
+	}
+	return accepted, rejected, err
 }
 
 // Quality computes the §3 database quality metrics against an ideal edge
@@ -572,5 +655,6 @@ func (e *Engine) TuneBounds(training []TrainingExample, cfg BoundsConfig) (Bound
 	if err := e.setBounds(Bounds(bounds)); err != nil {
 		return Bounds{}, nil, err
 	}
+	e.bumpMutEpoch()
 	return Bounds(bounds), evals, nil
 }

@@ -123,7 +123,12 @@ func TestCancelledContextReturnsErrCancelled(t *testing.T) {
 // making a run cancellable (a live, never-cancelled context) does not
 // change its output either.
 func TestUngovernedRunsAreIdentical(t *testing.T) {
-	e, ds := engineFixture(t, nebula.DefaultOptions())
+	// Caching off: this test asserts ExecStats equality across repeated
+	// identical runs, which requires each run to do the actual work rather
+	// than short-circuit on the discovery cache (stats account real cost).
+	opts := nebula.DefaultOptions()
+	opts.Cache.Disabled = true
+	e, ds := engineFixture(t, opts)
 	id := addSpec(t, e, ds, 0)
 
 	legacy, err := e.Discover(id)

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"nebula"
+)
+
+// CacheResult records the cold-vs-warm comparison of the multi-level
+// result cache at one dataset size: every workload annotation is
+// discovered once against cold caches, then the same sweep is repeated and
+// the best warm time kept. Identical reports whether the warm runs and a
+// caching-disabled control engine all rendered byte-identical candidates —
+// the cache must change latency, never output.
+type CacheResult struct {
+	Dataset     string `json:"dataset"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Annotations int    `json:"annotations"`
+	WarmRounds  int    `json:"warm_rounds"`
+	ColdNS      int64  `json:"cold_ns"`
+	WarmNS      int64  `json:"warm_ns"`
+	// Speedup is ColdNS / WarmNS.
+	Speedup float64 `json:"speedup"`
+	// WarmHits/WarmMisses/HitRate are deltas across the warm phase,
+	// summed over all four cache layers.
+	WarmHits   int64   `json:"warm_hits"`
+	WarmMisses int64   `json:"warm_misses"`
+	HitRate    float64 `json:"hit_rate"`
+	// Per-layer warm-phase hit deltas.
+	ScanHits      int64 `json:"scan_hits"`
+	QueryHits     int64 `json:"query_hits"`
+	MappingHits   int64 `json:"mapping_hits"`
+	DiscoveryHits int64 `json:"discovery_hits"`
+	// CacheBytes is the occupancy after the warm phase; CacheMaxBytes the
+	// configured ceiling (summed over layers).
+	CacheBytes    int64 `json:"cache_bytes"`
+	CacheMaxBytes int64 `json:"cache_max_bytes"`
+	Identical     bool  `json:"identical"`
+}
+
+// cacheBenchEngine builds an engine over a private dataset, seeds the
+// workload annotations, and returns the engine with the annotation IDs.
+func cacheBenchEngine(size string, seed int64, disabled bool, maxBytes int64) (*nebula.Engine, []nebula.AnnotationID, string, error) {
+	env, err := FreshEnv(size, seed)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ds := env.Dataset
+	opts := nebula.DefaultOptions()
+	opts.Cache.Disabled = disabled
+	if maxBytes > 0 {
+		opts.Cache.MaxBytes = maxBytes
+	}
+	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, opts)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ids := make([]nebula.AnnotationID, 0, len(ds.Workload))
+	for _, spec := range ds.Workload {
+		if err := engine.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+			return nil, nil, "", fmt.Errorf("bench: seed annotation %s: %w", spec.Ann.ID, err)
+		}
+		ids = append(ids, spec.Ann.ID)
+	}
+	return engine, ids, env.Name, nil
+}
+
+// renderCacheDiscovery folds one run into the identity rendering: the
+// candidates, their order, confidences, evidence, and the query count —
+// everything the cache must preserve. Cost counters are excluded by
+// design: stats account actual work, and a cache hit does less of it.
+func renderCacheDiscovery(b *strings.Builder, id nebula.AnnotationID, d *nebula.Discovery) {
+	fmt.Fprintf(b, "%s q=%d:", id, len(d.Queries))
+	for _, c := range d.Candidates {
+		fmt.Fprintf(b, " %s=%.9f[%s]", c.Tuple.ID, c.Confidence, strings.Join(c.Evidence, ","))
+	}
+	b.WriteByte('\n')
+}
+
+// cachePass discovers every annotation once, returning the sweep's wall
+// clock and its identity rendering.
+func cachePass(engine *nebula.Engine, ids []nebula.AnnotationID) (time.Duration, string, error) {
+	var b strings.Builder
+	start := time.Now()
+	for _, id := range ids {
+		d, err := engine.Discover(id)
+		if err != nil {
+			return 0, "", fmt.Errorf("bench: discover %s: %w", id, err)
+		}
+		renderCacheDiscovery(&b, id, d)
+	}
+	return time.Since(start), b.String(), nil
+}
+
+// RunCacheBench measures the multi-level result cache at each requested
+// dataset size: one cold sweep over the workload annotations, warmRounds
+// repeated sweeps (best time kept), hit-rate and occupancy deltas from the
+// engine's cache counters, and a byte-identity check against a
+// caching-disabled control engine over the identical dataset.
+func RunCacheBench(sizes []string, seed int64, warmRounds int, maxBytes int64) ([]CacheResult, error) {
+	if warmRounds < 1 {
+		warmRounds = 1
+	}
+	var out []CacheResult
+	for _, size := range sizes {
+		engine, ids, name, err := cacheBenchEngine(size, seed, false, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		coldTime, coldRender, err := cachePass(engine, ids)
+		if err != nil {
+			return nil, err
+		}
+		afterCold := engine.CacheStats()
+
+		warmBest := time.Duration(0)
+		warmRender := ""
+		for r := 0; r < warmRounds; r++ {
+			t, rendered, err := cachePass(engine, ids)
+			if err != nil {
+				return nil, err
+			}
+			if warmBest == 0 || t < warmBest {
+				warmBest = t
+			}
+			warmRender = rendered
+		}
+		afterWarm := engine.CacheStats()
+
+		// The control engine re-runs the identical workload with caching
+		// off: generation is deterministic in the seed, so its rendering
+		// must match both the cold and the warm sweeps byte for byte.
+		control, controlIDs, _, err := cacheBenchEngine(size, seed, true, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		_, controlRender, err := cachePass(control, controlIDs)
+		if err != nil {
+			return nil, err
+		}
+
+		warmTotals, coldTotals := afterWarm.Totals(), afterCold.Totals()
+		hits := warmTotals.Hits - coldTotals.Hits
+		misses := warmTotals.Misses - coldTotals.Misses
+		res := CacheResult{
+			Dataset:       name,
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			Annotations:   len(ids),
+			WarmRounds:    warmRounds,
+			ColdNS:        coldTime.Nanoseconds(),
+			WarmNS:        warmBest.Nanoseconds(),
+			WarmHits:      hits,
+			WarmMisses:    misses,
+			ScanHits:      afterWarm.Scan.Hits - afterCold.Scan.Hits,
+			QueryHits:     afterWarm.Query.Hits - afterCold.Query.Hits,
+			MappingHits:   afterWarm.Mapping.Hits - afterCold.Mapping.Hits,
+			DiscoveryHits: afterWarm.Discovery.Hits - afterCold.Discovery.Hits,
+			CacheBytes:    warmTotals.Bytes,
+			CacheMaxBytes: warmTotals.MaxBytes,
+			Identical:     warmRender == coldRender && controlRender == coldRender,
+		}
+		if warmBest > 0 {
+			res.Speedup = float64(coldTime) / float64(warmBest)
+		}
+		if hits+misses > 0 {
+			res.HitRate = float64(hits) / float64(hits+misses)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CacheTable renders cache benchmark results as a printable table.
+func CacheTable(results []CacheResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Result cache — cold vs warm discovery sweeps (GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Header: []string{"dataset", "annotations", "cold-ms", "warm-ms", "speedup",
+			"hit-rate", "disc-hits", "bytes", "max-bytes", "identical"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, fmtI(r.Annotations), fmtMs(r.ColdNS), fmtMs(r.WarmNS),
+			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%.1f%%", 100*r.HitRate),
+			fmt.Sprintf("%d", r.DiscoveryHits), fmt.Sprintf("%d", r.CacheBytes),
+			fmt.Sprintf("%d", r.CacheMaxBytes), fmt.Sprintf("%v", r.Identical),
+		})
+	}
+	return t
+}
+
+// WriteCacheJSON writes the results as indented JSON (the BENCH_cache.json
+// artifact).
+func WriteCacheJSON(w io.Writer, results []CacheResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

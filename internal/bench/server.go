@@ -37,6 +37,14 @@ type ServerResult struct {
 	P50NS         int64   `json:"p50_ns"`
 	P99NS         int64   `json:"p99_ns"`
 	TotalNS       int64   `json:"total_ns"`
+	// CacheHits/CacheMisses/CacheHitRate are the engine's cache-counter
+	// deltas across this level (all layers summed); CacheBytes is the
+	// occupancy when the level finished. Levels after the first run warm,
+	// so their throughput reflects the cache-backed serving path.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheBytes   int64   `json:"cache_bytes"`
 }
 
 // ServerBenchConfig parameterizes RunServerBench.
@@ -102,10 +110,18 @@ func RunServerBench(size string, seed int64, cfg ServerBenchConfig) ([]ServerRes
 
 	var out []ServerResult
 	for _, level := range cfg.Levels {
+		before := engine.CacheStats().Totals()
 		res, err := runServerLevel(ts.URL, ids, level, cfg)
 		if err != nil {
 			return nil, err
 		}
+		after := engine.CacheStats().Totals()
+		res.CacheHits = after.Hits - before.Hits
+		res.CacheMisses = after.Misses - before.Misses
+		if d := res.CacheHits + res.CacheMisses; d > 0 {
+			res.CacheHitRate = float64(res.CacheHits) / float64(d)
+		}
+		res.CacheBytes = after.Bytes
 		res.Dataset = env.Name
 		out = append(out, res)
 	}
@@ -206,13 +222,14 @@ func ServerTable(results []ServerResult) *Table {
 	t := &Table{
 		Title: fmt.Sprintf("Serving layer — discovery round trips under concurrency (GOMAXPROCS=%d)",
 			runtime.GOMAXPROCS(0)),
-		Header: []string{"dataset", "conc", "inflight", "queue", "requests", "ok", "rejected", "errors", "rps", "p50-ms", "p99-ms"},
+		Header: []string{"dataset", "conc", "inflight", "queue", "requests", "ok", "rejected", "errors", "rps", "p50-ms", "p99-ms", "cache-hit%"},
 	}
 	for _, r := range results {
 		t.Rows = append(t.Rows, []string{
 			r.Dataset, fmtI(r.Concurrency), fmtI(r.MaxInFlight), fmtI(r.QueueDepth),
 			fmtI(r.Requests), fmtI(r.OK), fmtI(r.Rejected), fmtI(r.Errors),
 			fmt.Sprintf("%.1f", r.ThroughputRPS), fmtMs(r.P50NS), fmtMs(r.P99NS),
+			fmt.Sprintf("%.1f", 100*r.CacheHitRate),
 		})
 	}
 	return t

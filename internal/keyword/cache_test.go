@@ -1,0 +1,125 @@
+package keyword
+
+import (
+	"context"
+	"testing"
+)
+
+// cacheFixture attaches a QueryCache to the determinism fixture's engine,
+// mirroring how the discovery layer shares one cache across per-run
+// keyword engines.
+func cacheFixture(t testing.TB, rows int) *Engine {
+	t.Helper()
+	e := detFixture(t, rows)
+	e.Cache = NewQueryCache(1 << 20)
+	return e
+}
+
+// TestQueryCacheCrossBatchDeterminism pins the cache's survival contract:
+// the in-batch fingerprint dedup dies at batch end, but the QueryCache
+// carries results across ExecuteBatchContext calls — and the warm batch
+// must stay byte-identical to the cold one on both execution strategies,
+// modulo the CacheHits/TuplesScanned counters that account actual work.
+func TestQueryCacheCrossBatchDeterminism(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		e := cacheFixture(t, 600)
+		qs := detQueries(24)
+		coldRes, coldStats, err := e.ExecuteBatchContext(context.Background(), qs, shared, Limits{})
+		if err != nil {
+			t.Fatalf("shared=%t cold: %v", shared, err)
+		}
+		warmRes, warmStats, err := e.ExecuteBatchContext(context.Background(), qs, shared, Limits{})
+		if err != nil {
+			t.Fatalf("shared=%t warm: %v", shared, err)
+		}
+		// The cold batch may already hit on in-batch duplicates (the
+		// non-shared path has no shared-executor dedup), but the warm
+		// batch must answer strictly more from cache with less scanning.
+		if warmStats.CacheHits <= coldStats.CacheHits {
+			t.Errorf("shared=%t: warm hits %d, cold hits %d — cache did not survive the batch",
+				shared, warmStats.CacheHits, coldStats.CacheHits)
+		}
+		if warmStats.TuplesScanned >= coldStats.TuplesScanned {
+			t.Errorf("shared=%t: warm batch scanned %d tuples, cold scanned %d — hits must shrink actual work",
+				shared, warmStats.TuplesScanned, coldStats.TuplesScanned)
+		}
+		// Render with work counters zeroed on both sides: they
+		// legitimately differ between cold and warm; results must not.
+		neutral := func(s ExecStats) ExecStats {
+			s.CacheHits, s.TuplesScanned, s.TuplesReturned = 0, 0, 0
+			return s
+		}
+		cold := renderBatch(qs, coldRes, neutral(coldStats), nil)
+		warm := renderBatch(qs, warmRes, neutral(warmStats), nil)
+		if cold != warm {
+			t.Errorf("shared=%t: warm batch diverged from cold\ncold: %s\nwarm: %s", shared, cold, warm)
+		}
+	}
+}
+
+// TestQueryCacheInvalidatesOnTableEpoch: a row mutation between batches
+// must force re-execution against current data.
+func TestQueryCacheInvalidatesOnTableEpoch(t *testing.T) {
+	e := cacheFixture(t, 400)
+	qs := detQueries(12)
+	if _, _, err := e.ExecuteBatch(qs, true); err != nil { // warm
+		t.Fatal(err)
+	}
+	gt := e.db.MustTable("Gene")
+	if !gt.DeleteByKey(gt.Rows()[0].ID.Key) {
+		t.Fatal("delete failed")
+	}
+	_, stats, err := e.ExecuteBatch(qs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Errorf("batch after row delete served %d stale cache hits", stats.CacheHits)
+	}
+	if stats.TuplesScanned == 0 {
+		t.Error("batch after row delete reported no scan work")
+	}
+}
+
+// TestQueryCacheBudgetBypass: governed executions (any scan/query budget)
+// bypass the cache entirely, because truncation points depend on actual
+// scan counts — and must neither consult nor poison it.
+func TestQueryCacheBudgetBypass(t *testing.T) {
+	e := cacheFixture(t, 600)
+	qs := detQueries(24)
+	if _, _, err := e.ExecuteBatch(qs, true); err != nil { // warm
+		t.Fatal(err)
+	}
+	lim := Limits{MaxScannedRows: 500}
+	_, stats, err := e.ExecuteBatchContext(context.Background(), qs, true, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Errorf("budgeted batch served %d cache hits; budgets must bypass the cache", stats.CacheHits)
+	}
+
+	// The budgeted run must not have poisoned the cache with truncated
+	// results: a following unbudgeted batch still matches the original.
+	full, fullStats, err := e.ExecuteBatch(qs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullStats.CacheHits == 0 {
+		t.Error("unbudgeted batch after a budgeted one reported no hits")
+	}
+	base, baseStats, err := func() (map[string][]Result, ExecStats, error) {
+		fresh := detFixture(t, 600)
+		return fresh.ExecuteBatch(qs, true)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutral := func(s ExecStats) ExecStats {
+		s.CacheHits, s.TuplesScanned, s.TuplesReturned = 0, 0, 0
+		return s
+	}
+	if got, want := renderBatch(qs, full, neutral(fullStats), nil), renderBatch(qs, base, neutral(baseStats), nil); got != want {
+		t.Errorf("cache poisoned by budgeted run\ngot:  %s\nwant: %s", got, want)
+	}
+}

@@ -117,6 +117,11 @@ type ExecStats struct {
 	// parallel path dispatched (0 on the sequential path). Like Workers it
 	// describes scheduling, not results.
 	ParallelBatches int
+	// CacheHits counts structured queries answered from a result cache
+	// (the keyword layer's query cache or the substrate's scan cache)
+	// instead of being executed. Cached queries contribute zero to
+	// TuplesScanned: stats account actual work.
+	CacheHits int
 	// Degraded lists human-readable reasons the execution deviated from
 	// the full, unbounded run (budget truncations, cancelled scans).
 	// Empty for a complete run.
@@ -134,5 +139,6 @@ func (s *ExecStats) Add(o ExecStats) {
 		s.Workers = o.Workers
 	}
 	s.ParallelBatches += o.ParallelBatches
+	s.CacheHits += o.CacheHits
 	s.Degraded = append(s.Degraded, o.Degraded...)
 }

@@ -1,0 +1,183 @@
+package relational
+
+import (
+	"fmt"
+	"testing"
+)
+
+// scanQuery is the unindexed probe the scan-cache tests reuse: Seq has no
+// index in the fixture, so every cold execution walks the Gene table — the
+// only access path the cache memoizes (indexed probes are already cheap).
+func scanQuery() Query {
+	return Query{Table: "Gene", Predicates: []Predicate{
+		{Column: "Seq", Op: OpPrefix, Operand: String("TG")},
+	}}
+}
+
+// renderRows folds a result set into a comparable string.
+func renderRows(rows []*Row) string {
+	s := ""
+	for _, r := range rows {
+		s += string(r.ID.Key) + ";"
+	}
+	return s
+}
+
+// TestScanCacheHitMissInvalidate pins the epoch protocol at the substrate:
+// a repeat Select is a hit that reports zero scanned tuples, and any write
+// to the table (insert, delete, update) makes the next Select recompute
+// against current data.
+func TestScanCacheHitMissInvalidate(t *testing.T) {
+	db := testDB(t)
+	db.EnableScanCache(1 << 20)
+
+	cold, coldStats, err := db.Select(scanQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.CacheHits != 0 || coldStats.TuplesScanned == 0 {
+		t.Fatalf("cold select stats %+v, want a real scan with no hits", coldStats)
+	}
+	warm, warmStats, err := db.Select(scanQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.CacheHits != 1 {
+		t.Errorf("warm select CacheHits = %d, want 1", warmStats.CacheHits)
+	}
+	if warmStats.TuplesScanned != 0 {
+		t.Errorf("warm select scanned %d tuples; hits must report zero actual work", warmStats.TuplesScanned)
+	}
+	if renderRows(warm) != renderRows(cold) {
+		t.Errorf("cached rows diverged: %s vs %s", renderRows(warm), renderRows(cold))
+	}
+
+	gene := db.MustTable("Gene")
+	if _, err := gene.Insert([]Value{
+		String("JW0100"), String("newG"), Int(500), String("TGAA"), String("F1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, stats, err := db.Select(scanQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Error("select after insert served a stale cache hit")
+	}
+	if len(after) != len(cold)+1 {
+		t.Errorf("select after insert returned %d rows, want %d", len(after), len(cold)+1)
+	}
+
+	if !gene.Delete(String("JW0100")) {
+		t.Fatal("delete failed")
+	}
+	after, stats, err = db.Select(scanQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Error("select after delete served a stale cache hit")
+	}
+	if renderRows(after) != renderRows(cold) {
+		t.Errorf("rows after insert+delete diverged from original: %s vs %s", renderRows(after), renderRows(cold))
+	}
+
+	if err := gene.Update(String("JW0013"), "Seq", String("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	after, stats, err = db.Select(scanQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Error("select after update served a stale cache hit")
+	}
+	if len(after) != len(cold)-1 {
+		t.Errorf("select after update returned %d rows, want %d", len(after), len(cold)-1)
+	}
+
+	cs := db.ScanCacheStats()
+	if cs.Invalidations < 2 {
+		t.Errorf("scan cache recorded %d invalidations, want >= 2", cs.Invalidations)
+	}
+}
+
+// TestScanCacheDisabledByDefault: without EnableScanCache the substrate
+// never caches and never counts.
+func TestScanCacheDisabledByDefault(t *testing.T) {
+	db := testDB(t)
+	for i := 0; i < 2; i++ {
+		_, stats, err := db.Select(scanQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.CacheHits != 0 {
+			t.Fatalf("run %d: CacheHits = %d on an uncached database", i, stats.CacheHits)
+		}
+	}
+	if s := db.ScanCacheStats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Errorf("uncached database reported stats %+v", s)
+	}
+}
+
+// TestScanCacheUncachedBypass: SelectUncached does real work and leaves
+// the cache counters untouched even on a warm cache.
+func TestScanCacheUncachedBypass(t *testing.T) {
+	db := testDB(t)
+	db.EnableScanCache(1 << 20)
+	if _, _, err := db.Select(scanQuery()); err != nil { // warm
+		t.Fatal(err)
+	}
+	before := db.ScanCacheStats()
+	_, stats, err := db.SelectUncached(scanQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 || stats.TuplesScanned == 0 {
+		t.Errorf("SelectUncached stats %+v, want a real scan with no hits", stats)
+	}
+	after := db.ScanCacheStats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Errorf("SelectUncached moved cache counters: %+v -> %+v", before, after)
+	}
+}
+
+// TestSelectMultiCacheIdentity: the batched path serves hits after a warm-up
+// and stays byte-identical to the uncached batch across worker counts.
+func TestSelectMultiCacheIdentity(t *testing.T) {
+	db := testDB(t)
+	db.EnableScanCache(1 << 20)
+	batch := []Query{
+		scanQuery(),
+		{Table: "Gene", Predicates: []Predicate{{Column: "Family", Op: OpEq, Operand: String("F3")}}},
+		scanQuery(), // duplicate: shared execution folds it
+		{Table: "Protein", Predicates: []Predicate{{Column: "PType", Op: OpEq, Operand: String("motor")}}},
+	}
+	render := func(sets [][]*Row) string {
+		s := ""
+		for i, rows := range sets {
+			s += fmt.Sprintf("%d:%s\n", i, renderRows(rows))
+		}
+		return s
+	}
+	want, _, err := db.SelectMultiUncached(batch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.SelectMulti(batch); err != nil { // warm
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		got, stats, err := db.SelectMultiWorkers(batch, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(got) != render(want) {
+			t.Errorf("workers=%d: cached batch diverged\ngot:  %s\nwant: %s", workers, render(got), render(want))
+		}
+		if stats.CacheHits == 0 {
+			t.Errorf("workers=%d: warm batch reported no cache hits", workers)
+		}
+	}
+}

@@ -10,6 +10,12 @@ import (
 // to its own worker; below it the scheduling overhead dominates the scan.
 const minSegmentRows = 256
 
+// hit records one row matching one query during a shared table pass.
+type hit struct {
+	qi int
+	r  *Row
+}
+
 // SelectMulti executes a batch of queries, sharing table scans: queries
 // against the same table that lack a usable index are all evaluated in a
 // single pass over the table, instead of one scan each. Queries with an
@@ -21,34 +27,56 @@ const minSegmentRows = 256
 // fingerprint, and SelectMulti shares the physical scans of the distinct
 // remainder.
 func (db *Database) SelectMulti(queries []Query) ([][]*Row, SelectStats, error) {
-	return db.SelectMultiWorkers(queries, 1)
+	return db.selectMultiWorkers(queries, 1, true)
 }
 
 // SelectMultiWorkers is SelectMulti with a worker pool: the per-table scan
 // groups are split into row segments and partitioned — together with the
 // individual indexed lookups — across up to workers goroutines
-// (workers <= 0 selects runtime.GOMAXPROCS). Results and stats are merged
-// in the sequential order (indexed queries first, then tables in
-// first-seen order, then row order), so the output is byte-identical to
-// SelectMulti whatever the worker count; workers == 1 runs everything
-// inline on the calling goroutine.
+// (workers <= 0 selects runtime.GOMAXPROCS; larger values clamp to
+// GOMAXPROCS, since oversubscribing scan segments only adds scheduling
+// overhead). Results and stats are merged in the sequential order (indexed
+// queries first, then tables in first-seen order, then row order), so the
+// output is byte-identical to SelectMulti whatever the worker count;
+// workers == 1 runs everything inline on the calling goroutine.
 func (db *Database) SelectMultiWorkers(queries []Query, workers int) ([][]*Row, SelectStats, error) {
+	return db.selectMultiWorkers(queries, workers, true)
+}
+
+// SelectMultiUncached is SelectMultiWorkers bypassing the scan cache; see
+// SelectUncached for when that matters.
+func (db *Database) SelectMultiUncached(queries []Query, workers int) ([][]*Row, SelectStats, error) {
+	return db.selectMultiWorkers(queries, workers, false)
+}
+
+func (db *Database) selectMultiWorkers(queries []Query, workers int, useCache bool) ([][]*Row, SelectStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
 	}
 	results := make([][]*Row, len(queries))
 	var stats SelectStats
 
 	// Partition (sequential, deterministic): indexed queries run directly;
-	// scan queries group by table. Validation errors surface here, before
-	// any execution, in input order.
+	// scan queries group by table, checking the scan cache first — a hit
+	// fills its result slot immediately and drops out of the shared pass.
+	// Validation errors surface here, before any execution, in input order.
 	type scanItem struct {
 		idx int
 		q   Query
 	}
+	type cacheFill struct {
+		idx   int
+		key   string
+		epoch uint64
+	}
 	var indexed []scanItem
+	var fills []cacheFill // scan-query misses to Put after the merge
 	scansByTable := make(map[string][]scanItem)
 	var tableOrder []string
+	caching := useCache && db.scanCache != nil
 	for i, q := range queries {
 		t, ok := db.Table(q.Table)
 		if !ok {
@@ -62,6 +90,16 @@ func (db *Database) SelectMultiWorkers(queries []Query, workers int) ([][]*Row, 
 		if _, _, ok := db.accessPath(t, q); ok {
 			indexed = append(indexed, scanItem{idx: i, q: q})
 			continue
+		}
+		if caching {
+			key, epoch := q.Fingerprint(), t.Epoch()
+			if rows, ok := db.scanCache.Get(key, epoch); ok {
+				results[i] = rows
+				stats.CacheHits++
+				stats.TuplesReturned += len(rows)
+				continue
+			}
+			fills = append(fills, cacheFill{idx: i, key: key, epoch: epoch})
 		}
 		key := strings.ToLower(q.Table)
 		if _, seen := scansByTable[key]; !seen {
@@ -113,10 +151,8 @@ func (db *Database) SelectMultiWorkers(queries []Query, workers int) ([][]*Row, 
 	// Task list: one task per indexed query, then one per row segment of
 	// each table pass. Every task writes only its own slot, so the pool
 	// needs no locking and the merge below fixes the deterministic order.
-	type hit struct {
-		qi int
-		r  *Row
-	}
+	// Match buffers come from a sync.Pool and go back after the merge, so
+	// steady-state batches stop re-growing per-segment slices.
 	type segment struct {
 		pass   *tablePass
 		lo, hi int
@@ -138,7 +174,7 @@ func (db *Database) SelectMultiWorkers(queries []Query, workers int) ([][]*Row, 
 			if hi > n {
 				hi = n
 			}
-			seg := &segment{pass: pass, lo: lo, hi: hi}
+			seg := &segment{pass: pass, lo: lo, hi: hi, hits: getHitBuf()}
 			segments = append(segments, seg)
 			segsByPass[pi] = append(segsByPass[pi], seg)
 		}
@@ -148,7 +184,7 @@ func (db *Database) SelectMultiWorkers(queries []Query, workers int) ([][]*Row, 
 	runTasks(len(indexed)+len(segments), workers, func(ti int) {
 		if ti < len(indexed) {
 			// Validation above guarantees these cannot error.
-			rows, st, _ := db.Select(indexed[ti].q)
+			rows, st, _ := db.selectQuery(indexed[ti].q, useCache)
 			idxRows[ti], idxStats[ti] = rows, st
 			return
 		}
@@ -187,6 +223,13 @@ func (db *Database) SelectMultiWorkers(queries []Query, workers int) ([][]*Row, 
 				stats.TuplesReturned++
 			}
 		}
+	}
+	for _, seg := range segments {
+		putHitBuf(seg.hits)
+	}
+	for _, f := range fills {
+		rows := results[f.idx]
+		db.scanCache.Put(f.key, f.epoch, rows[:len(rows):len(rows)], scanEntryCost(f.key, len(rows)))
 	}
 	return results, stats, nil
 }

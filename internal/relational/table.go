@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Table stores the rows of one relation together with its indexes.
@@ -13,6 +14,11 @@ type Table struct {
 	hash     map[string]*hashIndex     // lower(column) -> index
 	inverted map[string]*invertedIndex // lower(column) -> index
 	pkCol    int
+	// epoch counts mutations (Insert/Delete/Update). Cached query results
+	// are keyed by it, so any change to the stored rows invalidates them.
+	// Atomic so concurrent readers (discoveries under the engine's read
+	// lock, /metrics scrapes) never race a write-locked mutation.
+	epoch atomic.Uint64
 }
 
 func newTable(s *Schema) (*Table, error) {
@@ -48,6 +54,12 @@ func (t *Table) Name() string { return t.schema.Name }
 // Len returns the number of stored rows.
 func (t *Table) Len() int { return len(t.rows) }
 
+// Epoch returns the table's mutation counter. It advances on every
+// Insert, Delete, and Update; cache entries derived from this table's
+// rows carry the epoch they were computed at and are invalidated when
+// it moves.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
 // Insert adds a tuple. Values must match the schema's column count and
 // types; the primary key must be unique.
 func (t *Table) Insert(values []Value) (*Row, error) {
@@ -73,6 +85,7 @@ func (t *Table) Insert(values []Value) (*Row, error) {
 	t.rows = append(t.rows, row)
 	t.byPK[pkKey] = row
 	t.indexRow(row)
+	t.epoch.Add(1)
 	return row, nil
 }
 
@@ -84,6 +97,7 @@ func (t *Table) insertValidated(src *Row) *Row {
 	t.rows = append(t.rows, row)
 	t.byPK[src.ID.Key] = row
 	t.indexRow(row)
+	t.epoch.Add(1)
 	return row
 }
 
@@ -126,6 +140,7 @@ func (t *Table) DeleteByKey(key string) bool {
 			ix.remove(row.Values[i].Str(), row)
 		}
 	}
+	t.epoch.Add(1)
 	return true
 }
 
@@ -173,6 +188,7 @@ func (t *Table) Update(pk Value, column string, value Value) error {
 	if ix, ok := t.inverted[key]; ok {
 		ix.add(value.Str(), row)
 	}
+	t.epoch.Add(1)
 	return nil
 }
 

@@ -60,6 +60,7 @@ type statsJSON struct {
 	Workers           int  `json:"workers,omitempty"`
 	ParallelBatches   int  `json:"parallel_batches,omitempty"`
 	Retries           int  `json:"retries,omitempty"`
+	CacheHits         int  `json:"cache_hits,omitempty"`
 }
 
 type taskJSON struct {
@@ -199,6 +200,7 @@ func discoveryToJSON(id string, disc *nebula.Discovery, runErr error) discoverRe
 			Workers:           disc.ExecStats.Exec.Workers,
 			ParallelBatches:   disc.ExecStats.Exec.ParallelBatches,
 			Retries:           disc.ExecStats.Retries,
+			CacheHits:         disc.ExecStats.Exec.CacheHits,
 		}
 	}
 	switch {
@@ -263,6 +265,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	queued, inflight := s.admission.state()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.render(w, queued, inflight, s.admission.isDraining())
+	renderCacheMetrics(w, s.Engine().CacheStats())
 }
 
 // handleAddAnnotation implements Stage 0 over the wire: insert an

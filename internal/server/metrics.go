@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"nebula"
 	"nebula/internal/keyword"
 )
 
@@ -70,6 +71,7 @@ type metrics struct {
 	structuredQs    int64
 	sharedQs        int64
 	tuplesScanned   int64
+	cacheHits       int64
 
 	snapshotSaves int64
 	snapshotLoads int64
@@ -136,6 +138,7 @@ func (m *metrics) observeRun(degraded []string, outcome runOutcome, stats keywor
 	m.structuredQs += int64(stats.StructuredQueries)
 	m.sharedQs += int64(stats.SharedQueries)
 	m.tuplesScanned += int64(stats.TuplesScanned)
+	m.cacheHits += int64(stats.CacheHits)
 }
 
 func (m *metrics) observePanic() {
@@ -188,6 +191,7 @@ func (m *metrics) render(w io.Writer, queued, inflight int, draining bool) {
 	fmt.Fprintf(w, "# TYPE nebula_exec_structured_queries_total counter\nnebula_exec_structured_queries_total %d\n", m.structuredQs)
 	fmt.Fprintf(w, "# TYPE nebula_exec_shared_queries_total counter\nnebula_exec_shared_queries_total %d\n", m.sharedQs)
 	fmt.Fprintf(w, "# TYPE nebula_exec_tuples_scanned_total counter\nnebula_exec_tuples_scanned_total %d\n", m.tuplesScanned)
+	fmt.Fprintf(w, "# TYPE nebula_exec_cache_hits_total counter\nnebula_exec_cache_hits_total %d\n", m.cacheHits)
 
 	fmt.Fprintf(w, "# TYPE nebula_snapshot_saves_total counter\nnebula_snapshot_saves_total %d\n", m.snapshotSaves)
 	fmt.Fprintf(w, "# TYPE nebula_snapshot_loads_total counter\nnebula_snapshot_loads_total %d\n", m.snapshotLoads)
@@ -205,6 +209,38 @@ func (m *metrics) render(w io.Writer, queued, inflight int, draining bool) {
 		fmt.Fprintf(w, "nebula_request_seconds_sum{endpoint=%q} %g\n", endpoint, h.sum)
 		fmt.Fprintf(w, "nebula_request_seconds_count{endpoint=%q} %d\n", endpoint, h.total)
 	}
+}
+
+// renderCacheMetrics writes the engine's live cache-layer series: per-layer
+// hit/miss/eviction/invalidation counters plus occupancy gauges. The layer
+// label ranges over scan (relational), query (keyword results), mapping
+// (keyword→schema memos), and discovery (whole-pipeline). Unlike the
+// counters above these read straight from the engine, so a snapshot load
+// (fresh engine, cold caches) legitimately resets them.
+func renderCacheMetrics(w io.Writer, cs nebula.CacheStats) {
+	fmt.Fprintf(w, "# TYPE nebula_cache_enabled gauge\nnebula_cache_enabled %d\n", boolGauge(cs.Enabled))
+	layers := []struct {
+		name string
+		s    nebula.CacheCounters
+	}{
+		{"scan", cs.Scan},
+		{"query", cs.Query},
+		{"mapping", cs.Mapping},
+		{"discovery", cs.Discovery},
+	}
+	emit := func(series, typ string, value func(nebula.CacheCounters) int64) {
+		fmt.Fprintf(w, "# TYPE %s %s\n", series, typ)
+		for _, l := range layers {
+			fmt.Fprintf(w, "%s{layer=%q} %d\n", series, l.name, value(l.s))
+		}
+	}
+	emit("nebula_cache_hits_total", "counter", func(s nebula.CacheCounters) int64 { return s.Hits })
+	emit("nebula_cache_misses_total", "counter", func(s nebula.CacheCounters) int64 { return s.Misses })
+	emit("nebula_cache_evictions_total", "counter", func(s nebula.CacheCounters) int64 { return s.Evictions })
+	emit("nebula_cache_invalidations_total", "counter", func(s nebula.CacheCounters) int64 { return s.Invalidations })
+	emit("nebula_cache_entries", "gauge", func(s nebula.CacheCounters) int64 { return int64(s.Entries) })
+	emit("nebula_cache_bytes", "gauge", func(s nebula.CacheCounters) int64 { return s.Bytes })
+	emit("nebula_cache_max_bytes", "gauge", func(s nebula.CacheCounters) int64 { return s.MaxBytes })
 }
 
 func boolGauge(b bool) int {

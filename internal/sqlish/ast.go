@@ -31,26 +31,35 @@ type AnnotateStmt struct {
 }
 
 // DiscoverStmt is `DISCOVER '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]
-// [PARALLEL <workers>]`: run Stages 1–2 and report the candidates without
-// routing them. TIMEOUT bounds the run's wall clock in milliseconds; MAX
-// keeps only the n strongest candidates; PARALLEL sizes the worker pool for
-// this statement (1 = sequential). Zero means no bound / the engine's
-// configured parallelism.
+// [PARALLEL <workers>] [CACHE ON|OFF|<bytes>]`: run Stages 1–2 and report
+// the candidates without routing them. TIMEOUT bounds the run's wall clock
+// in milliseconds; MAX keeps only the n strongest candidates; PARALLEL
+// sizes the worker pool for this statement (1 = sequential). Zero means no
+// bound / the engine's configured parallelism. CACHE ON/OFF overrides the
+// engine's result caching for this one run; CACHE <bytes> resizes the
+// engine's overall cache budget before the run.
 type DiscoverStmt struct {
 	ID            string
 	TimeoutMillis int64
 	MaxCandidates int
 	Parallel      int
+	// Cache is "", "on", or "off" — the per-request cache override.
+	Cache string
+	// CacheBytes, when positive, resizes the engine's cache budget.
+	CacheBytes int64
 }
 
 // ProcessStmt is `PROCESS '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]
-// [PARALLEL <workers>]`: run the full pipeline including verification
-// routing, under the same optional governors as DiscoverStmt.
+// [PARALLEL <workers>] [CACHE ON|OFF|<bytes>]`: run the full pipeline
+// including verification routing, under the same optional governors as
+// DiscoverStmt.
 type ProcessStmt struct {
 	ID            string
 	TimeoutMillis int64
 	MaxCandidates int
 	Parallel      int
+	Cache         string
+	CacheBytes    int64
 }
 
 // Condition is one `col = value` conjunct of a WHERE clause.

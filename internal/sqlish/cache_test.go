@@ -1,0 +1,44 @@
+package sqlish
+
+import "testing"
+
+func TestParseCacheGovernor(t *testing.T) {
+	d := parseOK(t, "DISCOVER 'alice' CACHE OFF").(*DiscoverStmt)
+	if d.Cache != "off" || d.CacheBytes != 0 {
+		t.Fatalf("got %#v", d)
+	}
+	d = parseOK(t, "DISCOVER 'alice' CACHE ON;").(*DiscoverStmt)
+	if d.Cache != "on" {
+		t.Fatalf("got %#v", d)
+	}
+	d = parseOK(t, "DISCOVER 'alice' CACHE 1048576").(*DiscoverStmt)
+	if d.Cache != "" || d.CacheBytes != 1048576 {
+		t.Fatalf("got %#v", d)
+	}
+	// CACHE composes with the other governors in any order.
+	d = parseOK(t, "DISCOVER 'alice' CACHE OFF TIMEOUT 250 MAX 10").(*DiscoverStmt)
+	if d.Cache != "off" || d.TimeoutMillis != 250 || d.MaxCandidates != 10 {
+		t.Fatalf("got %#v", d)
+	}
+	d = parseOK(t, "DISCOVER 'alice' MAX 10 CACHE 4096").(*DiscoverStmt)
+	if d.CacheBytes != 4096 || d.MaxCandidates != 10 {
+		t.Fatalf("got %#v", d)
+	}
+	p := parseOK(t, "PROCESS 'alice' CACHE ON MAX 5").(*ProcessStmt)
+	if p.Cache != "on" || p.MaxCandidates != 5 {
+		t.Fatalf("got %#v", p)
+	}
+
+	for _, bad := range []string{
+		"DISCOVER 'alice' CACHE",
+		"DISCOVER 'alice' CACHE MAYBE",
+		"DISCOVER 'alice' CACHE 'on'",
+		"DISCOVER 'alice' CACHE 0",
+		"DISCOVER 'alice' CACHE -1",
+		"PROCESS 'alice' CACHE",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

@@ -129,7 +129,7 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		stmt := &DiscoverStmt{ID: id}
-		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel); err != nil {
+		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel, &stmt.Cache, &stmt.CacheBytes); err != nil {
 			return nil, err
 		}
 		return stmt, nil
@@ -139,7 +139,7 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		stmt := &ProcessStmt{ID: id}
-		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel); err != nil {
+		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel, &stmt.Cache, &stmt.CacheBytes); err != nil {
 			return nil, err
 		}
 		return stmt, nil
@@ -150,9 +150,10 @@ func (p *parser) statement() (Statement, error) {
 	}
 }
 
-// governors parses the optional `TIMEOUT <ms>`, `MAX <n>`, and
-// `PARALLEL <workers>` clauses of DISCOVER/PROCESS, in any order.
-func (p *parser) governors(timeoutMillis *int64, maxCandidates *int, parallel *int) error {
+// governors parses the optional `TIMEOUT <ms>`, `MAX <n>`,
+// `PARALLEL <workers>`, and `CACHE ON|OFF|<bytes>` clauses of
+// DISCOVER/PROCESS, in any order.
+func (p *parser) governors(timeoutMillis *int64, maxCandidates *int, parallel *int, cacheMode *string, cacheBytes *int64) error {
 	for {
 		switch {
 		case p.acceptWord("TIMEOUT"):
@@ -182,6 +183,24 @@ func (p *parser) governors(timeoutMillis *int64, maxCandidates *int, parallel *i
 				return fmt.Errorf("sqlish: PARALLEL must be positive")
 			}
 			*parallel = int(n)
+		case p.acceptWord("CACHE"):
+			switch {
+			case p.acceptWord("ON"):
+				*cacheMode = "on"
+			case p.acceptWord("OFF"):
+				*cacheMode = "off"
+			case p.peek().kind == tokNumber:
+				n, err := p.expectInt()
+				if err != nil {
+					return err
+				}
+				if n <= 0 {
+					return fmt.Errorf("sqlish: CACHE byte budget must be positive")
+				}
+				*cacheBytes = n
+			default:
+				return fmt.Errorf("sqlish: expected ON, OFF, or a byte count after CACHE at offset %d", p.peek().pos)
+			}
 		default:
 			return nil
 		}

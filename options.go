@@ -3,6 +3,7 @@ package nebula
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"time"
 
 	"nebula/internal/discovery"
@@ -66,6 +67,12 @@ type RequestOptions struct {
 	// Parallelism overrides the worker-pool size for this request only
 	// (0 = keep the engine's configured value).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Cache controls result caching for this request: "" keeps the
+	// engine's configured behavior, "off" bypasses every cache layer
+	// (the request neither consults nor populates them), "on" re-enables
+	// caching for a request when the engine has caches built (it cannot
+	// conjure caches on an engine configured with caching disabled).
+	Cache string `json:"cache,omitempty"`
 }
 
 // Enabled reports whether the request overrides anything.
@@ -80,6 +87,11 @@ func (r RequestOptions) Validate() error {
 	}
 	if r.Parallelism < 0 {
 		return fmt.Errorf("nebula: negative request parallelism %d", r.Parallelism)
+	}
+	switch r.Cache {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("nebula: request cache mode %q (want on or off)", r.Cache)
 	}
 	return nil
 }
@@ -108,7 +120,63 @@ func (r RequestOptions) apply(base Options) Options {
 	if r.Parallelism > 0 {
 		base.Parallelism = r.Parallelism
 	}
+	switch r.Cache {
+	case "on":
+		base.Cache.Disabled = false
+	case "off":
+		base.Cache.Disabled = true
+	}
 	return base
+}
+
+// DefaultCacheBytes is the total cache budget (across the three layers)
+// when caching is enabled without an explicit limit: 64 MiB.
+const DefaultCacheBytes = 64 << 20
+
+// CacheConfig governs the engine's epoch-versioned result caches: the
+// relational scan cache, the keyword structured-query/mapper cache, and
+// the whole-pipeline discovery cache. The zero value means *enabled*
+// with the DefaultCacheBytes budget — caching is coherence-safe (every
+// mutation advances an epoch the cache keys embed), so it defaults on.
+type CacheConfig struct {
+	// Disabled turns every cache layer off.
+	Disabled bool
+	// MaxBytes is the total (approximate) byte budget split across the
+	// three layers; 0 selects DefaultCacheBytes.
+	MaxBytes int64
+}
+
+// Validate rejects a negative budget.
+func (c CacheConfig) Validate() error {
+	if c.MaxBytes < 0 {
+		return fmt.Errorf("nebula: negative cache budget %d", c.MaxBytes)
+	}
+	return nil
+}
+
+// bytes resolves the effective budget.
+func (c CacheConfig) bytes() int64 {
+	if c.MaxBytes > 0 {
+		return c.MaxBytes
+	}
+	return DefaultCacheBytes
+}
+
+// ParseCacheConfig parses the operator-facing cache setting shared by
+// the CLIs and the sqlish CACHE governor: "on" (enabled, default
+// budget), "off" (disabled), or a positive byte count.
+func ParseCacheConfig(s string) (CacheConfig, error) {
+	switch s {
+	case "", "on":
+		return CacheConfig{}, nil
+	case "off":
+		return CacheConfig{Disabled: true}, nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return CacheConfig{}, fmt.Errorf("nebula: cache setting %q (want on, off, or a positive byte count)", s)
+	}
+	return CacheConfig{MaxBytes: n}, nil
 }
 
 // RetryPolicy re-exports the discoverer's transient-error retry policy.
@@ -189,6 +257,10 @@ type Options struct {
 	// to sequential execution — parallelism changes scheduling, never
 	// output.
 	Parallelism int
+	// Cache governs the epoch-versioned result caches (see CacheConfig).
+	// The zero value enables them with the default budget; caching never
+	// changes results — only whether work is redone.
+	Cache CacheConfig
 }
 
 // Search technique names for Options.SearchTechnique.
@@ -252,6 +324,9 @@ func (o Options) Validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("nebula: negative parallelism %d", o.Parallelism)
+	}
+	if err := o.Cache.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
