@@ -3,20 +3,20 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-parallel bench-server bench-cache run-server experiments examples fmt vet check clean
+.PHONY: all build test race cover bench bench-parallel bench-server bench-cache bench-trace run-server experiments examples fmt vet check clean
 
 all: build test
 
 # Full pre-merge gate: static checks, build, race-enabled tests, the
 # fault-injection / governance smoke suite, the fuzz seed corpora, and the
-# parallel-determinism suite.
+# parallel-determinism + trace byte-identity suites.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'Fault|Inject|Governor|Deadline|Cancel|Budget|Degraded|Retry|Panic|Truncat|BitFlip|SaveFile' ./internal/faultinject/ ./internal/snapshot/ .
 	$(GO) test -run Fuzz ./internal/sqlish/ ./internal/snapshot/
-	$(GO) test -run 'Determinis|Cache' ./internal/cache/ ./internal/keyword/ ./internal/relational/ .
+	$(GO) test -run 'Determinis|Cache|Trace|Unicode' ./internal/cache/ ./internal/keyword/ ./internal/relational/ ./internal/trace/ .
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,12 @@ bench-server:
 # and the byte-identity check against an uncached control engine.
 bench-cache:
 	$(GO) run ./cmd/nebulactl bench-cache --sizes small,mid --rounds 3 --out BENCH_cache.json
+
+# Bound the observe-only tracing overhead: the same discovery sweep with
+# tracing off and on; the JSON artifact records both timings, the overhead
+# percentage, the span count, and the byte-identity check.
+bench-trace:
+	$(GO) run ./cmd/nebulactl bench-trace --size small --seed 42 --rounds 3 --out BENCH_trace.json
 
 # Serving smoke test: boot nebulad on an ephemeral port, hit /healthz, run
 # one discovery round trip, SIGTERM it, and verify the drain snapshot

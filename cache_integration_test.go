@@ -300,12 +300,18 @@ func TestCacheConcurrentDiscoverMutate(t *testing.T) {
 	wg.Add(1)
 	go func() { // raw row churn: table epochs move under the scan cache
 		defer wg.Done()
-		gene := e.DB().MustTable("Gene")
 		for i := 0; i < iters; i++ {
-			if _, err := gene.Insert([]relational.Value{
-				relational.String(fmt.Sprintf("JW7%04d", i)), relational.String("rrr"),
-				relational.Int(int64(100 + i)), relational.String("GATC"), relational.String("F3"),
-			}); err != nil {
+			// Tables are not internally synchronized; MutateDB takes the
+			// engine write lock so the insert is exclusive with the
+			// concurrent discoveries and snapshot captures above.
+			err := e.MutateDB(func(db *nebula.Database) error {
+				_, err := db.MustTable("Gene").Insert([]relational.Value{
+					relational.String(fmt.Sprintf("JW7%04d", i)), relational.String("rrr"),
+					relational.Int(int64(100 + i)), relational.String("GATC"), relational.String("F3"),
+				})
+				return err
+			})
+			if err != nil {
 				t.Errorf("insert %d: %v", i, err)
 				return
 			}

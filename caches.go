@@ -91,8 +91,10 @@ func (e *Engine) bumpMutEpoch() { e.mutEpoch.Add(1) }
 // (whitespace-normalized, order preserved — signature-map generation is
 // word-order- and context-sensitive through Alpha, so a token multiset
 // would over-merge), the focal set, and the options that shape the
-// pipeline. Parallelism and Deadline are excluded: the first changes
-// only scheduling, and only clean (non-truncated) runs are ever cached.
+// pipeline. Parallelism, Deadline, and Trace are excluded: the first
+// changes only scheduling, only clean (non-truncated) runs are ever
+// cached, and tracing is observe-only — a traced and an untraced request
+// for the same annotation share one cached answer.
 func discoveryCacheKey(body string, focal []TupleID, opts Options, k int) string {
 	var b strings.Builder
 	b.Grow(len(body) + 16*len(focal) + 96)

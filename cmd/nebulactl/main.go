@@ -14,6 +14,7 @@
 //	nebulactl bench-parallel --size large --workers 2,4,8 --rounds 3 --out BENCH_parallel.json
 //	nebulactl bench-server --size tiny --levels 4,32 --requests 200 --out BENCH_server.json
 //	nebulactl bench-cache --sizes small,mid --rounds 3 --out BENCH_cache.json
+//	nebulactl bench-trace --size small --rounds 3 --out BENCH_trace.json
 //	nebulactl demo
 package main
 
@@ -58,6 +59,8 @@ func main() {
 		err = cmdBenchServer(os.Args[2:])
 	case "bench-cache":
 		err = cmdBenchCache(os.Args[2:])
+	case "bench-trace":
+		err = cmdBenchTrace(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -93,6 +96,10 @@ commands:
               measure the multi-level result cache: cold vs warm discovery
               sweeps, hit rates, occupancy, and byte-identity against an
               uncached control engine
+  bench-trace
+              measure request-scoped tracing overhead on the discovery
+              sweep and verify the traced and untraced runs are
+              byte-identical (tracing is observe-only)
 `)
 }
 
@@ -249,6 +256,7 @@ func cmdDiscover(args []string) error {
 	maxQueries := fs.Int("max-queries", 0, "cap Stage 1 at the N highest-weight queries (0 = all)")
 	parallelism := fs.Int("parallelism", 0, "worker pool size for keyword execution (0 = NumCPU, 1 = sequential)")
 	cacheFlag := fs.String("cache", "", "result caching: on, off, or a byte budget (default on at 64 MiB)")
+	traceFlag := fs.Bool("trace", false, "record a request-scoped span tree and print it after the run (observe-only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -283,6 +291,7 @@ func cmdDiscover(args []string) error {
 		Deadline:      *timeout,
 	}
 	opts.Parallelism = *parallelism
+	opts.Trace = *traceFlag
 	cacheCfg, err := nebula.ParseCacheConfig(*cacheFlag)
 	if err != nil {
 		return err
@@ -338,6 +347,9 @@ func cmdDiscover(args []string) error {
 	fmt.Printf("\nverification (bounds [%.2f, %.2f]): %d auto-accepted, %d pending, %d auto-rejected\n",
 		engine.Bounds().Lower, engine.Bounds().Upper,
 		len(outcome.Accepted), len(outcome.Pending), len(outcome.Rejected))
+	if disc.Trace != nil {
+		fmt.Printf("\ntrace (%d spans):\n%s", disc.Trace.SpanCount(), disc.Trace)
+	}
 	return nil
 }
 
@@ -501,6 +513,44 @@ func cmdBenchCache(args []string) error {
 	}
 	defer f.Close()
 	if err := bench.WriteCacheJSON(f, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdBenchTrace measures the overhead of request-scoped tracing on the
+// discovery sweep and enforces the observe-only contract: the traced and
+// untraced sweeps must render byte-identical results.
+func cmdBenchTrace(args []string) error {
+	fs := flag.NewFlagSet("bench-trace", flag.ExitOnError)
+	size := fs.String("size", "small", "dataset size: tiny|small|mid|large")
+	seed := fs.Int64("seed", 42, "generator seed")
+	rounds := fs.Int("rounds", 3, "measurement rounds per mode (best time kept)")
+	out := fs.String("out", "BENCH_trace.json", "output JSON path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flagcheck.Positive("rounds", *rounds); err != nil {
+		return err
+	}
+	result, err := bench.RunTraceBench(*size, *seed, *rounds)
+	if err != nil {
+		return err
+	}
+	bench.TraceTable(result).Print(os.Stdout)
+	if !result.Identical {
+		return fmt.Errorf("traced results diverged from untraced (%s); tracing must be observe-only", result.Dataset)
+	}
+	if *out == "" {
+		return bench.WriteTraceJSON(os.Stdout, result)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteTraceJSON(f, result); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

@@ -13,7 +13,14 @@
 //	nebulad [--host 127.0.0.1] [--port 8080] [--size tiny] [--seed 42]
 //	        [--parallelism N] [--cache on|off|bytes] [--max-inflight N]
 //	        [--queue-depth N] [--max-per-conn N] [--request-timeout D]
-//	        [--drain-timeout D] [--snapshot FILE] [--smoke]
+//	        [--drain-timeout D] [--snapshot FILE] [--slow-request D]
+//	        [--debug-addr HOST:PORT] [--smoke]
+//
+// --slow-request D arms the structured slow-request log: any request at or
+// over D is logged at Warn with its request-scoped span tree. --debug-addr
+// starts a second listener (keep it loopback-only) serving net/http/pprof,
+// isolated from the public API so profiling endpoints are never exposed by
+// default.
 //
 // With --smoke, nebulad starts on an ephemeral port, performs one health
 // check and one discovery round trip against itself, sends itself SIGTERM,
@@ -32,6 +39,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -66,6 +74,8 @@ type daemonConfig struct {
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
 	snapshotPath   string
+	slowRequest    time.Duration
+	debugAddr      string
 	smoke          bool
 }
 
@@ -84,6 +94,8 @@ func run(args []string) error {
 	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 0, "per-request wall-clock cap (0 = none)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
 	fs.StringVar(&cfg.snapshotPath, "snapshot", "", "snapshot file: restored on boot when present, written on drain")
+	fs.DurationVar(&cfg.slowRequest, "slow-request", 0, "log requests at or over this duration at Warn with their span tree (0 = off)")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this extra listener (empty = off; keep it loopback-only)")
 	fs.BoolVar(&cfg.smoke, "smoke", false, "self-check serving round trip, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +108,7 @@ func run(args []string) error {
 		flagcheck.NonNegative("max-per-conn", cfg.maxPerConn),
 		flagcheck.NonNegativeDuration("request-timeout", cfg.requestTimeout),
 		flagcheck.NonNegativeDuration("drain-timeout", cfg.drainTimeout),
+		flagcheck.NonNegativeDuration("slow-request", cfg.slowRequest),
 	); err != nil {
 		return err
 	}
@@ -156,16 +169,36 @@ func serve(cfg daemonConfig, ready chan<- string) error {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Engine:         engine,
-		MaxInFlight:    cfg.maxInFlight,
-		QueueDepth:     cfg.queueDepth,
-		MaxPerConn:     cfg.maxPerConn,
-		RequestTimeout: cfg.requestTimeout,
-		SnapshotPath:   cfg.snapshotPath,
-		ConfigureMeta:  configureMeta,
+		Engine:               engine,
+		MaxInFlight:          cfg.maxInFlight,
+		QueueDepth:           cfg.queueDepth,
+		MaxPerConn:           cfg.maxPerConn,
+		RequestTimeout:       cfg.requestTimeout,
+		SnapshotPath:         cfg.snapshotPath,
+		ConfigureMeta:        configureMeta,
+		SlowRequestThreshold: cfg.slowRequest,
 	})
 	if err != nil {
 		return err
+	}
+
+	if cfg.debugAddr != "" {
+		// The pprof listener is deliberately a separate mux on a separate
+		// port: the public API mux never learns the /debug routes, so
+		// profiling cannot be reached through the serving address.
+		debugLn, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer debugLn.Close()
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("nebulad: pprof on http://%s/debug/pprof/", debugLn.Addr())
+		go http.Serve(debugLn, debugMux)
 	}
 
 	addr := net.JoinHostPort(cfg.host, fmt.Sprint(cfg.port))

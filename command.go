@@ -32,14 +32,18 @@ type CommandResult struct {
 //	ANNOTATE <tbl> '<pk>' AS '<id>' BODY '<text>'
 //	                               insert an annotation attached to a tuple
 //	DISCOVER '<annotation-id>' [TIMEOUT ms] [MAX n] [CACHE ON|OFF|bytes]
+//	                           [TRACE ON|OFF]
 //	                               run discovery, report candidates; TIMEOUT
 //	                               bounds the run's wall clock (partial
 //	                               candidates are reported when it fires),
 //	                               MAX keeps only the n strongest candidates,
-//	                               and CACHE overrides result caching for
+//	                               CACHE overrides result caching for
 //	                               this run (a byte count resizes the
-//	                               engine's cache budget)
+//	                               engine's cache budget), and TRACE ON
+//	                               appends the run's span tree to the result
+//	                               message (observe-only)
 //	PROCESS '<annotation-id>' [TIMEOUT ms] [MAX n] [CACHE ON|OFF|bytes]
+//	                          [TRACE ON|OFF]
 //	                               run discovery + verification routing under
 //	                               the same governors; an interrupted run
 //	                               submits nothing to verification
@@ -72,9 +76,9 @@ func (e *Engine) ExecCommand(command string) (*CommandResult, error) {
 	case *sqlish.AnnotateStmt:
 		return e.execAnnotate(s)
 	case *sqlish.DiscoverStmt:
-		return e.execDiscover(s.ID, false, s.TimeoutMillis, s.MaxCandidates, s.Parallel, s.Cache, s.CacheBytes)
+		return e.execDiscover(s.ID, false, s.TimeoutMillis, s.MaxCandidates, s.Parallel, s.Cache, s.CacheBytes, s.Trace)
 	case *sqlish.ProcessStmt:
-		return e.execDiscover(s.ID, true, s.TimeoutMillis, s.MaxCandidates, s.Parallel, s.Cache, s.CacheBytes)
+		return e.execDiscover(s.ID, true, s.TimeoutMillis, s.MaxCandidates, s.Parallel, s.Cache, s.CacheBytes, s.Trace)
 	case *sqlish.SelectStmt:
 		return e.execSelect(s)
 	default:
@@ -125,7 +129,7 @@ func (e *Engine) execAnnotate(s *sqlish.AnnotateStmt) (*CommandResult, error) {
 	return &CommandResult{Message: fmt.Sprintf("annotation %q attached to %s", s.ID, row.ID)}, nil
 }
 
-func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxCandidates, parallel int, cacheMode string, cacheBytes int64) (*CommandResult, error) {
+func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxCandidates, parallel int, cacheMode string, cacheBytes int64, traced bool) (*CommandResult, error) {
 	ctx := context.Background()
 	if timeoutMillis > 0 {
 		var cancel context.CancelFunc
@@ -141,7 +145,7 @@ func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxC
 	}
 	// Per-statement governance rides the same RequestOptions overlay the
 	// serving layer uses; the engine's configuration is never touched.
-	opts := RequestOptions{MaxCandidates: maxCandidates, Parallelism: parallel, Cache: cacheMode}.apply(e.opts)
+	opts := RequestOptions{MaxCandidates: maxCandidates, Parallelism: parallel, Cache: cacheMode, Trace: traced}.apply(e.opts)
 	res := &CommandResult{Columns: []string{"tuple", "confidence", "evidence", "routing"}}
 	var (
 		disc    *Discovery
@@ -184,6 +188,9 @@ func (e *Engine) execDiscover(id string, process bool, timeoutMillis int64, maxC
 	}
 	if degraded := disc.Degraded(); len(degraded) > 0 {
 		res.Message += "; degraded: " + strings.Join(degraded, " | ")
+	}
+	if disc.Trace != nil {
+		res.Message += "\ntrace:\n" + disc.Trace.String()
 	}
 	return res, nil
 }

@@ -15,6 +15,7 @@ import (
 	"nebula/internal/keyword"
 	"nebula/internal/relational"
 	"nebula/internal/sigmap"
+	"nebula/internal/trace"
 	"nebula/internal/verification"
 )
 
@@ -140,8 +141,21 @@ func NewWithState(db *Database, repo *MetaRepository, store *AnnotationStore, gr
 	return e, nil
 }
 
-// DB returns the engine's database.
+// DB returns the engine's database. Tables are not internally
+// synchronized: mutating rows through this handle while the engine is
+// serving concurrent requests races them — use MutateDB for that.
 func (e *Engine) DB() *Database { return e.db }
+
+// MutateDB runs fn against the engine's database under the engine's
+// write lock, making raw relational mutations (Insert/Delete/Update)
+// exclusive with concurrent discoveries and snapshot captures. Table
+// epochs advance on mutation, so caches derived from the changed rows
+// invalidate without further bookkeeping.
+func (e *Engine) MutateDB(fn func(db *Database) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn(e.db)
+}
 
 // Meta returns the NebulaMeta repository.
 func (e *Engine) Meta() *MetaRepository { return e.meta }
@@ -251,6 +265,10 @@ type Discovery struct {
 	GenStats GenerationStats
 	// ExecStats reports Stage 2 cost counters.
 	ExecStats DiscoveryStats
+	// Trace is the request-scoped span tree for this run when tracing was
+	// requested (Options.Trace / RequestOptions.Trace); nil otherwise.
+	// Observe-only: its presence never changes the other fields.
+	Trace *TraceNode
 }
 
 // Degraded lists every way the run deviated from the full, unbounded
@@ -311,7 +329,25 @@ func (e *Engine) discoverByID(ctx context.Context, id AnnotationID, opts Options
 // discover is the focal- and options-parameterized core, shared with bounds
 // training and the per-request serving surface. Callers must hold e.mu (in
 // read or write mode); the run touches engine state only through reads.
-func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, opts Options) (*Discovery, error) {
+func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, opts Options) (disc *Discovery, err error) {
+	if opts.Trace {
+		// Root the span tree here unless a caller (process) already owns
+		// one, in which case this run is a child and the owner snapshots.
+		span := trace.FromContext(ctx)
+		ownsRoot := span == nil
+		if ownsRoot {
+			span = trace.New("discover")
+		} else {
+			span = span.StartChild("discover")
+		}
+		ctx = trace.WithSpan(ctx, span)
+		defer func() {
+			span.End()
+			if ownsRoot && disc != nil {
+				disc.Trace = span.Snapshot()
+			}
+		}()
+	}
 	if opts.Budget.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget.Deadline)
@@ -333,6 +369,7 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 		cacheKey = discoveryCacheKey(a.Body, focal, opts, k)
 		epoch = e.cacheEpoch()
 		if hit, ok := e.discCache.Get(cacheKey, epoch); ok {
+			trace.FromContext(ctx).Add("discovery_cache_hits", 1)
 			out := &Discovery{
 				Queries:    hit.Queries,
 				Candidates: append([]Candidate(nil), hit.Candidates...),
@@ -351,7 +388,10 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 	gen := sigmap.NewGenerator(e.meta, opts.Epsilon)
 	gen.Alpha = opts.Alpha
 	gen.MaxQueries = opts.Budget.MaxQueries
-	queries, genStats := gen.Generate(a.Body)
+	gspan, gctx := trace.StartSpan(ctx, "generate")
+	queries, genStats := gen.GenerateContext(gctx, a.Body)
+	gspan.AddInt("queries", len(queries))
+	gspan.End()
 
 	d := discovery.New(e.db, e.meta, e.graph)
 	d.IncludeRelated = opts.IncludeRelated
@@ -378,7 +418,7 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 		MaxWorkers:      resolveWorkers(opts.Parallelism),
 		Retry:           opts.Retry,
 	})
-	disc := &Discovery{
+	disc = &Discovery{
 		Queries:    queries,
 		Candidates: cands,
 		Focal:      focal,
@@ -397,9 +437,11 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 		// Only clean runs are cached: a degraded result is an artifact of
 		// this run's governance, not the annotation's answer. The stored
 		// copy owns its candidate slice so later callers mutating the
-		// returned Discovery cannot corrupt the cache.
+		// returned Discovery cannot corrupt the cache, and it never carries
+		// a trace — spans describe one request, not the cached answer.
 		stored := *disc
 		stored.Candidates = append([]Candidate(nil), disc.Candidates...)
+		stored.Trace = nil
 		e.discCache.Put(cacheKey, epoch, &stored, discoveryCost(cacheKey, &stored))
 	}
 	return disc, nil
@@ -469,6 +511,16 @@ func (e *Engine) NaiveDiscoverRequest(ctx context.Context, id AnnotationID, req 
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownAnnotation, id)
 	}
+	if opts.Trace {
+		root := trace.New("naive_discover")
+		ctx = trace.WithSpan(ctx, root)
+		defer func() {
+			root.End()
+			if disc != nil {
+				disc.Trace = root.Snapshot()
+			}
+		}()
+	}
 	if opts.Budget.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget.Deadline)
@@ -520,8 +572,21 @@ func (e *Engine) ProcessRequest(ctx context.Context, id AnnotationID, req Reques
 	return e.process(ctx, id, req.apply(e.opts))
 }
 
-func (e *Engine) process(ctx context.Context, id AnnotationID, opts Options) (*Discovery, VerificationOutcome, error) {
-	disc, err := e.discoverByID(ctx, id, opts)
+func (e *Engine) process(ctx context.Context, id AnnotationID, opts Options) (disc *Discovery, outcome VerificationOutcome, err error) {
+	var root *trace.Span
+	if opts.Trace && trace.FromContext(ctx) == nil {
+		// process owns the root span; the discover call below becomes its
+		// first child, verification routing the second.
+		root = trace.New("process")
+		ctx = trace.WithSpan(ctx, root)
+		defer func() {
+			root.End()
+			if disc != nil {
+				disc.Trace = root.Snapshot()
+			}
+		}()
+	}
+	disc, err = e.discoverByID(ctx, id, opts)
 	if err != nil {
 		return disc, VerificationOutcome{}, err
 	}
@@ -532,7 +597,14 @@ func (e *Engine) process(ctx context.Context, id AnnotationID, opts Options) (*D
 	// Submit mutates attachments, the ACG, and the hop profile even on
 	// partial failure, so the epoch moves regardless of the outcome.
 	e.bumpMutEpoch()
-	outcome, err := submit(id, disc.Focal, disc.Candidates)
+	vspan := root.StartChild("verify")
+	outcome, err = submit(id, disc.Focal, disc.Candidates)
+	if vspan.Enabled() {
+		vspan.AddInt("accepted", len(outcome.Accepted))
+		vspan.AddInt("pending", len(outcome.Pending))
+		vspan.AddInt("rejected", len(outcome.Rejected))
+		vspan.End()
+	}
 	if err != nil {
 		return disc, VerificationOutcome{}, err
 	}

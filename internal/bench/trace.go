@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"nebula"
+)
+
+// TraceResult records the cost of request-scoped tracing: the same
+// discovery sweep with tracing off and on, over a caching-disabled engine
+// so every run pays the full pipeline. Identical reports whether both
+// sweeps rendered byte-identical candidates — tracing is observe-only, so
+// any divergence is a bug, not a measurement artifact.
+type TraceResult struct {
+	Dataset     string  `json:"dataset"`
+	Annotations int     `json:"annotations"`
+	Rounds      int     `json:"rounds"`
+	OffNS       int64   `json:"off_ns"`
+	OnNS        int64   `json:"on_ns"`
+	OverheadPct float64 `json:"overhead_pct"`
+	Spans       int     `json:"spans"`
+	Identical   bool    `json:"identical"`
+}
+
+// tracePass discovers every annotation once with the given per-request
+// trace setting, returning the sweep's wall clock, its identity rendering,
+// and the span count of the last traced run (0 untraced).
+func tracePass(engine *nebula.Engine, ids []nebula.AnnotationID, traced bool) (time.Duration, string, int, error) {
+	var b strings.Builder
+	spans := 0
+	req := nebula.RequestOptions{Trace: traced}
+	start := time.Now()
+	for _, id := range ids {
+		d, err := engine.DiscoverRequest(context.Background(), id, req)
+		if err != nil {
+			return 0, "", 0, fmt.Errorf("bench: trace discover %s: %w", id, err)
+		}
+		renderCacheDiscovery(&b, id, d)
+		if d.Trace != nil {
+			spans = d.Trace.SpanCount()
+		}
+	}
+	return time.Since(start), b.String(), spans, nil
+}
+
+// RunTraceBench measures tracing overhead on the discovery sweep: rounds
+// passes with tracing off and rounds with it on (best time each), plus the
+// byte-identity check between the two renderings. Caching is disabled so
+// warm passes cannot short-circuit the work being measured.
+func RunTraceBench(size string, seed int64, rounds int) (TraceResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	engine, ids, name, err := cacheBenchEngine(size, seed, true, 0)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	var offBest, onBest time.Duration
+	var offRender, onRender string
+	spans := 0
+	for r := 0; r < rounds; r++ {
+		offT, offR, _, err := tracePass(engine, ids, false)
+		if err != nil {
+			return TraceResult{}, err
+		}
+		onT, onR, n, err := tracePass(engine, ids, true)
+		if err != nil {
+			return TraceResult{}, err
+		}
+		if offBest == 0 || offT < offBest {
+			offBest = offT
+		}
+		if onBest == 0 || onT < onBest {
+			onBest = onT
+		}
+		offRender, onRender, spans = offR, onR, n
+	}
+	res := TraceResult{
+		Dataset:     name,
+		Annotations: len(ids),
+		Rounds:      rounds,
+		OffNS:       offBest.Nanoseconds(),
+		OnNS:        onBest.Nanoseconds(),
+		Spans:       spans,
+		Identical:   offRender == onRender,
+	}
+	if offBest > 0 {
+		res.OverheadPct = 100 * (float64(onBest)/float64(offBest) - 1)
+	}
+	return res, nil
+}
+
+// TraceTable renders the trace benchmark as a printable table.
+func TraceTable(r TraceResult) *Table {
+	t := &Table{
+		Title:  "Request-scoped tracing — discovery sweep, caching disabled",
+		Header: []string{"dataset", "annotations", "off-ms", "on-ms", "overhead", "spans", "identical"},
+	}
+	t.Rows = append(t.Rows, []string{
+		r.Dataset, fmtI(r.Annotations),
+		fmtMs(r.OffNS), fmtMs(r.OnNS),
+		fmt.Sprintf("%.1f%%", r.OverheadPct), fmtI(r.Spans), fmt.Sprintf("%v", r.Identical),
+	})
+	return t
+}
+
+// WriteTraceJSON writes the result as indented JSON (the BENCH_trace.json
+// artifact).
+func WriteTraceJSON(w io.Writer, r TraceResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

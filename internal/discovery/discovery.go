@@ -16,6 +16,7 @@ import (
 	"nebula/internal/keyword"
 	"nebula/internal/meta"
 	"nebula/internal/relational"
+	"nebula/internal/trace"
 )
 
 // ErrSpamAnnotation flags an annotation whose discovered candidates cover
@@ -184,6 +185,9 @@ func (d *Discoverer) IdentifyRelatedTuplesContext(ctx context.Context, queries [
 		return nil, stats, nil
 	}
 	if err := ctx.Err(); err != nil {
+		// The deadline can fire between query generation and execution;
+		// an interrupted run always reports why it is partial.
+		stats.degrade(fmt.Sprintf("discovery: interrupted before execution (%v)", err))
 		return nil, stats, wrapCtxErr(err)
 	}
 
@@ -230,14 +234,24 @@ func (d *Discoverer) IdentifyRelatedTuplesContext(ctx context.Context, queries [
 	// work spent. A surviving context error degrades the run to whatever
 	// the partial execution produced.
 	lim := keyword.Limits{MaxScannedRows: opts.MaxScannedRows, MaxWorkers: opts.MaxWorkers}
+	espan, ectx := trace.StartSpan(ctx, "execute")
 	var results map[string][]keyword.Result
 	retries, err := opts.Retry.do(ctx, func() error {
 		var attemptErr error
 		var st keyword.ExecStats
-		results, st, attemptErr = searcher.ExecuteBatchContext(ctx, queries, opts.Shared, lim)
+		results, st, attemptErr = searcher.ExecuteBatchContext(ectx, queries, opts.Shared, lim)
 		stats.Exec.Add(st)
 		return attemptErr
 	})
+	if espan.Enabled() {
+		espan.AddInt("keyword_queries", len(queries))
+		espan.AddInt("structured_queries", stats.Exec.StructuredQueries)
+		espan.AddInt("tuples_scanned", stats.Exec.TuplesScanned)
+		espan.AddInt("tuples_returned", stats.Exec.TuplesReturned)
+		espan.AddInt("cache_hits", stats.Exec.CacheHits)
+		espan.AddInt("retries", retries)
+		espan.End()
+	}
 	stats.Retries = retries
 	if retries > 0 {
 		stats.degrade(fmt.Sprintf("discovery: %d transient searcher error(s) retried", retries))
@@ -255,6 +269,7 @@ func (d *Discoverer) IdentifyRelatedTuplesContext(ctx context.Context, queries [
 	}
 	stats.Degraded = append(stats.Degraded, stats.Exec.Degraded...)
 
+	aspan, _ := trace.StartSpan(ctx, "aggregate")
 	type agg struct {
 		conf     float64
 		evidence []string
@@ -283,11 +298,17 @@ func (d *Discoverer) IdentifyRelatedTuplesContext(ctx context.Context, queries [
 		}
 	}
 
+	if aspan.Enabled() {
+		aspan.AddInt("distinct_tuples", len(order))
+		aspan.End()
+	}
+
 	// §6.2 — focal-based confidence adjustment: for each direct ACG edge
 	// e(t, f) to a focal tuple, t.conf += e.weight × t.conf. With
 	// AdjustmentHops > 1, the reward extends to multi-hop shortest paths
 	// using the product of the in-between edge weights.
 	if opts.FocalAdjustment && d.graph != nil {
+		jspan, _ := trace.StartSpan(ctx, "adjust_focal")
 		if opts.AdjustmentHops > 1 {
 			for _, f := range focal {
 				weights := d.graph.PathWeights(f, opts.AdjustmentHops)
@@ -306,9 +327,11 @@ func (d *Discoverer) IdentifyRelatedTuplesContext(ctx context.Context, queries [
 				}
 			}
 		}
+		jspan.End()
 	}
 
 	// Step 3 — normalize relative to the maximum confidence.
+	rspan, _ := trace.StartSpan(ctx, "rank")
 	maxConf := 0.0
 	for _, a := range byTuple {
 		if a.conf > maxConf {
@@ -337,6 +360,10 @@ func (d *Discoverer) IdentifyRelatedTuplesContext(ctx context.Context, queries [
 		out = out[:opts.MaxCandidates]
 	}
 	stats.Candidates = len(out)
+	if rspan.Enabled() {
+		rspan.AddInt("candidates", len(out))
+		rspan.End()
+	}
 	if execErr != nil {
 		return out, stats, execErr
 	}
@@ -366,7 +393,13 @@ func (d *Discoverer) NaiveIdentify(body string, focal []relational.TupleID) ([]C
 func (d *Discoverer) NaiveIdentifyContext(ctx context.Context, body string, focal []relational.TupleID, opts Options) ([]Candidate, Stats, error) {
 	var stats Stats
 	engine := keyword.NewEngine(d.db, d.meta)
+	nspan, _ := trace.StartSpan(ctx, "naive_scan")
 	rs, execStats, err := engine.NaiveSearchContext(ctx, body, keyword.Limits{MaxScannedRows: opts.MaxScannedRows})
+	if nspan.Enabled() {
+		nspan.AddInt("tuples_scanned", execStats.TuplesScanned)
+		nspan.AddInt("tuples_returned", execStats.TuplesReturned)
+		nspan.End()
+	}
 	stats.Exec = execStats
 	stats.Degraded = append(stats.Degraded, execStats.Degraded...)
 	var execErr error

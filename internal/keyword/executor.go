@@ -6,6 +6,7 @@ import (
 
 	"nebula/internal/meta"
 	"nebula/internal/relational"
+	"nebula/internal/trace"
 )
 
 // Engine executes keyword queries against a database using NebulaMeta for
@@ -61,10 +62,10 @@ func (e *Engine) Database() *relational.Database { return e.db }
 // tuples. A tuple satisfying several configurations keeps the highest
 // confidence (the engine's "internal criteria", §6.1).
 func (e *Engine) Execute(q Query) ([]Result, ExecStats, error) {
-	return e.execute(q, !e.Uncached)
+	return e.execute(context.Background(), q, !e.Uncached)
 }
 
-func (e *Engine) execute(q Query, cached bool) ([]Result, ExecStats, error) {
+func (e *Engine) execute(ctx context.Context, q Query, cached bool) ([]Result, ExecStats, error) {
 	var stats ExecStats
 	configs := e.Configurations(q)
 	// No size hint: most keyword queries produce zero or a handful of
@@ -72,7 +73,7 @@ func (e *Engine) execute(q Query, cached bool) ([]Result, ExecStats, error) {
 	byTuple := make(map[relational.TupleID]int)
 	var out []Result
 	for _, cfg := range configs {
-		rows, st, err := e.dbSelect(cfg.Structured, cached)
+		rows, st, err := e.dbSelect(ctx, cfg.Structured, cached)
 		if err != nil {
 			return nil, stats, fmt.Errorf("execute %s: %w", q.ID, err)
 		}
@@ -90,17 +91,17 @@ func (e *Engine) execute(q Query, cached bool) ([]Result, ExecStats, error) {
 
 // dbSelect answers one structured query, going through the query cache
 // when caching is allowed for this execution.
-func (e *Engine) dbSelect(q relational.Query, cached bool) ([]*relational.Row, relational.SelectStats, error) {
+func (e *Engine) dbSelect(ctx context.Context, q relational.Query, cached bool) ([]*relational.Row, relational.SelectStats, error) {
 	if !cached {
-		return e.db.SelectUncached(q)
+		return e.db.SelectUncachedContext(ctx, q)
 	}
 	if e.Cache == nil {
-		return e.db.Select(q)
+		return e.db.SelectContext(ctx, q)
 	}
 	if rows, ok := e.Cache.getResults(e.db, q); ok {
 		return rows, relational.SelectStats{TuplesReturned: len(rows), CacheHits: 1}, nil
 	}
-	rows, st, err := e.db.Select(q)
+	rows, st, err := e.db.SelectContext(ctx, q)
 	if err == nil {
 		e.Cache.putResults(e.db, q, rows)
 	}
@@ -110,12 +111,12 @@ func (e *Engine) dbSelect(q relational.Query, cached bool) ([]*relational.Row, r
 // dbSelectMulti answers a batch of structured queries: cached entries
 // fill their slots directly, the remainder executes through the shared
 // multi-query path, and fresh results populate the cache.
-func (e *Engine) dbSelectMulti(batch []relational.Query, workers int, cached bool) ([][]*relational.Row, relational.SelectStats, error) {
+func (e *Engine) dbSelectMulti(ctx context.Context, batch []relational.Query, workers int, cached bool) ([][]*relational.Row, relational.SelectStats, error) {
 	if !cached {
-		return e.db.SelectMultiUncached(batch, workers)
+		return e.db.SelectMultiUncachedContext(ctx, batch, workers)
 	}
 	if e.Cache == nil {
-		return e.db.SelectMultiWorkers(batch, workers)
+		return e.db.SelectMultiWorkersContext(ctx, batch, workers)
 	}
 	sets := make([][]*relational.Row, len(batch))
 	var stats relational.SelectStats
@@ -132,7 +133,7 @@ func (e *Engine) dbSelectMulti(batch []relational.Query, workers int, cached boo
 		miss = append(miss, q)
 	}
 	if len(miss) > 0 {
-		msets, st, err := e.db.SelectMultiWorkers(miss, workers)
+		msets, st, err := e.db.SelectMultiWorkersContext(ctx, miss, workers)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -243,7 +244,7 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 					return results, stats, nil
 				}
 			}
-			rs, st, err := e.execute(q, cached)
+			rs, st, err := e.execute(ctx, q, cached)
 			if err != nil {
 				return results, stats, err
 			}
@@ -254,6 +255,7 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 	}
 
 	// Plan: enumerate configurations for each query up front.
+	pspan, _ := trace.StartSpan(ctx, "plan")
 	type need struct {
 		queryIdx  int
 		conf      float64
@@ -285,6 +287,12 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 			})
 		}
 	}
+	if pspan.Enabled() {
+		pspan.AddInt("keyword_queries", len(qs))
+		pspan.AddInt("distinct_structured", len(ordered))
+		pspan.AddInt("shared_structured", stats.SharedQueries)
+		pspan.End()
+	}
 
 	// Execute the distinct structured queries: identical queries were
 	// deduplicated above, and SelectMulti shares the physical scans of the
@@ -302,7 +310,7 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 			for i, fp := range ordered {
 				batch[i] = structured[fp]
 			}
-			sets, st, err := e.dbSelectMulti(batch, workers, cached)
+			sets, st, err := e.dbSelectMulti(ctx, batch, workers, cached)
 			if err != nil {
 				return results, stats, fmt.Errorf("shared execute: %w", err)
 			}
@@ -337,7 +345,7 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 			for i := lo; i < hi; i++ {
 				batch[i-lo] = structured[ordered[i]]
 			}
-			outs[ci].sets, outs[ci].st, outs[ci].err = e.dbSelectMulti(batch, 1, cached)
+			outs[ci].sets, outs[ci].st, outs[ci].err = e.dbSelectMulti(ctx, batch, 1, cached)
 			outs[ci].done = true
 		}
 		stop := false
@@ -402,7 +410,7 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 			for i := lo; i < hi; i++ {
 				batch[i-lo] = structured[ordered[i]]
 			}
-			sets, st, err := e.dbSelectMulti(batch, 1, cached)
+			sets, st, err := e.dbSelectMulti(ctx, batch, 1, cached)
 			if err != nil {
 				return results, stats, fmt.Errorf("shared execute: %w", err)
 			}
@@ -413,6 +421,7 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 		}
 	}
 
+	mspan, _ := trace.StartSpan(ctx, "merge")
 	byTuple := make([]map[relational.TupleID]int, len(qs))
 	merged := make([][]Result, len(qs))
 	for i := range byTuple {
@@ -431,6 +440,10 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query, shared boo
 	}
 	for qi, q := range qs {
 		results[q.ID] = merged[qi]
+	}
+	if mspan.Enabled() {
+		mspan.AddInt("tuples_returned", stats.TuplesReturned)
+		mspan.End()
 	}
 	return results, stats, cancelErr
 }
@@ -454,7 +467,7 @@ func (e *Engine) executeUnsharedParallel(ctx context.Context, qs []Query, lim Li
 	}
 	outs := make([]qOut, len(qs))
 	run := func(i int) {
-		outs[i].rs, outs[i].st, outs[i].err = e.execute(qs[i], cached)
+		outs[i].rs, outs[i].st, outs[i].err = e.execute(ctx, qs[i], cached)
 		outs[i].done = true
 	}
 	for waveLo := 0; waveLo < len(qs); waveLo += workers {

@@ -90,6 +90,10 @@ type discoverResponse struct {
 	Error      string          `json:"error,omitempty"`
 	Stats      statsJSON       `json:"stats"`
 	Outcome    *outcomeJSON    `json:"outcome,omitempty"`
+	// Trace is the request's span tree, present only when the client set
+	// options.trace. Tracing is observe-only: the rest of the response is
+	// byte-identical with and without it.
+	Trace *nebula.TraceNode `json:"trace,omitempty"`
 }
 
 type batchResponse struct {
@@ -190,6 +194,7 @@ func discoveryToJSON(id string, disc *nebula.Discovery, runErr error) discoverRe
 	if disc != nil {
 		resp.Candidates = candidatesJSON(disc.Candidates)
 		resp.Degraded = disc.Degraded()
+		resp.Trace = disc.Trace
 		resp.Stats = statsJSON{
 			Queries:           len(disc.Queries),
 			SearchedDB:        disc.ExecStats.SearchedDB,
@@ -317,6 +322,14 @@ func (s *Server) runDiscover(w http.ResponseWriter, r *http.Request, kind string
 	}
 	eng := s.Engine()
 	id := nebula.AnnotationID(req.ID)
+	// When the slow-request log is armed, force tracing so a slow run's
+	// span tree is available post hoc. Tracing is observe-only, so the
+	// engine's answer is unchanged; clientTrace remembers whether the
+	// trace may also appear in the response.
+	clientTrace := req.Options.Trace
+	if s.cfg.SlowRequestThreshold > 0 {
+		req.Options.Trace = true
+	}
 	var (
 		disc    *nebula.Discovery
 		outcome nebula.VerificationOutcome
@@ -329,6 +342,14 @@ func (s *Server) runDiscover(w http.ResponseWriter, r *http.Request, kind string
 		disc, err = eng.NaiveDiscoverRequest(r.Context(), id, req.Options)
 	case "process":
 		disc, outcome, err = eng.ProcessRequest(r.Context(), id, req.Options)
+	}
+	if disc != nil && disc.Trace != nil {
+		if rec, ok := w.(*statusRecorder); ok {
+			rec.trace = disc.Trace
+		}
+		if !clientTrace {
+			disc.Trace = nil
+		}
 	}
 	s.observeDiscovery(disc, err)
 	switch {

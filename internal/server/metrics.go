@@ -47,6 +47,11 @@ const (
 	runInternalError
 )
 
+// recentLatencyWindow sizes the ring of recently completed request
+// durations backing the Retry-After estimate: large enough to smooth one
+// odd request, small enough that the estimate tracks load shifts.
+const recentLatencyWindow = 32
+
 // metrics is the server's counter registry. Everything is guarded by one
 // mutex — the serving path touches it a handful of times per request, which
 // is noise next to a discovery run.
@@ -56,6 +61,12 @@ type metrics struct {
 	requests  map[string]int64 // "endpoint code" → count
 	latencies map[string]*histogram
 	rejected  map[string]int64 // reason → count
+
+	// recentLat is a ring of the last completed request durations in
+	// seconds (recentIdx = next write slot, recentN = valid entries).
+	recentLat [recentLatencyWindow]float64
+	recentIdx int
+	recentN   int
 
 	queueDepthPeak int
 	admittedTotal  int64
@@ -95,6 +106,33 @@ func (m *metrics) observeRequest(endpoint string, code int, elapsed time.Duratio
 		m.latencies[endpoint] = h
 	}
 	h.observe(elapsed.Seconds())
+	// Shed requests (429/503) finish in microseconds; folding them into the
+	// ring would collapse the mean exactly when the server is overloaded and
+	// the Retry-After estimate matters most. Only served work counts.
+	if code != 429 && code != 503 {
+		m.recentLat[m.recentIdx] = elapsed.Seconds()
+		m.recentIdx = (m.recentIdx + 1) % recentLatencyWindow
+		if m.recentN < recentLatencyWindow {
+			m.recentN++
+		}
+	}
+}
+
+// recentMeanLatency is the mean duration of the last completed requests
+// (up to recentLatencyWindow of them), or 0 with no history yet. It feeds
+// the Retry-After estimate: queue position times this mean approximates
+// how long a shed client would have waited.
+func (m *metrics) recentMeanLatency() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recentN == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < m.recentN; i++ {
+		sum += m.recentLat[i]
+	}
+	return sum / float64(m.recentN)
 }
 
 func (m *metrics) observeRejection(reason string) {

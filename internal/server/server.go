@@ -20,8 +20,12 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
+	"math"
 	"net/http"
+	"os"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -57,6 +61,17 @@ type Config struct {
 	// Logf receives one line per lifecycle event (start, drain, snapshot).
 	// Defaults to log.Printf; use a no-op in tests.
 	Logf func(format string, args ...any)
+	// Logger receives structured request logs: one Debug record per
+	// completed request and a Warn record (with the request's span tree
+	// inlined) for requests slower than SlowRequestThreshold. Defaults to
+	// a text handler on stderr at Info level, so per-request Debug records
+	// are free unless an operator opts into them.
+	Logger *slog.Logger
+	// SlowRequestThreshold turns on the slow-request log: discovery
+	// endpoints force request-scoped tracing (observe-only — responses are
+	// unchanged unless the client asked for the trace), and any request at
+	// or over the threshold logs at Warn with its span tree. 0 disables.
+	SlowRequestThreshold time.Duration
 }
 
 // Server is the HTTP serving layer. Create with New, expose via Handler,
@@ -89,6 +104,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -161,7 +179,9 @@ func (s *Server) work(pattern string, h http.HandlerFunc) {
 					writeError(rec, http.StatusInternalServerError, "internal", "internal error")
 				}
 			}
-			s.metrics.observeRequest(endpoint, rec.code, time.Since(start))
+			elapsed := time.Since(start)
+			s.metrics.observeRequest(endpoint, rec.code, elapsed)
+			s.logRequest(endpoint, r, rec, elapsed)
 		}()
 
 		ctx := r.Context()
@@ -181,6 +201,33 @@ func (s *Server) work(pattern string, h http.HandlerFunc) {
 	})
 }
 
+// logRequest emits the structured request record: Debug for ordinary
+// requests (invisible under the default Info handler), Warn — with the
+// request's span tree inlined, when discovery captured one — for requests
+// at or over the slow-request threshold.
+func (s *Server) logRequest(endpoint string, r *http.Request, rec *statusRecorder, elapsed time.Duration) {
+	slow := s.cfg.SlowRequestThreshold > 0 && elapsed >= s.cfg.SlowRequestThreshold
+	if !slow && !s.cfg.Logger.Enabled(r.Context(), slog.LevelDebug) {
+		return
+	}
+	attrs := []any{
+		slog.String("method", r.Method),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", rec.code),
+		slog.Duration("elapsed", elapsed),
+		slog.String("conn", r.RemoteAddr),
+	}
+	if !slow {
+		s.cfg.Logger.Debug("request", attrs...)
+		return
+	}
+	attrs = append(attrs, slog.Duration("threshold", s.cfg.SlowRequestThreshold))
+	if rec.trace != nil {
+		attrs = append(attrs, slog.String("trace", "\n"+rec.trace.String()))
+	}
+	s.cfg.Logger.Warn("slow request", attrs...)
+}
+
 // cutMethod splits "METHOD /path" route patterns.
 func cutMethod(pattern string) (method, path string, ok bool) {
 	for i := 0; i < len(pattern); i++ {
@@ -191,20 +238,39 @@ func cutMethod(pattern string) (method, path string, ok bool) {
 	return "", pattern, false
 }
 
+// retryAfterSeconds derives the Retry-After header from live admission
+// state instead of a constant: the current queue backlog times the recent
+// mean request latency approximates when a slot will actually be free,
+// clamped to [1, 30] seconds. With no latency history yet (cold server)
+// the floor of 1 second applies — dishonest optimism only until the first
+// requests complete.
+func (s *Server) retryAfterSeconds() string {
+	queued, _ := s.admission.state()
+	mean := s.metrics.recentMeanLatency()
+	est := int(math.Ceil(float64(queued+1) * mean))
+	if est < 1 {
+		est = 1
+	}
+	if est > 30 {
+		est = 30
+	}
+	return strconv.Itoa(est)
+}
+
 // reject maps an admission error to its typed backpressure response.
 func (s *Server) reject(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrDraining):
 		s.metrics.observeRejection("draining")
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against another replica")
 	case errors.Is(err, ErrQueueFull):
 		s.metrics.observeRejection("queue_full")
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusTooManyRequests, "queue_full", "admission queue full; retry with backoff")
 	case errors.Is(err, ErrConnLimit):
 		s.metrics.observeRejection("conn_limit")
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusTooManyRequests, "conn_limit", "per-connection in-flight limit reached")
 	default:
 		// The client abandoned the request while queued; nobody is
@@ -241,11 +307,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.admission.isDraining() }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics, plus the request
+// trace (stashed by the discovery handlers) for the slow-request log.
 type statusRecorder struct {
 	http.ResponseWriter
 	code  int
 	wrote bool
+	trace *nebula.TraceNode
 }
 
 func (r *statusRecorder) WriteHeader(code int) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -435,6 +436,196 @@ func TestQueueFullSheds429(t *testing.T) {
 	if n := f.metric(t, `nebula_rejected_total{reason="queue_full"}`); n < 1 {
 		t.Errorf("queue_full rejection counter = %v, want >= 1", n)
 	}
+}
+
+// TestRetryAfterScalesWithLoad checks the Retry-After header is derived
+// from live admission state, not hardcoded: after slow requests establish a
+// latency history, a shed client on a deep queue is told to wait roughly
+// queue-backlog × mean-latency seconds (≥ 2 here), clamped at 30.
+func TestRetryAfterScalesWithLoad(t *testing.T) {
+	f := newFixture(t, func(ds *workload.Dataset, opts *nebula.Options, cfg *server.Config) {
+		opts.SearcherFactory = latencyFactory(ds, 500*time.Millisecond)
+		opts.Cache.Disabled = true // every discovery pays the injected latency
+		cfg.MaxInFlight = 1
+		cfg.QueueDepth = 8
+	})
+	id := f.addWorkloadAnnotation(t, 0)
+	payload, _ := json.Marshal(map[string]any{"id": id})
+
+	// Prime the latency ring with completed slow discoveries so the
+	// estimator has history before the overload.
+	for i := 0; i < 2; i++ {
+		status, body := f.postRaw(t, "/v1/discover", payload)
+		if status != http.StatusOK {
+			t.Fatalf("priming discover: status %d: %s", status, body)
+		}
+	}
+
+	// Saturate: 1 executing + 8 queued; the rest shed with 429. Each shed
+	// response must carry a Retry-After that reflects the backlog.
+	const clients = 16
+	retryAfters := make([]string, clients)
+	statuses := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(f.ts.URL+"/v1/discover", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			retryAfters[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	maxRetry := 0
+	for i, s := range statuses {
+		if s != http.StatusTooManyRequests {
+			continue
+		}
+		sec, err := strconv.Atoi(retryAfters[i])
+		if err != nil {
+			t.Fatalf("429 Retry-After %q is not an integer: %v", retryAfters[i], err)
+		}
+		if sec < 1 || sec > 30 {
+			t.Errorf("Retry-After = %d, want within [1, 30]", sec)
+		}
+		if sec > maxRetry {
+			maxRetry = sec
+		}
+	}
+	if maxRetry == 0 {
+		t.Fatalf("no request shed with 429 (statuses %v)", statuses)
+	}
+	// With ~500ms mean latency and up to 8 queued, at least one shed
+	// response must admit a wait of 2s or more — the old hardcoded "1"
+	// fails this.
+	if maxRetry < 2 {
+		t.Errorf("max Retry-After = %d, want >= 2 (header does not scale with backlog)", maxRetry)
+	}
+}
+
+// TestDiscoverTraceResponse checks the wire contract of request-scoped
+// tracing: options.trace attaches a span tree to the response, its absence
+// leaves the response without one, and the traced and untraced responses
+// are otherwise byte-identical (tracing is observe-only).
+func TestDiscoverTraceResponse(t *testing.T) {
+	f := newFixture(t, func(ds *workload.Dataset, opts *nebula.Options, cfg *server.Config) {
+		// Caching off so both requests run the full pipeline: a cache hit
+		// would (correctly) short-circuit the second run — trace is
+		// excluded from the cache key — and its stats would reflect no work.
+		opts.Cache.Disabled = true
+	})
+	id := f.addWorkloadAnnotation(t, 0)
+
+	status, plain := f.post(t, "/v1/discover", map[string]any{"id": id})
+	if status != http.StatusOK {
+		t.Fatalf("untraced discover: status %d: %s", status, plain)
+	}
+	status, traced := f.post(t, "/v1/discover", map[string]any{
+		"id": id, "options": map[string]any{"trace": true},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("traced discover: status %d: %s", status, traced)
+	}
+
+	var plainResp, tracedResp map[string]json.RawMessage
+	if err := json.Unmarshal(plain, &plainResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(traced, &tracedResp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plainResp["trace"]; ok {
+		t.Error("untraced response carries a trace object")
+	}
+	raw, ok := tracedResp["trace"]
+	if !ok {
+		t.Fatal("traced response has no trace object")
+	}
+	var root struct {
+		Name       string            `json:"name"`
+		DurationNS int64             `json:"duration_ns"`
+		Children   []json.RawMessage `json:"children"`
+	}
+	if err := json.Unmarshal(raw, &root); err != nil {
+		t.Fatalf("trace object does not decode: %v", err)
+	}
+	if root.Name != "discover" {
+		t.Errorf("trace root = %q, want discover", root.Name)
+	}
+	if root.DurationNS <= 0 {
+		t.Errorf("trace root duration = %d, want > 0", root.DurationNS)
+	}
+	if len(root.Children) == 0 {
+		t.Error("trace root has no child spans; pipeline phases were not instrumented")
+	}
+
+	// Everything except the trace must be byte-identical.
+	delete(tracedResp, "trace")
+	for k, v := range plainResp {
+		if got, ok := tracedResp[k]; !ok || !bytes.Equal(got, v) {
+			t.Errorf("traced response field %q differs from untraced: %s vs %s", k, got, v)
+		}
+	}
+	if len(tracedResp) != len(plainResp) {
+		t.Errorf("traced response has %d fields, untraced %d", len(tracedResp)+1, len(plainResp))
+	}
+}
+
+// TestSlowRequestLog checks the structured slow-request log: with a zero
+// threshold nothing is logged at Warn; with a tiny threshold a discovery
+// logs one Warn record with its span tree inlined, while the response stays
+// free of the trace the server forced for its own logging.
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	mu := &sync.Mutex{}
+	locked := &lockedWriter{w: &buf, mu: mu}
+	f := newFixture(t, func(ds *workload.Dataset, opts *nebula.Options, cfg *server.Config) {
+		cfg.Logger = slog.New(slog.NewTextHandler(locked, nil))
+		cfg.SlowRequestThreshold = time.Nanosecond // everything is slow
+	})
+	id := f.addWorkloadAnnotation(t, 0)
+	status, body := f.post(t, "/v1/discover", map[string]any{"id": id})
+	if status != http.StatusOK {
+		t.Fatalf("discover: status %d: %s", status, body)
+	}
+	var resp map[string]json.RawMessage
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp["trace"]; ok {
+		t.Error("forced server-side tracing leaked into the response body")
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "slow request") {
+		t.Fatalf("no slow-request record logged:\n%s", logged)
+	}
+	if !strings.Contains(logged, "endpoint=/v1/discover") {
+		t.Errorf("slow-request record lacks endpoint attr:\n%s", logged)
+	}
+	if !strings.Contains(logged, "discover") || !strings.Contains(logged, "trace=") {
+		t.Errorf("slow-request record lacks the inlined span tree:\n%s", logged)
+	}
+}
+
+// lockedWriter serializes concurrent slog writes in tests.
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }
 
 // TestMetricsCounters checks the acceptance-level /metrics contract:

@@ -1,12 +1,14 @@
 package sigmap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"nebula/internal/meta"
 	"nebula/internal/textutil"
+	"nebula/internal/trace"
 )
 
 // Generator runs the QueryGeneration() algorithm of Figure 4(a).
@@ -85,8 +87,17 @@ type Stats struct {
 // Generate runs the full pipeline on an annotation body and returns the
 // keyword queries with the run's statistics.
 func (g *Generator) Generate(body string) ([]Query, Stats) {
+	return g.GenerateContext(context.Background(), body)
+}
+
+// GenerateContext is Generate with request-scoped tracing: when ctx carries
+// a trace span, the three phases of Figure 4(a) become child spans with
+// their token/entry/query counters. Tracing is observe-only — the returned
+// queries and stats are identical to Generate's.
+func (g *Generator) GenerateContext(ctx context.Context, body string) ([]Query, Stats) {
 	var stats Stats
 
+	span, _ := trace.StartSpan(ctx, "map")
 	start := time.Now()
 	tokens := textutil.Tokenize(body)
 	stats.Tokens = len(tokens)
@@ -95,12 +106,21 @@ func (g *Generator) Generate(body string) ([]Query, Stats) {
 	stats.ConceptEntries = len(conceptMap)
 	stats.ValueEntries = len(valueMap)
 	stats.MapGeneration = time.Since(start)
+	if span.Enabled() {
+		span.AddInt("tokens", stats.Tokens)
+		span.AddInt("concept_entries", stats.ConceptEntries)
+		span.AddInt("value_entries", stats.ValueEntries)
+		span.End()
+	}
 
+	span, _ = trace.StartSpan(ctx, "adjust_context")
 	start = time.Now()
 	cm := Overlay(tokens, conceptMap, valueMap)
 	g.ContextBasedAdjustment(cm)
 	stats.ContextAdjustment = time.Since(start)
+	span.End()
 
+	span, _ = trace.StartSpan(ctx, "form_queries")
 	start = time.Now()
 	queries := g.ConceptMapToQueries(cm)
 	if g.MaxQueries > 0 && len(queries) > g.MaxQueries {
@@ -112,6 +132,10 @@ func (g *Generator) Generate(body string) ([]Query, Stats) {
 	}
 	stats.QueryGeneration = time.Since(start)
 	stats.Queries = len(queries)
+	if span.Enabled() {
+		span.AddInt("queries", stats.Queries)
+		span.End()
+	}
 	return queries, stats
 }
 

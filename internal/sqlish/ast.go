@@ -37,7 +37,9 @@ type AnnotateStmt struct {
 // sizes the worker pool for this statement (1 = sequential). Zero means no
 // bound / the engine's configured parallelism. CACHE ON/OFF overrides the
 // engine's result caching for this one run; CACHE <bytes> resizes the
-// engine's overall cache budget before the run.
+// engine's overall cache budget before the run. TRACE ON records a
+// request-scoped span tree and appends it to the result (observe-only —
+// candidates are identical either way).
 type DiscoverStmt struct {
 	ID            string
 	TimeoutMillis int64
@@ -47,6 +49,8 @@ type DiscoverStmt struct {
 	Cache string
 	// CacheBytes, when positive, resizes the engine's cache budget.
 	CacheBytes int64
+	// Trace records a span tree for this one run (`TRACE ON`).
+	Trace bool
 }
 
 // ProcessStmt is `PROCESS '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]
@@ -60,6 +64,7 @@ type ProcessStmt struct {
 	Parallel      int
 	Cache         string
 	CacheBytes    int64
+	Trace         bool
 }
 
 // Condition is one `col = value` conjunct of a WHERE clause.

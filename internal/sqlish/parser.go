@@ -129,7 +129,7 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		stmt := &DiscoverStmt{ID: id}
-		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel, &stmt.Cache, &stmt.CacheBytes); err != nil {
+		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel, &stmt.Cache, &stmt.CacheBytes, &stmt.Trace); err != nil {
 			return nil, err
 		}
 		return stmt, nil
@@ -139,7 +139,7 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		stmt := &ProcessStmt{ID: id}
-		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel, &stmt.Cache, &stmt.CacheBytes); err != nil {
+		if err := p.governors(&stmt.TimeoutMillis, &stmt.MaxCandidates, &stmt.Parallel, &stmt.Cache, &stmt.CacheBytes, &stmt.Trace); err != nil {
 			return nil, err
 		}
 		return stmt, nil
@@ -151,9 +151,9 @@ func (p *parser) statement() (Statement, error) {
 }
 
 // governors parses the optional `TIMEOUT <ms>`, `MAX <n>`,
-// `PARALLEL <workers>`, and `CACHE ON|OFF|<bytes>` clauses of
-// DISCOVER/PROCESS, in any order.
-func (p *parser) governors(timeoutMillis *int64, maxCandidates *int, parallel *int, cacheMode *string, cacheBytes *int64) error {
+// `PARALLEL <workers>`, `CACHE ON|OFF|<bytes>`, and `TRACE ON|OFF` clauses
+// of DISCOVER/PROCESS, in any order.
+func (p *parser) governors(timeoutMillis *int64, maxCandidates *int, parallel *int, cacheMode *string, cacheBytes *int64, traced *bool) error {
 	for {
 		switch {
 		case p.acceptWord("TIMEOUT"):
@@ -200,6 +200,15 @@ func (p *parser) governors(timeoutMillis *int64, maxCandidates *int, parallel *i
 				*cacheBytes = n
 			default:
 				return fmt.Errorf("sqlish: expected ON, OFF, or a byte count after CACHE at offset %d", p.peek().pos)
+			}
+		case p.acceptWord("TRACE"):
+			switch {
+			case p.acceptWord("ON"):
+				*traced = true
+			case p.acceptWord("OFF"):
+				*traced = false
+			default:
+				return fmt.Errorf("sqlish: expected ON or OFF after TRACE at offset %d", p.peek().pos)
 			}
 		default:
 			return nil

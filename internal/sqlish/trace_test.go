@@ -1,0 +1,38 @@
+package sqlish
+
+import "testing"
+
+func TestParseTraceGovernor(t *testing.T) {
+	d := parseOK(t, "DISCOVER 'alice' TRACE ON").(*DiscoverStmt)
+	if !d.Trace {
+		t.Fatalf("got %#v", d)
+	}
+	d = parseOK(t, "DISCOVER 'alice' TRACE OFF;").(*DiscoverStmt)
+	if d.Trace {
+		t.Fatalf("got %#v", d)
+	}
+	// TRACE composes with the other governors in any order.
+	d = parseOK(t, "DISCOVER 'alice' TRACE ON CACHE OFF TIMEOUT 250 MAX 10").(*DiscoverStmt)
+	if !d.Trace || d.Cache != "off" || d.TimeoutMillis != 250 || d.MaxCandidates != 10 {
+		t.Fatalf("got %#v", d)
+	}
+	d = parseOK(t, "DISCOVER 'alice' MAX 10 TRACE ON").(*DiscoverStmt)
+	if !d.Trace || d.MaxCandidates != 10 {
+		t.Fatalf("got %#v", d)
+	}
+	p := parseOK(t, "PROCESS 'alice' TRACE ON MAX 5").(*ProcessStmt)
+	if !p.Trace || p.MaxCandidates != 5 {
+		t.Fatalf("got %#v", p)
+	}
+
+	for _, bad := range []string{
+		"DISCOVER 'alice' TRACE",
+		"DISCOVER 'alice' TRACE MAYBE",
+		"DISCOVER 'alice' TRACE 1",
+		"PROCESS 'alice' TRACE",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

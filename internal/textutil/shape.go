@@ -73,6 +73,10 @@ func ClassifyShape(token string) Shape {
 }
 
 func hasInteriorUpper(token string) bool {
+	// i is a byte offset, but the test is still rune-correct: range yields
+	// whole runes, the first rune always starts at offset 0, and any rune
+	// starting at offset > 0 is interior regardless of how many bytes its
+	// predecessors occupied. "żA" (2-byte ż) correctly reports true.
 	for i, r := range token {
 		if i > 0 && unicode.IsUpper(r) {
 			return true

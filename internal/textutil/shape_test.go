@@ -1,0 +1,52 @@
+package textutil
+
+import "testing"
+
+// The shape classifier iterates with `for _, r := range`, which decodes
+// whole runes — these tests lock in that multibyte letters are counted as
+// letters, not as per-byte ShapeOther noise.
+func TestClassifyShapeMultibyte(t *testing.T) {
+	cases := map[string]Shape{
+		"café":   ShapeWord,       // accented letter is still a letter
+		"Café":   ShapeWord,       // leading capital is not interior
+		"東京":     ShapeWord,       // CJK runes are letters to unicode.IsLetter
+		"naïveB": ShapeIdentifier, // interior capital after a 2-byte rune
+		"γ2":     ShapeIdentifier, // greek letter + digit
+	}
+	for in, want := range cases {
+		if got := ClassifyShape(in); got != want {
+			t.Errorf("ClassifyShape(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// hasInteriorUpper ranges by byte offset; this is rune-correct because the
+// first rune always starts at offset 0. The multibyte cases pin that down:
+// an uppercase rune preceded by a multibyte rune sits at byte offset > 1
+// and must still be seen as interior, while a leading uppercase must not.
+func TestHasInteriorUpperMultibyte(t *testing.T) {
+	cases := map[string]bool{
+		"żA":    true,  // 2-byte ż then interior capital at byte offset 2
+		"éB":    true,  // same with é
+		"Ab":    false, // capital at offset 0 is leading, not interior
+		"Éb":    false, // 2-byte leading capital, still offset 0
+		"ab":    false,
+		"yaaB":  true,
+		"東京A":   true, // capital after two 3-byte runes
+		"ÉCOLI": true, // second capital is interior even when first is too
+	}
+	for in, want := range cases {
+		if got := hasInteriorUpper(in); got != want {
+			t.Errorf("hasInteriorUpper(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLooksLikeIdentifierMultibyte(t *testing.T) {
+	if LooksLikeIdentifier("café") {
+		t.Error("plain accented word misread as identifier")
+	}
+	if !LooksLikeIdentifier("γ2") {
+		t.Error("greek letter-digit mix not recognized as identifier")
+	}
+}

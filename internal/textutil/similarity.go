@@ -65,14 +65,18 @@ func LevenshteinSimilarity(a, b string) float64 {
 // samples, where prefixes are highly informative (identifier families share
 // prefixes: "JW0013" vs "JW0014").
 func JaroWinkler(a, b string) float64 {
-	j := jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	j := jaro(ra, rb)
 	if j == 0 {
 		return 0
 	}
 	// Common-prefix bonus, capped at 4 characters, scaling factor 0.1.
+	// The prefix is counted in runes, matching jaro: comparing bytes here
+	// would truncate the bonus mid-rune on multibyte text ("héllo" vs
+	// "héllp" shares a 3-rune prefix, not 0xC3-then-mismatch).
 	prefix := 0
-	for i := 0; i < len(a) && i < len(b) && i < 4; i++ {
-		if a[i] != b[i] {
+	for i := 0; i < len(ra) && i < len(rb) && i < 4; i++ {
+		if ra[i] != rb[i] {
 			break
 		}
 		prefix++
@@ -80,8 +84,7 @@ func JaroWinkler(a, b string) float64 {
 	return j + float64(prefix)*0.1*(1-j)
 }
 
-func jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+func jaro(ra, rb []rune) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -143,7 +146,9 @@ func jaro(a, b string) float64 {
 
 // TrigramJaccard returns the Jaccard similarity of the character trigram
 // sets of a and b, in [0,1]. Strings shorter than 3 runes fall back to exact
-// comparison.
+// comparison. The trigram path is rune-correct: trigrams converts to []rune
+// before windowing, so a 3-rune CJK string produces one trigram rather than
+// the seven byte-windows its UTF-8 encoding would.
 func TrigramJaccard(a, b string) float64 {
 	ta := trigrams(strings.ToLower(a))
 	tb := trigrams(strings.ToLower(b))

@@ -75,6 +75,40 @@ func TestJaroWinkler(t *testing.T) {
 	}
 }
 
+func TestJaroWinklerMultibyte(t *testing.T) {
+	const eps = 1e-9
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		// 4 rune matches of 5, no transpositions, 4-rune prefix:
+		// jaro = 13/15, jw = 13/15 + 4*0.1*(2/15).
+		{"héllo", "héllp", 13.0/15 + 0.4*(2.0/15)},
+		// Regression for the byte-indexed prefix loop: "éé" is 4 bytes, so
+		// the old code counted a 4-byte prefix and paid a 0.4 bonus; the
+		// correct rune prefix is 2. jaro = 2/3, jw = 2/3 + 2*0.1*(1/3).
+		{"ééab", "éécd", 2.0/3 + 0.2*(1.0/3)},
+		// CJK: 2 rune matches of 3, 2-rune prefix:
+		// jaro = 7/9, jw = 7/9 + 2*0.1*(2/9).
+		{"東京都", "東京市", 7.0/9 + 0.2*(2.0/9)},
+		{"café", "café", 1},
+	}
+	for _, c := range cases {
+		got := JaroWinkler(c.a, c.b)
+		if diff := got - c.want; diff > eps || diff < -eps {
+			t.Errorf("JaroWinkler(%q,%q) = %.9f, want %.9f", c.a, c.b, got, c.want)
+		}
+		if sym := JaroWinkler(c.b, c.a); sym != got {
+			t.Errorf("JaroWinkler(%q,%q) = %.9f but reversed = %.9f", c.a, c.b, got, sym)
+		}
+	}
+	// The multibyte score must equal the score of a rune-for-rune ASCII
+	// transliteration — the measure sees characters, not encodings.
+	if multi, ascii := JaroWinkler("héllo", "héllp"), JaroWinkler("hxllo", "hxllp"); multi != ascii {
+		t.Errorf("multibyte %f != ascii transliteration %f", multi, ascii)
+	}
+}
+
 func TestJaroWinklerRangeAndSymmetry(t *testing.T) {
 	f := func(a, b string) bool {
 		s := JaroWinkler(a, b)
@@ -101,6 +135,29 @@ func TestTrigramJaccard(t *testing.T) {
 	mid := TrigramJaccard("proteins", "protein")
 	if mid <= 0.5 || mid >= 1 {
 		t.Errorf("near match = %f, want in (0.5,1)", mid)
+	}
+}
+
+func TestTrigramJaccardMultibyte(t *testing.T) {
+	// 3 CJK runes form exactly one trigram (9 bytes would form seven
+	// byte-windows); 4 runes form two.
+	if s := TrigramJaccard("東京都", "東京都"); s != 1 {
+		t.Errorf("identical CJK = %f, want 1", s)
+	}
+	// {東京都} vs {東京都, 京都庁}: intersection 1, union 2.
+	if s := TrigramJaccard("東京都", "東京都庁"); s != 0.5 {
+		t.Errorf("CJK prefix overlap = %f, want 0.5", s)
+	}
+	// 2 runes is below the trigram floor even though it is 6 bytes: the
+	// exact-comparison fallback applies.
+	if s := TrigramJaccard("東京", "東京"); s != 1 {
+		t.Errorf("short CJK equal = %f, want 1", s)
+	}
+	if s := TrigramJaccard("東京", "大阪"); s != 0 {
+		t.Errorf("short CJK different = %f, want 0", s)
+	}
+	if a, b := TrigramJaccard("café au lait", "cafe au lait"), TrigramJaccard("cafe au lait", "café au lait"); a != b {
+		t.Errorf("asymmetric: %f != %f", a, b)
 	}
 }
 

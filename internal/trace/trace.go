@@ -1,0 +1,257 @@
+// Package trace is Nebula's request-scoped span tree: a zero-dependency
+// attribution layer that records where one discovery request spends its
+// time (parse → map → generate → execute → rank → verify) and what each
+// stage cost (tuples scanned, cache hits, queries planned).
+//
+// Design constraints, in order:
+//
+//  1. Observe-only. A span records; it never influences control flow, so
+//     results with tracing on are byte-identical to tracing off.
+//  2. Free when off. Every Span method is a nil-receiver no-op, and
+//     StartSpan on a context with no tracer returns (nil, ctx) unchanged —
+//     the disabled hot path performs zero allocations.
+//  3. Bounded. Depth and per-span child count are capped; overflow is
+//     counted (DroppedChildren), never grown, so a pathological request
+//     cannot turn its own trace into a memory problem.
+//
+// Timings use the monotonic clock carried by time.Time; snapshots report
+// offsets from the root span's start, so a tree is self-consistent even
+// when the wall clock steps.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Bounds on the tree. MaxDepth counts the root as depth 1; a span at
+// MaxDepth refuses children. MaxChildren bounds each span's direct
+// children; further StartChild calls return nil and are counted.
+const (
+	MaxDepth    = 8
+	MaxChildren = 64
+)
+
+// Span is one timed node of the tree. All methods are safe on a nil
+// receiver (the disabled-tracing case) and safe for concurrent use —
+// parallel workers may add children or counters to a shared parent.
+type Span struct {
+	name  string
+	start time.Time
+	depth int
+
+	mu       sync.Mutex
+	end      time.Time
+	counters map[string]int64
+	children []*Span
+	dropped  int
+}
+
+// New starts a root span. The caller owns it: End it when the request
+// finishes, then Snapshot it for serialization.
+func New(name string) *Span {
+	return &Span{name: name, start: time.Now(), depth: 1}
+}
+
+// StartChild starts a child span. On a nil receiver, at MaxDepth, or when
+// the receiver already has MaxChildren children it returns nil (a no-op
+// span); dropped children are counted in the parent's snapshot.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.depth >= MaxDepth {
+		s.mu.Lock()
+		s.dropped++
+		s.mu.Unlock()
+		return nil
+	}
+	child := &Span{name: name, start: time.Now(), depth: s.depth + 1}
+	s.mu.Lock()
+	if len(s.children) >= MaxChildren {
+		s.dropped++
+		s.mu.Unlock()
+		return nil
+	}
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End stops the span's clock. Idempotent; a span never Ended is closed at
+// snapshot time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Add accumulates a named counter on the span (tuples_scanned,
+// cache_hits, …). No-op on nil.
+func (s *Span) Add(counter string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[counter] += n
+	s.mu.Unlock()
+}
+
+// AddInt is Add for the int-typed stats counters the pipeline produces.
+func (s *Span) AddInt(counter string, n int) { s.Add(counter, int64(n)) }
+
+// Enabled reports whether the span records anything — the guard callers
+// use before doing work (string formatting, stats copies) that only
+// matters when tracing is on.
+func (s *Span) Enabled() bool { return s != nil }
+
+// ctxKey carries the current span through a context.
+type ctxKey struct{}
+
+// WithSpan returns a context carrying s as the current span. Passing a
+// nil span returns ctx unchanged, keeping the disabled path free.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the current span, or nil when the request is not
+// being traced. The nil result is itself a usable no-op span.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's current span and returns it
+// together with a context carrying the child. When the context has no
+// tracer it returns (nil, ctx) unchanged — zero allocations, the
+// contract the disabled hot path depends on.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	child := parent.StartChild(name)
+	if child == nil {
+		return nil, ctx
+	}
+	return child, WithSpan(ctx, child)
+}
+
+// Node is the serializable snapshot of one span: offsets are nanoseconds
+// from the root span's start, durations are monotonic-clock intervals.
+type Node struct {
+	Name            string           `json:"name"`
+	StartNS         int64            `json:"start_ns"`
+	DurationNS      int64            `json:"duration_ns"`
+	Counters        map[string]int64 `json:"counters,omitempty"`
+	DroppedChildren int              `json:"dropped_children,omitempty"`
+	Children        []*Node          `json:"children,omitempty"`
+}
+
+// Snapshot converts the span tree into its serializable form. Call it
+// after End; a still-open span (or child) is closed at the snapshot
+// instant. Nil receiver yields nil.
+func (s *Span) Snapshot() *Node {
+	if s == nil {
+		return nil
+	}
+	return s.snapshot(s.start, time.Now())
+}
+
+func (s *Span) snapshot(rootStart, now time.Time) *Node {
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	n := &Node{
+		Name:            s.name,
+		StartNS:         s.start.Sub(rootStart).Nanoseconds(),
+		DurationNS:      end.Sub(s.start).Nanoseconds(),
+		DroppedChildren: s.dropped,
+	}
+	if len(s.counters) > 0 {
+		n.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			n.Counters[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.snapshot(rootStart, now))
+	}
+	return n
+}
+
+// Render writes the tree as an indented text outline — the form the CLI's
+// --trace flag and the server's slow-request log print:
+//
+//	discover                        12.3ms
+//	  generate                       1.1ms  queries=9 tokens=57
+//	  execute                       10.8ms  tuples_scanned=4211
+func (n *Node) Render(w io.Writer) {
+	n.render(w, 0)
+}
+
+func (n *Node) render(w io.Writer, indent int) {
+	if n == nil {
+		return
+	}
+	fmt.Fprintf(w, "%s%-*s %9s", strings.Repeat("  ", indent),
+		32-2*indent, n.Name, time.Duration(n.DurationNS).Round(time.Microsecond))
+	keys := make([]string, 0, len(n.Counters))
+	for k := range n.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %s=%d", k, n.Counters[k])
+	}
+	if n.DroppedChildren > 0 {
+		fmt.Fprintf(w, "  dropped_children=%d", n.DroppedChildren)
+	}
+	fmt.Fprintln(w)
+	for _, c := range n.Children {
+		c.render(w, indent+1)
+	}
+}
+
+// String renders the tree to a string (convenience for logs).
+func (n *Node) String() string {
+	if n == nil {
+		return ""
+	}
+	var b strings.Builder
+	n.Render(&b)
+	return b.String()
+}
+
+// SpanCount returns the number of nodes in the tree (the bench harness
+// reports it as a size sanity check).
+func (n *Node) SpanCount() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.SpanCount()
+	}
+	return total
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.End()
+	s.Add("x", 1)
+	s.AddInt("y", 2)
+	if s.Enabled() {
+		t.Fatal("nil span reported Enabled")
+	}
+	if c := s.StartChild("child"); c != nil {
+		t.Fatalf("nil span produced child %v", c)
+	}
+	if n := s.Snapshot(); n != nil {
+		t.Fatalf("nil span produced snapshot %v", n)
+	}
+}
+
+func TestSpanTreeBasics(t *testing.T) {
+	root := New("root")
+	gen := root.StartChild("generate")
+	gen.Add("queries", 9)
+	gen.Add("queries", 3)
+	gen.End()
+	exec := root.StartChild("execute")
+	exec.AddInt("tuples_scanned", 42)
+	exec.End()
+	root.End()
+
+	n := root.Snapshot()
+	if n == nil || n.Name != "root" {
+		t.Fatalf("bad root snapshot: %+v", n)
+	}
+	if len(n.Children) != 2 {
+		t.Fatalf("want 2 children, got %d", len(n.Children))
+	}
+	if got := n.Children[0].Counters["queries"]; got != 12 {
+		t.Fatalf("queries counter = %d, want 12", got)
+	}
+	if got := n.Children[1].Counters["tuples_scanned"]; got != 42 {
+		t.Fatalf("tuples_scanned = %d, want 42", got)
+	}
+	for _, c := range n.Children {
+		if c.DurationNS < 0 {
+			t.Fatalf("negative duration in %q", c.Name)
+		}
+		if c.StartNS < 0 {
+			t.Fatalf("child %q starts before root", c.Name)
+		}
+	}
+	if n.SpanCount() != 3 {
+		t.Fatalf("SpanCount = %d, want 3", n.SpanCount())
+	}
+}
+
+func TestSnapshotClosesOpenSpans(t *testing.T) {
+	root := New("root")
+	root.StartChild("never-ended")
+	n := root.Snapshot() // neither root nor child was Ended
+	if n.DurationNS < 0 || n.Children[0].DurationNS < 0 {
+		t.Fatalf("open spans snapshotted with negative durations: %+v", n)
+	}
+}
+
+func TestChildLimit(t *testing.T) {
+	root := New("root")
+	for i := 0; i < MaxChildren; i++ {
+		if c := root.StartChild("c"); c == nil {
+			t.Fatalf("child %d unexpectedly dropped", i)
+		}
+	}
+	if c := root.StartChild("overflow"); c != nil {
+		t.Fatal("child beyond MaxChildren was not dropped")
+	}
+	n := root.Snapshot()
+	if len(n.Children) != MaxChildren {
+		t.Fatalf("children = %d, want %d", len(n.Children), MaxChildren)
+	}
+	if n.DroppedChildren != 1 {
+		t.Fatalf("DroppedChildren = %d, want 1", n.DroppedChildren)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	s := New("d1")
+	for d := 2; d <= MaxDepth; d++ {
+		next := s.StartChild("deeper")
+		if next == nil {
+			t.Fatalf("span at depth %d unexpectedly dropped", d)
+		}
+		s = next
+	}
+	if c := s.StartChild("too-deep"); c != nil {
+		t.Fatal("span beyond MaxDepth was not dropped")
+	}
+	if n := s.Snapshot(); n.DroppedChildren != 1 {
+		t.Fatalf("DroppedChildren = %d, want 1", n.DroppedChildren)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext on empty ctx = %v", got)
+	}
+	// StartSpan without a tracer must hand back the same context.
+	sp, ctx2 := StartSpan(ctx, "noop")
+	if sp != nil || ctx2 != ctx {
+		t.Fatalf("disabled StartSpan allocated: span=%v ctx-changed=%v", sp, ctx2 != ctx)
+	}
+	// WithSpan(nil) is also identity.
+	if got := WithSpan(ctx, nil); got != ctx {
+		t.Fatal("WithSpan(ctx, nil) changed the context")
+	}
+
+	root := New("root")
+	ctx = WithSpan(ctx, root)
+	if FromContext(ctx) != root {
+		t.Fatal("FromContext did not return the installed span")
+	}
+	child, cctx := StartSpan(ctx, "stage")
+	if child == nil || FromContext(cctx) != child {
+		t.Fatal("StartSpan did not install the child span")
+	}
+	child.End()
+	root.End()
+	if got := len(root.Snapshot().Children); got != 1 {
+		t.Fatalf("root has %d children, want 1", got)
+	}
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		sp, c := StartSpan(ctx, "hot")
+		sp.AddInt("tuples_scanned", 7)
+		sp.End()
+		_ = c
+		FromContext(ctx).Add("more", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestConcurrentChildrenAndCounters(t *testing.T) {
+	root := New("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				c := root.StartChild("worker")
+				c.Add("n", 1)
+				root.Add("total", 1)
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	n := root.Snapshot()
+	if got := n.Counters["total"]; got != 32 {
+		t.Fatalf("total = %d, want 32", got)
+	}
+	if len(n.Children) != 32 {
+		t.Fatalf("children = %d, want 32", len(n.Children))
+	}
+}
+
+func TestRenderAndJSON(t *testing.T) {
+	root := New("discover")
+	g := root.StartChild("generate")
+	g.Add("queries", 4)
+	g.End()
+	root.End()
+	n := root.Snapshot()
+
+	out := n.String()
+	if !strings.Contains(out, "discover") || !strings.Contains(out, "generate") {
+		t.Fatalf("render missing span names:\n%s", out)
+	}
+	if !strings.Contains(out, "queries=4") {
+		t.Fatalf("render missing counters:\n%s", out)
+	}
+	if !strings.HasPrefix(strings.Split(out, "\n")[1], "  ") {
+		t.Fatalf("child not indented:\n%s", out)
+	}
+
+	blob, err := json.Marshal(n)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Node
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Name != "discover" || len(back.Children) != 1 || back.Children[0].Counters["queries"] != 4 {
+		t.Fatalf("JSON round trip mangled tree: %+v", back)
+	}
+	// Empty maps must be omitted, not serialized as {}.
+	if strings.Contains(string(blob), `"counters":{}`) {
+		t.Fatalf("empty counters serialized: %s", blob)
+	}
+	var nilNode *Node
+	if nilNode.String() != "" || nilNode.SpanCount() != 0 {
+		t.Fatal("nil Node helpers not safe")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"nebula/internal/meta"
 	"nebula/internal/relational"
 	"nebula/internal/sigmap"
+	"nebula/internal/trace"
 	"nebula/internal/verification"
 )
 
@@ -154,6 +155,9 @@ type (
 	Candidate = discovery.Candidate
 	// DiscoveryStats reports Stage 2 cost counters.
 	DiscoveryStats = discovery.Stats
+	// TraceNode is one node of a request-scoped trace tree (see
+	// Options.Trace); Discovery.Trace is its root.
+	TraceNode = trace.Node
 	// SpamError is the concrete ErrSpamAnnotation error, carrying the
 	// candidate and database counts quarantine tooling needs.
 	SpamError = discovery.SpamError

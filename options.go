@@ -73,6 +73,9 @@ type RequestOptions struct {
 	// caching for a request when the engine has caches built (it cannot
 	// conjure caches on an engine configured with caching disabled).
 	Cache string `json:"cache,omitempty"`
+	// Trace attaches a request-scoped span tree to this run (see
+	// Options.Trace). Observe-only: results are byte-identical either way.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Enabled reports whether the request overrides anything.
@@ -125,6 +128,9 @@ func (r RequestOptions) apply(base Options) Options {
 		base.Cache.Disabled = false
 	case "off":
 		base.Cache.Disabled = true
+	}
+	if r.Trace {
+		base.Trace = true
 	}
 	return base
 }
@@ -261,6 +267,12 @@ type Options struct {
 	// The zero value enables them with the default budget; caching never
 	// changes results — only whether work is redone.
 	Cache CacheConfig
+	// Trace attaches a request-scoped span tree (internal/trace) to every
+	// discovery/process run: per-stage monotonic timings and cost counters,
+	// returned on Discovery.Trace. Observe-only — results are byte-identical
+	// with tracing on or off, and when off the pipeline pays zero
+	// allocations for the instrumentation points.
+	Trace bool
 }
 
 // Search technique names for Options.SearchTechnique.

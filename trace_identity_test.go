@@ -1,0 +1,163 @@
+package nebula_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nebula"
+	"nebula/internal/workload"
+)
+
+// Tracing is observe-only: a traced run must produce byte-identical
+// results to an untraced run of the same request. These tests run under
+// `make check` (they match the Trace name filter) alongside the
+// determinism suite.
+
+// traceEngine builds a fresh engine over a freshly generated deterministic
+// dataset with result caching disabled, so traced and untraced runs both
+// execute the full pipeline.
+func traceEngine(t testing.TB) (*nebula.Engine, []*workload.AnnotationSpec) {
+	t.Helper()
+	ds, err := workload.Generate(workload.TinyConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nebula.DefaultOptions()
+	opts.Bounds = nebula.Bounds{Lower: 0.2, Upper: 0.8}
+	opts.Cache.Disabled = true
+	e, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := ds.Workload[:6]
+	for _, spec := range specs {
+		if err := e.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, specs
+}
+
+// renderTracedRun folds everything a client can observe — except the trace
+// itself — into one canonical string.
+func renderTracedRun(d *nebula.Discovery, outcome nebula.VerificationOutcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries=%d degraded=%v\n", len(d.Queries), d.Degraded())
+	fmt.Fprintf(&b, "stats searched=%d sq=%d shared=%d scanned=%d cands=%d\n",
+		d.ExecStats.SearchedDB, d.ExecStats.Exec.StructuredQueries,
+		d.ExecStats.Exec.SharedQueries, d.ExecStats.Exec.TuplesScanned,
+		d.ExecStats.Candidates)
+	for _, c := range d.Candidates {
+		fmt.Fprintf(&b, "cand %v conf=%.9f ev=%v\n", c.Tuple.ID, c.Confidence, c.Evidence)
+	}
+	for _, a := range outcome.Accepted {
+		fmt.Fprintf(&b, "accepted %v v%d\n", a.Tuple, a.VID)
+	}
+	for _, p := range outcome.Pending {
+		fmt.Fprintf(&b, "pending %v v%d\n", p.Tuple, p.VID)
+	}
+	for _, r := range outcome.Rejected {
+		fmt.Fprintf(&b, "rejected %v v%d\n", r.Tuple, r.VID)
+	}
+	return b.String()
+}
+
+// TestTraceByteIdentityDiscover runs the same discoveries on two identical
+// engines — one untraced, one traced — and requires byte-identical
+// observable output, plus a well-formed span tree on the traced side only.
+func TestTraceByteIdentityDiscover(t *testing.T) {
+	plain, specs := traceEngine(t)
+	traced, _ := traceEngine(t)
+	ctx := context.Background()
+	for _, spec := range specs {
+		dp, err := plain.DiscoverRequest(ctx, spec.Ann.ID, nebula.RequestOptions{})
+		if err != nil {
+			t.Fatalf("untraced discover %s: %v", spec.Ann.ID, err)
+		}
+		dt, err := traced.DiscoverRequest(ctx, spec.Ann.ID, nebula.RequestOptions{Trace: true})
+		if err != nil {
+			t.Fatalf("traced discover %s: %v", spec.Ann.ID, err)
+		}
+		if dp.Trace != nil {
+			t.Errorf("%s: untraced run carries a trace", spec.Ann.ID)
+		}
+		if dt.Trace == nil {
+			t.Fatalf("%s: traced run has no trace", spec.Ann.ID)
+		}
+		if dt.Trace.Name != "discover" || dt.Trace.SpanCount() < 2 {
+			t.Errorf("%s: trace root %q with %d spans, want a discover tree",
+				spec.Ann.ID, dt.Trace.Name, dt.Trace.SpanCount())
+		}
+		a := renderTracedRun(dp, nebula.VerificationOutcome{})
+		b := renderTracedRun(dt, nebula.VerificationOutcome{})
+		if a != b {
+			t.Errorf("%s: traced output diverged\n--- untraced\n%s--- traced\n%s", spec.Ann.ID, a, b)
+		}
+	}
+}
+
+// TestTraceByteIdentityProcess checks the stronger property for the full
+// mutating pipeline: verification routing, VID assignment, and the pending
+// queue are identical with tracing on and off.
+func TestTraceByteIdentityProcess(t *testing.T) {
+	plain, specs := traceEngine(t)
+	traced, _ := traceEngine(t)
+	ctx := context.Background()
+	for _, spec := range specs {
+		dp, op, err := plain.ProcessRequest(ctx, spec.Ann.ID, nebula.RequestOptions{})
+		if err != nil {
+			t.Fatalf("untraced process %s: %v", spec.Ann.ID, err)
+		}
+		dt, ot, err := traced.ProcessRequest(ctx, spec.Ann.ID, nebula.RequestOptions{Trace: true})
+		if err != nil {
+			t.Fatalf("traced process %s: %v", spec.Ann.ID, err)
+		}
+		if dt.Trace == nil || dt.Trace.Name != "process" {
+			t.Fatalf("%s: traced process has no process-rooted trace", spec.Ann.ID)
+		}
+		a := renderTracedRun(dp, op)
+		b := renderTracedRun(dt, ot)
+		if a != b {
+			t.Errorf("%s: traced process output diverged\n--- untraced\n%s--- traced\n%s", spec.Ann.ID, a, b)
+		}
+	}
+	var pp, pt strings.Builder
+	for _, task := range plain.PendingTasks() {
+		fmt.Fprintf(&pp, "v%d %s %v %.9f\n", task.VID, task.Annotation, task.Tuple, task.Confidence)
+	}
+	for _, task := range traced.PendingTasks() {
+		fmt.Fprintf(&pt, "v%d %s %v %.9f\n", task.VID, task.Annotation, task.Tuple, task.Confidence)
+	}
+	if pp.String() != pt.String() {
+		t.Errorf("pending queues diverged\n--- untraced\n%s--- traced\n%s", pp.String(), pt.String())
+	}
+}
+
+// BenchmarkDiscoveryTraceOff measures the discovery hot path with tracing
+// disabled — the instrumentation must add zero allocations here (the
+// per-callsite guarantee is asserted in internal/trace's zero-alloc test;
+// run with -benchmem to compare against BenchmarkDiscoveryTraceOn).
+func BenchmarkDiscoveryTraceOff(b *testing.B) {
+	benchmarkDiscoveryTrace(b, false)
+}
+
+// BenchmarkDiscoveryTraceOn measures the same discovery with a span tree
+// recorded, bounding the observe-only overhead.
+func BenchmarkDiscoveryTraceOn(b *testing.B) {
+	benchmarkDiscoveryTrace(b, true)
+}
+
+func benchmarkDiscoveryTrace(b *testing.B, traced bool) {
+	e, specs := traceEngine(b)
+	ctx := context.Background()
+	req := nebula.RequestOptions{Trace: traced}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.DiscoverRequest(ctx, specs[i%len(specs)].Ann.ID, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

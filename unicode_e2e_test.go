@@ -1,0 +1,146 @@
+package nebula_test
+
+import (
+	"log"
+	"testing"
+
+	"nebula"
+)
+
+// unicodeEngine builds a Figure-1-style gene table whose names are
+// multibyte (accented Latin and CJK), with the Name column matched through
+// value samples — the path that runs Jaro–Winkler over UTF-8 text.
+func unicodeEngine(t *testing.T) *nebula.Engine {
+	t.Helper()
+	db := nebula.NewDatabase()
+	gt, err := db.CreateTable(&nebula.Schema{
+		Name: "Gene",
+		Columns: []nebula.Column{
+			{Name: "GID", Type: nebula.TypeString, Indexed: true},
+			{Name: "Name", Type: nebula.TypeString, Indexed: true},
+			{Name: "Family", Type: nebula.TypeString},
+		},
+		PrimaryKey: "GID",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"éclaA", "地図B", "yaaB"}
+	for i, g := range [][]nebula.Value{
+		{nebula.String("JW0013"), nebula.String(names[0]), nebula.String("F1")},
+		{nebula.String("JW0014"), nebula.String(names[1]), nebula.String("F6")},
+		{nebula.String("JW0019"), nebula.String(names[2]), nebula.String("F3")},
+	} {
+		if _, err := gt.Insert(g); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	repo := nebula.NewMetaRepository(db, nil)
+	if err := repo.AddConcept(&nebula.Concept{
+		Name: "Gene", Table: "Gene", ReferencedBy: [][]string{{"GID"}, {"Name"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.SetPattern(nebula.ColumnRef{Table: "Gene", Column: "GID"}, `JW[0-9]{4}`); err != nil {
+		t.Fatal(err)
+	}
+	// No pattern for Name: the mapper must fall back to sample similarity,
+	// which runs the rune-based Jaro–Winkler over the multibyte names.
+	repo.SetSample(nebula.ColumnRef{Table: "Gene", Column: "Name"}, names)
+	e, err := nebula.New(db, repo, nebula.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}
+
+// TestUnicodeDiscovery walks a multibyte annotation through the whole
+// pipeline: CJK and accented tokens must map to value queries and recover
+// the referenced tuples, exactly like their ASCII counterparts in the
+// paper's running example.
+func TestUnicodeDiscovery(t *testing.T) {
+	e := unicodeEngine(t)
+	gt := e.DB().MustTable("Gene")
+	yaaB, _ := gt.GetByPK(nebula.String("JW0019"))
+
+	// Like the paper's running example, a concept token ("gene") anchors
+	// the value keywords around it; the values themselves are multibyte.
+	err := e.AddAnnotation(&nebula.Annotation{
+		ID:   "ユキ",
+		Body: "実験の結果 この gene は éclaA と 地図B に相関あり",
+	}, []nebula.TupleID{yaaB.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := e.Discover("ユキ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc.Queries) == 0 {
+		t.Fatal("no keyword queries generated from the multibyte body")
+	}
+	found := map[string]bool{}
+	for _, c := range disc.Candidates {
+		found[c.Tuple.MustGet("GID").Str()] = true
+	}
+	for _, want := range []string{"JW0013", "JW0014"} {
+		if !found[want] {
+			t.Errorf("multibyte discovery missed %s (candidates %v)", want, found)
+		}
+	}
+}
+
+// TestUnicodeCacheKeying checks the discovery-cache key on multibyte
+// bodies: whitespace normalization must be rune-correct (two bodies
+// differing only in interior spacing share one cached answer) while an
+// ASCII transliteration — a one-rune difference — must miss.
+func TestUnicodeCacheKeying(t *testing.T) {
+	e := unicodeEngine(t)
+	gt := e.DB().MustTable("Gene")
+	yaaB, _ := gt.GetByPK(nebula.String("JW0019"))
+
+	add := func(id, body string) {
+		t.Helper()
+		if err := e.AddAnnotation(&nebula.Annotation{ID: nebula.AnnotationID(id), Body: body},
+			[]nebula.TupleID{yaaB.ID}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	discover := func(id string) *nebula.Discovery {
+		t.Helper()
+		d, err := e.Discover(nebula.AnnotationID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	add("u1", "éclaA  関連")  // double interior space
+	add("u2", "éclaA 関連")   // single space — same normalized key
+	add("u3", "eclaA 関連")   // ASCII e — one rune differs, different key
+
+	before := e.CacheStats().Discovery
+	d1 := discover("u1")
+	afterCold := e.CacheStats().Discovery
+	if afterCold.Hits != before.Hits {
+		t.Fatalf("cold discover hit the cache (hits %d -> %d)", before.Hits, afterCold.Hits)
+	}
+
+	d2 := discover("u2")
+	afterWarm := e.CacheStats().Discovery
+	if afterWarm.Hits != afterCold.Hits+1 {
+		t.Errorf("whitespace-normalized multibyte body missed the cache (hits %d -> %d)",
+			afterCold.Hits, afterWarm.Hits)
+	}
+	if len(d1.Candidates) != len(d2.Candidates) {
+		t.Errorf("cached answer diverged: %d vs %d candidates", len(d1.Candidates), len(d2.Candidates))
+	}
+
+	discover("u3")
+	afterMiss := e.CacheStats().Discovery
+	if afterMiss.Hits != afterWarm.Hits {
+		t.Errorf("transliterated body (cafe vs café class of bug) wrongly hit the cache (hits %d -> %d)",
+			afterWarm.Hits, afterMiss.Hits)
+	}
+}
