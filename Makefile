@@ -3,20 +3,23 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-parallel bench-server bench-cache bench-trace run-server experiments examples fmt vet check clean
+.PHONY: all build test race cover bench bench-parallel bench-server bench-cache bench-trace bench-wal run-server experiments examples fmt vet check clean
 
 all: build test
 
 # Full pre-merge gate: static checks, build, race-enabled tests, the
-# fault-injection / governance smoke suite, the fuzz seed corpora, and the
-# parallel-determinism + trace byte-identity suites.
+# fault-injection / governance smoke suite, the fuzz seed corpora, the
+# parallel-determinism + trace byte-identity suites, and the WAL
+# crash-recovery matrix (cut the log at every boundary and interior byte;
+# the recovered engine must match the durable prefix exactly).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'Fault|Inject|Governor|Deadline|Cancel|Budget|Degraded|Retry|Panic|Truncat|BitFlip|SaveFile' ./internal/faultinject/ ./internal/snapshot/ .
-	$(GO) test -run Fuzz ./internal/sqlish/ ./internal/snapshot/
+	$(GO) test -run Fuzz ./internal/sqlish/ ./internal/snapshot/ ./internal/wal/
 	$(GO) test -run 'Determinis|Cache|Trace|Unicode' ./internal/cache/ ./internal/keyword/ ./internal/relational/ ./internal/trace/ .
+	$(GO) test -race -run 'WAL' ./internal/wal/ .
 
 build:
 	$(GO) build ./...
@@ -56,6 +59,13 @@ bench-cache:
 # percentage, the span count, and the byte-identity check.
 bench-trace:
 	$(GO) run ./cmd/nebulactl bench-trace --size small --seed 42 --rounds 3 --out BENCH_trace.json
+
+# Measure WAL mutation overhead: the same concurrent annotation-insert
+# workload with no WAL, log-only, group commit, and fsync-per-append; the
+# JSON artifact records per-op cost, overhead vs baseline, and the sync
+# absorption that makes group commit cheaper than fsync-per-append.
+bench-wal:
+	$(GO) run ./cmd/nebulactl bench-wal --size tiny --seed 42 --writers 4 --mutations 400 --out BENCH_wal.json
 
 # Serving smoke test: boot nebulad on an ephemeral port, hit /healthz, run
 # one discovery round trip, SIGTERM it, and verify the drain snapshot

@@ -11,6 +11,9 @@
 //	nebulactl discover   --size tiny --index 3 --delta 1 [--epsilon 0.6] [--spread K]
 //	                     [--timeout 50ms] [--max-candidates N] [--max-queries N]
 //	                     [--parallelism N] [--cache on|off|bytes]
+//	nebulactl wal-info   --wal DIR [--json]
+//	nebulactl checkpoint --wal DIR --snapshot FILE [--size tiny] [--seed 42]
+//	nebulactl bench-wal  --size tiny --writers 4 --mutations 400 --out BENCH_wal.json
 //	nebulactl bench-parallel --size large --workers 2,4,8 --rounds 3 --out BENCH_parallel.json
 //	nebulactl bench-server --size tiny --levels 4,32 --requests 200 --out BENCH_server.json
 //	nebulactl bench-cache --sizes small,mid --rounds 3 --out BENCH_cache.json
@@ -53,6 +56,12 @@ func main() {
 		err = cmdLearn(os.Args[2:])
 	case "snapshot":
 		err = cmdSnapshot(os.Args[2:])
+	case "wal-info":
+		err = cmdWALInfo(os.Args[2:])
+	case "checkpoint":
+		err = cmdCheckpoint(os.Args[2:])
+	case "bench-wal":
+		err = cmdBenchWAL(os.Args[2:])
 	case "bench-parallel":
 		err = cmdBenchParallel(os.Args[2:])
 	case "bench-server":
@@ -86,6 +95,12 @@ commands:
   sql         interactive extended-SQL shell over a generated dataset
   learn       mine ConceptRefs proposals from the existing annotations
   snapshot    save a dataset's engine state to disk and verify the round trip
+  wal-info    inspect a write-ahead log directory: segments, records, torn tails
+  checkpoint  fold a WAL's durable history into a snapshot offline and
+              truncate the log (run only while no daemon holds the log)
+  bench-wal   measure mutation overhead per durability mode (no WAL,
+              log-only, group commit, fsync-per-append) under concurrent
+              writers
   bench-parallel
               measure sequential vs parallel keyword-batch execution and
               record the comparison (including byte-identity of results)

@@ -13,8 +13,17 @@
 //	nebulad [--host 127.0.0.1] [--port 8080] [--size tiny] [--seed 42]
 //	        [--parallelism N] [--cache on|off|bytes] [--max-inflight N]
 //	        [--queue-depth N] [--max-per-conn N] [--request-timeout D]
-//	        [--drain-timeout D] [--snapshot FILE] [--slow-request D]
+//	        [--drain-timeout D] [--snapshot FILE] [--wal DIR]
+//	        [--wal-sync group|always|none] [--slow-request D]
 //	        [--debug-addr HOST:PORT] [--smoke]
+//
+// --wal DIR arms crash durability: every mutation is appended to a
+// CRC-framed write-ahead log and fsynced (group commit by default) before
+// the client sees success. On boot the daemon restores the snapshot (if
+// any), replays the log's durable suffix — discarding a torn tail from a
+// crash mid-append — and, when --snapshot is also set, immediately
+// checkpoints so the replayed history is folded and the log truncated.
+// The drain snapshot likewise becomes a checkpoint.
 //
 // --slow-request D arms the structured slow-request log: any request at or
 // over D is logged at Warn with its request-scoped span tree. --debug-addr
@@ -51,6 +60,7 @@ import (
 	"nebula/internal/bench"
 	"nebula/internal/flagcheck"
 	"nebula/internal/server"
+	"nebula/internal/wal"
 	"nebula/internal/workload"
 )
 
@@ -74,9 +84,25 @@ type daemonConfig struct {
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
 	snapshotPath   string
+	walDir         string
+	walSync        string
 	slowRequest    time.Duration
 	debugAddr      string
 	smoke          bool
+}
+
+// parseSyncMode maps the --wal-sync flag to a wal.SyncMode.
+func parseSyncMode(s string) (wal.SyncMode, error) {
+	switch s {
+	case "group", "":
+		return wal.SyncGroup, nil
+	case "always":
+		return wal.SyncAlways, nil
+	case "none":
+		return wal.SyncNone, nil
+	default:
+		return 0, fmt.Errorf("--wal-sync: unknown mode %q (want group, always, or none)", s)
+	}
 }
 
 func run(args []string) error {
@@ -94,6 +120,8 @@ func run(args []string) error {
 	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 0, "per-request wall-clock cap (0 = none)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
 	fs.StringVar(&cfg.snapshotPath, "snapshot", "", "snapshot file: restored on boot when present, written on drain")
+	fs.StringVar(&cfg.walDir, "wal", "", "write-ahead log directory: replayed on boot, then every mutation is logged and fsynced before it is acknowledged")
+	fs.StringVar(&cfg.walSync, "wal-sync", "group", "WAL fsync policy: group (batched), always (per append), none (OS flush only)")
 	fs.DurationVar(&cfg.slowRequest, "slow-request", 0, "log requests at or over this duration at Warn with their span tree (0 = off)")
 	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this extra listener (empty = off; keep it loopback-only)")
 	fs.BoolVar(&cfg.smoke, "smoke", false, "self-check serving round trip, then exit")
@@ -160,6 +188,36 @@ func buildEngine(cfg daemonConfig) (*nebula.Engine, func(*nebula.Database) (*neb
 	return engine, configureMeta, nil
 }
 
+// attachWAL completes the boot sequence for a WAL-enabled daemon: replay
+// the durable suffix the previous process left behind (the snapshot's
+// recorded boundary keeps folded segments from double-applying), attach
+// a fresh segment for this process's mutations, and — when a snapshot
+// path is configured — immediately checkpoint, folding the replayed
+// history into the snapshot and truncating the log behind it.
+func attachWAL(engine *nebula.Engine, cfg daemonConfig) error {
+	mode, err := parseSyncMode(cfg.walSync)
+	if err != nil {
+		return err
+	}
+	stats, err := engine.RecoverWAL(cfg.walDir, wal.Options{Sync: mode})
+	if err != nil {
+		return fmt.Errorf("wal recovery: %w", err)
+	}
+	if stats.CorruptTail {
+		log.Printf("nebulad: wal replay discarded a torn tail (%d bytes) — expected after a crash mid-append",
+			stats.DiscardedBytes)
+	}
+	log.Printf("nebulad: wal %s replayed %d records from %d segments in %v (sync=%s)",
+		cfg.walDir, stats.Records, stats.Segments, stats.Duration.Round(time.Millisecond), mode)
+	if cfg.snapshotPath != "" && (stats.Records > 0 || stats.Segments > 0) {
+		if err := engine.Checkpoint(cfg.snapshotPath); err != nil {
+			return fmt.Errorf("boot checkpoint: %w", err)
+		}
+		log.Printf("nebulad: boot checkpoint folded replayed history into %s", cfg.snapshotPath)
+	}
+	return nil
+}
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully. When
 // ready is non-nil it receives the bound address once the listener is up
 // (used by smoke mode).
@@ -167,6 +225,11 @@ func serve(cfg daemonConfig, ready chan<- string) error {
 	engine, configureMeta, err := buildEngine(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.walDir != "" {
+		if err := attachWAL(engine, cfg); err != nil {
+			return err
+		}
 	}
 	srv, err := server.New(server.Config{
 		Engine:               engine,
@@ -235,6 +298,14 @@ func serve(cfg daemonConfig, ready chan<- string) error {
 	}
 	if drainErr != nil {
 		return fmt.Errorf("drain: %w", drainErr)
+	}
+	if cfg.walDir != "" {
+		// The drain snapshot (if configured) was a checkpoint, so the log
+		// is already truncated behind it; close flushes and seals the
+		// active segment for the next boot's replay.
+		if err := engine.CloseWAL(); err != nil {
+			return fmt.Errorf("wal close: %w", err)
+		}
 	}
 	log.Printf("nebulad: shutdown complete")
 	return nil

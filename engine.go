@@ -95,6 +95,17 @@ type Engine struct {
 	// body + focal + options fingerprint. Nil when caching is disabled.
 	queryCache *keyword.QueryCache
 	discCache  *cache.LRU[*Discovery]
+
+	// wal, when non-nil, is the write-ahead log binding: mutations append
+	// a record under the write lock before applying, and fsync (with
+	// group-commit absorption) after releasing it. Written by AttachWAL
+	// under the write lock, read without it on the commit path — attach
+	// before sharing the engine across goroutines.
+	wal *walBinding
+	// walBaseSegment is the first WAL segment NOT folded into the snapshot
+	// this engine was restored from; ReplayWAL skips earlier segments.
+	// Zero (fresh engines, pre-WAL snapshots) replays everything.
+	walBaseSegment uint64
 }
 
 // New creates an engine with a fresh annotation store and ACG.
@@ -150,11 +161,29 @@ func (e *Engine) DB() *Database { return e.db }
 // write lock, making raw relational mutations (Insert/Delete/Update)
 // exclusive with concurrent discoveries and snapshot captures. Table
 // epochs advance on mutation, so caches derived from the changed rows
-// invalidate without further bookkeeping.
+// invalidate without further bookkeeping. With a WAL attached, every row
+// operation fn commits is captured and logged; the call returns only once
+// the captured records are durable.
 func (e *Engine) MutateDB(fn func(db *Database) error) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return fn(e.db)
+	err := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.wal != nil {
+			e.wal.captureActive, e.wal.captureErr = true, nil
+			defer func() {
+				e.wal.captureActive, e.wal.captureErr = false, nil
+			}()
+		}
+		err := fn(e.db)
+		if err == nil && e.wal != nil {
+			// A failed append mid-fn leaves later row ops unlogged; the
+			// log is poisoned by the failure, so the caller gets an error
+			// and the process must restart into replay (fail-stop).
+			err = e.wal.captureErr
+		}
+		return err
+	}()
+	return e.walCommit(err)
 }
 
 // Meta returns the NebulaMeta repository.
@@ -178,9 +207,15 @@ func (e *Engine) Options() Options {
 
 // SetBounds replaces the verification thresholds.
 func (e *Engine) SetBounds(b Bounds) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.setBounds(b)
+	err := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.walAppend(recBounds(b)); err != nil {
+			return err
+		}
+		return e.setBounds(b)
+	}()
+	return e.walCommit(err)
 }
 
 func (e *Engine) setBounds(b Bounds) error {
@@ -202,9 +237,15 @@ func (e *Engine) Bounds() Bounds {
 // attachments — Stage 0. The attachments become the annotation's focal and
 // are wired into the ACG.
 func (e *Engine) AddAnnotation(a *Annotation, attachTo []TupleID) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.addAnnotation(a, attachTo)
+	err := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.walAppend(recAddAnnotation(a, attachTo)); err != nil {
+			return err
+		}
+		return e.addAnnotation(a, attachTo)
+	}()
+	return e.walCommit(err)
 }
 
 func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
@@ -237,8 +278,22 @@ func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
 // Under the symbol-table search technique the pre-built index goes stale;
 // call RefreshSearchIndex afterwards (or rely on the next rebuild).
 func (e *Engine) DeleteTuple(id TupleID) (detached, cancelled int, err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	detached, cancelled, err = func() (int, int, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.walAppend(recDeleteTuple(id)); err != nil {
+			return 0, 0, err
+		}
+		return e.deleteTuple(id)
+	}()
+	err = e.walCommit(err)
+	return detached, cancelled, err
+}
+
+// deleteTuple is DeleteTuple's locked core, shared with WAL replay. The
+// MutateDB row hook does not fire here (capture is only active inside
+// MutateDB), so the single OpDeleteTuple record owns the whole cascade.
+func (e *Engine) deleteTuple(id TupleID) (detached, cancelled int, err error) {
 	t, ok := e.db.Table(id.Table)
 	if !ok {
 		return 0, 0, fmt.Errorf("nebula: unknown table %q", id.Table)
@@ -567,9 +622,13 @@ func (e *Engine) ProcessRequest(ctx context.Context, id AnnotationID, req Reques
 	if err := req.Validate(); err != nil {
 		return nil, VerificationOutcome{}, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.process(ctx, id, req.apply(e.opts))
+	disc, outcome, err = func() (*Discovery, VerificationOutcome, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.process(ctx, id, req.apply(e.opts))
+	}()
+	err = e.walCommit(err)
+	return disc, outcome, err
 }
 
 func (e *Engine) process(ctx context.Context, id AnnotationID, opts Options) (disc *Discovery, outcome VerificationOutcome, err error) {
@@ -591,8 +650,16 @@ func (e *Engine) process(ctx context.Context, id AnnotationID, opts Options) (di
 		return disc, VerificationOutcome{}, err
 	}
 	submit := e.manager.Submit
-	if len(disc.Degraded()) > 0 {
+	degraded := len(disc.Degraded()) > 0
+	if degraded {
 		submit = e.manager.SubmitDegraded
+	}
+	// Stage 3 routing is logged as its computed inputs — the candidate
+	// set, focal, degradation flag, and the VID the first task will get —
+	// never the discovery computation itself: replay must not re-run
+	// budgeted searches whose outcome depends on wall clocks.
+	if err := e.walAppend(recSubmit(id, disc, degraded, e.manager.NextVID())); err != nil {
+		return disc, VerificationOutcome{}, err
 	}
 	// Submit mutates attachments, the ACG, and the hop profile even on
 	// partial failure, so the epoch moves regardless of the outcome.
@@ -629,9 +696,23 @@ func (e *Engine) PendingTasksByPriority() []*VerificationTask {
 // VerifyAttachment implements the extended SQL command
 // `Verify Attachement <vid>`: the expert accepts a pending task.
 func (e *Engine) VerifyAttachment(vid int64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.verifyAttachment(vid)
+	err := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		// Unknown VIDs are rejected before logging: a no-op needs no
+		// record. The verdict record carries the annotation and tuple so
+		// replay can re-apply the acceptance even when the task's
+		// submission predates the last checkpoint.
+		task, err := e.findPending(vid)
+		if err != nil {
+			return err
+		}
+		if err := e.walAppend(recVerdict(task, true)); err != nil {
+			return err
+		}
+		return e.verifyAttachment(vid)
+	}()
+	return e.walCommit(err)
 }
 
 func (e *Engine) verifyAttachment(vid int64) error {
@@ -648,9 +729,19 @@ func (e *Engine) verifyAttachment(vid int64) error {
 
 // RejectAttachment implements `Reject Attachement <vid>`.
 func (e *Engine) RejectAttachment(vid int64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.rejectAttachment(vid)
+	err := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		task, err := e.findPending(vid)
+		if err != nil {
+			return err
+		}
+		if err := e.walAppend(recVerdict(task, false)); err != nil {
+			return err
+		}
+		return e.rejectAttachment(vid)
+	}()
+	return e.walCommit(err)
 }
 
 func (e *Engine) rejectAttachment(vid int64) error {
@@ -672,14 +763,42 @@ func (e *Engine) findPending(vid int64) (*VerificationTask, error) {
 }
 
 // ResolveWithOracle resolves an annotation's pending tasks using an oracle
-// (the experiments' simulated expert).
+// (the experiments' simulated expert). Each decision is logged as its own
+// verdict record — the oracle's answers, not the oracle, are what replay
+// re-applies.
 func (e *Engine) ResolveWithOracle(id AnnotationID, oracle Oracle) (accepted, rejected []*VerificationTask, err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	accepted, rejected, err = e.manager.ResolveWithOracle(id, e.store.Focal(id), oracle)
-	if len(accepted) > 0 || len(rejected) > 0 {
-		e.bumpMutEpoch()
-	}
+	accepted, rejected, err = func() (acc, rej []*VerificationTask, err error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		defer func() {
+			if len(acc) > 0 || len(rej) > 0 {
+				e.bumpMutEpoch()
+			}
+		}()
+		focal := e.store.Focal(id)
+		for _, t := range e.manager.PendingTasks() {
+			if t.Annotation != id {
+				continue
+			}
+			related := oracle.IsRelated(id, t.Tuple)
+			if err := e.walAppend(recVerdict(t, related)); err != nil {
+				return acc, rej, err
+			}
+			if related {
+				if err := e.manager.Verify(t.VID, focal); err != nil {
+					return acc, rej, err
+				}
+				acc = append(acc, t)
+			} else {
+				if err := e.manager.Reject(t.VID); err != nil {
+					return acc, rej, err
+				}
+				rej = append(rej, t)
+			}
+		}
+		return acc, rej, nil
+	}()
+	err = e.walCommit(err)
 	return accepted, rejected, err
 }
 
@@ -711,22 +830,31 @@ func (e *Engine) PropagateJoin(left, right StructuredQuery, projectedLeft, proje
 // TuneBounds runs the Figure 9 BoundsSetting algorithm against this
 // engine's discovery pipeline and installs the chosen thresholds.
 func (e *Engine) TuneBounds(training []TrainingExample, cfg BoundsConfig) (Bounds, []BoundsEvaluation, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	discover := func(a *Annotation, focal []TupleID) ([]Candidate, error) {
-		d, err := e.discover(context.Background(), a, focal, e.opts)
-		if err != nil {
-			return nil, err
+	b, evals, err := func() (Bounds, []BoundsEvaluation, error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		discover := func(a *Annotation, focal []TupleID) ([]Candidate, error) {
+			d, err := e.discover(context.Background(), a, focal, e.opts)
+			if err != nil {
+				return nil, err
+			}
+			return d.Candidates, nil
 		}
-		return d.Candidates, nil
-	}
-	bounds, evals, err := verification.BoundsSetting(training, discover, cfg)
-	if err != nil {
-		return Bounds{}, nil, err
-	}
-	if err := e.setBounds(Bounds(bounds)); err != nil {
-		return Bounds{}, nil, err
-	}
-	e.bumpMutEpoch()
-	return Bounds(bounds), evals, nil
+		bounds, evals, err := verification.BoundsSetting(training, discover, cfg)
+		if err != nil {
+			return Bounds{}, nil, err
+		}
+		// Only the chosen thresholds are logged — replay must not re-run
+		// the training sweep.
+		if err := e.walAppend(recBounds(Bounds(bounds))); err != nil {
+			return Bounds{}, nil, err
+		}
+		if err := e.setBounds(Bounds(bounds)); err != nil {
+			return Bounds{}, nil, err
+		}
+		e.bumpMutEpoch()
+		return Bounds(bounds), evals, nil
+	}()
+	err = e.walCommit(err)
+	return b, evals, err
 }

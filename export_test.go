@@ -1,0 +1,19 @@
+package nebula
+
+import (
+	"nebula/internal/vfs"
+	"nebula/internal/wal"
+)
+
+// AttachWALFS exposes the filesystem-seam variant of AttachWAL so the
+// external crash-fault tests can route checkpoint writes through an
+// injected filesystem.
+func (e *Engine) AttachWALFS(l *wal.Log, fsys vfs.FS) { e.attachWAL(l, fsys) }
+
+// SetWALLogf swaps the non-fatal WAL housekeeping logger and returns a
+// restore func, so tests can assert that prune failures are surfaced.
+func SetWALLogf(f func(format string, args ...any)) (restore func()) {
+	prev := walLogf
+	walLogf = f
+	return func() { walLogf = prev }
+}

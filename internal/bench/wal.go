@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"nebula"
+	"nebula/internal/wal"
+)
+
+// WALBenchResult records the mutation cost of one durability mode:
+// the same concurrent annotation-insert workload with no WAL (baseline),
+// with group-committed fsyncs, and with an fsync per append. The sync
+// counters show WHY group commit wins — absorbed syncs are fsyncs that
+// concurrent committers shared instead of serializing on.
+type WALBenchResult struct {
+	Mode         string  `json:"mode"` // "off", "group", "always", "none"
+	Writers      int     `json:"writers"`
+	Mutations    int     `json:"mutations"`
+	TotalNS      int64   `json:"total_ns"`
+	PerOpNS      int64   `json:"per_op_ns"`
+	OverheadPct  float64 `json:"overhead_pct"` // vs the no-WAL baseline
+	Syncs        int64   `json:"syncs"`
+	SyncAbsorbed int64   `json:"syncs_absorbed"`
+	SyncNS       int64   `json:"sync_ns"`
+	Records      int64   `json:"records"`
+	WALBytes     int64   `json:"wal_bytes"`
+}
+
+// walBenchPass runs the concurrent mutation workload against one engine:
+// writers goroutines insert their share of uniquely-named annotations,
+// each attached to an existing gene, through the full commit path (append
+// + group sync when a WAL is attached).
+func walBenchPass(engine *nebula.Engine, writers, mutations int) (time.Duration, error) {
+	genes := engine.DB().MustTable("Gene").Rows()
+	if len(genes) == 0 {
+		return 0, fmt.Errorf("bench: wal: dataset has no genes")
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		share := mutations / writers
+		if w < mutations%writers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				n := w*1_000_000 + i
+				a := &nebula.Annotation{
+					ID:     nebula.AnnotationID(fmt.Sprintf("walbench-%d", n)),
+					Author: "bench",
+					Body:   fmt.Sprintf("wal bench mutation %d", n),
+					Kind:   "comment",
+				}
+				target := genes[n%len(genes)].ID
+				if err := engine.AddAnnotation(a, []nebula.TupleID{target}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return elapsed, nil
+}
+
+// RunWALBench measures WAL mutation overhead across durability modes. Each
+// mode gets a private engine over an identical dataset and a fresh log
+// directory; "off" (no WAL attached) anchors the overhead percentages.
+func RunWALBench(size string, seed int64, writers, mutations int) ([]WALBenchResult, error) {
+	if writers < 1 {
+		writers = 1
+	}
+	if mutations < writers {
+		mutations = writers
+	}
+	modes := []struct {
+		name string
+		sync wal.SyncMode
+		wal  bool
+	}{
+		{"off", 0, false},
+		{"none", wal.SyncNone, true},
+		{"group", wal.SyncGroup, true},
+		{"always", wal.SyncAlways, true},
+	}
+	var results []WALBenchResult
+	var baselineNS int64
+	for _, m := range modes {
+		env, err := FreshEnv(size, seed)
+		if err != nil {
+			return nil, err
+		}
+		ds := env.Dataset
+		engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, nebula.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		if m.wal {
+			dir, err := os.MkdirTemp("", "nebula-walbench")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			l, err := wal.Open(dir, wal.Options{Sync: m.sync})
+			if err != nil {
+				return nil, err
+			}
+			engine.AttachWAL(l)
+		}
+		elapsed, err := walBenchPass(engine, writers, mutations)
+		if err != nil {
+			return nil, err
+		}
+		res := WALBenchResult{
+			Mode:      m.name,
+			Writers:   writers,
+			Mutations: mutations,
+			TotalNS:   elapsed.Nanoseconds(),
+			PerOpNS:   elapsed.Nanoseconds() / int64(mutations),
+		}
+		if m.wal {
+			st := engine.WALStats()
+			res.Syncs = int64(st.Log.Syncs)
+			res.SyncAbsorbed = int64(st.Log.SyncAbsorbed)
+			res.SyncNS = st.Log.SyncNanos
+			res.Records = int64(st.Log.Appended)
+			res.WALBytes = int64(st.Log.AppendedBytes)
+			if err := engine.CloseWAL(); err != nil {
+				return nil, err
+			}
+		}
+		if m.name == "off" {
+			baselineNS = res.TotalNS
+		}
+		if baselineNS > 0 {
+			res.OverheadPct = 100 * float64(res.TotalNS-baselineNS) / float64(baselineNS)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// WALTable renders the comparison for terminals.
+func WALTable(results []WALBenchResult) *Table {
+	t := &Table{
+		Title:  "WAL mutation overhead — concurrent annotation inserts per durability mode",
+		Header: []string{"mode", "writers", "mutations", "total-ms", "per-op-µs", "overhead", "syncs", "absorbed", "fsync-ms"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Mode, fmtI(r.Writers), fmtI(r.Mutations),
+			fmtMs(r.TotalNS), fmt.Sprintf("%.1f", float64(r.PerOpNS)/1e3),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct),
+			fmt.Sprintf("%d", r.Syncs), fmt.Sprintf("%d", r.SyncAbsorbed),
+			fmtMs(r.SyncNS),
+		})
+	}
+	return t
+}
+
+// WriteWALJSON emits the results for BENCH_wal.json.
+func WriteWALJSON(w io.Writer, results []WALBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

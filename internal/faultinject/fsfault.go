@@ -1,0 +1,198 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"nebula/internal/vfs"
+)
+
+// FSError is one injected filesystem fault. It matches the package's
+// ErrInjected sentinel via errors.Is, so tests distinguish injected
+// failures from real ones.
+type FSError struct {
+	// Op names the faulted operation ("write", "sync", "rename", "create",
+	// "syncdir", "remove").
+	Op string
+	// Call is the 1-based per-operation ordinal the fault fired on.
+	Call int
+}
+
+func (e *FSError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s fault on call %d", e.Op, e.Call)
+}
+
+// Is matches the ErrInjected sentinel.
+func (e *FSError) Is(target error) bool { return target == ErrInjected }
+
+// FSConfig schedules filesystem faults by deterministic per-operation
+// ordinals (1-based; 0 disables). Two FS wrappers built from the same
+// config over the same operation sequence observe the exact same faults,
+// which is what lets the crash-recovery matrix enumerate failure points.
+type FSConfig struct {
+	// ShortWriteAt makes the Nth File.Write (counted across all files
+	// created through this FS) write only the first half of its buffer and
+	// then fail — the torn-write shape: some bytes hit the file, the
+	// caller sees an error.
+	ShortWriteAt int
+	// FailWriteAt makes the Nth File.Write fail writing nothing.
+	FailWriteAt int
+	// FailSyncAt makes the Nth File.Sync fail (fsyncgate: the kernel may
+	// have dropped the dirty pages while reporting them clean).
+	FailSyncAt int
+	// FailCreateAt makes the Nth Create fail.
+	FailCreateAt int
+	// FailRenameAt makes the Nth Rename fail.
+	FailRenameAt int
+	// FailDirSyncAt makes the Nth SyncDir fail.
+	FailDirSyncAt int
+	// FailRemoveAt makes the Nth Remove fail.
+	FailRemoveAt int
+}
+
+// FaultFS wraps a vfs.FS with the configured fault schedule. Safe for
+// concurrent use; ordinals serialize on an internal mutex.
+type FaultFS struct {
+	inner vfs.FS
+	cfg   FSConfig
+
+	mu       sync.Mutex
+	writes   int
+	syncs    int
+	creates  int
+	renames  int
+	dirSyncs int
+	removes  int
+	injected int
+}
+
+// WrapFS builds a fault-injecting filesystem around inner (nil selects the
+// real OS).
+func WrapFS(inner vfs.FS, cfg FSConfig) *FaultFS {
+	if inner == nil {
+		inner = vfs.OS{}
+	}
+	return &FaultFS{inner: inner, cfg: cfg}
+}
+
+// Injected returns how many faults have fired.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Writes returns how many File.Write calls the FS has observed — tests use
+// it to size ShortWriteAt/FailWriteAt schedules after a clean dry run.
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// fire advances one op counter and reports whether the configured ordinal
+// was hit.
+func (f *FaultFS) fire(counter *int, at int) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	*counter++
+	if at > 0 && *counter == at {
+		f.injected++
+		return *counter, true
+	}
+	return *counter, false
+}
+
+// Create implements vfs.FS.
+func (f *FaultFS) Create(path string) (vfs.File, error) {
+	if call, hit := f.fire(&f.creates, f.cfg.FailCreateAt); hit {
+		return nil, &FSError{Op: "create", Call: call}
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Open implements vfs.FS. Reads are never faulted: replay's corruption
+// handling is exercised with real truncated/corrupted files, not read
+// errors.
+func (f *FaultFS) Open(path string) (io.ReadCloser, error) { return f.inner.Open(path) }
+
+// ReadDir implements vfs.FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+// Rename implements vfs.FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if call, hit := f.fire(&f.renames, f.cfg.FailRenameAt); hit {
+		return &FSError{Op: "rename", Call: call}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements vfs.FS.
+func (f *FaultFS) Remove(path string) error {
+	if call, hit := f.fire(&f.removes, f.cfg.FailRemoveAt); hit {
+		return &FSError{Op: "remove", Call: call}
+	}
+	return f.inner.Remove(path)
+}
+
+// MkdirAll implements vfs.FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+// SyncDir implements vfs.FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if call, hit := f.fire(&f.dirSyncs, f.cfg.FailDirSyncAt); hit {
+		return &FSError{Op: "syncdir", Call: call}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// Stat implements vfs.FS.
+func (f *FaultFS) Stat(path string) (int64, error) { return f.inner.Stat(path) }
+
+// faultFile threads the shared write/sync schedules through one handle.
+type faultFile struct {
+	fs    *FaultFS
+	inner vfs.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	f.fs.writes++
+	call := f.fs.writes
+	short := f.fs.cfg.ShortWriteAt > 0 && call == f.fs.cfg.ShortWriteAt
+	fail := f.fs.cfg.FailWriteAt > 0 && call == f.fs.cfg.FailWriteAt
+	if short || fail {
+		f.fs.injected++
+	}
+	f.fs.mu.Unlock()
+	if short {
+		// Torn write: half the buffer lands, then the device "dies".
+		n, err := f.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, &FSError{Op: "write", Call: call}
+	}
+	if fail {
+		return 0, &FSError{Op: "write", Call: call}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if call, hit := f.fs.fire(&f.fs.syncs, f.fs.cfg.FailSyncAt); hit {
+		return &FSError{Op: "sync", Call: call}
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+var _ vfs.FS = (*FaultFS)(nil)

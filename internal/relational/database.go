@@ -17,6 +17,9 @@ type Database struct {
 	// scanCache, when enabled, memoizes full-scan query results keyed by
 	// the query fingerprint at the owning table's epoch. nil = disabled.
 	scanCache *cache.LRU[[]*Row]
+	// rowHook observes committed row mutations on every table (current
+	// and future) once installed; see SetRowMutationHook.
+	rowHook func(RowMutation)
 }
 
 // NewDatabase returns an empty database.
@@ -35,9 +38,23 @@ func (db *Database) CreateTable(s *Schema) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.onMutate = db.rowHook
 	db.tables[strings.ToLower(s.Name)] = t
 	db.order = append(db.order, s.Name)
 	return t, nil
+}
+
+// SetRowMutationHook installs (or, with nil, removes) an observer for
+// committed row mutations across all tables, including tables created
+// later. The hook runs synchronously inside Insert/Delete/Update; the
+// engine uses it to write-ahead-log raw MutateDB row operations. Callers
+// must ensure mutations are serialized while a hook is installed (the
+// engine's write lock already does).
+func (db *Database) SetRowMutationHook(hook func(RowMutation)) {
+	db.rowHook = hook
+	for _, name := range db.order {
+		db.tables[strings.ToLower(name)].onMutate = hook
+	}
 }
 
 // Table returns the named table (case-insensitive).

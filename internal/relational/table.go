@@ -6,6 +6,34 @@ import (
 	"sync/atomic"
 )
 
+// RowMutationKind classifies one observed row mutation.
+type RowMutationKind int
+
+const (
+	// RowInsert is an Insert.
+	RowInsert RowMutationKind = iota + 1
+	// RowDelete is a Delete/DeleteByKey.
+	RowDelete
+	// RowUpdate is a single-column Update that changed the stored value.
+	RowUpdate
+)
+
+// RowMutation describes one committed row change, as delivered to a
+// mutation hook (see Database.SetRowMutationHook). It carries everything a
+// write-ahead log needs to replay the change deterministically.
+type RowMutation struct {
+	Kind  RowMutationKind
+	Table string
+	// Key is the tuple's canonical primary-key form (TupleID.Key).
+	Key string
+	// Values is the full inserted row (RowInsert only).
+	Values []Value
+	// Column and Value are the updated column and its new value
+	// (RowUpdate only).
+	Column string
+	Value  Value
+}
+
 // Table stores the rows of one relation together with its indexes.
 type Table struct {
 	schema   *Schema
@@ -19,6 +47,13 @@ type Table struct {
 	// Atomic so concurrent readers (discoveries under the engine's read
 	// lock, /metrics scrapes) never race a write-locked mutation.
 	epoch atomic.Uint64
+	// onMutate, when non-nil, observes every committed Insert/Delete/
+	// Update — the engine's WAL capture point for raw row operations. It
+	// runs synchronously inside the mutation, which the engine already
+	// serializes under its write lock. Subset/miniDB copies never carry a
+	// hook (insertValidated bypasses it by design: materialized views are
+	// derived state, not history).
+	onMutate func(RowMutation)
 }
 
 func newTable(s *Schema) (*Table, error) {
@@ -86,6 +121,9 @@ func (t *Table) Insert(values []Value) (*Row, error) {
 	t.byPK[pkKey] = row
 	t.indexRow(row)
 	t.epoch.Add(1)
+	if t.onMutate != nil {
+		t.onMutate(RowMutation{Kind: RowInsert, Table: t.schema.Name, Key: pkKey, Values: values})
+	}
 	return row, nil
 }
 
@@ -141,6 +179,9 @@ func (t *Table) DeleteByKey(key string) bool {
 		}
 	}
 	t.epoch.Add(1)
+	if t.onMutate != nil {
+		t.onMutate(RowMutation{Kind: RowDelete, Table: t.schema.Name, Key: key})
+	}
 	return true
 }
 
@@ -150,9 +191,16 @@ func (t *Table) DeleteByKey(key string) bool {
 // annotations, the ACG, and verification tasks — re-keying a tuple is a
 // delete + insert at the application layer.
 func (t *Table) Update(pk Value, column string, value Value) error {
-	row, ok := t.byPK[pk.Key()]
+	return t.UpdateByKey(pk.Key(), column, value)
+}
+
+// UpdateByKey is Update addressed by the canonical primary-key form (the
+// Key component of a TupleID) — the WAL-replay entry point, where only the
+// recorded canonical key is available, not the original typed value.
+func (t *Table) UpdateByKey(key string, column string, value Value) error {
+	row, ok := t.byPK[key]
 	if !ok {
-		return fmt.Errorf("table %s: no tuple with %s = %v", t.schema.Name, t.schema.PrimaryKey, pk)
+		return fmt.Errorf("table %s: no tuple with %s = %v", t.schema.Name, t.schema.PrimaryKey, key)
 	}
 	ci, ok := t.schema.ColumnIndex(column)
 	if !ok {
@@ -169,11 +217,11 @@ func (t *Table) Update(pk Value, column string, value Value) error {
 	if old.Equal(value) {
 		return nil
 	}
-	key := strings.ToLower(col.Name)
-	if ix, ok := t.hash[key]; ok {
+	ixKey := strings.ToLower(col.Name)
+	if ix, ok := t.hash[ixKey]; ok {
 		ix.remove(old, row)
 	}
-	if ix, ok := t.inverted[key]; ok {
+	if ix, ok := t.inverted[ixKey]; ok {
 		ix.remove(old.Str(), row)
 	}
 	// Rows share value slices with miniDB copies (Subset); copy-on-write
@@ -182,13 +230,16 @@ func (t *Table) Update(pk Value, column string, value Value) error {
 	copy(values, row.Values)
 	values[ci] = value
 	row.Values = values
-	if ix, ok := t.hash[key]; ok {
+	if ix, ok := t.hash[ixKey]; ok {
 		ix.add(value, row)
 	}
-	if ix, ok := t.inverted[key]; ok {
+	if ix, ok := t.inverted[ixKey]; ok {
 		ix.add(value.Str(), row)
 	}
 	t.epoch.Add(1)
+	if t.onMutate != nil {
+		t.onMutate(RowMutation{Kind: RowUpdate, Table: t.schema.Name, Key: key, Column: col.Name, Value: value})
+	}
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"nebula"
+	"nebula/internal/snapshot"
 )
 
 // ---- JSON wire types -------------------------------------------------------
@@ -271,6 +272,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.render(w, queued, inflight, s.admission.isDraining())
 	renderCacheMetrics(w, s.Engine().CacheStats())
+	renderWALMetrics(w, s.Engine().WALStats(), snapshot.DirSyncFailures())
 }
 
 // handleAddAnnotation implements Stage 0 over the wire: insert an

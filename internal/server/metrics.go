@@ -281,6 +281,31 @@ func renderCacheMetrics(w io.Writer, cs nebula.CacheStats) {
 	emit("nebula_cache_max_bytes", "gauge", func(s nebula.CacheCounters) int64 { return s.MaxBytes })
 }
 
+// renderWALMetrics writes the engine's durability series: append/sync
+// counters and fsync latency from the write-ahead log, checkpoint counts,
+// the boot-time replay summary, and the snapshot layer's directory-sync
+// failure counter (satellite of the same durability story: a dir-sync
+// failure means a just-renamed snapshot may not survive a crash). All
+// series render even without a WAL attached, so dashboards do not break
+// on a WAL-less deployment — nebula_wal_attached distinguishes the modes.
+func renderWALMetrics(w io.Writer, ws nebula.WALStats, dirSyncFailures int64) {
+	fmt.Fprintf(w, "# TYPE nebula_wal_attached gauge\nnebula_wal_attached %d\n", boolGauge(ws.Attached))
+	fmt.Fprintf(w, "# TYPE nebula_wal_appended_records_total counter\nnebula_wal_appended_records_total %d\n", ws.Log.Appended)
+	fmt.Fprintf(w, "# TYPE nebula_wal_appended_bytes_total counter\nnebula_wal_appended_bytes_total %d\n", ws.Log.AppendedBytes)
+	fmt.Fprintf(w, "# TYPE nebula_wal_durable_records counter\nnebula_wal_durable_records %d\n", ws.Log.Durable)
+	fmt.Fprintf(w, "# TYPE nebula_wal_syncs_total counter\nnebula_wal_syncs_total %d\n", ws.Log.Syncs)
+	fmt.Fprintf(w, "# TYPE nebula_wal_syncs_absorbed_total counter\nnebula_wal_syncs_absorbed_total %d\n", ws.Log.SyncAbsorbed)
+	fmt.Fprintf(w, "# TYPE nebula_wal_sync_seconds_total counter\nnebula_wal_sync_seconds_total %g\n", float64(ws.Log.SyncNanos)/1e9)
+	fmt.Fprintf(w, "# TYPE nebula_wal_rotations_total counter\nnebula_wal_rotations_total %d\n", ws.Log.Rotations)
+	fmt.Fprintf(w, "# TYPE nebula_wal_active_segment gauge\nnebula_wal_active_segment %d\n", ws.Log.ActiveSegment)
+	fmt.Fprintf(w, "# TYPE nebula_wal_checkpoints_total counter\nnebula_wal_checkpoints_total %d\n", ws.Checkpoints)
+	fmt.Fprintf(w, "# TYPE nebula_wal_replay_records counter\nnebula_wal_replay_records %d\n", ws.Replay.Records)
+	fmt.Fprintf(w, "# TYPE nebula_wal_replay_seconds gauge\nnebula_wal_replay_seconds %g\n", ws.Replay.Duration.Seconds())
+	fmt.Fprintf(w, "# TYPE nebula_wal_replay_corrupt_tail gauge\nnebula_wal_replay_corrupt_tail %d\n", boolGauge(ws.Replay.CorruptTail))
+	fmt.Fprintf(w, "# TYPE nebula_wal_replay_discarded_bytes gauge\nnebula_wal_replay_discarded_bytes %d\n", ws.Replay.DiscardedBytes)
+	fmt.Fprintf(w, "# TYPE nebula_snapshot_dirsync_failures_total counter\nnebula_snapshot_dirsync_failures_total %d\n", dirSyncFailures)
+}
+
 func boolGauge(b bool) int {
 	if b {
 		return 1

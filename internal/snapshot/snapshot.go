@@ -22,13 +22,16 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"nebula/internal/acg"
 	"nebula/internal/annotation"
 	"nebula/internal/relational"
+	"nebula/internal/vfs"
 )
 
 // FormatVersion identifies the on-disk layout; Load rejects mismatches.
@@ -57,6 +60,46 @@ type Snapshot struct {
 
 	ProfileBuckets     []int
 	ProfileUnreachable int
+
+	// WALSegment is the checkpoint boundary when the snapshot was written
+	// by a WAL-attached engine: the first WAL segment NOT folded into
+	// this state. Replay skips segments below it, so a crash between
+	// writing the snapshot and pruning the covered segments can never
+	// double-apply history. Zero (including in pre-WAL snapshots, where
+	// gob leaves the absent field zero) means "replay everything".
+	WALSegment uint64
+
+	// HasBounds/BoundsLower/BoundsUpper carry the engine's active
+	// verification thresholds. Bounds are durable configuration state —
+	// changes are WAL-logged, and a checkpoint prunes the segments whose
+	// records established them, so the snapshot must carry them forward
+	// or post-checkpoint replay would route submissions with stale
+	// thresholds. HasBounds false (older snapshots) means "keep the
+	// constructor's bounds".
+	HasBounds   bool
+	BoundsLower float64
+	BoundsUpper float64
+
+	// Tasks is the pending expert-verification queue, ordered by VID, and
+	// NextVID the identifier the next submission will receive. Pending
+	// tasks are durable state for the same reason bounds are: a checkpoint
+	// prunes the WAL submissions that created them, so a snapshot that
+	// dropped the queue would silently lose every task still awaiting an
+	// expert at checkpoint time. Older snapshots decode with an empty
+	// queue and NextVID zero (the pre-queue behaviour).
+	Tasks   []TaskDump
+	NextVID int64
+}
+
+// TaskDump is one pending expert-verification task in serializable form.
+// Decision is implicit: only Pending tasks are queued, so only Pending
+// tasks are dumped.
+type TaskDump struct {
+	VID        int64
+	Annotation string
+	Table, Key string
+	Confidence float64
+	Evidence   []string
 }
 
 type columnDump struct {
@@ -120,6 +163,18 @@ type State struct {
 	Store   *annotation.Store
 	Graph   *acg.Graph
 	Profile *acg.Profile
+
+	// HasBounds marks BoundsLower/BoundsUpper as meaningful (the engine
+	// always sets it; tools capturing bare stores may not).
+	HasBounds   bool
+	BoundsLower float64
+	BoundsUpper float64
+
+	// Tasks/NextVID mirror Snapshot.Tasks: the pending verification queue
+	// and its VID counter. Tasks must already be ordered by VID (the
+	// engine's PendingTasks guarantees it) so captures are deterministic.
+	Tasks   []TaskDump
+	NextVID int64
 }
 
 // Capture serializes the live state into a Snapshot value.
@@ -127,7 +182,14 @@ func Capture(st State) (*Snapshot, error) {
 	if st.DB == nil || st.Store == nil {
 		return nil, fmt.Errorf("snapshot: nil database or store")
 	}
-	s := &Snapshot{Version: FormatVersion}
+	s := &Snapshot{
+		Version:     FormatVersion,
+		HasBounds:   st.HasBounds,
+		BoundsLower: st.BoundsLower,
+		BoundsUpper: st.BoundsUpper,
+		Tasks:       append([]TaskDump(nil), st.Tasks...),
+		NextVID:     st.NextVID,
+	}
 
 	for _, name := range st.DB.TableNames() {
 		t := st.DB.MustTable(name)
@@ -278,6 +340,8 @@ func (s *Snapshot) Restore() (State, error) {
 	st.Graph.RestoreStabilityState(g.BatchSize, g.Mu, g.BatchAnnotations,
 		g.BatchAttachments, g.BatchEdges, g.BatchesClosed, g.Stable)
 	st.Profile.RestoreCounts(s.ProfileBuckets, s.ProfileUnreachable)
+	st.Tasks = append([]TaskDump(nil), s.Tasks...)
+	st.NextVID = s.NextVID
 	return st, nil
 }
 
@@ -361,22 +425,47 @@ func loadGob(r io.Reader) (*Snapshot, error) {
 	return &s, nil
 }
 
+// dirSyncFailures counts directory-fsync failures observed by SaveFileFS.
+// On filesystems that reject fsync on directories, the atomic rename's
+// durability is not guaranteed across power loss; operators should see
+// that, not have it silently ignored — the counter is surfaced as
+// nebula_snapshot_dirsync_failures_total and each failure is logged once
+// through Logf.
+var dirSyncFailures atomic.Int64
+
+// DirSyncFailures reports how many directory-sync attempts have failed
+// process-wide.
+func DirSyncFailures() int64 { return dirSyncFailures.Load() }
+
+// Logf receives one line per noteworthy non-fatal event (currently:
+// directory-sync failures). Replaceable for tests and embedders; defaults
+// to the standard logger.
+var Logf = log.Printf
+
 // SaveFile writes the snapshot to path durably and atomically: the stream
 // goes to a temp file in the same directory, is fsynced, and only then
 // renamed over path. A crash mid-write leaves the previous snapshot (or
 // nothing) at path — never a half-written state file. The containing
 // directory is fsynced after the rename so the new name itself survives a
 // crash.
-func SaveFile(path string, s *Snapshot) (err error) {
+func SaveFile(path string, s *Snapshot) error {
+	return SaveFileFS(vfs.OS{}, path, s)
+}
+
+// SaveFileFS is SaveFile over an explicit filesystem seam — the hook the
+// crash-fault tests use to inject short writes, fsync errors, and rename
+// failures into the checkpoint path.
+func SaveFileFS(fsys vfs.FS, path string, s *Snapshot) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	tmpPath := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
+	tmp, err := fsys.Create(tmpPath)
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmpPath)
 		}
 	}()
 	if err = Save(tmp, s); err != nil {
@@ -388,13 +477,17 @@ func SaveFile(path string, s *Snapshot) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("snapshot: close: %w", err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fsys.Rename(tmpPath, path); err != nil {
 		return fmt.Errorf("snapshot: rename: %w", err)
 	}
-	if d, derr := os.Open(dir); derr == nil {
-		// Best-effort directory sync; some filesystems reject it.
-		d.Sync()
-		d.Close()
+	if derr := fsys.SyncDir(dir); derr != nil {
+		// The rename itself succeeded, so the new snapshot is the one a
+		// reader sees — but on a crash before the filesystem flushes its
+		// metadata the old name could resurface. Not fatal (the previous
+		// snapshot is also valid state), but operators must know their
+		// filesystem gives this weaker guarantee.
+		dirSyncFailures.Add(1)
+		Logf("snapshot: directory sync failed for %s (rename durability not guaranteed on this filesystem): %v", dir, derr)
 	}
 	return nil
 }

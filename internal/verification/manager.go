@@ -45,6 +45,46 @@ func NewManager(store *annotation.Store, graph *acg.Graph, profile *acg.Profile,
 // Bounds returns the current thresholds.
 func (m *Manager) Bounds() Bounds { return m.bounds }
 
+// NextVID returns the VID the next submitted task will receive. The WAL
+// records it with each submission so replay reproduces identical task
+// identifiers.
+func (m *Manager) NextVID() int64 { return m.nextVID }
+
+// SetNextVID pins the VID counter — the replay half of NextVID. It never
+// moves the counter backwards past an issued VID's successor would allow:
+// callers replaying history pass the recorded FirstVID, which by
+// construction is >= every VID issued before it.
+func (m *Manager) SetNextVID(v int64) {
+	if v > m.nextVID {
+		m.nextVID = v
+	}
+}
+
+// ForceAccept applies the acceptance side effects (attach, ACG edge,
+// profile update) for an attachment whose pending task no longer exists —
+// the WAL-replay path for an expert verdict whose task cannot be found in
+// the pending map (a snapshot written before the queue became snapshot
+// state, with the submission itself pruned by a checkpoint). It is exactly
+// Verify without the pending-map lookup.
+func (m *Manager) ForceAccept(a annotation.ID, tuple relational.TupleID, focal []relational.TupleID) error {
+	task := &Task{Annotation: a, Tuple: tuple, Decision: ExpertAccepted, Confidence: 1}
+	return m.applyAcceptances(a, focal, []*Task{task})
+}
+
+// RestoreTasks reinstates a snapshot's pending expert queue and VID
+// counter. The counter never moves backwards: it lands past both the
+// recorded nextVID and every restored task's VID, so tasks submitted
+// after a restore cannot collide with queued identifiers.
+func (m *Manager) RestoreTasks(tasks []*Task, nextVID int64) {
+	m.SetNextVID(nextVID)
+	for _, t := range tasks {
+		m.pending[t.VID] = t
+		if t.VID >= m.nextVID {
+			m.nextVID = t.VID + 1
+		}
+	}
+}
+
 // SetBounds replaces the thresholds (e.g. after a BoundsSetting run).
 func (m *Manager) SetBounds(b Bounds) error {
 	if err := b.Validate(); err != nil {

@@ -1,0 +1,106 @@
+// Package vfs is the minimal filesystem seam the durability layer is
+// written against. Production code uses OS (a thin veneer over the os
+// package); the crash-fault tests swap in internal/faultinject's faulty
+// implementation to exercise short writes, failed fsyncs, and rename
+// failures without a real flaky disk underneath. Only the operations the
+// WAL and snapshot writers need are abstracted — this is a seam, not a
+// general filesystem API.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is an open file handle. Durability-relevant operations only:
+// sequential writes, fsync, close — the WAL never seeks and never reads
+// through the same handle it writes.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Close releases the handle. It does NOT imply Sync.
+	Close() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem operation set behind the durability layer.
+type FS interface {
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path read-only. Reads go through the returned *os.File-
+	// compatible reader; replay is read-only and needs no fault surface.
+	Open(path string) (io.ReadCloser, error)
+	// ReadDir lists the directory entries' names.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory itself, making renames and unlinks in
+	// it durable on filesystems that require it.
+	SyncDir(dir string) error
+	// Stat reports a path's size, or an error if it does not exist.
+	Stat(path string) (int64, error)
+}
+
+// OS is the production FS backed by the os package.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Open implements FS.
+func (OS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Stat implements FS.
+func (OS) Stat(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+var _ FS = OS{}

@@ -1,0 +1,442 @@
+// Package wal is Nebula's write-ahead log: an append-only, CRC32-framed,
+// fsync-batched record of every engine mutation. Durability becomes
+// incremental — recovery is the last checkpoint snapshot plus a
+// deterministic replay of the log suffix — instead of "everything since
+// the last full snapshot rewrite is gone".
+//
+// Layout: a log is a directory of numbered segment files
+// (wal-0000000000000001.log, ...). Appends go to the highest-numbered
+// (active) segment; a checkpoint rotates to a fresh segment, captures the
+// engine state, persists it, and prunes the segments the snapshot now
+// covers. Every boot starts a new segment, so a torn tail from a crash is
+// never appended over — it is discarded once, at replay, by the CRC
+// framing.
+//
+// Group commit: Append writes the framed record into the active segment
+// (buffered by the OS) and returns a log sequence number; Sync(lsn) blocks
+// until that LSN is on stable storage. Concurrent committers absorb each
+// other's fsyncs — whoever reaches the sync mutex first flushes everything
+// appended so far, and the committers queued behind it find their LSN
+// already durable and return without touching the disk. Under a serialized
+// writer this degrades gracefully to one fsync per commit; SyncAlways
+// forces that mode explicitly for measurement, and SyncNone drops fsync
+// entirely (tests and benchmarks only — crash durability is then the OS's
+// page cache).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nebula/internal/vfs"
+)
+
+// LSN is a log sequence number: the 1-based ordinal of a record across the
+// log's lifetime (it does not reset on rotation).
+type LSN uint64
+
+// SyncMode selects the fsync policy.
+type SyncMode int
+
+const (
+	// SyncGroup (default): Append buffers, Sync fsyncs with absorption —
+	// concurrent committers share flushes.
+	SyncGroup SyncMode = iota
+	// SyncAlways: every Append fsyncs before returning. The slowest and
+	// strongest mode; the bench harness measures it against SyncGroup.
+	SyncAlways
+	// SyncNone: never fsync. Crash durability is whatever the OS flushed.
+	SyncNone
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "group"
+	}
+}
+
+// Options configure Open.
+type Options struct {
+	// FS is the filesystem seam; nil selects the real OS.
+	FS vfs.FS
+	// Sync selects the fsync policy (default SyncGroup).
+	Sync SyncMode
+}
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrFailed reports a log poisoned by an earlier fsync or write failure.
+// After fsync fails the durable prefix is unknowable (the kernel may have
+// dropped the dirty pages while reporting the file clean), so the log
+// refuses all further appends rather than risk acking writes it cannot
+// prove durable. Recovery: restart the process and let boot-time replay
+// re-establish the durable prefix from disk.
+var ErrFailed = errors.New("wal: log failed")
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// Appended counts records appended over this log's lifetime.
+	Appended uint64
+	// Durable is the highest LSN known to be on stable storage.
+	Durable uint64
+	// Syncs counts physical fsync calls issued.
+	Syncs uint64
+	// SyncAbsorbed counts Sync calls satisfied by another committer's
+	// fsync (the group-commit win).
+	SyncAbsorbed uint64
+	// SyncNanos is the cumulative wall time spent inside fsync.
+	SyncNanos int64
+	// Rotations counts segment rotations.
+	Rotations uint64
+	// ActiveSegment is the segment currently appended to.
+	ActiveSegment uint64
+	// AppendedBytes counts framed bytes written.
+	AppendedBytes uint64
+}
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	fs  vfs.FS
+	dir string
+
+	mu      sync.Mutex // guards file, seg, appended, appendedBytes, failed, closed
+	file    vfs.File
+	seg     uint64
+	failed  error
+	closed  bool
+	pending uint64 // records appended since the last fsync
+
+	syncMu sync.Mutex // serializes fsyncs; held while the disk works
+	mode   SyncMode
+
+	statMu  sync.Mutex
+	stats   Stats
+	durable uint64 // guarded by statMu; also mirrored in stats.Durable
+}
+
+// segmentName formats a segment file name; 16 digits keep lexicographic
+// and numeric order identical.
+func segmentName(seg uint64) string { return fmt.Sprintf("wal-%016d.log", seg) }
+
+// parseSegmentName extracts the segment number, reporting ok=false for
+// foreign files in the directory.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ListSegments returns the segment numbers present in dir, ascending. A
+// missing directory is an empty log, not an error.
+func ListSegments(fsys vfs.FS, dir string) ([]uint64, error) {
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil
+	}
+	var segs []uint64
+	for _, name := range names {
+		if n, ok := parseSegmentName(name); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// Open creates a log appending to a FRESH segment numbered one past the
+// highest existing segment. Existing segments are left untouched for
+// Replay — Open never appends to a file that may end in a torn record.
+// The directory is created if missing.
+func Open(dir string, opts Options) (*Log, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	segs, err := ListSegments(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if len(segs) > 0 {
+		next = segs[len(segs)-1] + 1
+	}
+	l := &Log{fs: fsys, dir: dir, seg: next, mode: opts.Sync}
+	if err := l.openSegment(next); err != nil {
+		return nil, err
+	}
+	// Make the new segment's name durable so a crash immediately after
+	// boot cannot lose the file the engine believes it is logging to.
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, fmt.Errorf("wal: sync dir %s: %w", dir, err)
+	}
+	return l, nil
+}
+
+func (l *Log) openSegment(seg uint64) error {
+	f, err := l.fs.Create(l.path(seg))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %d: %w", seg, err)
+	}
+	l.file = f
+	l.seg = seg
+	l.statMu.Lock()
+	l.stats.ActiveSegment = seg
+	l.statMu.Unlock()
+	return nil
+}
+
+func (l *Log) path(seg uint64) string { return l.dir + "/" + segmentName(seg) }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// ActiveSegment returns the segment currently appended to.
+func (l *Log) ActiveSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// Append frames and writes one record to the active segment and returns
+// its LSN. Under SyncAlways the record is fsynced before Append returns;
+// under SyncGroup the caller must Sync(lsn) before acknowledging the
+// mutation as durable. Append never partially applies: on a write error
+// the log is poisoned (ErrFailed) because the file tail is now undefined.
+func (l *Log) Append(r *Record) (LSN, error) {
+	frame, err := EncodeRecord(nil, r)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return 0, fmt.Errorf("%w: %w", ErrFailed, err)
+	}
+	if _, err := l.file.Write(frame); err != nil {
+		l.failed = err
+		l.mu.Unlock()
+		return 0, fmt.Errorf("%w: append: %w", ErrFailed, err)
+	}
+	l.pending++
+	l.statMu.Lock()
+	l.stats.Appended++
+	l.stats.AppendedBytes += uint64(len(frame))
+	lsn := LSN(l.stats.Appended)
+	l.statMu.Unlock()
+	l.mu.Unlock()
+
+	if l.mode == SyncAlways {
+		if err := l.Sync(lsn); err != nil {
+			return lsn, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync blocks until lsn is durable. Concurrent callers absorb each other:
+// one fsync covers every record appended before it started.
+func (l *Log) Sync(lsn LSN) error {
+	if l.mode == SyncNone {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.statMu.Lock()
+	if l.durable >= uint64(lsn) {
+		l.stats.SyncAbsorbed++
+		l.statMu.Unlock()
+		return nil
+	}
+	l.statMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %w", ErrFailed, err)
+	}
+	file := l.file
+	l.statMu.Lock()
+	target := l.stats.Appended
+	l.statMu.Unlock()
+	l.pending = 0
+	l.mu.Unlock()
+
+	start := time.Now()
+	err := file.Sync()
+	elapsed := time.Since(start)
+	if err != nil {
+		// fsync failure: the kernel may have discarded dirty pages while
+		// marking them clean, so nothing appended since the last good
+		// fsync can be trusted. Poison the log (fail-stop) rather than
+		// retry into a lie.
+		l.mu.Lock()
+		l.failed = err
+		l.mu.Unlock()
+		return fmt.Errorf("%w: fsync: %w", ErrFailed, err)
+	}
+	l.statMu.Lock()
+	l.stats.Syncs++
+	l.stats.SyncNanos += elapsed.Nanoseconds()
+	if target > l.durable {
+		l.durable = target
+		l.stats.Durable = target
+	}
+	l.statMu.Unlock()
+	return nil
+}
+
+// SyncAll blocks until every record appended so far is durable. The engine
+// commits with it after releasing its state lock: the LSN bookkeeping stays
+// inside the log, and absorbing a concurrent committer's fsync of a *later*
+// LSN is just as correct (durability is prefix-closed).
+func (l *Log) SyncAll() error {
+	l.statMu.Lock()
+	appended := l.stats.Appended
+	l.statMu.Unlock()
+	return l.Sync(LSN(appended))
+}
+
+// Rotate fsyncs and closes the active segment and starts the next one.
+// The caller must guarantee no concurrent Append (the engine rotates under
+// its state lock, which excludes all mutators). On return every previously
+// appended record is durable in a sealed segment.
+func (l *Log) Rotate() error {
+	// Seal the active segment: everything appended must be durable before
+	// the checkpoint that motivated this rotation captures state.
+	l.statMu.Lock()
+	appended := l.stats.Appended
+	l.statMu.Unlock()
+	if err := l.Sync(LSN(appended)); err != nil && l.mode != SyncNone {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	}
+	if l.mode == SyncNone {
+		// Sync was a no-op above; still flush so the sealed segment's
+		// replayable prefix is complete on a clean rotation.
+		if err := l.file.Sync(); err != nil {
+			l.failed = err
+			return fmt.Errorf("%w: fsync: %w", ErrFailed, err)
+		}
+	}
+	if err := l.file.Close(); err != nil {
+		l.failed = err
+		return fmt.Errorf("%w: close segment %d: %w", ErrFailed, l.seg, err)
+	}
+	if err := l.openSegment(l.seg + 1); err != nil {
+		l.failed = err
+		return err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		l.failed = err
+		return fmt.Errorf("%w: sync dir: %w", ErrFailed, err)
+	}
+	l.pending = 0
+	l.statMu.Lock()
+	l.stats.Rotations++
+	l.statMu.Unlock()
+	return nil
+}
+
+// PruneBefore removes every segment numbered below seg — the truncation
+// half of a checkpoint, called only after the covering snapshot is durably
+// on disk. Removal failures are returned but non-fatal to the log: stale
+// segments cost disk, not correctness, because snapshots record the first
+// segment they do NOT cover and replay skips the rest.
+func (l *Log) PruneBefore(seg uint64) error {
+	segs, err := ListSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	removed := false
+	for _, s := range segs {
+		if s >= seg {
+			continue
+		}
+		if err := l.fs.Remove(l.path(s)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: prune segment %d: %w", s, err)
+		} else if err == nil {
+			removed = true
+		}
+	}
+	if removed {
+		if err := l.fs.SyncDir(l.dir); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: sync dir: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Log) Stats() Stats {
+	l.statMu.Lock()
+	defer l.statMu.Unlock()
+	return l.stats
+}
+
+// Mode returns the fsync policy.
+func (l *Log) Mode() SyncMode { return l.mode }
+
+// Close fsyncs and closes the active segment. Further operations fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	file := l.file
+	failed := l.failed
+	l.mu.Unlock()
+	if failed != nil {
+		file.Close()
+		return nil
+	}
+	if l.mode != SyncNone {
+		if err := file.Sync(); err != nil {
+			file.Close()
+			return fmt.Errorf("wal: close fsync: %w", err)
+		}
+	}
+	return file.Close()
+}

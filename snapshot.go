@@ -5,40 +5,82 @@ import (
 	"io"
 
 	"nebula/internal/snapshot"
+	"nebula/internal/verification"
 )
 
 // SaveSnapshot persists the engine's runtime state — data, annotations,
 // attachments, ACG, hop profile — as a versioned gob stream. The NebulaMeta
 // repository is configuration, not state, and is NOT captured: re-register
 // concepts/patterns/ontologies when restoring (see RestoreEngine).
+//
+// The engine's read lock is held only while capturing the state into
+// serializable form; encoding and writing happen after it is released, so
+// a slow writer never blocks mutations for the duration of the I/O.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	snap, err := snapshot.Capture(snapshot.State{
-		DB:      e.db,
-		Store:   e.store,
-		Graph:   e.graph,
-		Profile: e.profile,
-	})
+	snap, err := e.captureSnapshot()
 	if err != nil {
 		return err
 	}
 	return snapshot.Save(w, snap)
 }
 
+// captureSnapshot deep-copies the engine state into a Snapshot under the
+// read lock. The returned value shares nothing mutable with the engine
+// (Capture dumps rows and edges into plain structs), so callers serialize
+// it lock-free.
+func (e *Engine) captureSnapshot() (*snapshot.Snapshot, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return snapshot.Capture(e.snapshotState())
+}
+
+// snapshotState assembles the capture input. Caller holds e.mu (either
+// mode). Bounds and the pending verification queue ride along because
+// they are durable state: a checkpoint prunes the WAL records that
+// established them, so the snapshot must carry them or recovery would
+// route post-checkpoint submissions with stale thresholds and silently
+// lose every task still awaiting an expert.
+func (e *Engine) snapshotState() snapshot.State {
+	b := e.manager.Bounds()
+	var tasks []snapshot.TaskDump
+	for _, t := range e.manager.PendingTasks() { // ordered by VID
+		tasks = append(tasks, snapshot.TaskDump{
+			VID:        t.VID,
+			Annotation: string(t.Annotation),
+			Table:      t.Tuple.Table,
+			Key:        t.Tuple.Key,
+			Confidence: t.Confidence,
+			Evidence:   append([]string(nil), t.Evidence...),
+		})
+	}
+	return snapshot.State{
+		DB:          e.db,
+		Store:       e.store,
+		Graph:       e.graph,
+		Profile:     e.profile,
+		HasBounds:   true,
+		BoundsLower: b.Lower,
+		BoundsUpper: b.Upper,
+		Tasks:       tasks,
+		NextVID:     e.manager.NextVID(),
+	}
+}
+
 // SaveSnapshotFile persists the engine's state to path durably and
 // atomically: the checksummed stream is written to a temp file in the same
 // directory, fsynced, and renamed over path, so a crash mid-save never
-// leaves a half-written state file where the previous snapshot was.
+// leaves a half-written state file where the previous snapshot was. Like
+// SaveSnapshot, the engine lock is held only for the in-memory capture —
+// the disk work runs after release.
+//
+// With a WAL attached this is a full checkpoint: the log is rotated so the
+// snapshot's coverage boundary is recorded, and the covered segments are
+// pruned once the snapshot is durable (see Checkpoint).
 func (e *Engine) SaveSnapshotFile(path string) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	snap, err := snapshot.Capture(snapshot.State{
-		DB:      e.db,
-		Store:   e.store,
-		Graph:   e.graph,
-		Profile: e.profile,
-	})
+	if e.wal != nil {
+		return e.Checkpoint(path)
+	}
+	snap, err := e.captureSnapshot()
 	if err != nil {
 		return err
 	}
@@ -53,6 +95,11 @@ var ErrSnapshotCorrupt = snapshot.ErrCorrupt
 // receives the restored database and must return the NebulaMeta repository
 // for it (typically the same registration code the application ran when it
 // first created the engine).
+//
+// If the snapshot was written by a checkpoint, the engine remembers the
+// recorded WAL coverage boundary: a subsequent ReplayWAL/RecoverWAL skips
+// the segments the snapshot already folds in, so a crash between
+// checkpointing and pruning never double-applies history.
 func RestoreEngine(r io.Reader, configureMeta func(*Database) (*MetaRepository, error), opts Options) (*Engine, error) {
 	snap, err := snapshot.Load(r)
 	if err != nil {
@@ -73,5 +120,27 @@ func RestoreEngine(r io.Reader, configureMeta func(*Database) (*MetaRepository, 
 	// NewWithState created a fresh profile; adopt the restored counters.
 	buckets, unreachable := st.Profile.Counts()
 	e.profile.RestoreCounts(buckets, unreachable)
+	e.walBaseSegment = snap.WALSegment
+	if snap.HasBounds {
+		// The snapshot's thresholds override opts.Bounds: they reflect
+		// every SetBounds/TuneBounds folded into the captured state.
+		if err := e.setBounds(Bounds{Lower: snap.BoundsLower, Upper: snap.BoundsUpper}); err != nil {
+			return nil, fmt.Errorf("nebula: restore bounds: %w", err)
+		}
+	}
+	if len(snap.Tasks) > 0 || snap.NextVID > 0 {
+		tasks := make([]*verification.Task, len(snap.Tasks))
+		for i, d := range snap.Tasks {
+			tasks[i] = &verification.Task{
+				VID:        d.VID,
+				Annotation: AnnotationID(d.Annotation),
+				Tuple:      TupleID{Table: d.Table, Key: d.Key},
+				Confidence: d.Confidence,
+				Evidence:   append([]string(nil), d.Evidence...),
+				Decision:   verification.Pending,
+			}
+		}
+		e.manager.RestoreTasks(tasks, snap.NextVID)
+	}
 	return e, nil
 }

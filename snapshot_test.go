@@ -2,6 +2,7 @@ package nebula_test
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -66,6 +67,18 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	if restored.Profile().Total() != e.Profile().Total() {
 		t.Errorf("profile %d != %d", restored.Profile().Total(), e.Profile().Total())
 	}
+	// The pending expert queue is durable state: tasks and their VIDs
+	// survive the round trip exactly.
+	origTasks, restTasks := e.PendingTasks(), restored.PendingTasks()
+	if len(restTasks) != len(origTasks) {
+		t.Fatalf("pending tasks %d != %d", len(restTasks), len(origTasks))
+	}
+	for i, task := range origTasks {
+		r := restTasks[i]
+		if r.VID != task.VID || r.Annotation != task.Annotation || r.Tuple != task.Tuple || r.Confidence != task.Confidence {
+			t.Errorf("pending task %d mismatch: %+v != %+v", i, r, task)
+		}
+	}
 
 	// The restored engine is fully operational: rediscovering the same
 	// annotation works and finds the same candidates.
@@ -99,5 +112,78 @@ func TestRestoreEngineErrors(t *testing.T) {
 	}
 	if _, err := nebula.RestoreEngine(bytes.NewReader(buf.Bytes()), bad, nebula.DefaultOptions()); err == nil {
 		t.Error("configureMeta error not propagated")
+	}
+	// Stream truncated mid-section: every proper prefix of a valid snapshot
+	// must be rejected, never half-restored. Step coarsely through the
+	// prefix space plus the exact section boundaries near the end.
+	valid := buf.Bytes()
+	cuts := []int{1, len(valid) / 4, len(valid) / 2, 3 * len(valid) / 4, len(valid) - 1}
+	for _, cut := range cuts {
+		if _, err := nebula.RestoreEngine(bytes.NewReader(valid[:cut]), fixtureMeta, nebula.DefaultOptions()); err == nil {
+			t.Errorf("truncated snapshot (%d/%d bytes) accepted", cut, len(valid))
+		}
+	}
+}
+
+// fixtureMeta rebuilds the NebulaMeta registrations for a restored
+// engineFixture database (meta is configuration, not snapshot state).
+func fixtureMeta(db *nebula.Database) (*nebula.MetaRepository, error) {
+	return workload.BuildMeta(db, rand.New(rand.NewSource(11)))
+}
+
+// TestRestoreDuringConcurrentDiscover races snapshot capture + restore
+// against live discovery on the source engine (run under -race via make
+// check). SaveSnapshot must not hold the engine lock across encoding in a
+// way that deadlocks or tears state, and every captured stream must
+// restore to a fully operational engine.
+func TestRestoreDuringConcurrentDiscover(t *testing.T) {
+	e, ds := engineFixture(t, nebula.DefaultOptions())
+	specs := ds.WorkloadSet(500, workload.RefClass{Min: 4, Max: 6})
+	if len(specs) < 2 {
+		t.Fatal("fixture produced too few workload specs")
+	}
+	for _, spec := range specs[:2] {
+		if err := e.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	discErr := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.Discover(specs[i%2].Ann.ID); err != nil {
+				discErr <- err
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < 8; round++ {
+		var buf bytes.Buffer
+		if err := e.SaveSnapshot(&buf); err != nil {
+			t.Fatalf("round %d: snapshot under concurrent discover: %v", round, err)
+		}
+		restored, err := nebula.RestoreEngine(bytes.NewReader(buf.Bytes()), fixtureMeta, nebula.DefaultOptions())
+		if err != nil {
+			t.Fatalf("round %d: restore under concurrent discover: %v", round, err)
+		}
+		if _, err := restored.Discover(specs[0].Ann.ID); err != nil {
+			t.Fatalf("round %d: restored engine cannot discover: %v", round, err)
+		}
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-discErr:
+		t.Fatalf("concurrent discover failed: %v", err)
+	default:
 	}
 }

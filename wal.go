@@ -1,0 +1,477 @@
+package nebula
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"nebula/internal/relational"
+	"nebula/internal/snapshot"
+	"nebula/internal/vfs"
+	"nebula/internal/wal"
+)
+
+// This file binds the engine to its write-ahead log. The protocol:
+//
+//   - Every durable mutation appends a logical wal.Record under the
+//     engine's write lock, BEFORE applying the change, then fsyncs (with
+//     group-commit absorption) after releasing the lock — so concurrent
+//     committers share flushes instead of serializing disk waits behind
+//     the state lock.
+//   - Records are logical and replay deterministically: outcome-dependent
+//     operations (discovery routing, oracle resolutions, bounds tuning)
+//     log their computed result, never the computation.
+//   - Recovery is RestoreEngine (or a fresh engine) + ReplayWAL +
+//     AttachWAL; Checkpoint folds the replayed state into a snapshot and
+//     prunes the covered segments.
+//
+// AttachWAL must happen before the engine is shared across goroutines:
+// the binding pointer is read without the lock on the commit path.
+
+// walBinding carries the per-engine WAL state.
+type walBinding struct {
+	log *wal.Log
+	fs  vfs.FS
+
+	// captureActive/captureErr implement MutateDB row capture; both are
+	// guarded by the engine's write lock (the row hook only fires inside
+	// write-locked mutations).
+	captureActive bool
+	captureErr    error
+
+	// ckptMu serializes checkpoints (Rotate is not safe to race with
+	// itself).
+	ckptMu      sync.Mutex
+	checkpoints atomic.Int64
+
+	// replay records the boot-time recovery pass for observability.
+	replayMu sync.Mutex
+	replay   wal.ReplayStats
+}
+
+// walLogf receives non-fatal WAL housekeeping failures (checkpoint prune
+// errors). Replaceable for tests; defaults to the standard logger.
+var walLogf = log.Printf
+
+// AttachWAL binds an open write-ahead log to the engine: from this call on,
+// every mutation is appended to l before it is applied, and acknowledged
+// only once durable per l's sync mode. Attach after ReplayWAL (attaching
+// first makes replay refuse to run — it would re-log history), and before
+// the engine is shared across goroutines.
+func (e *Engine) AttachWAL(l *wal.Log) {
+	e.attachWAL(l, vfs.OS{})
+}
+
+// attachWAL is AttachWAL with an explicit filesystem seam for checkpoint
+// writes — the hook the crash-fault tests use.
+func (e *Engine) attachWAL(l *wal.Log, fsys vfs.FS) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := &walBinding{log: l, fs: fsys}
+	e.wal = b
+	// Raw MutateDB row operations are captured at the relational layer:
+	// the hook sees every committed Insert/Delete/Update, and the
+	// captureActive flag keeps engine-level operations (DeleteTuple, WAL
+	// replay, snapshot restore) from double-logging their row effects.
+	e.db.SetRowMutationHook(func(m relational.RowMutation) {
+		if !b.captureActive || b.captureErr != nil {
+			return
+		}
+		if _, err := l.Append(rowMutationRecord(m)); err != nil {
+			b.captureErr = fmt.Errorf("nebula: wal append: %w", err)
+		}
+	})
+}
+
+// WAL returns the attached log, or nil when the engine runs without one.
+func (e *Engine) WAL() *wal.Log {
+	if e.wal == nil {
+		return nil
+	}
+	return e.wal.log
+}
+
+// walAppend logs one record. Callers must hold e.mu in write mode; a nil
+// binding (no WAL) appends nothing. The record is buffered, not yet
+// durable — walCommit finishes the job after the lock is released.
+func (e *Engine) walAppend(rec *wal.Record) error {
+	if e.wal == nil {
+		return nil
+	}
+	if _, err := e.wal.log.Append(rec); err != nil {
+		return fmt.Errorf("nebula: wal append: %w", err)
+	}
+	return nil
+}
+
+// walCommit makes every record appended so far durable. Called AFTER e.mu
+// is released so concurrent committers group-commit: one fsync covers all
+// of them. A failed operation (opErr != nil) is passed through without
+// syncing — an error reply promises nothing about durability, and replay
+// re-fails the logged intent deterministically.
+func (e *Engine) walCommit(opErr error) error {
+	if e.wal == nil || opErr != nil {
+		return opErr
+	}
+	if err := e.wal.log.SyncAll(); err != nil {
+		return fmt.Errorf("nebula: wal sync: %w", err)
+	}
+	return nil
+}
+
+// --- record construction (engine types -> wal wire types) ---
+
+func tupleRef(id TupleID) wal.TupleRef { return wal.TupleRef{Table: id.Table, Key: id.Key} }
+
+func refTuple(r wal.TupleRef) TupleID { return TupleID{Table: r.Table, Key: r.Key} }
+
+func tupleRefs(ids []TupleID) []wal.TupleRef {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]wal.TupleRef, len(ids))
+	for i, id := range ids {
+		out[i] = tupleRef(id)
+	}
+	return out
+}
+
+func refTuples(refs []wal.TupleRef) []TupleID {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]TupleID, len(refs))
+	for i, r := range refs {
+		out[i] = refTuple(r)
+	}
+	return out
+}
+
+func valueCell(v Value) wal.Cell {
+	c := wal.Cell{Kind: int(v.Kind())}
+	switch v.Kind() {
+	case TypeInt:
+		c.Int = v.AsInt()
+	case TypeFloat:
+		c.Flt = v.AsFloat()
+	default:
+		c.Str = v.Str()
+	}
+	return c
+}
+
+func cellValue(c wal.Cell) Value {
+	switch relational.Type(c.Kind) {
+	case TypeInt:
+		return Int(c.Int)
+	case TypeFloat:
+		return Float(c.Flt)
+	default:
+		return String(c.Str)
+	}
+}
+
+func recAddAnnotation(a *Annotation, attachTo []TupleID) *wal.Record {
+	return &wal.Record{
+		Op:       wal.OpAddAnnotation,
+		Ann:      string(a.ID),
+		Author:   a.Author,
+		Body:     a.Body,
+		Kind:     a.Kind,
+		AttachTo: tupleRefs(attachTo),
+	}
+}
+
+func recDeleteTuple(id TupleID) *wal.Record {
+	return &wal.Record{Op: wal.OpDeleteTuple, Tuple: tupleRef(id)}
+}
+
+func rowMutationRecord(m relational.RowMutation) *wal.Record {
+	switch m.Kind {
+	case relational.RowInsert:
+		cells := make([]wal.Cell, len(m.Values))
+		for i, v := range m.Values {
+			cells[i] = valueCell(v)
+		}
+		return &wal.Record{Op: wal.OpInsertRow, Table: m.Table, Values: cells}
+	case relational.RowDelete:
+		return &wal.Record{Op: wal.OpDeleteRow, Tuple: wal.TupleRef{Table: m.Table, Key: m.Key}}
+	default: // relational.RowUpdate
+		return &wal.Record{
+			Op:     wal.OpUpdateRow,
+			Tuple:  wal.TupleRef{Table: m.Table, Key: m.Key},
+			Column: m.Column,
+			Value:  valueCell(m.Value),
+		}
+	}
+}
+
+func recSubmit(id AnnotationID, disc *Discovery, degraded bool, firstVID int64) *wal.Record {
+	cands := make([]wal.CandidateRef, len(disc.Candidates))
+	for i, c := range disc.Candidates {
+		cands[i] = wal.CandidateRef{
+			Tuple:      tupleRef(c.Tuple.ID),
+			Confidence: c.Confidence,
+			Evidence:   c.Evidence,
+		}
+	}
+	return &wal.Record{
+		Op:         wal.OpSubmit,
+		Ann:        string(id),
+		Focal:      tupleRefs(disc.Focal),
+		Candidates: cands,
+		Degraded:   degraded,
+		FirstVID:   firstVID,
+	}
+}
+
+func recVerdict(t *VerificationTask, accept bool) *wal.Record {
+	return &wal.Record{
+		Op:     wal.OpVerdict,
+		Ann:    string(t.Annotation),
+		Tuple:  tupleRef(t.Tuple),
+		VID:    t.VID,
+		Accept: accept,
+	}
+}
+
+func recBounds(b Bounds) *wal.Record {
+	return &wal.Record{Op: wal.OpSetBounds, Lower: b.Lower, Upper: b.Upper}
+}
+
+// --- replay (wal.Record -> engine mutation) ---
+
+// ReplayWAL applies the durable records in dir onto the engine, skipping
+// segments already folded into the snapshot the engine was restored from
+// (the snapshot's recorded WALSegment boundary; a fresh engine replays
+// everything). It must run BEFORE AttachWAL — replaying through an
+// attached log would re-log history. Torn or corrupt trailing records are
+// discarded by the CRC framing (see wal.Replay); apply errors are counted,
+// not fatal, because they are deterministic re-executions of operations
+// that also failed live.
+func (e *Engine) ReplayWAL(dir string, fsys vfs.FS) (wal.ReplayStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal != nil {
+		return wal.ReplayStats{}, fmt.Errorf("nebula: ReplayWAL must run before AttachWAL")
+	}
+	return wal.Replay(dir, wal.ReplayConfig{FS: fsys, FromSegment: e.walBaseSegment},
+		func(rec *wal.Record) error { return e.applyRecord(rec) })
+}
+
+// RecoverWAL is the boot sequence in one call: replay dir's durable suffix
+// onto the engine, then open the log (always a fresh segment) and attach
+// it. The replay stats are retained for WALStats. Callers that want the
+// log truncated afterwards follow with Checkpoint.
+func (e *Engine) RecoverWAL(dir string, opts wal.Options) (wal.ReplayStats, error) {
+	stats, err := e.ReplayWAL(dir, opts.FS)
+	if err != nil {
+		return stats, err
+	}
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		return stats, err
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	e.attachWAL(l, fsys)
+	e.wal.replayMu.Lock()
+	e.wal.replay = stats
+	e.wal.replayMu.Unlock()
+	return stats, nil
+}
+
+// applyRecord replays one logged mutation. Caller holds e.mu in write
+// mode. The apply paths are exactly the live mutation cores — record
+// construction and durability are the only things the live wrappers add.
+func (e *Engine) applyRecord(rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpAddAnnotation:
+		a := &Annotation{
+			ID:     AnnotationID(rec.Ann),
+			Author: rec.Author,
+			Body:   rec.Body,
+			Kind:   rec.Kind,
+		}
+		return e.addAnnotation(a, refTuples(rec.AttachTo))
+
+	case wal.OpDeleteTuple:
+		_, _, err := e.deleteTuple(refTuple(rec.Tuple))
+		return err
+
+	case wal.OpInsertRow:
+		t, ok := e.db.Table(rec.Table)
+		if !ok {
+			return fmt.Errorf("nebula: wal replay: unknown table %q", rec.Table)
+		}
+		values := make([]Value, len(rec.Values))
+		for i, c := range rec.Values {
+			values[i] = cellValue(c)
+		}
+		_, err := t.Insert(values)
+		return err
+
+	case wal.OpUpdateRow:
+		t, ok := e.db.Table(rec.Tuple.Table)
+		if !ok {
+			return fmt.Errorf("nebula: wal replay: unknown table %q", rec.Tuple.Table)
+		}
+		return t.UpdateByKey(rec.Tuple.Key, rec.Column, cellValue(rec.Value))
+
+	case wal.OpDeleteRow:
+		t, ok := e.db.Table(rec.Tuple.Table)
+		if !ok {
+			return fmt.Errorf("nebula: wal replay: unknown table %q", rec.Tuple.Table)
+		}
+		if !t.DeleteByKey(rec.Tuple.Key) {
+			return fmt.Errorf("nebula: wal replay: no tuple %s", refTuple(rec.Tuple))
+		}
+		return nil
+
+	case wal.OpSubmit:
+		// Pin the VID counter so replayed tasks get the identifiers the
+		// recorded verdicts reference.
+		e.manager.SetNextVID(rec.FirstVID)
+		cands := make([]Candidate, 0, len(rec.Candidates))
+		for _, c := range rec.Candidates {
+			row, ok := e.db.Lookup(refTuple(c.Tuple))
+			if !ok {
+				return fmt.Errorf("nebula: wal replay: candidate tuple %s not in database", c.Tuple)
+			}
+			cands = append(cands, Candidate{Tuple: row, Confidence: c.Confidence, Evidence: c.Evidence})
+		}
+		submit := e.manager.Submit
+		if rec.Degraded {
+			submit = e.manager.SubmitDegraded
+		}
+		e.bumpMutEpoch()
+		_, err := submit(AnnotationID(rec.Ann), refTuples(rec.Focal), cands)
+		return err
+
+	case wal.OpVerdict:
+		if _, ok := e.manager.Pending(rec.VID); ok {
+			if rec.Accept {
+				return e.verifyAttachment(rec.VID)
+			}
+			return e.rejectAttachment(rec.VID)
+		}
+		// The task's submission predates the snapshot this replay layers
+		// on (pending tasks are process state, not snapshot state). A
+		// rejection's only effect was deleting the pending entry — gone
+		// already; an acceptance's durable side effects must be re-applied.
+		if !rec.Accept {
+			return nil
+		}
+		id := AnnotationID(rec.Ann)
+		e.bumpMutEpoch()
+		return e.manager.ForceAccept(id, refTuple(rec.Tuple), e.store.Focal(id))
+
+	case wal.OpSetBounds:
+		return e.setBounds(Bounds{Lower: rec.Lower, Upper: rec.Upper})
+
+	default:
+		return fmt.Errorf("nebula: wal replay: unknown op %v", rec.Op)
+	}
+}
+
+// --- checkpoint ---
+
+// Checkpoint folds the engine's current state into a durable snapshot at
+// path and truncates the WAL behind it: rotate to a fresh segment (under
+// the state lock, so the sealed segments exactly cover the captured
+// state), capture, write the snapshot (temp + fsync + atomic rename) with
+// the rotation boundary recorded, then prune the covered segments. A crash
+// at ANY point leaves a recoverable store: before the rename the old
+// snapshot + full log still replay; after the rename but before the prune,
+// the recorded boundary makes replay skip the already-folded segments.
+//
+// Without an attached WAL, Checkpoint degrades to SaveSnapshotFile.
+func (e *Engine) Checkpoint(path string) error {
+	b := e.wal
+	if b == nil {
+		return e.SaveSnapshotFile(path)
+	}
+	b.ckptMu.Lock()
+	defer b.ckptMu.Unlock()
+
+	e.mu.RLock()
+	// Rotate excludes concurrent Append via the read lock (mutators hold
+	// the write lock); ckptMu excludes concurrent Rotate from another
+	// checkpoint.
+	if err := b.log.Rotate(); err != nil {
+		e.mu.RUnlock()
+		return fmt.Errorf("nebula: checkpoint rotate: %w", err)
+	}
+	boundary := b.log.ActiveSegment()
+	snap, err := snapshot.Capture(e.snapshotState())
+	e.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	snap.WALSegment = boundary
+	if err := snapshot.SaveFileFS(b.fs, path, snap); err != nil {
+		return err
+	}
+	b.checkpoints.Add(1)
+	if err := b.log.PruneBefore(boundary); err != nil {
+		// Stale segments cost disk, not correctness: the snapshot's
+		// boundary makes replay skip them. Surface and continue.
+		walLogf("nebula: wal prune after checkpoint: %v", err)
+	}
+	return nil
+}
+
+// WALStats describes the engine's durability state for observability
+// surfaces (the /metrics exporter, nebulactl wal-info).
+type WALStats struct {
+	// Attached reports whether a WAL is bound to the engine.
+	Attached bool
+	// Mode is the fsync policy ("group", "always", "none").
+	Mode string
+	// Log is the log's counter snapshot.
+	Log wal.Stats
+	// Checkpoints counts successful Checkpoint calls on this engine.
+	Checkpoints int64
+	// Replay describes the boot-time recovery pass (zero when the engine
+	// started fresh or was attached without RecoverWAL).
+	Replay wal.ReplayStats
+}
+
+// WALStats returns a point-in-time snapshot of the WAL counters; the zero
+// value when no WAL is attached.
+func (e *Engine) WALStats() WALStats {
+	b := e.wal
+	if b == nil {
+		return WALStats{}
+	}
+	b.replayMu.Lock()
+	replay := b.replay
+	b.replayMu.Unlock()
+	return WALStats{
+		Attached:    true,
+		Mode:        b.log.Mode().String(),
+		Log:         b.log.Stats(),
+		Checkpoints: b.checkpoints.Load(),
+		Replay:      replay,
+	}
+}
+
+// CloseWAL syncs and closes the attached log and detaches it from the
+// engine (further mutations are no longer logged). Part of graceful
+// shutdown, after the final checkpoint.
+func (e *Engine) CloseWAL() error {
+	e.mu.Lock()
+	b := e.wal
+	e.wal = nil
+	if b != nil {
+		e.db.SetRowMutationHook(nil)
+	}
+	e.mu.Unlock()
+	if b == nil {
+		return nil
+	}
+	return b.log.Close()
+}

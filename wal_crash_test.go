@@ -1,0 +1,581 @@
+package nebula_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"nebula"
+	"nebula/internal/faultinject"
+	"nebula/internal/wal"
+	"nebula/internal/workload"
+)
+
+// These tests are the crash-fault harness for the WAL: they run a
+// deterministic mutation script against a live engine, then simulate
+// crashes by truncating or corrupting the log at every interesting byte
+// and assert that recovery (baseline snapshot + replay) reconstructs
+// EXACTLY the state covered by the durable prefix — corrupt tails
+// detected and discarded, never misapplied, and never losing an
+// acknowledged record.
+
+const crashSeed = 11
+
+// crashFixture builds the deterministic dataset, an engine over it, and
+// the baseline snapshot every recovery layers replay onto. The snapshot
+// is taken BEFORE the WAL attaches: the log records mutations since
+// attach, so recovery needs the pre-attach state as its floor.
+func crashFixture(t testing.TB) (*nebula.Engine, *workload.Dataset, []byte) {
+	t.Helper()
+	ds, err := workload.Generate(workload.TinyConfig(crashSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline bytes.Buffer
+	if err := e.SaveSnapshot(&baseline); err != nil {
+		t.Fatal(err)
+	}
+	return e, ds, baseline.Bytes()
+}
+
+// configureWorkloadMeta rebuilds the NebulaMeta repository for a restored
+// workload database (meta is configuration, not snapshot state). The rng
+// only feeds a column sample; replay determinism does not depend on it.
+func configureWorkloadMeta(db *nebula.Database) (*nebula.MetaRepository, error) {
+	return workload.BuildMeta(db, rand.New(rand.NewSource(crashSeed)))
+}
+
+// scriptStep is one engine mutation in the deterministic crash script.
+type scriptStep struct {
+	name string
+	run  func() error
+}
+
+// crashScript returns the mutation sequence the harness drives: it
+// covers every WAL op — bounds changes, annotation add, discovery
+// submission, raw row insert/update/delete, expert verdicts both ways,
+// oracle resolution, and tuple deletion. Steps are closures so later
+// steps can read state (pending VIDs) produced by earlier ones.
+func crashScript(e *nebula.Engine, ds *workload.Dataset) []scriptStep {
+	specs := ds.WorkloadSet(500, workload.RefClass{Min: 4, Max: 6})
+	spec0, spec1 := specs[0], specs[1]
+	return []scriptStep{
+		// Wide uncertain region so discovery parks candidates as pending
+		// tasks for the verdict steps below.
+		{"set-bounds-wide", func() error {
+			return e.SetBounds(nebula.Bounds{Lower: 0.05, Upper: 0.95})
+		}},
+		{"add-annotation-0", func() error {
+			return e.AddAnnotation(spec0.Ann, spec0.Focal(1))
+		}},
+		{"process-0", func() error {
+			_, _, err := e.Process(spec0.Ann.ID)
+			return err
+		}},
+		{"mutate-db", func() error {
+			return e.MutateDB(func(db *nebula.Database) error {
+				tbl := db.MustTable("Gene")
+				row, err := tbl.Insert([]nebula.Value{
+					nebula.String("JW99999"), nebula.String("zzzZ"),
+					nebula.Int(123), nebula.String("ACGTACGT"), nebula.String("crash"),
+				})
+				if err != nil {
+					return err
+				}
+				if err := tbl.UpdateByKey(row.ID.Key, "Length", nebula.Int(321)); err != nil {
+					return err
+				}
+				if !tbl.DeleteByKey(row.ID.Key) {
+					return fmt.Errorf("inserted gene vanished")
+				}
+				return nil
+			})
+		}},
+		{"add-annotation-1", func() error {
+			return e.AddAnnotation(spec1.Ann, spec1.Focal(1))
+		}},
+		{"process-1", func() error {
+			_, _, err := e.Process(spec1.Ann.ID)
+			return err
+		}},
+		{"verify-lowest-pending", func() error {
+			tasks := e.PendingTasks()
+			if len(tasks) < 2 {
+				return fmt.Errorf("only %d pending tasks; fixture needs >= 2", len(tasks))
+			}
+			sort.Slice(tasks, func(i, j int) bool { return tasks[i].VID < tasks[j].VID })
+			return e.VerifyAttachment(tasks[0].VID)
+		}},
+		{"reject-highest-pending", func() error {
+			tasks := e.PendingTasks()
+			sort.Slice(tasks, func(i, j int) bool { return tasks[i].VID < tasks[j].VID })
+			return e.RejectAttachment(tasks[len(tasks)-1].VID)
+		}},
+		{"resolve-oracle-0", func() error {
+			_, _, err := e.ResolveWithOracle(spec0.Ann.ID, nebula.IdealOracle(ds.Ideal))
+			return err
+		}},
+		{"delete-tuple", func() error {
+			targets := spec1.Hidden(1)
+			if len(targets) == 0 {
+				targets = spec1.Focal(1)
+			}
+			_, _, err := e.DeleteTuple(targets[0])
+			return err
+		}},
+		{"set-bounds-narrow", func() error {
+			return e.SetBounds(nebula.Bounds{Lower: 0.2, Upper: 0.8})
+		}},
+	}
+}
+
+// runScript runs every step, failing the test on any error.
+func runScript(t testing.TB, e *nebula.Engine, ds *workload.Dataset) {
+	t.Helper()
+	for _, s := range crashScript(e, ds) {
+		if err := s.run(); err != nil {
+			t.Fatalf("step %s: %v", s.name, err)
+		}
+	}
+}
+
+// fingerprint captures everything recovery is accountable for: the
+// snapshot stream (data, annotations, attachments, ACG, bounds, pending
+// queue) with the pending tasks and active bounds ALSO dumped explicitly
+// through their public APIs, so a snapshot-layer bug cannot silently
+// vanish from both sides of a comparison. Two engines with equal
+// fingerprints are indistinguishable to every durable API.
+//
+// The hop profile is zeroed first: it is adaptive tuning statistics
+// updated by (otherwise read-only) discovery, explicitly outside the
+// durability contract — checkpoints carry it, replay does not rebuild
+// it, and losing post-checkpoint observations in a crash is acceptable.
+func fingerprint(t testing.TB, e *nebula.Engine) string {
+	t.Helper()
+	e.Profile().RestoreCounts(nil, 0)
+	var sb strings.Builder
+	var snap bytes.Buffer
+	if err := e.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	sb.Write(snap.Bytes())
+	tasks := e.PendingTasks()
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].VID < tasks[j].VID })
+	for _, task := range tasks {
+		fmt.Fprintf(&sb, "\ntask %d %s %s %.9f %v %v",
+			task.VID, task.Annotation, task.Tuple, task.Confidence, task.Evidence, task.Decision)
+	}
+	b := e.Bounds()
+	fmt.Fprintf(&sb, "\nbounds %.9f %.9f", b.Lower, b.Upper)
+	return sb.String()
+}
+
+// segmentFile reads the single WAL segment the scripted run produced.
+func segmentFile(t testing.TB, dir string) (string, []byte) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ent := range entries {
+		names = append(names, ent.Name())
+	}
+	if len(names) != 1 {
+		t.Fatalf("expected exactly one segment, got %v", names)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names[0], data
+}
+
+// recordOffsets scans a segment image and returns the byte offset of
+// every frame boundary: offsets[k] is where record k starts, and the
+// final entry is the file length. These are exactly the clean crash
+// points.
+func recordOffsets(t testing.TB, data []byte) []int64 {
+	t.Helper()
+	offs := []int64{0}
+	r := bytes.NewReader(data)
+	total := int64(len(data))
+	for {
+		_, err := wal.DecodeRecord(r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("scan at offset %d: %v", total-int64(r.Len()), err)
+		}
+		offs = append(offs, total-int64(r.Len()))
+	}
+	return offs
+}
+
+// recoverImage restores the baseline snapshot and replays a crafted
+// segment image over it — one simulated crash recovery.
+func recoverImage(t testing.TB, baseline []byte, segName string, image []byte) (*nebula.Engine, wal.ReplayStats) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName), image, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := nebula.RestoreEngine(bytes.NewReader(baseline), configureWorkloadMeta, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.ReplayWAL(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, stats
+}
+
+// TestWALCrashRecoveryMatrix is the core harness: cut the log at EVERY
+// record boundary and at sampled interior bytes of every frame, recover
+// each cut twice, and assert
+//
+//   - boundary cuts replay cleanly to a deterministic state, one new
+//     state per record (every record matters);
+//   - the full log reconstructs the live engine's exact final state;
+//   - interior cuts are detected as a corrupt tail, discarded with exact
+//     byte accounting, and recover to the floor boundary's state — a
+//     torn record is NEVER partially applied.
+func TestWALCrashRecoveryMatrix(t *testing.T) {
+	e, ds, baseline := crashFixture(t)
+	walDir := t.TempDir()
+	l, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWAL(l)
+	runScript(t, e, ds)
+	finalFP := fingerprint(t, e)
+	if err := e.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	segName, data := segmentFile(t, walDir)
+	offs := recordOffsets(t, data)
+	n := len(offs) - 1
+	if n < 10 {
+		t.Fatalf("script produced only %d records; matrix needs a real log", n)
+	}
+	t.Logf("matrix: %d records, %d bytes", n, len(data))
+
+	// Every record boundary: clean recovery, deterministic, monotone.
+	fps := make([]string, n+1)
+	for k := 0; k <= n; k++ {
+		re, stats := recoverImage(t, baseline, segName, data[:offs[k]])
+		if stats.CorruptTail || stats.DiscardedBytes != 0 {
+			t.Fatalf("cut at boundary %d flagged corrupt: %+v", k, stats)
+		}
+		if stats.Records != k || stats.ApplyErrors != 0 {
+			t.Fatalf("cut at boundary %d: replayed %d records, %d apply errors",
+				k, stats.Records, stats.ApplyErrors)
+		}
+		fps[k] = fingerprint(t, re)
+		re2, _ := recoverImage(t, baseline, segName, data[:offs[k]])
+		if fingerprint(t, re2) != fps[k] {
+			t.Fatalf("recovery at boundary %d is nondeterministic", k)
+		}
+		if k > 0 && fps[k] == fps[k-1] {
+			t.Errorf("record %d had no effect on recovered state", k)
+		}
+	}
+	if fps[n] != finalFP {
+		t.Fatal("full-log recovery does not reproduce the live engine's state")
+	}
+
+	// Interior bytes of every frame: first byte in, midpoint, last byte
+	// short — the torn-write shapes. Each must discard exactly the torn
+	// frame and land on the floor boundary's state.
+	for k := 0; k < n; k++ {
+		width := offs[k+1] - offs[k]
+		cuts := []int64{offs[k] + 1, offs[k] + width/2, offs[k+1] - 1}
+		for _, p := range cuts {
+			if p <= offs[k] || p >= offs[k+1] {
+				continue
+			}
+			re, stats := recoverImage(t, baseline, segName, data[:p])
+			if !stats.CorruptTail {
+				t.Fatalf("cut inside record %d at byte %d not flagged as corrupt tail", k, p)
+			}
+			if stats.Records != k {
+				t.Fatalf("cut inside record %d at byte %d replayed %d records", k, p, stats.Records)
+			}
+			if stats.DiscardedBytes != p-offs[k] {
+				t.Fatalf("cut inside record %d at byte %d: discarded %d bytes, want %d",
+					k, p, stats.DiscardedBytes, p-offs[k])
+			}
+			if fingerprint(t, re) != fps[k] {
+				t.Fatalf("cut inside record %d at byte %d recovered to a state != boundary %d", k, p, k)
+			}
+		}
+	}
+
+	// Bit rot mid-file: a flipped byte in record j's payload discards j
+	// and everything after it (within one segment there is no way to
+	// know the suffix realigned correctly), landing on boundary j.
+	j := n / 2
+	rotten := append([]byte(nil), data...)
+	rotten[offs[j]+13] ^= 0x40
+	re, stats := recoverImage(t, baseline, segName, rotten)
+	if !stats.CorruptTail || stats.Records != j {
+		t.Fatalf("bit rot in record %d: %+v", j, stats)
+	}
+	if stats.DiscardedBytes != int64(len(data))-offs[j] {
+		t.Fatalf("bit rot in record %d discarded %d bytes, want %d",
+			j, stats.DiscardedBytes, int64(len(data))-offs[j])
+	}
+	if fingerprint(t, re) != fps[j] {
+		t.Fatalf("bit rot recovery diverged from boundary %d", j)
+	}
+}
+
+// TestWALCrashInteriorCorruptionRefusesRecovery splits the scripted log
+// into two segments and corrupts the FIRST: records exist after the
+// tear, so this is not a crash tail — history has a hole, and recovery
+// must refuse rather than silently skip it.
+func TestWALCrashInteriorCorruptionRefusesRecovery(t *testing.T) {
+	e, ds, baseline := crashFixture(t)
+	walDir := t.TempDir()
+	l, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWAL(l)
+	runScript(t, e, ds)
+	if err := e.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	_, data := segmentFile(t, walDir)
+	offs := recordOffsets(t, data)
+	mid := (len(offs) - 1) / 2
+
+	dir := t.TempDir()
+	seg1 := append([]byte(nil), data[:offs[mid]]...)
+	seg1[offs[0]+13] ^= 0x40 // rot the first record
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000001.log"), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000002.log"), data[offs[mid]:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := nebula.RestoreEngine(bytes.NewReader(baseline), configureWorkloadMeta, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.ReplayWAL(dir, nil); !errors.Is(err, wal.ErrCorruptInterior) {
+		t.Fatalf("interior corruption replayed without refusal: %v", err)
+	}
+}
+
+// TestWALCrashFsyncPoisoning injects an fsync failure mid-script: the
+// failing operation must surface the error, every later logged mutation
+// must be refused (fail-stop — the log is poisoned), and a restart must
+// recover exactly the state the engine reached in memory: nothing the
+// engine applied before the failure is lost, nothing it refused leaks in.
+func TestWALCrashFsyncPoisoning(t *testing.T) {
+	e, ds, baseline := crashFixture(t)
+	walDir := t.TempDir()
+	ffs := faultinject.WrapFS(nil, faultinject.FSConfig{FailSyncAt: 4})
+	l, err := wal.Open(walDir, wal.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWALFS(l, ffs)
+
+	var firstErr error
+	var failed int
+	for _, s := range crashScript(e, ds) {
+		if err := s.run(); err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("no step failed despite injected fsync fault")
+	}
+	if !errors.Is(firstErr, wal.ErrFailed) || !errors.Is(firstErr, faultinject.ErrInjected) {
+		t.Fatalf("first failure lost its cause chain: %v", firstErr)
+	}
+	if failed < 2 {
+		t.Fatalf("only %d steps failed; the poisoned log should refuse all later mutations", failed)
+	}
+	// The engine's in-memory state froze at the fault (later mutations
+	// abort before applying); its durable image must match it.
+	liveFP := fingerprint(t, e)
+	e.CloseWAL() // close of a poisoned log may itself error; recovery below is the real check
+
+	re2, err := nebula.RestoreEngine(bytes.NewReader(baseline), configureWorkloadMeta, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rstats, err := re2.ReplayWAL(walDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.ApplyErrors != 0 {
+		t.Fatalf("recovery replay hit %d apply errors", rstats.ApplyErrors)
+	}
+	if fingerprint(t, re2) != liveFP {
+		t.Fatal("recovered state diverged from the engine's state at the fault")
+	}
+}
+
+// TestWALCheckpointRenameCrash fails the checkpoint's atomic rename —
+// the snapshot never lands. The checkpoint must report the error, leave
+// no snapshot behind, keep the engine fully usable, and the OLD snapshot
+// plus the un-pruned log (now spanning the rotation) must still recover
+// the complete state.
+func TestWALCheckpointRenameCrash(t *testing.T) {
+	e, ds, baseline := crashFixture(t)
+	walDir := t.TempDir()
+	ffs := faultinject.WrapFS(nil, faultinject.FSConfig{FailRenameAt: 1})
+	l, err := wal.Open(walDir, wal.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWALFS(l, ffs)
+
+	steps := crashScript(e, ds)
+	half := len(steps) / 2
+	for _, s := range steps[:half] {
+		if err := s.run(); err != nil {
+			t.Fatalf("step %s: %v", s.name, err)
+		}
+	}
+	ckpt := filepath.Join(t.TempDir(), "ckpt.snap")
+	if err := e.Checkpoint(ckpt); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("checkpoint with failing rename: %v", err)
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed checkpoint left a snapshot file behind")
+	}
+	// Engine unharmed: the rest of the script runs, spanning the rotated
+	// segment.
+	for _, s := range steps[half:] {
+		if err := s.run(); err != nil {
+			t.Fatalf("post-checkpoint step %s: %v", s.name, err)
+		}
+	}
+	liveFP := fingerprint(t, e)
+	if err := e.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := nebula.RestoreEngine(bytes.NewReader(baseline), configureWorkloadMeta, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := re.ReplayWAL(walDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments != 2 {
+		t.Fatalf("expected the failed checkpoint's rotation to leave 2 segments, replayed %d", stats.Segments)
+	}
+	if fingerprint(t, re) != liveFP {
+		t.Fatal("old snapshot + full log did not recover the complete state")
+	}
+}
+
+// TestWALCheckpointPruneCrash fails the prune AFTER the checkpoint
+// snapshot is durable: stale covered segments survive on disk. The
+// recorded coverage boundary must make recovery skip them — replaying
+// them onto the new snapshot would double-apply history.
+func TestWALCheckpointPruneCrash(t *testing.T) {
+	e, ds, baseline := crashFixture(t)
+	walDir := t.TempDir()
+	ffs := faultinject.WrapFS(nil, faultinject.FSConfig{FailRemoveAt: 1})
+	l, err := wal.Open(walDir, wal.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWALFS(l, ffs)
+
+	var pruneLogs int
+	defer nebula.SetWALLogf(func(format string, args ...any) { pruneLogs++ })()
+
+	steps := crashScript(e, ds)
+	half := len(steps) / 2
+	for _, s := range steps[:half] {
+		if err := s.run(); err != nil {
+			t.Fatalf("step %s: %v", s.name, err)
+		}
+	}
+	ckpt := filepath.Join(t.TempDir(), "ckpt.snap")
+	if err := e.Checkpoint(ckpt); err != nil {
+		t.Fatalf("checkpoint must survive a prune failure: %v", err)
+	}
+	if pruneLogs == 0 {
+		t.Error("prune failure was not surfaced to the log")
+	}
+	for _, s := range steps[half:] {
+		if err := s.run(); err != nil {
+			t.Fatalf("post-checkpoint step %s: %v", s.name, err)
+		}
+	}
+	liveFP := fingerprint(t, e)
+	if err := e.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale segment is still there alongside the active one.
+	entries, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("expected stale + active segments after failed prune, found %d files", len(entries))
+	}
+
+	// Recovery from the NEW snapshot: the boundary skips the stale
+	// segment — no double apply.
+	snapBytes, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := nebula.RestoreEngine(bytes.NewReader(snapBytes), configureWorkloadMeta, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := re.ReplayWAL(walDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SkippedSegments != 1 {
+		t.Fatalf("stale covered segment not skipped: %+v", stats)
+	}
+	if fingerprint(t, re) != liveFP {
+		t.Fatal("checkpoint + suffix recovery diverged (double apply?)")
+	}
+
+	// And the OLD baseline + the full log (stale + active) also recovers:
+	// a crash that loses the new snapshot still has complete history.
+	re2, err := nebula.RestoreEngine(bytes.NewReader(baseline), configureWorkloadMeta, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re2.ReplayWAL(walDir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(t, re2) != liveFP {
+		t.Fatal("baseline + full log recovery diverged")
+	}
+}
