@@ -165,9 +165,11 @@ func (e *Engine) DB() *Database { return e.db }
 // operation fn commits is captured and logged; the call returns only once
 // the captured records are durable.
 func (e *Engine) MutateDB(fn func(db *Database) error) error {
+	var wb *walBinding
 	err := func() error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		if e.wal != nil {
 			e.wal.captureActive, e.wal.captureErr = true, nil
 			defer func() {
@@ -183,7 +185,7 @@ func (e *Engine) MutateDB(fn func(db *Database) error) error {
 		}
 		return err
 	}()
-	return e.walCommit(err)
+	return wb.commit(err)
 }
 
 // Meta returns the NebulaMeta repository.
@@ -207,15 +209,17 @@ func (e *Engine) Options() Options {
 
 // SetBounds replaces the verification thresholds.
 func (e *Engine) SetBounds(b Bounds) error {
+	var wb *walBinding
 	err := func() error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		if err := e.walAppend(recBounds(b)); err != nil {
 			return err
 		}
 		return e.setBounds(b)
 	}()
-	return e.walCommit(err)
+	return wb.commit(err)
 }
 
 func (e *Engine) setBounds(b Bounds) error {
@@ -237,15 +241,17 @@ func (e *Engine) Bounds() Bounds {
 // attachments — Stage 0. The attachments become the annotation's focal and
 // are wired into the ACG.
 func (e *Engine) AddAnnotation(a *Annotation, attachTo []TupleID) error {
+	var wb *walBinding
 	err := func() error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		if err := e.walAppend(recAddAnnotation(a, attachTo)); err != nil {
 			return err
 		}
 		return e.addAnnotation(a, attachTo)
 	}()
-	return e.walCommit(err)
+	return wb.commit(err)
 }
 
 func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
@@ -278,15 +284,17 @@ func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
 // Under the symbol-table search technique the pre-built index goes stale;
 // call RefreshSearchIndex afterwards (or rely on the next rebuild).
 func (e *Engine) DeleteTuple(id TupleID) (detached, cancelled int, err error) {
+	var wb *walBinding
 	detached, cancelled, err = func() (int, int, error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		if err := e.walAppend(recDeleteTuple(id)); err != nil {
 			return 0, 0, err
 		}
 		return e.deleteTuple(id)
 	}()
-	err = e.walCommit(err)
+	err = wb.commit(err)
 	return detached, cancelled, err
 }
 
@@ -622,12 +630,14 @@ func (e *Engine) ProcessRequest(ctx context.Context, id AnnotationID, req Reques
 	if err := req.Validate(); err != nil {
 		return nil, VerificationOutcome{}, err
 	}
+	var wb *walBinding
 	disc, outcome, err = func() (*Discovery, VerificationOutcome, error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		return e.process(ctx, id, req.apply(e.opts))
 	}()
-	err = e.walCommit(err)
+	err = wb.commit(err)
 	return disc, outcome, err
 }
 
@@ -696,9 +706,11 @@ func (e *Engine) PendingTasksByPriority() []*VerificationTask {
 // VerifyAttachment implements the extended SQL command
 // `Verify Attachement <vid>`: the expert accepts a pending task.
 func (e *Engine) VerifyAttachment(vid int64) error {
+	var wb *walBinding
 	err := func() error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		// Unknown VIDs are rejected before logging: a no-op needs no
 		// record. The verdict record carries the annotation and tuple so
 		// replay can re-apply the acceptance even when the task's
@@ -712,7 +724,7 @@ func (e *Engine) VerifyAttachment(vid int64) error {
 		}
 		return e.verifyAttachment(vid)
 	}()
-	return e.walCommit(err)
+	return wb.commit(err)
 }
 
 func (e *Engine) verifyAttachment(vid int64) error {
@@ -729,9 +741,11 @@ func (e *Engine) verifyAttachment(vid int64) error {
 
 // RejectAttachment implements `Reject Attachement <vid>`.
 func (e *Engine) RejectAttachment(vid int64) error {
+	var wb *walBinding
 	err := func() error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		task, err := e.findPending(vid)
 		if err != nil {
 			return err
@@ -741,7 +755,7 @@ func (e *Engine) RejectAttachment(vid int64) error {
 		}
 		return e.rejectAttachment(vid)
 	}()
-	return e.walCommit(err)
+	return wb.commit(err)
 }
 
 func (e *Engine) rejectAttachment(vid int64) error {
@@ -767,9 +781,11 @@ func (e *Engine) findPending(vid int64) (*VerificationTask, error) {
 // verdict record — the oracle's answers, not the oracle, are what replay
 // re-applies.
 func (e *Engine) ResolveWithOracle(id AnnotationID, oracle Oracle) (accepted, rejected []*VerificationTask, err error) {
+	var wb *walBinding
 	accepted, rejected, err = func() (acc, rej []*VerificationTask, err error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		defer func() {
 			if len(acc) > 0 || len(rej) > 0 {
 				e.bumpMutEpoch()
@@ -798,7 +814,7 @@ func (e *Engine) ResolveWithOracle(id AnnotationID, oracle Oracle) (accepted, re
 		}
 		return acc, rej, nil
 	}()
-	err = e.walCommit(err)
+	err = wb.commit(err)
 	return accepted, rejected, err
 }
 
@@ -830,9 +846,11 @@ func (e *Engine) PropagateJoin(left, right StructuredQuery, projectedLeft, proje
 // TuneBounds runs the Figure 9 BoundsSetting algorithm against this
 // engine's discovery pipeline and installs the chosen thresholds.
 func (e *Engine) TuneBounds(training []TrainingExample, cfg BoundsConfig) (Bounds, []BoundsEvaluation, error) {
+	var wb *walBinding
 	b, evals, err := func() (Bounds, []BoundsEvaluation, error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		wb = e.wal
 		discover := func(a *Annotation, focal []TupleID) ([]Candidate, error) {
 			d, err := e.discover(context.Background(), a, focal, e.opts)
 			if err != nil {
@@ -855,6 +873,6 @@ func (e *Engine) TuneBounds(training []TrainingExample, cfg BoundsConfig) (Bound
 		e.bumpMutEpoch()
 		return Bounds(bounds), evals, nil
 	}()
-	err = e.walCommit(err)
+	err = wb.commit(err)
 	return b, evals, err
 }

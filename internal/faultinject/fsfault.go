@@ -13,7 +13,7 @@ import (
 // failures from real ones.
 type FSError struct {
 	// Op names the faulted operation ("write", "sync", "rename", "create",
-	// "syncdir", "remove").
+	// "syncdir", "remove", "truncate").
 	Op string
 	// Call is the 1-based per-operation ordinal the fault fired on.
 	Call int
@@ -49,6 +49,9 @@ type FSConfig struct {
 	FailDirSyncAt int
 	// FailRemoveAt makes the Nth Remove fail.
 	FailRemoveAt int
+	// FailTruncateAt makes the Nth Truncate fail (a torn-tail heal that
+	// cannot reach the disk).
+	FailTruncateAt int
 }
 
 // FaultFS wraps a vfs.FS with the configured fault schedule. Safe for
@@ -57,14 +60,15 @@ type FaultFS struct {
 	inner vfs.FS
 	cfg   FSConfig
 
-	mu       sync.Mutex
-	writes   int
-	syncs    int
-	creates  int
-	renames  int
-	dirSyncs int
-	removes  int
-	injected int
+	mu        sync.Mutex
+	writes    int
+	syncs     int
+	creates   int
+	renames   int
+	dirSyncs  int
+	removes   int
+	truncates int
+	injected  int
 }
 
 // WrapFS builds a fault-injecting filesystem around inner (nil selects the
@@ -153,6 +157,14 @@ func (f *FaultFS) SyncDir(dir string) error {
 
 // Stat implements vfs.FS.
 func (f *FaultFS) Stat(path string) (int64, error) { return f.inner.Stat(path) }
+
+// Truncate implements vfs.FS.
+func (f *FaultFS) Truncate(path string, size int64) error {
+	if call, hit := f.fire(&f.truncates, f.cfg.FailTruncateAt); hit {
+		return &FSError{Op: "truncate", Call: call}
+	}
+	return f.inner.Truncate(path, size)
+}
 
 // faultFile threads the shared write/sync schedules through one handle.
 type faultFile struct {

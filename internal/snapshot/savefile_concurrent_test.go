@@ -1,0 +1,83 @@
+package snapshot
+
+// Regression tests for a review finding: SaveFileFS briefly used one
+// fixed ".name.tmp" temp path, so two concurrent savers targeting the
+// same snapshot interleaved writes into one inode and could rename a
+// corrupt stream over the last good snapshot. Temp names are now unique
+// per call.
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"nebula/internal/vfs"
+)
+
+// createRecorder records every path handed to Create.
+type createRecorder struct {
+	vfs.FS
+	mu    sync.Mutex
+	paths []string
+}
+
+func (r *createRecorder) Create(path string) (vfs.File, error) {
+	r.mu.Lock()
+	r.paths = append(r.paths, path)
+	r.mu.Unlock()
+	return r.FS.Create(path)
+}
+
+func TestSaveFileTempNamesUnique(t *testing.T) {
+	_, snap := capture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.nebsnap")
+	rec := &createRecorder{FS: vfs.OS{}}
+	for i := 0; i < 3; i++ {
+		if err := SaveFileFS(rec, path, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, p := range rec.paths {
+		if p == path {
+			t.Fatalf("snapshot written directly to %s, bypassing the temp+rename protocol", p)
+		}
+		if seen[p] {
+			t.Fatalf("temp path %s reused across saves — concurrent savers would share an inode", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("recorded %d distinct temp paths, want 3", len(seen))
+	}
+}
+
+func TestSaveFileConcurrentSaversLeaveLoadableSnapshot(t *testing.T) {
+	_, snap := capture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.nebsnap")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = SaveFile(path, snap)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("saver %d: %v", i, err)
+		}
+	}
+	// Whichever rename won, the file at path must be one complete stream.
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot corrupted by concurrent savers: %v", err)
+	}
+	if len(loaded.Tables) != len(snap.Tables) {
+		t.Error("concurrent save round trip mismatch")
+	}
+}

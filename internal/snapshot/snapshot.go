@@ -452,12 +452,21 @@ func SaveFile(path string, s *Snapshot) error {
 	return SaveFileFS(vfs.OS{}, path, s)
 }
 
+// tmpSeq disambiguates concurrent temp files within one process; the pid
+// in the name handles separate processes.
+var tmpSeq atomic.Uint64
+
 // SaveFileFS is SaveFile over an explicit filesystem seam — the hook the
 // crash-fault tests use to inject short writes, fsync errors, and rename
 // failures into the checkpoint path.
 func SaveFileFS(fsys vfs.FS, path string, s *Snapshot) (err error) {
 	dir := filepath.Dir(path)
-	tmpPath := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
+	// The temp name must be unique per call: concurrent saves targeting
+	// the same path (SaveSnapshotFile deliberately releases the engine
+	// lock before disk I/O) would otherwise interleave writes into one
+	// inode and could rename a corrupt stream over the last good snapshot.
+	tmpPath := filepath.Join(dir, fmt.Sprintf(".%s.%d.%d.tmp",
+		filepath.Base(path), os.Getpid(), tmpSeq.Add(1)))
 	tmp, err := fsys.Create(tmpPath)
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)

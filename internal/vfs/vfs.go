@@ -45,6 +45,9 @@ type FS interface {
 	SyncDir(dir string) error
 	// Stat reports a path's size, or an error if it does not exist.
 	Stat(path string) (int64, error)
+	// Truncate shortens the file at path to size bytes and fsyncs the
+	// result, so the removed suffix cannot resurface after a crash.
+	Truncate(path string, size int64) error
 }
 
 // OS is the production FS backed by the os package.
@@ -92,6 +95,19 @@ func (OS) SyncDir(dir string) error {
 	}
 	defer d.Close()
 	return d.Sync()
+}
+
+// Truncate implements FS.
+func (OS) Truncate(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // Stat implements FS.

@@ -1,0 +1,207 @@
+package wal
+
+// Regression tests for review findings: a torn tail must be healed on
+// DISK during replay (not just skipped in memory), directory-listing
+// failures must not read as "empty log", and Close must not race an
+// in-flight fsync.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"nebula/internal/faultinject"
+	"nebula/internal/vfs"
+)
+
+// TestTornTailHealedAcrossBoots is the crash→boot→boot sequence that used
+// to brick the log: boot 1 discards a torn tail but (before the fix) left
+// it on disk and appended to a fresh segment, so boot 2 saw corruption in
+// a non-final segment and refused with ErrCorruptInterior. Replay now
+// truncates the torn segment to its durable prefix, so the second boot
+// replays everything cleanly.
+func TestTornTailHealedAcrossBoots(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, rec := range recs {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(data) - 3 // tear mid-way into the final record
+	if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 1: the tear is detected, discarded, and healed on disk.
+	stats, err := Replay(dir, ReplayConfig{}, func(*Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CorruptTail || stats.Records != len(recs)-1 {
+		t.Fatalf("boot 1 stats = %+v, want corrupt tail after %d records", stats, len(recs)-1)
+	}
+	size, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(cut) - stats.DiscardedBytes; size.Size() != want {
+		t.Fatalf("torn segment is %d bytes on disk, want truncated to durable prefix %d", size.Size(), want)
+	}
+	// Boot 1 continues: a fresh segment takes new appends (no checkpoint).
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Append(&Record{Op: OpSetBounds, Lower: 0.3, Upper: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 2: before the fix this refused with ErrCorruptInterior.
+	n := 0
+	stats2, err := Replay(dir, ReplayConfig{}, func(*Record) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("second boot refused recovery: %v", err)
+	}
+	if stats2.CorruptTail || n != len(recs) {
+		t.Fatalf("boot 2: applied=%d stats=%+v, want %d clean records", n, stats2, len(recs))
+	}
+}
+
+// TestTornTailTruncateFailureAbortsRecovery: if the heal cannot reach the
+// disk the tail would resurface as interior corruption next boot, so
+// recovery must fail loudly rather than proceed.
+func TestTornTailTruncateFailureAbortsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Op: OpSetBounds, Lower: 0.3, Upper: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultinject.WrapFS(nil, faultinject.FSConfig{FailTruncateAt: 1})
+	_, err = Replay(dir, ReplayConfig{FS: ffs}, func(*Record) error { return nil })
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("replay with failing truncate: want injected error, got %v", err)
+	}
+}
+
+// errReadDirFS fails every directory listing with a fixed error — the
+// transient-I/O / permission-failure shape.
+type errReadDirFS struct {
+	vfs.FS
+	err error
+}
+
+func (f errReadDirFS) ReadDir(dir string) ([]string, error) { return nil, f.err }
+
+// TestListSegmentsReadDirErrors: only a missing directory is an empty
+// log. Any other listing failure must propagate — swallowing it made
+// Replay silently replay nothing and let Open truncate the real first
+// segment with a fresh Create.
+func TestListSegmentsReadDirErrors(t *testing.T) {
+	// Missing directory: empty log, no error.
+	segs, err := ListSegments(nil, filepath.Join(t.TempDir(), "nope"))
+	if err != nil || segs != nil {
+		t.Fatalf("missing dir: got (%v, %v), want empty log", segs, err)
+	}
+
+	// Any other failure propagates through ListSegments, Replay, and Open.
+	boom := errors.New("transient I/O failure")
+	ffs := errReadDirFS{FS: vfs.OS{}, err: boom}
+	dir := t.TempDir()
+	if _, err := ListSegments(ffs, dir); !errors.Is(err, boom) {
+		t.Fatalf("ListSegments: want propagated error, got %v", err)
+	}
+	if _, err := Replay(dir, ReplayConfig{FS: ffs}, func(*Record) error { return nil }); !errors.Is(err, boom) {
+		t.Fatalf("Replay: want propagated error, got %v", err)
+	}
+	if _, err := Open(dir, Options{FS: ffs}); !errors.Is(err, boom) {
+		t.Fatalf("Open: want propagated error, got %v", err)
+	}
+	if _, err := Inspect(dir, ffs); !errors.Is(err, boom) {
+		t.Fatalf("Inspect: want propagated error, got %v", err)
+	}
+}
+
+// TestCloseRacesSync: Close holds the sync mutex, so a committer racing a
+// graceful shutdown either fsyncs before the fd closes or finds its
+// records covered by Close's final fsync — it must never see a sync error
+// (EBADF on a closed fd) or ack without durability.
+func TestCloseRacesSync(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsn, err := l.Append(&Record{Op: OpSetBounds, Lower: 0.1, Upper: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		var syncErr error
+		go func() {
+			defer wg.Done()
+			syncErr = l.Sync(lsn)
+		}()
+		closeErr := l.Close()
+		wg.Wait()
+		if syncErr != nil {
+			t.Fatalf("iteration %d: Sync racing Close errored: %v", i, syncErr)
+		}
+		if closeErr != nil {
+			t.Fatalf("iteration %d: Close: %v", i, closeErr)
+		}
+		if st := l.Stats(); st.Durable != st.Appended {
+			t.Fatalf("iteration %d: durable %d != appended %d after close", i, st.Durable, st.Appended)
+		}
+	}
+}
+
+// TestSegmentNameRejectsForeignFiles guards the parse helper the listing
+// fix leans on: foreign files in the directory stay invisible.
+func TestSegmentNameRejectsForeignFiles(t *testing.T) {
+	for _, name := range []string{"wal-x.log", "snapshot.nebsnap", "wal-1.txt", ".wal-0000000000000001.log.tmp"} {
+		if _, ok := parseSegmentName(name); ok {
+			t.Errorf("parseSegmentName(%q) accepted a foreign file", name)
+		}
+	}
+	if n, ok := parseSegmentName(segmentName(42)); !ok || n != 42 {
+		t.Errorf("parseSegmentName round trip failed: %d %v", n, ok)
+	}
+	if !strings.HasPrefix(segmentName(42), "wal-") {
+		t.Error("segment naming convention changed")
+	}
+}

@@ -26,7 +26,9 @@ type ReplayStats struct {
 	ApplyErrors int
 	// CorruptTail reports that the LAST segment ended in a torn or
 	// corrupt record, which was discarded — the expected signature of a
-	// crash mid-append.
+	// crash mid-append. Replay also truncates the segment file to its
+	// durable prefix, so the tear cannot be misjudged as interior
+	// corruption once later boots append to fresh segments.
 	CorruptTail bool
 	// DiscardedBytes counts the bytes of the discarded tail.
 	DiscardedBytes int64
@@ -52,10 +54,13 @@ type ReplayConfig struct {
 
 // Replay decodes every durable record in dir's segments, ascending, and
 // hands each to apply. Torn or corrupt trailing records in the final
-// segment are detected by the CRC framing and discarded — never
-// misapplied; the same corruption in an interior segment aborts with
-// ErrCorruptInterior. Apply errors are counted but do not stop the pass
-// (see ReplayStats.ApplyErrors).
+// segment are detected by the CRC framing, discarded — never misapplied —
+// and the segment file is truncated to its durable prefix: every boot
+// appends to a fresh segment, so a tail left in place would read as
+// interior corruption (and refuse recovery) one restart later. The same
+// corruption found in an interior segment aborts with ErrCorruptInterior.
+// Apply errors are counted but do not stop the pass (see
+// ReplayStats.ApplyErrors).
 func Replay(dir string, cfg ReplayConfig, apply func(*Record) error) (ReplayStats, error) {
 	start := time.Now()
 	fsys := cfg.FS
@@ -129,6 +134,15 @@ func Replay(dir string, cfg ReplayConfig, apply func(*Record) error) (ReplayStat
 		}
 		stats.CorruptTail = true
 		stats.DiscardedBytes += res.size - res.corruptAt
+		// Heal the tear on disk, not just in memory: once this boot opens
+		// a fresh segment, a tail left behind would make the NEXT boot see
+		// corruption in a non-final segment and refuse recovery outright.
+		// Failing to truncate is therefore fatal to recovery — proceeding
+		// would arm exactly that trap.
+		if err := fsys.Truncate(dir+"/"+segmentName(res.seg), res.corruptAt); err != nil {
+			return stats, fmt.Errorf("wal: truncate torn segment %d to %d bytes: %w",
+				res.seg, res.corruptAt, err)
+		}
 	}
 	for _, res := range results {
 		for _, rec := range res.records {

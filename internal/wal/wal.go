@@ -27,6 +27,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"sort"
 	"strconv"
 	"strings"
@@ -143,14 +144,20 @@ func parseSegmentName(name string) (uint64, bool) {
 }
 
 // ListSegments returns the segment numbers present in dir, ascending. A
-// missing directory is an empty log, not an error.
+// missing directory is an empty log, not an error; any OTHER ReadDir
+// failure propagates — treating a transient I/O or permission error as
+// "no log" would silently replay nothing (losing all logged history) and
+// let Open truncate the real first segment with a fresh Create.
 func ListSegments(fsys vfs.FS, dir string) ([]uint64, error) {
 	if fsys == nil {
 		fsys = vfs.OS{}
 	}
 	names, err := fsys.ReadDir(dir)
 	if err != nil {
-		return nil, nil
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: read dir %s: %w", dir, err)
 	}
 	var segs []uint64
 	for _, name := range names {
@@ -417,8 +424,14 @@ func (l *Log) Stats() Stats {
 func (l *Log) Mode() SyncMode { return l.mode }
 
 // Close fsyncs and closes the active segment. Further operations fail with
-// ErrClosed.
+// ErrClosed. Close holds the sync mutex for its whole body, so it can never
+// close the file descriptor out from under an in-flight fsync (which would
+// fail with EBADF and poison the log); a committer that loses the race to
+// Close instead finds its records already durable — Close's final fsync
+// covers everything appended — and acks cleanly.
 func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -438,5 +451,9 @@ func (l *Log) Close() error {
 			return fmt.Errorf("wal: close fsync: %w", err)
 		}
 	}
+	l.statMu.Lock()
+	l.durable = l.stats.Appended
+	l.stats.Durable = l.durable
+	l.statMu.Unlock()
 	return file.Close()
 }

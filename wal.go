@@ -94,7 +94,8 @@ func (e *Engine) WAL() *wal.Log {
 
 // walAppend logs one record. Callers must hold e.mu in write mode; a nil
 // binding (no WAL) appends nothing. The record is buffered, not yet
-// durable — walCommit finishes the job after the lock is released.
+// durable — the binding's commit, called on the binding captured under
+// the same lock, finishes the job after the lock is released.
 func (e *Engine) walAppend(rec *wal.Record) error {
 	if e.wal == nil {
 		return nil
@@ -105,16 +106,20 @@ func (e *Engine) walAppend(rec *wal.Record) error {
 	return nil
 }
 
-// walCommit makes every record appended so far durable. Called AFTER e.mu
+// commit makes every record appended so far durable. Called AFTER e.mu
 // is released so concurrent committers group-commit: one fsync covers all
-// of them. A failed operation (opErr != nil) is passed through without
-// syncing — an error reply promises nothing about durability, and replay
-// re-fails the logged intent deterministically.
-func (e *Engine) walCommit(opErr error) error {
-	if e.wal == nil || opErr != nil {
+// of them. The receiver must be the binding captured UNDER e.mu by the
+// mutation being committed (a nil receiver means no WAL was attached) —
+// re-reading e.wal here would race CloseWAL and let a mutator whose
+// record was logged ack success without awaiting durability. A failed
+// operation (opErr != nil) is passed through without syncing — an error
+// reply promises nothing about durability, and replay re-fails the
+// logged intent deterministically.
+func (b *walBinding) commit(opErr error) error {
+	if b == nil || opErr != nil {
 		return opErr
 	}
-	if err := e.wal.log.SyncAll(); err != nil {
+	if err := b.log.SyncAll(); err != nil {
 		return fmt.Errorf("nebula: wal sync: %w", err)
 	}
 	return nil

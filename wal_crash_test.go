@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"nebula"
@@ -380,6 +381,118 @@ func TestWALCrashInteriorCorruptionRefusesRecovery(t *testing.T) {
 	}
 	if _, err := re.ReplayWAL(dir, nil); !errors.Is(err, wal.ErrCorruptInterior) {
 		t.Fatalf("interior corruption replayed without refusal: %v", err)
+	}
+}
+
+// TestWALCrashTornTailHealedAcrossRestarts is the crash → boot → boot
+// sequence: a torn tail is discarded on the first boot AND truncated away
+// on disk, so after that boot appends to a fresh segment (RecoverWAL with
+// no checkpoint), the next boot must not misread the old tear as interior
+// corruption and refuse recovery. Before the heal, one crash mid-append
+// made the store permanently unrecoverable two restarts later.
+func TestWALCrashTornTailHealedAcrossRestarts(t *testing.T) {
+	e, ds, baseline := crashFixture(t)
+	walDir := t.TempDir()
+	l, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWAL(l)
+	runScript(t, e, ds)
+	if err := e.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	segName, data := segmentFile(t, walDir)
+	offs := recordOffsets(t, data)
+	n := len(offs) - 1
+	// Crash: tear mid-way through the final record.
+	cut := offs[n-1] + (offs[n]-offs[n-1])/2
+	if err := os.WriteFile(filepath.Join(walDir, segName), data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 1: recover, checkpoint nothing, mutate, shut down. The tear is
+	// discarded and the segment healed to its durable prefix.
+	re, err := nebula.RestoreEngine(bytes.NewReader(baseline), configureWorkloadMeta, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := re.RecoverWAL(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CorruptTail || stats.Records != n-1 {
+		t.Fatalf("boot 1: %+v, want torn tail after %d records", stats, n-1)
+	}
+	if err := re.SetBounds(nebula.Bounds{Lower: 0.11, Upper: 0.91}); err != nil {
+		t.Fatalf("boot 1 mutation: %v", err)
+	}
+	fp1 := fingerprint(t, re)
+	if err := re.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 2: the healed segment 1 plus boot 1's segment must replay
+	// cleanly — this recovery used to refuse with ErrCorruptInterior.
+	re2, err := nebula.RestoreEngine(bytes.NewReader(baseline), configureWorkloadMeta, nebula.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := re2.RecoverWAL(walDir, wal.Options{})
+	if err != nil {
+		t.Fatalf("boot 2 refused recovery: %v", err)
+	}
+	if stats2.CorruptTail {
+		t.Fatalf("boot 2 saw the healed tear resurface: %+v", stats2)
+	}
+	if got := fingerprint(t, re2); got != fp1 {
+		t.Fatal("boot 2 state diverged from boot 1")
+	}
+	if err := re2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALMutatorsRaceClose drives mutations concurrently with CloseWAL:
+// each mutation must either fail cleanly or — if it applied its change —
+// commit against the binding it logged through, never ack by finding the
+// engine's WAL pointer already detached, and never poison the log by
+// fsyncing a closed fd.
+func TestWALMutatorsRaceClose(t *testing.T) {
+	e, _, _ := crashFixture(t)
+	walDir := t.TempDir()
+	l, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWAL(l)
+
+	const writers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers*20)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				lo := 0.01 * float64((w*20+i)%40)
+				if err := e.SetBounds(nebula.Bounds{Lower: lo, Upper: lo + 0.5}); err != nil {
+					errCh <- err
+				}
+			}
+		}(w)
+	}
+	if err := e.CloseWAL(); err != nil {
+		t.Fatalf("CloseWAL racing mutators: %v", err)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		// Mutations that lose the race to the closing log must surface the
+		// closed log, not invent a sync failure or a poisoned log.
+		if !errors.Is(err, wal.ErrClosed) {
+			t.Fatalf("mutation racing CloseWAL failed with %v, want ErrClosed or success", err)
+		}
 	}
 }
 
