@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-parallel bench-server bench-cache bench-trace bench-wal run-server experiments examples fmt vet check clean
+.PHONY: all build test race cover bench bench-parallel bench-plan bench-server bench-cache bench-trace bench-wal run-server experiments examples fmt vet check clean
 
 all: build test
 
@@ -20,6 +20,7 @@ check:
 	$(GO) test -run Fuzz ./internal/sqlish/ ./internal/snapshot/ ./internal/wal/
 	$(GO) test -run 'Determinis|Cache|Trace|Unicode' ./internal/cache/ ./internal/keyword/ ./internal/relational/ ./internal/trace/ .
 	$(GO) test -race -run 'WAL' ./internal/wal/ .
+	$(GO) test -race -run 'Plan|Golden|Estimate' ./internal/discovery/ ./internal/keyword/ ./internal/meta/
 
 build:
 	$(GO) build ./...
@@ -41,6 +42,14 @@ bench:
 # the measured speedups (bounded by GOMAXPROCS) and the byte-identity check.
 bench-parallel:
 	$(GO) run ./cmd/nebulactl bench-parallel --size large --workers 2,4,8 --rounds 3 --out BENCH_parallel.json
+
+# Cost-based planner: exhaustive vs planned top-k discovery over the stock
+# workload (where sound pruning is rarely possible — the row proves the
+# planner never trades exactness for speed) and the identifier-dense
+# reference workload (the planner's target class); the JSON artifact records
+# prune counts, scan counts, the speedup, and the byte-identity check.
+bench-plan:
+	$(GO) run ./cmd/nebulactl bench-plan --size large --topk 10 --rounds 3 --out BENCH_plan.json
 
 # Load-test the nebulad serving layer in-process: discovery round trips
 # through the full HTTP stack at two client concurrency levels; the JSON

@@ -110,12 +110,12 @@ func discoveryCacheKey(body string, focal []TupleID, opts Options, k int) string
 		b.WriteByte(1)
 	}
 	b.WriteByte(0)
-	fmt.Fprintf(&b, "%g|%d|%t|%t|%d|%t|%d|%g|%t|%t|%s|%g|%d|%d|%d",
+	fmt.Fprintf(&b, "%g|%d|%t|%t|%d|%t|%d|%g|%t|%t|%s|%g|%d|%d|%d|%t|%d",
 		opts.Epsilon, opts.Alpha, opts.SharedExecution, opts.FocalAdjustment,
 		opts.AdjustmentHops, opts.Spreading, k, opts.SpreadingCoverage,
 		opts.RequireStableACG, opts.IncludeRelated, opts.SearchTechnique,
 		opts.SpamFraction, opts.Budget.MaxQueries, opts.Budget.MaxCandidates,
-		opts.Budget.MaxSearchedRows)
+		opts.Budget.MaxSearchedRows, opts.Plan, opts.TopK)
 	return b.String()
 }
 

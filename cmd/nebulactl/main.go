@@ -64,6 +64,8 @@ func main() {
 		err = cmdBenchWAL(os.Args[2:])
 	case "bench-parallel":
 		err = cmdBenchParallel(os.Args[2:])
+	case "bench-plan":
+		err = cmdBenchPlan(os.Args[2:])
 	case "bench-server":
 		err = cmdBenchServer(os.Args[2:])
 	case "bench-cache":
@@ -104,6 +106,9 @@ commands:
   bench-parallel
               measure sequential vs parallel keyword-batch execution and
               record the comparison (including byte-identity of results)
+  bench-plan  measure exhaustive vs planned top-k discovery over the
+              workload (cost-based planner with early termination) and
+              verify the planner's exactness contract
   bench-server
               load-test the nebulad serving layer in-process: throughput,
               latency percentiles, and shed load per concurrency level
@@ -272,6 +277,8 @@ func cmdDiscover(args []string) error {
 	parallelism := fs.Int("parallelism", 0, "worker pool size for keyword execution (0 = NumCPU, 1 = sequential)")
 	cacheFlag := fs.String("cache", "", "result caching: on, off, or a byte budget (default on at 64 MiB)")
 	traceFlag := fs.Bool("trace", false, "record a request-scoped span tree and print it after the run (observe-only)")
+	planFlag := fs.Bool("plan", false, "enable the cost-based planner (requires --topk; top-k output is byte-identical to exhaustive)")
+	topK := fs.Int("topk", 0, "keep only the strongest k attachments (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -281,6 +288,7 @@ func cmdDiscover(args []string) error {
 		flagcheck.NonNegative("max-queries", *maxQueries),
 		flagcheck.NonNegative("parallelism", *parallelism),
 		flagcheck.NonNegative("spread", *spreadK),
+		flagcheck.NonNegative("topk", *topK),
 	); err != nil {
 		return err
 	}
@@ -307,6 +315,8 @@ func cmdDiscover(args []string) error {
 	}
 	opts.Parallelism = *parallelism
 	opts.Trace = *traceFlag
+	opts.Plan = *planFlag
+	opts.TopK = *topK
 	cacheCfg, err := nebula.ParseCacheConfig(*cacheFlag)
 	if err != nil {
 		return err
@@ -345,6 +355,15 @@ func cmdDiscover(args []string) error {
 		disc.GenStats.QueryGeneration)
 	for _, q := range disc.Queries {
 		fmt.Printf("  %v\n", q)
+	}
+	if ps := disc.ExecStats.Plan; ps != nil && ps.Enabled {
+		fmt.Printf("\nplan: top-%d, %d/%d queries executed, %d pruned (waves=%d frontier=%d completion-scanned=%d)\n",
+			ps.TopK, ps.Executed, ps.Queries, ps.Pruned, ps.Waves, ps.Frontier, ps.CompletionScanned)
+		for _, s := range ps.Skipped {
+			fmt.Printf("  skipped %s\n", s)
+		}
+	} else if ps != nil && ps.Reason != "" {
+		fmt.Printf("\nplan: not eligible (%s)\n", ps.Reason)
 	}
 	fmt.Printf("\nsearched %d tuples (miniDB=%v); %d candidates:\n",
 		disc.ExecStats.SearchedDB, disc.ExecStats.MiniDBUsed, len(disc.Candidates))
@@ -416,6 +435,60 @@ func cmdBenchParallel(args []string) error {
 	}
 	defer f.Close()
 	if err := bench.WriteParallelJSON(f, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdBenchPlan measures the cost-based planner: exhaustive top-k discovery
+// (planning off) vs planned top-k discovery with early termination over the
+// workload, recording the speedup, the pruned-query counts, and the
+// byte-identity of the top-k candidates (the exactness contract).
+func cmdBenchPlan(args []string) error {
+	fs := flag.NewFlagSet("bench-plan", flag.ExitOnError)
+	size := fs.String("size", "large", "dataset size: tiny|small|mid|large")
+	seed := fs.Int64("seed", 42, "generator seed")
+	topks := fs.String("topk", "10", "comma-separated top-k values to compare")
+	rounds := fs.Int("rounds", 3, "measurement rounds per configuration (best time kept)")
+	out := fs.String("out", "BENCH_plan.json", "output JSON path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flagcheck.Positive("rounds", *rounds); err != nil {
+		return err
+	}
+	var ks []int
+	for _, part := range strings.Split(*topks, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad top-k %q (need positive integers)", part)
+		}
+		ks = append(ks, n)
+	}
+	env, err := bench.LoadEnv(*size, *seed)
+	if err != nil {
+		return err
+	}
+	results, err := bench.RunPlanBench(env, ks, *rounds)
+	if err != nil {
+		return err
+	}
+	bench.PlanTable(results).Print(os.Stdout)
+	for _, r := range results {
+		if !r.Identical {
+			return fmt.Errorf("planned top-%d candidates diverged from exhaustive", r.TopK)
+		}
+	}
+	if *out == "" {
+		return bench.WritePlanJSON(os.Stdout, results)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WritePlanJSON(f, results); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

@@ -11,11 +11,16 @@
 // Usage:
 //
 //	nebulad [--host 127.0.0.1] [--port 8080] [--size tiny] [--seed 42]
-//	        [--parallelism N] [--cache on|off|bytes] [--max-inflight N]
-//	        [--queue-depth N] [--max-per-conn N] [--request-timeout D]
-//	        [--drain-timeout D] [--snapshot FILE] [--wal DIR]
-//	        [--wal-sync group|always|none] [--slow-request D]
+//	        [--parallelism N] [--cache on|off|bytes] [--plan] [--topk K]
+//	        [--max-inflight N] [--queue-depth N] [--max-per-conn N]
+//	        [--request-timeout D] [--drain-timeout D] [--snapshot FILE]
+//	        [--wal DIR] [--wal-sync group|always|none] [--slow-request D]
 //	        [--debug-addr HOST:PORT] [--smoke]
+//
+// --plan enables the cost-based query planner for every discovery the
+// daemon serves (requires --topk K > 0); per-request PLAN ON|OFF and
+// TOPK <k> overrides still apply. The planner's top-k output is
+// byte-identical to the exhaustive run's.
 //
 // --wal DIR arms crash durability: every mutation is appended to a
 // CRC-framed write-ahead log and fsynced (group commit by default) before
@@ -78,6 +83,8 @@ type daemonConfig struct {
 	seed           int64
 	parallelism    int
 	cache          string
+	plan           bool
+	topK           int
 	maxInFlight    int
 	queueDepth     int
 	maxPerConn     int
@@ -114,6 +121,8 @@ func run(args []string) error {
 	fs.Int64Var(&cfg.seed, "seed", 42, "dataset generator seed")
 	fs.IntVar(&cfg.parallelism, "parallelism", 0, "engine worker pool size (0 = NumCPU, 1 = sequential)")
 	fs.StringVar(&cfg.cache, "cache", "", "result caching: on, off, or a byte budget (default on at 64 MiB)")
+	fs.BoolVar(&cfg.plan, "plan", false, "enable the cost-based query planner for every discovery (requires --topk)")
+	fs.IntVar(&cfg.topK, "topk", 0, "keep only the strongest K attachments per discovery (0 = all; the K the planner maintains)")
 	fs.IntVar(&cfg.maxInFlight, "max-inflight", 8, "requests executing concurrently (0 = default)")
 	fs.IntVar(&cfg.queueDepth, "queue-depth", 64, "requests waiting for a slot before 429 (0 = default)")
 	fs.IntVar(&cfg.maxPerConn, "max-per-conn", 0, "per-connection in-flight ceiling (0 = none)")
@@ -131,6 +140,7 @@ func run(args []string) error {
 	if err := flagcheck.All(
 		flagcheck.Port("port", cfg.port, true),
 		flagcheck.NonNegative("parallelism", cfg.parallelism),
+		flagcheck.NonNegative("topk", cfg.topK),
 		flagcheck.NonNegative("max-inflight", cfg.maxInFlight),
 		flagcheck.NonNegative("queue-depth", cfg.queueDepth),
 		flagcheck.NonNegative("max-per-conn", cfg.maxPerConn),
@@ -139,6 +149,9 @@ func run(args []string) error {
 		flagcheck.NonNegativeDuration("slow-request", cfg.slowRequest),
 	); err != nil {
 		return err
+	}
+	if cfg.plan && cfg.topK <= 0 {
+		return errors.New("--plan requires --topk K > 0 (the k the planner's early termination maintains)")
 	}
 	if cfg.smoke {
 		return smoke(cfg)
@@ -152,6 +165,8 @@ func run(args []string) error {
 func buildEngine(cfg daemonConfig) (*nebula.Engine, func(*nebula.Database) (*nebula.MetaRepository, error), error) {
 	opts := nebula.DefaultOptions()
 	opts.Parallelism = cfg.parallelism
+	opts.Plan = cfg.plan
+	opts.TopK = cfg.topK
 	cacheCfg, err := nebula.ParseCacheConfig(cfg.cache)
 	if err != nil {
 		return nil, nil, err

@@ -480,6 +480,8 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 		MaxCandidates:   opts.Budget.MaxCandidates,
 		MaxWorkers:      resolveWorkers(opts.Parallelism),
 		Retry:           opts.Retry,
+		Plan:            opts.Plan,
+		TopK:            opts.TopK,
 	})
 	disc = &Discovery{
 		Queries:    queries,

@@ -1,0 +1,430 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"context"
+
+	"nebula/internal/acg"
+	"nebula/internal/keyword"
+	"nebula/internal/meta"
+	"nebula/internal/relational"
+	"nebula/internal/trace"
+)
+
+// This file is the discovery-side half of the cost-based planner (ROADMAP
+// open item 4): order the batch's structured queries by access cost —
+// index-driven fingerprints first, then full-scan fingerprints grouped
+// into per-table waves that each cost one shared physical pass — maintain
+// the running k-th best adjusted attachment confidence, and stop once the
+// pending scans cannot lift any tuple into the top k. The focal-adjustment
+// math of §6.2 supplies the upper bounds: a tuple's final confidence is
+// its summed weighted confidence times a per-tuple factor Π(1+w) over
+// focal edges, so Fmax — the factor using each focal's best edge — bounds
+// every tuple's factor, and PendingBound (per produce table, with
+// same-column equality predicates collapsed by disjointness) bounds what
+// the pending scans could still add to one tuple.
+//
+// The exactness contract: for the tuples that reach the final top k, a
+// pruned run returns exactly what the exhaustive run would — same
+// confidences, same evidence, same order. Pruned queries are not dropped;
+// they are completed against the frontier (the tuples that could still
+// reach the top k), which costs index lookups and point evaluations
+// instead of full scans. With planning off, or k at or above the exhaustive
+// candidate count, output is byte-identical to the legacy path.
+
+// PlanStats reports the planner's decisions for one discovery run — the
+// Degraded-adjacent audit record for pruning. A pruned run is not listed
+// in Stats.Degraded (its top-k output is exact); this struct is how it
+// stays auditable.
+type PlanStats struct {
+	// Enabled reports whether the planner actually ran. When planning was
+	// requested but ineligible, Enabled is false and Reason says why.
+	Enabled bool `json:"enabled"`
+	// Reason explains an ineligible planning request.
+	Reason string `json:"reason,omitempty"`
+	// TopK is the requested attachment count.
+	TopK int `json:"topk"`
+	// Queries is the total number of generated keyword queries.
+	Queries int `json:"queries"`
+	// Executed counts queries whose structured queries all executed —
+	// their results are byte-identical to the exhaustive run's.
+	Executed int `json:"executed"`
+	// Pruned counts queries with at least one scan fingerprint skipped by
+	// early termination (completed against the frontier instead).
+	Pruned int `json:"pruned"`
+	// Waves counts execution calls: the index-driven wave plus one wave
+	// per table whose scans had to run before the bound closed.
+	Waves int `json:"waves"`
+	// Frontier is the size of the completion frontier when pruning fired.
+	Frontier int `json:"frontier"`
+	// CompletionScanned counts tuples touched completing pruned queries
+	// (index-bucket harvests plus frontier point evaluations); it is also
+	// folded into the run's TuplesScanned so planned and exhaustive scan
+	// counts compare honestly.
+	CompletionScanned int `json:"completion_scanned,omitempty"`
+	// Truncated counts candidates cut by the final top-k truncation.
+	Truncated int `json:"truncated,omitempty"`
+	// Interrupted reports that a scan budget stopped the planned execution
+	// (the run degrades exactly like an unplanned budgeted run).
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Skipped records one line per pruned query: its ID, upper bound, and
+	// estimated cost — the audit trail of what the planner decided not to
+	// execute.
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// planIneligible reports why a planning request cannot use the planner, or
+// "" when it can. The planner replicates the shared executor's global
+// fingerprint fold order, so it requires shared execution and the default
+// metadata engine; top-k pruning is meaningless without a k.
+func planIneligible(opts Options, customSearcher bool) string {
+	switch {
+	case opts.TopK <= 0:
+		return "planning requires TOPK > 0"
+	case !opts.Shared:
+		return "planning requires shared execution"
+	case customSearcher:
+		return "planning requires the default metadata search engine"
+	}
+	return ""
+}
+
+// focalAdjuster mirrors the §6.2 adjustment multiplicatively: the "adjust
+// focal" stage computes conf += w×conf per qualifying focal edge (or path),
+// which is conf × Π(1+w). factor(id) is that product for one tuple; fmax
+// bounds it over all tuples using each focal's strongest edge (or path).
+type focalAdjuster struct {
+	enabled bool
+	direct  bool
+	graph   *acg.Graph
+	focal   []relational.TupleID
+	paths   []map[relational.TupleID]float64 // per focal, AdjustmentHops > 1
+	fmax    float64
+	cache   map[relational.TupleID]float64
+}
+
+func newFocalAdjuster(graph *acg.Graph, focal []relational.TupleID, opts Options) *focalAdjuster {
+	fa := &focalAdjuster{fmax: 1, cache: make(map[relational.TupleID]float64)}
+	if !opts.FocalAdjustment || graph == nil {
+		return fa
+	}
+	fa.enabled = true
+	fa.graph = graph
+	fa.focal = focal
+	if opts.AdjustmentHops > 1 {
+		for _, f := range focal {
+			weights := graph.PathWeights(f, opts.AdjustmentHops)
+			fa.paths = append(fa.paths, weights)
+			best := 0.0
+			for _, w := range weights {
+				if w > best {
+					best = w
+				}
+			}
+			fa.fmax *= 1 + best
+		}
+		return fa
+	}
+	fa.direct = true
+	for _, f := range focal {
+		best := 0.0
+		for _, nb := range graph.Neighbors(f) {
+			if w := graph.Weight(f, nb); w > best {
+				best = w
+			}
+		}
+		fa.fmax *= 1 + best
+	}
+	return fa
+}
+
+// factor is the tuple's exact §6.2 multiplier.
+func (fa *focalAdjuster) factor(id relational.TupleID) float64 {
+	if !fa.enabled {
+		return 1
+	}
+	if v, ok := fa.cache[id]; ok {
+		return v
+	}
+	f := 1.0
+	if fa.direct {
+		for _, fc := range fa.focal {
+			if w := fa.graph.Weight(id, fc); w > 0 {
+				f *= 1 + w
+			}
+		}
+	} else {
+		for _, weights := range fa.paths {
+			if w := weights[id]; w > 0 {
+				f *= 1 + w
+			}
+		}
+	}
+	fa.cache[id] = f
+	return f
+}
+
+// fmaxOver bounds factor(id) over the tuples of one table that are NOT in
+// seen. Factors exceed 1 only inside the focal tuples' graph
+// neighborhoods — a finite, enumerable set — so the product of each focal
+// tuple's best unseen same-table weight bounds every unseen tuple's
+// factor. This is what lets the planner terminate when the high-factor
+// tuples are all already found: the global fmax would keep counting them.
+func (fa *focalAdjuster) fmaxOver(table string, seen map[relational.TupleID]float64) float64 {
+	if !fa.enabled {
+		return 1
+	}
+	out := 1.0
+	if fa.direct {
+		for _, f := range fa.focal {
+			best := 0.0
+			for _, nb := range fa.graph.Neighbors(f) {
+				if !strings.EqualFold(nb.Table, table) {
+					continue
+				}
+				if _, ok := seen[nb]; ok {
+					continue
+				}
+				if w := fa.graph.Weight(f, nb); w > best {
+					best = w
+				}
+			}
+			out *= 1 + best
+		}
+		return out
+	}
+	for _, weights := range fa.paths {
+		best := 0.0
+		for id, w := range weights {
+			if !strings.EqualFold(id.Table, table) {
+				continue
+			}
+			if _, ok := seen[id]; ok {
+				continue
+			}
+			if w > best {
+				best = w
+			}
+		}
+		out *= 1 + best
+	}
+	return out
+}
+
+// kthAdjusted is the k-th best focal-adjusted confidence among the raw
+// (summed, unnormalized) confidences accumulated so far. Callers ensure
+// len(raw) >= k >= 1.
+func kthAdjusted(raw map[relational.TupleID]float64, fa *focalAdjuster, k int) float64 {
+	vals := make([]float64, 0, len(raw))
+	for id, c := range raw {
+		vals = append(vals, c*fa.factor(id))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	if k > len(vals) {
+		k = len(vals)
+	}
+	return vals[k-1]
+}
+
+// planExecute runs the planned execution loop and returns per-query
+// results equivalent — for every tuple that can reach the final top k —
+// to an exhaustive shared ExecuteBatchContext run. ps is filled with the
+// planner's decisions; the returned error is the raw execution error
+// (context or database), classified by the caller exactly like the legacy
+// path's.
+//
+// The plan orders work by confidence-per-cost at the physical level:
+// index-driven structured queries (O(bucket) each) execute first, then
+// full-scan fingerprints one table-wave at a time — all scan queries
+// against one table share a single physical pass, so a wave costs one
+// scan whatever its width. Between waves the planner compares the pending
+// bound (PendingBound's per-table disjointness-collapsed sums, times
+// Fmax) against the running k-th best adjusted confidence; once no
+// pending scan can lift any tuple into the top k, the remaining
+// fingerprints are pruned and their queries completed against the
+// frontier.
+func (d *Discoverer) planExecute(ctx context.Context, engine *keyword.Engine, queries []keyword.Query, focal []relational.TupleID, opts Options, lim keyword.Limits, stats *Stats, ps *PlanStats) (map[string][]keyword.Result, error) {
+	// Plan: enumerate the global shared plan and the per-query estimates.
+	// Everything here reads catalog statistics and configuration
+	// confidences only — never scan counts or cache state — so the plan
+	// is identical at any worker count.
+	pspan, _ := trace.StartSpan(ctx, "plan")
+	pb := engine.NewPlannedBatch(queries)
+	ests := pb.Estimates(meta.NewEstimator(d.meta))
+	fa := newFocalAdjuster(d.graph, focal, opts)
+	stats.Exec.SharedQueries += pb.SharedRefs()
+	indexFps := pb.IndexableFingerprints()
+	if pspan.Enabled() {
+		pspan.AddInt("keyword_queries", len(queries))
+		pspan.AddInt("distinct_structured", pb.DistinctStructured())
+		pspan.AddInt("shared_structured", pb.SharedRefs())
+		pspan.AddInt("index_structured", len(indexFps))
+		pspan.End()
+	}
+
+	// Incremental confidence state: raw holds each non-focal tuple's
+	// summed weighted confidence over the executed fingerprints, with
+	// mergeRows' per-query max semantics replicated through perQ.
+	focalSet := make(map[relational.TupleID]struct{}, len(focal))
+	for _, f := range focal {
+		focalSet[f] = struct{}{}
+	}
+	raw := make(map[relational.TupleID]float64)
+	rowOf := make(map[relational.TupleID]*relational.Row)
+	perQ := make([]map[relational.TupleID]float64, len(queries))
+	apply := func(fps []string) {
+		for _, fp := range fps {
+			pb.EachProduced(fp, func(qi int, row *relational.Row, conf float64) {
+				if _, isFocal := focalSet[row.ID]; isFocal {
+					return
+				}
+				m := perQ[qi]
+				if m == nil {
+					m = make(map[relational.TupleID]float64)
+					perQ[qi] = m
+				}
+				if conf > m[row.ID] {
+					raw[row.ID] += (conf - m[row.ID]) * queries[qi].Weight
+					m[row.ID] = conf
+					if _, ok := rowOf[row.ID]; !ok {
+						rowOf[row.ID] = row
+					}
+				}
+			})
+		}
+	}
+
+	// relatedSpill is the confidence a pending production anywhere can
+	// spill into an arbitrary table via related-tuple expansion.
+	relatedSpill := func(b keyword.PendingBound) float64 {
+		if engine.IncludeRelated && engine.RelatedDiscount > 0 {
+			return engine.RelatedDiscount * b.Total
+		}
+		return 0
+	}
+
+	espan, ectx := trace.StartSpan(ctx, "execute")
+	terminated := false
+	var execErr error
+	var bound keyword.PendingBound
+	runWave := func(fps []string) bool {
+		if len(fps) == 0 {
+			return true
+		}
+		interrupted, err := pb.ExecuteFingerprints(ectx, fps, lim, &stats.Exec)
+		apply(fps)
+		ps.Waves++
+		if err != nil {
+			execErr = err
+			return false
+		}
+		if interrupted {
+			ps.Interrupted = true
+			return false
+		}
+		return true
+	}
+	if runWave(indexFps) {
+		for {
+			wave := pb.NextWave()
+			if wave == nil {
+				break
+			}
+			if len(raw) >= opts.TopK {
+				bound = pb.PendingBound()
+				spill := relatedSpill(bound)
+				lk := kthAdjusted(raw, fa, opts.TopK)
+				// Strict inequalities: a pending scan that could exactly
+				// tie the k-th confidence must still run, so ties never
+				// depend on the plan order. Each table's pending bound is
+				// scaled by the best focal factor still achievable by a
+				// tuple of that table the waves have not produced;
+				// related-tuple spill can land in any table, so it is
+				// checked against the unrestricted fmax.
+				prune := true
+				for t, v := range bound.PerTable {
+					if (v+spill)*fa.fmaxOver(t, raw) >= lk {
+						prune = false
+						break
+					}
+				}
+				if prune && spill > 0 && spill*fa.fmax >= lk {
+					prune = false
+				}
+				if prune {
+					terminated = true
+					break
+				}
+			}
+			if !runWave(wave) {
+				break
+			}
+		}
+	}
+	executedQueries := 0
+	for qi := range queries {
+		if pb.QueryComplete(qi) {
+			executedQueries++
+		}
+	}
+	ps.Executed = executedQueries
+	if espan.Enabled() {
+		espan.AddInt("keyword_queries", len(queries))
+		espan.AddInt("executed_queries", executedQueries)
+		espan.AddInt("waves", ps.Waves)
+		espan.AddInt("structured_queries", stats.Exec.StructuredQueries)
+		espan.AddInt("tuples_scanned", stats.Exec.TuplesScanned)
+		espan.AddInt("cache_hits", stats.Exec.CacheHits)
+		espan.End()
+	}
+
+	results := make(map[string][]keyword.Result, len(queries))
+	if !terminated {
+		// Clean finish, budget interruption, or error: merge every query
+		// over the fingerprints that did execute — the same partial-merge
+		// semantics as an interrupted legacy shared run.
+		for qi, q := range queries {
+			results[q.ID] = pb.MergeQuery(qi, &stats.Exec)
+		}
+		return results, execErr
+	}
+
+	// Prune: the pending scans cannot lift any unseen tuple into the top
+	// k. Complete the affected queries against the frontier — the seen
+	// tuples whose confidence upper bound still reaches the running k-th
+	// best — so every tuple that can end up in the top k gets its exact
+	// confidence and evidence.
+	prspan, _ := trace.StartSpan(ctx, "prune")
+	lk := kthAdjusted(raw, fa, opts.TopK)
+	var frontRows []*relational.Row
+	for id, c := range raw {
+		g := bound.PerTable[strings.ToLower(id.Table)] + relatedSpill(bound)
+		if fa.factor(id)*(c+g) >= lk {
+			frontRows = append(frontRows, rowOf[id])
+		}
+	}
+	fr := keyword.NewFrontier(engine.Database(), frontRows)
+	for qi, q := range queries {
+		if pb.QueryComplete(qi) {
+			results[q.ID] = pb.MergeQuery(qi, &stats.Exec)
+			continue
+		}
+		results[q.ID] = pb.CompleteQuery(qi, fr, &stats.Exec)
+		ps.Skipped = append(ps.Skipped, fmt.Sprintf(
+			"%s: ub=%.4f cost=%.0f", q.ID, ests[qi].UpperBound, ests[qi].Cost))
+	}
+	ps.Pruned = len(queries) - executedQueries
+	ps.Frontier = fr.Size()
+	ps.CompletionScanned = pb.CompletionScanned()
+	stats.Exec.TuplesScanned += pb.CompletionScanned()
+	if prspan.Enabled() {
+		prspan.AddInt("pruned_queries", ps.Pruned)
+		prspan.AddInt("frontier", ps.Frontier)
+		prspan.AddInt("completion_scanned", pb.CompletionScanned())
+		prspan.End()
+	}
+	return results, nil
+}

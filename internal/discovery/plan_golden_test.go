@@ -1,0 +1,156 @@
+package discovery
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nebula/internal/keyword"
+	"nebula/internal/meta"
+	"nebula/internal/relational"
+)
+
+// update rewrites the golden files under testdata/golden/ instead of
+// comparing against them:
+//
+//	go test ./internal/discovery -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/golden/<name>.golden, or
+// rewrites the file when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create it): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run with -update after intentional changes)\n--- want\n%s--- got\n%s",
+			path, want, got)
+	}
+}
+
+// fpLabel renders a structured-query fingerprint's control-byte separators
+// readably: '\x01' joins table and predicates, '\x00' joins a predicate's
+// column, operator, and operand.
+func fpLabel(fp string) string {
+	fp = strings.ReplaceAll(fp, "\x01", " ")
+	return strings.ReplaceAll(fp, "\x00", ":")
+}
+
+// TestGoldenPlanOrdering pins the planner's static decisions for fixed
+// workload fixtures: the per-query cost/upper-bound estimates the metadata
+// estimator derives, the index-driven first wave, and the full sequence of
+// scan waves NextWave schedules (most pending gain first, ties to the
+// lexicographically smaller table). Any change to estimator math, sharing,
+// or wave ordering shows up here as a diff against the checked-in golden.
+func TestGoldenPlanOrdering(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		db, repo, _ := planFixture(t, seed, 60, 40)
+		rng := rand.New(rand.NewSource(seed * 101))
+		queries := planQueries(rng, 24)
+
+		engine := keyword.NewEngine(db, repo)
+		pb := engine.NewPlannedBatch(queries)
+		est := meta.NewEstimator(repo)
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "queries=%d distinct=%d shared-refs=%d\n",
+			len(queries), pb.DistinctStructured(), pb.SharedRefs())
+		b.WriteString("estimates:\n")
+		for qi, qe := range pb.Estimates(est) {
+			fmt.Fprintf(&b, "  %s w=%.4f cost=%.2f ub=%.4f configs=%d\n",
+				queries[qi].ID, queries[qi].Weight, qe.Cost, qe.UpperBound, qe.Configs)
+		}
+
+		var stats keyword.ExecStats
+		wave := 0
+		run := func(label string, fps []string) {
+			fmt.Fprintf(&b, "wave %d (%s): %d fingerprints\n", wave, label, len(fps))
+			for _, fp := range fps {
+				idx := " scan"
+				if pb.IndexDriven(fp) {
+					idx = "index"
+				}
+				fmt.Fprintf(&b, "  [%s] %s\n", idx, fpLabel(fp))
+			}
+			if _, err := pb.ExecuteFingerprints(context.Background(), fps, keyword.Limits{}, &stats); err != nil {
+				t.Fatalf("seed=%d wave %d: %v", seed, wave, err)
+			}
+			wave++
+		}
+		if fps := pb.IndexableFingerprints(); len(fps) > 0 {
+			run("index-driven", fps)
+		}
+		for {
+			fps := pb.NextWave()
+			if len(fps) == 0 {
+				break
+			}
+			table := strings.SplitN(fps[0], "\x01", 2)[0]
+			run("scan "+table, fps)
+		}
+		checkGolden(t, fmt.Sprintf("plan-ordering-seed%d", seed), b.String())
+	}
+}
+
+// TestGoldenPlanPruneDecisions pins the planner's runtime decisions for
+// fixed workload fixtures: how many queries executed versus pruned, the
+// wave count, the completion frontier size, the per-query skip audit
+// records, and the final top-k candidates. The candidates are additionally
+// asserted byte-identical to the exhaustive run — the golden file pins the
+// decisions, the comparison pins the exactness contract.
+func TestGoldenPlanPruneDecisions(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		db, repo, g := planFixture(t, seed, 60, 40)
+		rng := rand.New(rand.NewSource(seed * 101))
+		queries := planQueries(rng, 24)
+		focal := []relational.TupleID{planGID(rng.Intn(60))}
+
+		opts := Options{Shared: true, FocalAdjustment: true, TopK: 3, Plan: true}
+		d := New(db, repo, g)
+		planned, stats, err := d.IdentifyRelatedTuples(queries, focal, opts)
+		if err != nil {
+			t.Fatalf("seed=%d planned: %v", seed, err)
+		}
+		if stats.Plan == nil || !stats.Plan.Enabled {
+			t.Fatalf("seed=%d: planner did not run: %+v", seed, stats.Plan)
+		}
+		exactOpts := opts
+		exactOpts.Plan = false
+		exact, _, err := New(db, repo, g).IdentifyRelatedTuples(queries, focal, exactOpts)
+		if err != nil {
+			t.Fatalf("seed=%d exhaustive: %v", seed, err)
+		}
+		if got, want := renderPlanCands(planned), renderPlanCands(exact); got != want {
+			t.Fatalf("seed=%d: planned top-k diverged from exhaustive\n--- exhaustive\n%s--- planned\n%s",
+				seed, want, got)
+		}
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "topk=%d queries=%d executed=%d pruned=%d waves=%d frontier=%d\n",
+			stats.Plan.TopK, stats.Plan.Queries, stats.Plan.Executed, stats.Plan.Pruned,
+			stats.Plan.Waves, stats.Plan.Frontier)
+		for _, s := range stats.Plan.Skipped {
+			fmt.Fprintf(&b, "skipped: %s\n", s)
+		}
+		b.WriteString("candidates:\n")
+		b.WriteString(renderPlanCands(planned))
+		checkGolden(t, fmt.Sprintf("plan-prune-seed%d", seed), b.String())
+	}
+}

@@ -1,0 +1,430 @@
+package discovery
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nebula/internal/acg"
+	"nebula/internal/annotation"
+	"nebula/internal/keyword"
+	"nebula/internal/meta"
+	"nebula/internal/relational"
+)
+
+// planFixture builds a randomized two-table database (Gene ← Protein via
+// FK), metadata with samples, and a random ACG. The shape is adversarial
+// for the planner: indexed (GID, GeneID), full-text (Desc), and unindexed
+// scan columns (Name, Family, PName) all appear, values collide across
+// rows, and annotations wire random focal edges.
+func planFixture(t testing.TB, seed int64, genes, prots int) (*relational.Database, *meta.Repository, *acg.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := relational.NewDatabase()
+	geneSchema := &relational.Schema{
+		Name: "Gene",
+		Columns: []relational.Column{
+			{Name: "GID", Type: relational.TypeString, Indexed: true},
+			{Name: "Name", Type: relational.TypeString},
+			{Name: "Family", Type: relational.TypeString},
+			{Name: "Desc", Type: relational.TypeString, FullText: true},
+		},
+		PrimaryKey: "GID",
+	}
+	protSchema := &relational.Schema{
+		Name: "Protein",
+		Columns: []relational.Column{
+			{Name: "PID", Type: relational.TypeString, Indexed: true},
+			{Name: "GeneID", Type: relational.TypeString, Indexed: true},
+			{Name: "PName", Type: relational.TypeString},
+		},
+		PrimaryKey: "PID",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "GeneID", RefTable: "Gene", RefColumn: "GID"},
+		},
+	}
+	gt, err := db.CreateTable(geneSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := db.CreateTable(protSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"kinase", "helicase", "transport", "binding", "repair", "membrane", "stress", "motility"}
+	for i := 0; i < genes; i++ {
+		desc := fmt.Sprintf("%s %s protein", words[rng.Intn(len(words))], words[rng.Intn(len(words))])
+		if _, err := gt.Insert([]relational.Value{
+			relational.String(fmt.Sprintf("JW%04d", i)),
+			relational.String(fmt.Sprintf("gen%c", 'A'+rng.Intn(12))),
+			relational.String(fmt.Sprintf("F%d", rng.Intn(5))),
+			relational.String(desc),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < prots; i++ {
+		if _, err := pt.Insert([]relational.Value{
+			relational.String(fmt.Sprintf("P%04d", i)),
+			relational.String(fmt.Sprintf("JW%04d", rng.Intn(genes))),
+			relational.String(fmt.Sprintf("prot%c", 'A'+rng.Intn(8))),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.ValidateForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+	repo := meta.NewRepository(db, nil)
+	if err := repo.AddConcept(&meta.Concept{
+		Name: "Gene", Table: "Gene",
+		ReferencedBy: [][]string{{"GID"}, {"Name"}, {"Family"}, {"Desc"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.AddConcept(&meta.Concept{
+		Name: "Protein", Table: "Protein",
+		ReferencedBy: [][]string{{"PID"}, {"PName"}, {"GeneID"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []meta.ColumnRef{
+		{Table: "Gene", Column: "Family"},
+		{Table: "Gene", Column: "Desc"},
+		{Table: "Protein", Column: "PName"},
+	} {
+		repo.DrawSample(ref, 16, rng)
+	}
+	g := acg.New(0, 0)
+	for i := 0; i < genes/2; i++ {
+		a := rng.Intn(genes)
+		b := rng.Intn(genes)
+		if a == b {
+			continue
+		}
+		g.AddAnnotation(annotation.ID(fmt.Sprintf("link%d", i)),
+			[]relational.TupleID{planGID(a), planGID(b)})
+	}
+	return db, repo, g
+}
+
+func planGID(i int) relational.TupleID {
+	return relational.TupleID{Table: "Gene", Key: fmt.Sprintf("s:jw%04d", i)}
+}
+
+// planQueries generates a randomized batch: a few heavy high-weight probes
+// and a long tail of light ones — the distribution pruning exists for.
+func planQueries(rng *rand.Rand, n int) []keyword.Query {
+	words := []string{"kinase", "helicase", "transport", "binding", "repair", "membrane", "stress", "motility", "ghost", "absent"}
+	out := make([]keyword.Query, 0, n)
+	for i := 0; i < n; i++ {
+		var k keyword.Keyword
+		switch rng.Intn(5) {
+		case 0:
+			k = keyword.Keyword{Text: fmt.Sprintf("F%d", rng.Intn(6)), Role: keyword.RoleValue,
+				TargetTable: "Gene", TargetColumn: "Family", Weight: 0.9}
+		case 1:
+			k = keyword.Keyword{Text: fmt.Sprintf("gen%c", 'A'+rng.Intn(14)), Role: keyword.RoleValue,
+				TargetTable: "Gene", TargetColumn: "Name", Weight: 0.8}
+		case 2:
+			k = keyword.Keyword{Text: fmt.Sprintf("JW%04d", rng.Intn(40)), Role: keyword.RoleValue,
+				TargetTable: "Gene", TargetColumn: "GID", Weight: 0.95}
+		case 3:
+			k = keyword.Keyword{Text: words[rng.Intn(len(words))], Role: keyword.RoleValue,
+				TargetTable: "Gene", TargetColumn: "Desc", Weight: 0.7}
+		default:
+			k = keyword.Keyword{Text: fmt.Sprintf("prot%c", 'A'+rng.Intn(10)), Role: keyword.RoleValue,
+				TargetTable: "Protein", TargetColumn: "PName", Weight: 0.75}
+		}
+		// Heavy head, light tail: most of the batch cannot move the top k.
+		w := 0.05 + 0.1*rng.Float64()
+		if i < 4 {
+			w = 0.7 + 0.3*rng.Float64()
+		}
+		out = append(out, keyword.Query{ID: fmt.Sprintf("q%02d", i), Weight: w, Keywords: []keyword.Keyword{k}})
+	}
+	return out
+}
+
+// renderPlanCands folds a candidate list into one canonical string:
+// identity, confidence to 12 decimals, and the full evidence list.
+func renderPlanCands(cs []Candidate) string {
+	var b strings.Builder
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%v %.12f %s\n", c.Tuple.ID, c.Confidence, strings.Join(c.Evidence, ","))
+	}
+	return b.String()
+}
+
+// TestPlanTopKMatchesExhaustive is the prune-soundness property: across
+// randomized datasets, seeds, and option variants, a planned top-k run
+// returns byte-identical candidates (tuples, confidences, rank order,
+// evidence) to the exhaustive run truncated to k, and never fewer than
+// min(k, total). The test also requires pruning to actually fire across
+// the sweep — a vacuously exact planner proves nothing.
+func TestPlanTopKMatchesExhaustive(t *testing.T) {
+	variants := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"base", func(*Options) {}},
+		{"focal", func(o *Options) { o.FocalAdjustment = true }},
+		{"hops2", func(o *Options) { o.FocalAdjustment = true; o.AdjustmentHops = 2 }},
+		{"workers4", func(o *Options) { o.MaxWorkers = 4 }},
+	}
+	prunedRuns := 0
+	for seed := int64(1); seed <= 6; seed++ {
+		db, repo, g := planFixture(t, seed, 60, 40)
+		rng := rand.New(rand.NewSource(seed * 101))
+		queries := planQueries(rng, 24)
+		focal := []relational.TupleID{planGID(rng.Intn(60)), planGID(rng.Intn(60))}
+		for _, v := range variants {
+			for _, k := range []int{1, 3, 7} {
+				opts := Options{Shared: true, TopK: k}
+				v.mod(&opts)
+				d := New(db, repo, g)
+				full, _, err := d.IdentifyRelatedTuples(queries, focal, func() Options {
+					o := opts
+					o.TopK = 0
+					return o
+				}())
+				if err != nil {
+					t.Fatalf("seed=%d %s k=%d exhaustive: %v", seed, v.name, k, err)
+				}
+				exact, _, err := d.IdentifyRelatedTuples(queries, focal, opts)
+				if err != nil {
+					t.Fatalf("seed=%d %s k=%d exhaustive topk: %v", seed, v.name, k, err)
+				}
+				planned, stats, err := d.IdentifyRelatedTuples(queries, focal, func() Options {
+					o := opts
+					o.Plan = true
+					return o
+				}())
+				if err != nil {
+					t.Fatalf("seed=%d %s k=%d planned: %v", seed, v.name, k, err)
+				}
+				if stats.Plan == nil || !stats.Plan.Enabled {
+					t.Fatalf("seed=%d %s k=%d: planner did not run: %+v", seed, v.name, k, stats.Plan)
+				}
+				if got, want := renderPlanCands(planned), renderPlanCands(exact); got != want {
+					t.Fatalf("seed=%d %s k=%d: planned top-k diverged from exhaustive\n--- exhaustive\n%s--- planned (pruned=%d frontier=%d)\n%s",
+						seed, v.name, k, want, stats.Plan.Pruned, stats.Plan.Frontier, got)
+				}
+				min := k
+				if len(full) < min {
+					min = len(full)
+				}
+				if len(planned) < min {
+					t.Fatalf("seed=%d %s k=%d: %d attachments, want at least min(k,total)=%d",
+						seed, v.name, k, len(planned), min)
+				}
+				if stats.Plan.Pruned > 0 {
+					prunedRuns++
+				}
+				if stats.Plan.Executed+stats.Plan.Pruned != len(queries) {
+					t.Errorf("seed=%d %s k=%d: executed %d + pruned %d != %d queries",
+						seed, v.name, k, stats.Plan.Executed, stats.Plan.Pruned, len(queries))
+				}
+				if len(stats.Plan.Skipped) != stats.Plan.Pruned {
+					t.Errorf("seed=%d %s k=%d: %d skip records for %d pruned queries",
+						seed, v.name, k, len(stats.Plan.Skipped), stats.Plan.Pruned)
+				}
+			}
+		}
+	}
+	if prunedRuns == 0 {
+		t.Fatal("pruning never fired across the property sweep; the test exercises nothing")
+	}
+	t.Logf("pruning fired in %d runs", prunedRuns)
+}
+
+// TestPlanIncludeRelatedMatchesExhaustive covers the related-row expansion
+// path of completion separately: IncludeRelated rewrites both the merge
+// fold and the restricted frontier evaluation.
+func TestPlanIncludeRelatedMatchesExhaustive(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		db, repo, g := planFixture(t, seed, 40, 60)
+		rng := rand.New(rand.NewSource(seed * 77))
+		queries := planQueries(rng, 20)
+		d := New(db, repo, g)
+		d.IncludeRelated = true
+		opts := Options{Shared: true, FocalAdjustment: true, TopK: 5}
+		exact, _, err := d.IdentifyRelatedTuples(queries, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Plan = true
+		planned, stats, err := d.IdentifyRelatedTuples(queries, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := renderPlanCands(planned), renderPlanCands(exact); got != want {
+			t.Fatalf("seed=%d: IncludeRelated planned run diverged (pruned=%d)\n--- exhaustive\n%s--- planned\n%s",
+				seed, stats.Plan.Pruned, want, got)
+		}
+	}
+}
+
+// TestPlanExactWhenKCoversAll pins the exactness contract's boundary: with
+// k at or above the exhaustive candidate count, a planned run's full
+// output is byte-identical to the legacy path's (not just the top k).
+func TestPlanExactWhenKCoversAll(t *testing.T) {
+	db, repo, g := planFixture(t, 9, 50, 30)
+	rng := rand.New(rand.NewSource(9))
+	queries := planQueries(rng, 24)
+	d := New(db, repo, g)
+	opts := Options{Shared: true, FocalAdjustment: true}
+	full, _, err := d.IdentifyRelatedTuples(queries, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Plan = true
+	opts.TopK = len(full) + 10
+	planned, stats, err := d.IdentifyRelatedTuples(queries, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderPlanCands(planned), renderPlanCands(full); got != want {
+		t.Fatalf("k >= total: planned output not byte-identical (pruned=%d)\n--- legacy\n%s--- planned\n%s",
+			stats.Plan.Pruned, want, got)
+	}
+}
+
+// TestPlanDeterministicAcrossWorkers is the planner's determinism suite:
+// planned output — candidates and every plan decision — is byte-identical
+// at worker counts 1/2/4/8, with and without a shared result cache, and
+// with and without a scan budget.
+func TestPlanDeterministicAcrossWorkers(t *testing.T) {
+	db, repo, g := planFixture(t, 3, 60, 40)
+	rng := rand.New(rand.NewSource(3))
+	queries := planQueries(rng, 24)
+	focal := []relational.TupleID{planGID(7)}
+	for _, cached := range []bool{false, true} {
+		for _, budget := range []int{0, 2000} {
+			var cache *keyword.QueryCache
+			if cached {
+				cache = keyword.NewQueryCache(1 << 20)
+			}
+			run := func(workers int) (string, string) {
+				d := New(db, repo, g)
+				d.Cache = cache
+				cands, stats, err := d.IdentifyRelatedTuples(queries, focal, Options{
+					Shared: true, FocalAdjustment: true, Plan: true, TopK: 5,
+					MaxScannedRows: budget, MaxWorkers: workers,
+				})
+				if err != nil {
+					t.Fatalf("cached=%v budget=%d workers=%d: %v", cached, budget, workers, err)
+				}
+				return renderPlanCands(cands), fmt.Sprintf("%+v degraded=%v", *stats.Plan, stats.Degraded)
+			}
+			baseCands, basePlan := run(1)
+			for _, workers := range []int{2, 4, 8} {
+				cands, plan := run(workers)
+				if cands != baseCands {
+					t.Errorf("cached=%v budget=%d workers=%d: candidates diverged\n--- workers=1\n%s--- workers=%d\n%s",
+						cached, budget, workers, baseCands, workers, cands)
+				}
+				if plan != basePlan {
+					t.Errorf("cached=%v budget=%d workers=%d: plan decisions diverged\n--- workers=1\n%s\n--- workers=%d\n%s",
+						cached, budget, workers, basePlan, workers, plan)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheIdenticalToCold checks that a warm shared cache changes no
+// planned output: the planner's decisions read estimates and confidence
+// bounds only, never cache state.
+func TestPlanCacheIdenticalToCold(t *testing.T) {
+	db, repo, g := planFixture(t, 5, 60, 40)
+	rng := rand.New(rand.NewSource(5))
+	queries := planQueries(rng, 24)
+	run := func(cache *keyword.QueryCache) string {
+		d := New(db, repo, g)
+		d.Cache = cache
+		cands, stats, err := d.IdentifyRelatedTuples(queries, nil, Options{
+			Shared: true, FocalAdjustment: true, Plan: true, TopK: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderPlanCands(cands) + fmt.Sprintf("%+v", *stats.Plan)
+	}
+	cold := run(nil)
+	cache := keyword.NewQueryCache(1 << 20)
+	first := run(cache)
+	warm := run(cache) // second pass over a populated cache
+	if first != cold || warm != cold {
+		t.Errorf("cache state changed planned output\n--- cold\n%s\n--- cache first\n%s\n--- cache warm\n%s", cold, first, warm)
+	}
+}
+
+// TestPlanIneligibleFallsBack checks that an ineligible planning request
+// runs the legacy path unchanged and records why it could not plan.
+func TestPlanIneligibleFallsBack(t *testing.T) {
+	db, repo, g := planFixture(t, 2, 30, 20)
+	rng := rand.New(rand.NewSource(2))
+	queries := planQueries(rng, 12)
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"no-topk", Options{Shared: true, Plan: true}, "planning requires TOPK > 0"},
+		{"unshared", Options{Plan: true, TopK: 5}, "planning requires shared execution"},
+	}
+	for _, tc := range cases {
+		d := New(db, repo, g)
+		legacy := tc.opts
+		legacy.Plan = false
+		want, _, err := d.IdentifyRelatedTuples(queries, nil, legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := d.IdentifyRelatedTuples(queries, nil, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Plan == nil || stats.Plan.Enabled || stats.Plan.Reason != tc.want {
+			t.Errorf("%s: Plan = %+v, want disabled with reason %q", tc.name, stats.Plan, tc.want)
+		}
+		if renderPlanCands(got) != renderPlanCands(want) {
+			t.Errorf("%s: fallback output differs from legacy", tc.name)
+		}
+	}
+	// A custom searcher is the third ineligibility.
+	d := New(db, repo, g)
+	d.NewSearcher = func(sdb *relational.Database) keyword.Searcher { return keyword.NewEngine(sdb, repo) }
+	_, stats, err := d.IdentifyRelatedTuples(queries, nil, Options{Shared: true, Plan: true, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan == nil || stats.Plan.Enabled || stats.Plan.Reason == "" {
+		t.Errorf("custom searcher: Plan = %+v, want disabled with a reason", stats.Plan)
+	}
+}
+
+// TestPlanBudgetInterrupt checks that a scan budget interrupts a planned
+// run exactly like a legacy one: partial candidates, a Degraded record,
+// and Plan.Interrupted set.
+func TestPlanBudgetInterrupt(t *testing.T) {
+	db, repo, g := planFixture(t, 4, 60, 40)
+	rng := rand.New(rand.NewSource(4))
+	queries := planQueries(rng, 24)
+	d := New(db, repo, g)
+	cands, stats, err := d.IdentifyRelatedTuples(queries, nil, Options{
+		Shared: true, Plan: true, TopK: 5, MaxScannedRows: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Plan.Interrupted {
+		t.Fatalf("budget of 100 rows did not interrupt: %+v", *stats.Plan)
+	}
+	if len(stats.Degraded) == 0 {
+		t.Error("interrupted planned run recorded no Degraded reason")
+	}
+	_ = cands
+}

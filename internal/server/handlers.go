@@ -62,6 +62,9 @@ type statsJSON struct {
 	ParallelBatches   int  `json:"parallel_batches,omitempty"`
 	Retries           int  `json:"retries,omitempty"`
 	CacheHits         int  `json:"cache_hits,omitempty"`
+	// Plan reports the cost-based planner's decisions when planning was
+	// requested for the run.
+	Plan *nebula.PlanStats `json:"plan,omitempty"`
 }
 
 type taskJSON struct {
@@ -207,6 +210,7 @@ func discoveryToJSON(id string, disc *nebula.Discovery, runErr error) discoverRe
 			ParallelBatches:   disc.ExecStats.Exec.ParallelBatches,
 			Retries:           disc.ExecStats.Retries,
 			CacheHits:         disc.ExecStats.Exec.CacheHits,
+			Plan:              disc.ExecStats.Plan,
 		}
 	}
 	switch {
@@ -246,10 +250,10 @@ func classifyRun(err error) runOutcome {
 // observeDiscovery folds one run into the metrics registry.
 func (s *Server) observeDiscovery(disc *nebula.Discovery, err error) {
 	if disc == nil {
-		s.metrics.observeRun(nil, classifyRun(err), nebula.DiscoveryStats{}.Exec)
+		s.metrics.observeRun(nil, classifyRun(err), nebula.DiscoveryStats{}.Exec, nil)
 		return
 	}
-	s.metrics.observeRun(disc.Degraded(), classifyRun(err), disc.ExecStats.Exec)
+	s.metrics.observeRun(disc.Degraded(), classifyRun(err), disc.ExecStats.Exec, disc.ExecStats.Plan)
 }
 
 // ---- handlers --------------------------------------------------------------

@@ -39,7 +39,10 @@ type AnnotateStmt struct {
 // engine's result caching for this one run; CACHE <bytes> resizes the
 // engine's overall cache budget before the run. TRACE ON records a
 // request-scoped span tree and appends it to the result (observe-only —
-// candidates are identical either way).
+// candidates are identical either way). PLAN ON|OFF overrides the
+// cost-based planner for this one run, and TOPK <k> keeps only the
+// strongest k attachments (the k the planner's early termination
+// maintains).
 type DiscoverStmt struct {
 	ID            string
 	TimeoutMillis int64
@@ -51,6 +54,10 @@ type DiscoverStmt struct {
 	CacheBytes int64
 	// Trace records a span tree for this one run (`TRACE ON`).
 	Trace bool
+	// Plan is "", "on", or "off" — the per-request planner override.
+	Plan string
+	// TopK, when positive, keeps the strongest k attachments (`TOPK <k>`).
+	TopK int
 }
 
 // ProcessStmt is `PROCESS '<annotation-id>' [TIMEOUT <ms>] [MAX <n>]
@@ -65,6 +72,8 @@ type ProcessStmt struct {
 	Cache         string
 	CacheBytes    int64
 	Trace         bool
+	Plan          string
+	TopK          int
 }
 
 // Condition is one `col = value` conjunct of a WHERE clause.

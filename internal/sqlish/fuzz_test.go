@@ -22,6 +22,15 @@ func FuzzParseCommand(f *testing.F) {
 		"PROCESS 'x' PARALLEL 0",
 		"PROCESS 'x' PARALLEL -2",
 		"PROCESS 'x' PARALLEL",
+		"DISCOVER 'a' PLAN ON TOPK 10",
+		"DISCOVER 'a' TOPK 5 PLAN OFF CACHE OFF",
+		"PROCESS 'x' PLAN ON TOPK 3 PARALLEL 2",
+		"DISCOVER 'a' PLAN",
+		"DISCOVER 'a' PLAN MAYBE",
+		"DISCOVER 'a' TOPK 0",
+		"DISCOVER 'a' TOPK -1",
+		"DISCOVER 'a' TOPK",
+		"DISCOVER 'a' TOPK 99999999999999999999",
 		"DISCOVER 'a' PARALLEL 99999999999999999999",
 		"SELECT GID, Name FROM Gene WHERE Family = 'F1' AND Length = 1130 WITH ANNOTATIONS",
 		"SELECT * FROM t",

@@ -76,6 +76,14 @@ type RequestOptions struct {
 	// Trace attaches a request-scoped span tree to this run (see
 	// Options.Trace). Observe-only: results are byte-identical either way.
 	Trace bool `json:"trace,omitempty"`
+	// Plan controls the cost-based planner for this request: "" keeps the
+	// engine's configured behavior, "on" enables planning (requires a
+	// top-k, from this request or the engine), "off" forces the exhaustive
+	// legacy path.
+	Plan string `json:"plan,omitempty"`
+	// TopK, when positive, keeps only the strongest k attachments and is
+	// the k the planner's early termination maintains.
+	TopK int `json:"topk,omitempty"`
 }
 
 // Enabled reports whether the request overrides anything.
@@ -95,6 +103,14 @@ func (r RequestOptions) Validate() error {
 	case "", "on", "off":
 	default:
 		return fmt.Errorf("nebula: request cache mode %q (want on or off)", r.Cache)
+	}
+	switch r.Plan {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("nebula: request plan mode %q (want on or off)", r.Plan)
+	}
+	if r.TopK < 0 {
+		return fmt.Errorf("nebula: negative request top-k %d", r.TopK)
 	}
 	return nil
 }
@@ -131,6 +147,15 @@ func (r RequestOptions) apply(base Options) Options {
 	}
 	if r.Trace {
 		base.Trace = true
+	}
+	switch r.Plan {
+	case "on":
+		base.Plan = true
+	case "off":
+		base.Plan = false
+	}
+	if r.TopK > 0 {
+		base.TopK = r.TopK
 	}
 	return base
 }
@@ -273,6 +298,18 @@ type Options struct {
 	// with tracing on or off, and when off the pipeline pays zero
 	// allocations for the instrumentation points.
 	Trace bool
+	// Plan enables the cost-based query planner: keyword queries execute
+	// in estimated confidence-per-cost order and stop early once the
+	// pending queries cannot change the top TopK attachments. Requires
+	// TopK > 0, shared execution, and the metadata technique; an
+	// ineligible combination falls back to the exhaustive path and says
+	// why in DiscoveryStats.Plan. The top-k output of a planned run is
+	// byte-identical to the exhaustive run's.
+	Plan bool
+	// TopK, when positive, truncates every discovery's candidates to the
+	// strongest k attachments (applied before Budget.MaxCandidates) and
+	// is the k the planner maintains.
+	TopK int
 }
 
 // Search technique names for Options.SearchTechnique.
@@ -339,6 +376,9 @@ func (o Options) Validate() error {
 	}
 	if err := o.Cache.Validate(); err != nil {
 		return err
+	}
+	if o.TopK < 0 {
+		return fmt.Errorf("nebula: negative top-k %d", o.TopK)
 	}
 	return nil
 }
