@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-parallel bench-plan bench-server bench-cache bench-trace bench-wal run-server experiments examples fmt vet check clean
+.PHONY: all build test race cover bench bench-parallel bench-plan bench-server bench-cache bench-trace bench-wal bench-stream run-server experiments examples fmt vet check clean
 
 all: build test
 
@@ -21,6 +21,8 @@ check:
 	$(GO) test -run 'Determinis|Cache|Trace|Unicode' ./internal/cache/ ./internal/keyword/ ./internal/relational/ ./internal/trace/ .
 	$(GO) test -race -run 'WAL' ./internal/wal/ .
 	$(GO) test -race -run 'Plan|Golden|Estimate' ./internal/discovery/ ./internal/keyword/ ./internal/meta/
+	$(GO) test -race -run 'Ingest|Stream|Queue' ./internal/ingest/ ./internal/bench/ ./internal/server/ .
+	$(MAKE) bench-stream
 
 build:
 	$(GO) build ./...
@@ -75,6 +77,15 @@ bench-trace:
 # absorption that makes group commit cheaper than fsync-per-append.
 bench-wal:
 	$(GO) run ./cmd/nebulactl bench-wal --size tiny --seed 42 --writers 4 --mutations 400 --out BENCH_wal.json
+
+# Measure the streaming ingest pipeline: async submission with interleaved
+# drains, tuple mutations driving K-hop CDC re-discovery, and a convergence
+# flush; the JSON artifact records queue counters, enqueue-to-attached
+# freshness, and the byte-identity check against a synchronous from-scratch
+# control engine. The grep enforces the identity contract on the artifact.
+bench-stream:
+	$(GO) run ./cmd/nebulactl bench-stream --size tiny --seed 42 --mutations 24 --drain-every 4 --out BENCH_stream.json
+	grep -q '"identical": true' BENCH_stream.json
 
 # Serving smoke test: boot nebulad on an ephemeral port, hit /healthz, run
 # one discovery round trip, SIGTERM it, and verify the drain snapshot

@@ -90,8 +90,20 @@ func (e *Engine) ProcessBatchRequest(ctx context.Context, ids []AnnotationID, re
 		return batchError(ids, err)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.runBatch(ctx, ids, true, req.apply(e.opts))
+	wb := e.wal
+	results := e.runBatch(ctx, ids, true, req.apply(e.opts))
+	e.mu.Unlock()
+	if err := wb.commit(nil); err != nil {
+		// The group fsync covering every logged submission failed; no slot
+		// may acknowledge a durable routing.
+		for i := range results {
+			if results[i].Err == nil {
+				results[i].Err = err
+				results[i].Outcome = VerificationOutcome{}
+			}
+		}
+	}
+	return results
 }
 
 // runBatch is the shared batch core. Callers hold e.mu for the whole batch
@@ -154,10 +166,19 @@ func (e *Engine) runBatch(ctx context.Context, ids []AnnotationID, process bool,
 			continue
 		}
 		disc := results[i].Discovery
+		degraded := len(disc.Degraded()) > 0
 		submit := e.manager.Submit
-		if len(disc.Degraded()) > 0 {
+		if degraded {
 			submit = e.manager.SubmitDegraded
 		}
+		// Log the computed routing before applying it, exactly like the
+		// single-annotation Process path; an append failure poisons only
+		// this slot.
+		if err := e.walAppend(recSubmit(ids[i], disc, degraded, e.manager.NextVID())); err != nil {
+			results[i].Err = err
+			continue
+		}
+		e.bumpMutEpoch()
 		outcome, err := submit(ids[i], disc.Focal, disc.Candidates)
 		if err != nil {
 			results[i].Err = err

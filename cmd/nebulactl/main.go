@@ -18,6 +18,7 @@
 //	nebulactl bench-server --size tiny --levels 4,32 --requests 200 --out BENCH_server.json
 //	nebulactl bench-cache --sizes small,mid --rounds 3 --out BENCH_cache.json
 //	nebulactl bench-trace --size small --rounds 3 --out BENCH_trace.json
+//	nebulactl bench-stream --size tiny --mutations 24 --drain-every 4 --out BENCH_stream.json
 //	nebulactl demo
 package main
 
@@ -72,6 +73,8 @@ func main() {
 		err = cmdBenchCache(os.Args[2:])
 	case "bench-trace":
 		err = cmdBenchTrace(os.Args[2:])
+	case "bench-stream":
+		err = cmdBenchStream(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -120,6 +123,10 @@ commands:
               measure request-scoped tracing overhead on the discovery
               sweep and verify the traced and untraced runs are
               byte-identical (tracing is observe-only)
+  bench-stream
+              measure the streaming ingest pipeline: async submission,
+              change-driven re-discovery, enqueue-to-attached freshness,
+              and byte-identity against a synchronous from-scratch control
 `)
 }
 
@@ -639,6 +646,51 @@ func cmdBenchTrace(args []string) error {
 	}
 	defer f.Close()
 	if err := bench.WriteTraceJSON(f, result); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdBenchStream measures the streaming proactive pipeline: the workload
+// submitted through the async path with drains interleaved, tuple mutations
+// driving K-hop CDC re-discovery, and a convergence flush whose final state
+// must be byte-identical to a synchronous from-scratch control engine over
+// the same final database.
+func cmdBenchStream(args []string) error {
+	fs := flag.NewFlagSet("bench-stream", flag.ExitOnError)
+	size := fs.String("size", "tiny", "dataset size: tiny|small|mid|large")
+	seed := fs.Int64("seed", 42, "generator seed")
+	mutations := fs.Int("mutations", 24, "tuple mutations driving CDC re-discovery")
+	drainEvery := fs.Int("drain-every", 4, "submissions/mutations between drains")
+	out := fs.String("out", "BENCH_stream.json", "output JSON path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flagcheck.All(
+		flagcheck.NonNegative("mutations", *mutations),
+		flagcheck.Positive("drain-every", *drainEvery),
+	); err != nil {
+		return err
+	}
+	result, err := bench.RunStreamBench(*size, *seed, *mutations, *drainEvery)
+	if err != nil {
+		return err
+	}
+	results := []*bench.StreamResult{result}
+	bench.StreamTable(results).Print(os.Stdout)
+	if !result.Identical {
+		return fmt.Errorf("streaming state diverged from the synchronous control (%s); async must not change results", result.Dataset)
+	}
+	if *out == "" {
+		return bench.WriteStreamJSON(os.Stdout, results)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteStreamJSON(f, results); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

@@ -15,7 +15,8 @@
 //	        [--max-inflight N] [--queue-depth N] [--max-per-conn N]
 //	        [--request-timeout D] [--drain-timeout D] [--snapshot FILE]
 //	        [--wal DIR] [--wal-sync group|always|none] [--slow-request D]
-//	        [--debug-addr HOST:PORT] [--smoke]
+//	        [--ingest] [--ingest-queue-cap N] [--ingest-hops K]
+//	        [--ingest-drain-every D] [--debug-addr HOST:PORT] [--smoke]
 //
 // --plan enables the cost-based query planner for every discovery the
 // daemon serves (requires --topk K > 0); per-request PLAN ON|OFF and
@@ -29,6 +30,15 @@
 // crash mid-append — and, when --snapshot is also set, immediately
 // checkpoints so the replayed history is folded and the log truncated.
 // The drain snapshot likewise becomes a checkpoint.
+//
+// --ingest arms the streaming proactive pipeline: POST /v1/annotations/async
+// queues discovery instead of running it inline (202 with the queue
+// position; 429 + Retry-After when the queue is full), tuple mutations
+// re-queue exactly the annotations attached within --ingest-hops of the
+// changed rows, and --ingest-drain-every runs a background drain at that
+// cadence (0 leaves draining to POST /v1/ingest/flush). SIGTERM flushes the
+// queue before the drain snapshot so async submissions leave as
+// attachments.
 //
 // --slow-request D arms the structured slow-request log: any request at or
 // over D is logged at Warn with its request-scoped span tree. --debug-addr
@@ -94,6 +104,10 @@ type daemonConfig struct {
 	walDir         string
 	walSync        string
 	slowRequest    time.Duration
+	ingest         bool
+	ingestQueueCap int
+	ingestHops     int
+	ingestEvery    time.Duration
 	debugAddr      string
 	smoke          bool
 }
@@ -132,6 +146,10 @@ func run(args []string) error {
 	fs.StringVar(&cfg.walDir, "wal", "", "write-ahead log directory: replayed on boot, then every mutation is logged and fsynced before it is acknowledged")
 	fs.StringVar(&cfg.walSync, "wal-sync", "group", "WAL fsync policy: group (batched), always (per append), none (OS flush only)")
 	fs.DurationVar(&cfg.slowRequest, "slow-request", 0, "log requests at or over this duration at Warn with their span tree (0 = off)")
+	fs.BoolVar(&cfg.ingest, "ingest", false, "enable the streaming ingest pipeline (async submits + change-driven re-discovery)")
+	fs.IntVar(&cfg.ingestQueueCap, "ingest-queue-cap", 0, "queued discovery jobs before async submits get 429 (0 = default 1024)")
+	fs.IntVar(&cfg.ingestHops, "ingest-hops", 0, "ACG neighborhood radius for change-driven re-discovery (0 = default 1)")
+	fs.DurationVar(&cfg.ingestEvery, "ingest-drain-every", time.Second, "background drain cadence for queued jobs (0 = manual flush only)")
 	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this extra listener (empty = off; keep it loopback-only)")
 	fs.BoolVar(&cfg.smoke, "smoke", false, "self-check serving round trip, then exit")
 	if err := fs.Parse(args); err != nil {
@@ -147,6 +165,9 @@ func run(args []string) error {
 		flagcheck.NonNegativeDuration("request-timeout", cfg.requestTimeout),
 		flagcheck.NonNegativeDuration("drain-timeout", cfg.drainTimeout),
 		flagcheck.NonNegativeDuration("slow-request", cfg.slowRequest),
+		flagcheck.NonNegative("ingest-queue-cap", cfg.ingestQueueCap),
+		flagcheck.NonNegative("ingest-hops", cfg.ingestHops),
+		flagcheck.NonNegativeDuration("ingest-drain-every", cfg.ingestEvery),
 	); err != nil {
 		return err
 	}
@@ -172,6 +193,13 @@ func buildEngine(cfg daemonConfig) (*nebula.Engine, func(*nebula.Database) (*neb
 		return nil, nil, err
 	}
 	opts.Cache = cacheCfg
+	if cfg.ingest {
+		opts.Ingest = nebula.IngestConfig{
+			Enabled:  true,
+			QueueCap: cfg.ingestQueueCap,
+			CDCHops:  cfg.ingestHops,
+		}
+	}
 	configureMeta := func(db *nebula.Database) (*nebula.MetaRepository, error) {
 		// The repository is configuration, not snapshot state; rebuild the
 		// §8.1 registration deterministically from the seed.
@@ -289,6 +317,31 @@ func serve(cfg daemonConfig, ready chan<- string) error {
 		ready <- ln.Addr().String()
 	}
 
+	// The background drainer turns queued async submissions into attachments
+	// at a steady cadence, so freshness does not depend on operators calling
+	// /v1/ingest/flush. Stopped before Shutdown, whose final flush empties
+	// whatever the last tick left behind.
+	var stopDrainer context.CancelFunc
+	if cfg.ingest && cfg.ingestEvery > 0 {
+		drainerCtx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		stopDrainer = cancel
+		go func() {
+			t := time.NewTicker(cfg.ingestEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-drainerCtx.Done():
+					return
+				case <-t.C:
+					if _, err := srv.Engine().DrainIngest(drainerCtx, 0); err != nil && !errors.Is(err, context.Canceled) {
+						log.Printf("nebulad: ingest drain: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -305,6 +358,9 @@ func serve(cfg daemonConfig, ready chan<- string) error {
 	// Drain order matters: flip the admission gate first so in-flight work
 	// finishes and late arrivals get typed 503s while the listener is still
 	// up, persist the snapshot, then close the listener.
+	if stopDrainer != nil {
+		stopDrainer()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	drainErr := srv.Shutdown(drainCtx)

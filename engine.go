@@ -12,6 +12,7 @@ import (
 	"nebula/internal/annotation"
 	"nebula/internal/cache"
 	"nebula/internal/discovery"
+	"nebula/internal/ingest"
 	"nebula/internal/keyword"
 	"nebula/internal/relational"
 	"nebula/internal/sigmap"
@@ -106,6 +107,17 @@ type Engine struct {
 	// this engine was restored from; ReplayWAL skips earlier segments.
 	// Zero (fresh engines, pre-WAL snapshots) replays everything.
 	walBaseSegment uint64
+
+	// manualFocal remembers each annotation's manual Stage-0 attachments
+	// (the attachTo of its AddAnnotation) — the state re-discovery
+	// retraction preserves. Accepted predictions become TrueAttachments in
+	// the store and are indistinguishable there from manual ones; this map
+	// is what keeps them distinguishable. Guarded by mu.
+	manualFocal map[AnnotationID][]TupleID
+	// ingest, when non-nil, is the streaming proactive pipeline: the
+	// bounded discovery job queue plus change-data-capture state (see
+	// Options.Ingest and ingest.go). Guarded by mu.
+	ingest *ingestState
 }
 
 // New creates an engine with a fresh annotation store and ACG.
@@ -131,13 +143,30 @@ func NewWithState(db *Database, repo *MetaRepository, store *AnnotationStore, gr
 		return nil, err
 	}
 	e := &Engine{
-		db:      db,
-		meta:    repo,
-		store:   store,
-		graph:   graph,
-		profile: profile,
-		manager: manager,
-		opts:    opts,
+		db:          db,
+		meta:        repo,
+		store:       store,
+		graph:       graph,
+		profile:     profile,
+		manager:     manager,
+		opts:        opts,
+		manualFocal: make(map[AnnotationID][]TupleID),
+	}
+	// Pre-populated stores (restored snapshots without manual-focal data,
+	// layered datasets) default every existing true attachment to manual:
+	// re-discovery then never retracts pre-existing state it cannot
+	// classify. RestoreEngine overwrites this with the snapshotted map.
+	for _, id := range store.IDs() {
+		if focal := store.Focal(id); len(focal) > 0 {
+			e.manualFocal[id] = focal
+		}
+	}
+	if opts.Ingest.Enabled {
+		e.ingest = &ingestState{
+			queue:   ingest.New(opts.Ingest.queueCap()),
+			cdcHops: opts.Ingest.cdcHops(),
+		}
+		e.refreshRowHook()
 	}
 	if !opts.Cache.Disabled {
 		// The byte budget splits evenly across the three LRU layers (the
@@ -176,12 +205,26 @@ func (e *Engine) MutateDB(fn func(db *Database) error) error {
 				e.wal.captureActive, e.wal.captureErr = false, nil
 			}()
 		}
+		if e.ingest != nil {
+			e.ingest.beginCapture()
+		}
 		err := fn(e.db)
 		if err == nil && e.wal != nil {
 			// A failed append mid-fn leaves later row ops unlogged; the
 			// log is poisoned by the failure, so the caller gets an error
 			// and the process must restart into replay (fail-stop).
 			err = e.wal.captureErr
+		}
+		if e.ingest != nil {
+			// Change-data-capture: the committed row mutations seed the
+			// K-hop ACG query that decides which prior attachments need
+			// re-discovery. Runs only on success — a failed fn may have
+			// applied some rows, but their WAL records (and therefore the
+			// replayed state) end at the failure point.
+			changed := e.ingest.endCapture()
+			if err == nil && len(changed) > 0 {
+				_, err = e.enqueueAffectedLocked(changed)
+			}
 		}
 		return err
 	}()
@@ -272,6 +315,10 @@ func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
 		}
 	}
 	e.graph.AddAnnotation(a.ID, attachTo)
+	// Remember the manual focal: re-discovery retraction keeps exactly
+	// these attachments. Recorded in the core so OpAddAnnotation replay
+	// rebuilds the same map.
+	e.manualFocal[a.ID] = append([]TupleID(nil), attachTo...)
 	return nil
 }
 
@@ -289,10 +336,27 @@ func (e *Engine) DeleteTuple(id TupleID) (detached, cancelled int, err error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		wb = e.wal
+		// Change-data-capture must read the ACG neighborhood BEFORE the
+		// cascade removes the tuple's node and edges.
+		var affected []AnnotationID
+		if e.ingest != nil {
+			affected = e.graph.AffectedAnnotations([]TupleID{id}, e.ingest.cdcHops)
+		}
 		if err := e.walAppend(recDeleteTuple(id)); err != nil {
 			return 0, 0, err
 		}
-		return e.deleteTuple(id)
+		d, c, err := e.deleteTuple(id)
+		if err == nil && e.ingest != nil {
+			for _, a := range affected {
+				if _, ok := e.store.Get(a); !ok {
+					continue // the cascade removed the annotation's last state
+				}
+				if _, qerr := e.enqueueJobLocked(a, ingest.KindRediscover, 0); qerr != nil && !errors.Is(qerr, ErrIngestQueueFull) {
+					return d, c, qerr
+				}
+			}
+		}
+		return d, c, err
 	}()
 	err = wb.commit(err)
 	return detached, cancelled, err
@@ -310,6 +374,21 @@ func (e *Engine) deleteTuple(id TupleID) (detached, cancelled int, err error) {
 		return 0, 0, fmt.Errorf("nebula: no tuple %s", id)
 	}
 	e.bumpMutEpoch()
+	// The tuple can no longer be anyone's manual attachment; prune it from
+	// the manual-focal lists before the store cascade forgets who touched
+	// it.
+	for _, att := range e.store.TupleAnnotations(id, annotation.TrueAttachment) {
+		focal := e.manualFocal[att.Annotation]
+		for i, t := range focal {
+			if t == id {
+				e.manualFocal[att.Annotation] = append(focal[:i:i], focal[i+1:]...)
+				break
+			}
+		}
+		if len(e.manualFocal[att.Annotation]) == 0 {
+			delete(e.manualFocal, att.Annotation)
+		}
+	}
 	detached = e.store.DetachTuple(id)
 	e.graph.RemoveTuple(id)
 	cancelled = e.manager.CancelTasksForTuple(id)

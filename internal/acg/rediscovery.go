@@ -1,0 +1,96 @@
+package acg
+
+import (
+	"sort"
+
+	"nebula/internal/annotation"
+	"nebula/internal/relational"
+)
+
+// This file holds the graph surface of change-driven re-discovery: the
+// retraction primitive that unwires one (annotation, tuple) pair, and the
+// change-data-capture query that maps mutated rows to the annotations whose
+// discovered attachments those mutations can affect.
+
+// RemoveAttachment unwires one (annotation, tuple) pair — the retraction
+// half of re-discovery, the inverse of AddAttachment. An edge between the
+// tuple and another node survives only while the two still share at least
+// one annotation; edges that lose their last shared annotation are removed,
+// and nodes left without memberships disappear. Stability counters are not
+// rewound (the batch history already happened). It reports whether the pair
+// was present.
+func (g *Graph) RemoveAttachment(id annotation.ID, t relational.TupleID) bool {
+	set, ok := g.anns[t]
+	if !ok {
+		return false
+	}
+	if _, has := set[id]; !has {
+		return false
+	}
+	delete(set, id)
+	tuples := g.byAnn[id]
+	for i, other := range tuples {
+		if other == t {
+			g.byAnn[id] = append(tuples[:i:i], tuples[i+1:]...)
+			break
+		}
+	}
+	if len(g.byAnn[id]) == 0 {
+		delete(g.byAnn, id)
+	}
+	if adj, ok := g.adj[t]; ok {
+		for _, nb := range append([]relational.TupleID(nil), adj.list...) {
+			if g.shareAnnotation(t, nb) {
+				continue
+			}
+			adj.remove(nb)
+			if onb, ok := g.adj[nb]; ok {
+				onb.remove(t)
+				if len(onb.list) == 0 {
+					delete(g.adj, nb)
+				}
+			}
+		}
+		if len(adj.list) == 0 {
+			delete(g.adj, t)
+		}
+	}
+	if len(set) == 0 {
+		delete(g.anns, t)
+	}
+	return true
+}
+
+func (g *Graph) shareAnnotation(a, b relational.TupleID) bool {
+	sa, sb := g.anns[a], g.anns[b]
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	for id := range sa {
+		if _, ok := sb[id]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// AffectedAnnotations is the change-data-capture query: the annotations
+// attached to any tuple within k hops of the seed tuples (the mutated rows
+// and, for inserts, their FK-related rows). These are exactly the prior
+// attachments whose discovery evidence the mutation can influence through
+// the graph — the set re-queued for re-discovery. Seeds outside the graph
+// contribute nothing beyond themselves. Sorted for determinism.
+func (g *Graph) AffectedAnnotations(seeds []relational.TupleID, k int) []annotation.ID {
+	set := make(map[annotation.ID]struct{})
+	for t := range g.bfs(seeds, k) {
+		for id := range g.anns[t] {
+			set[id] = struct{}{}
+		}
+	}
+	out := make([]annotation.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"nebula"
+	"nebula/internal/relational"
+)
+
+// StreamResult records one streaming-ingest run: the full workload submitted
+// through the async path with drains interleaved, a round of tuple mutations
+// driving change-data-capture re-discoveries, and a final convergence flush.
+// Identical reports whether the converged annotation state — attachments and
+// pending verification tasks, VIDs excluded — is byte-identical to a control
+// engine that ran the same annotations synchronously over the same final
+// database state. Async must change WHEN discovery happens, never WHAT it
+// produces.
+type StreamResult struct {
+	Dataset     string `json:"dataset"`
+	Annotations int    `json:"annotations"`
+	Mutations   int    `json:"mutations"`
+	DrainEvery  int    `json:"drain_every"`
+	// Queue-side counters at the end of the run.
+	Enqueued      uint64 `json:"enqueued"`
+	Coalesced     uint64 `json:"coalesced"`
+	Rediscoveries uint64 `json:"rediscoveries"`
+	Done          uint64 `json:"done"`
+	Drains        uint64 `json:"drains"`
+	// MeanFreshnessMS is the mean enqueue→attached latency over every
+	// completed job — the streaming pipeline's staleness bound.
+	MeanFreshnessMS float64 `json:"mean_freshness_ms"`
+	TotalNS         int64   `json:"total_ns"`
+	Identical       bool    `json:"identical"`
+}
+
+// streamMutation is one recorded tuple update, replayed verbatim against the
+// control engine so both engines converge on the same database state.
+type streamMutation struct {
+	table  string
+	key    string
+	column string
+	value  relational.Value
+}
+
+// streamMutations derives the mutation schedule deterministically from the
+// workload: round-robin over the annotation specs, updating the first focal
+// tuple of each — rows guaranteed to carry attachments, so every mutation
+// lands inside some annotation's CDC neighborhood.
+func streamMutations(specs []streamSpec, count int) []streamMutation {
+	muts := make([]streamMutation, 0, count)
+	for m := 0; m < count; m++ {
+		spec := specs[m%len(specs)]
+		t := spec.focal[0]
+		var mut streamMutation
+		switch t.Table {
+		case "Gene":
+			mut = streamMutation{t.Table, t.Key, "Length", relational.Int(int64(500 + m))}
+		case "Protein":
+			mut = streamMutation{t.Table, t.Key, "PType", relational.String(fmt.Sprintf("enzyme-m%d", m))}
+		default:
+			continue
+		}
+		muts = append(muts, mut)
+	}
+	return muts
+}
+
+type streamSpec struct {
+	ann   *nebula.Annotation
+	focal []nebula.TupleID
+}
+
+// streamWorkload snapshots the generated workload's annotations and focal
+// sets; both engines consume this copy so neither run mutates the other's
+// inputs.
+func streamWorkload(env *Env) []streamSpec {
+	specs := make([]streamSpec, 0, len(env.Dataset.Workload))
+	for _, s := range env.Dataset.Workload {
+		specs = append(specs, streamSpec{ann: s.Ann, focal: s.Focal(1)})
+	}
+	return specs
+}
+
+// renderStreamState folds the engine's converged annotation state into the
+// identity rendering: per annotation — every annotation in the store, base
+// publications included, because CDC re-discovers whatever is attached near
+// a mutation — every attachment (tuple, column, type, confidence) in store
+// order, then every pending verification task (annotation, tuple,
+// confidence, evidence) in creation order. VIDs are excluded by design — the
+// streaming engine consumed sequence numbers on intermediate drains the
+// control never ran, and VIDs identify tasks, they are not annotation state.
+func renderStreamState(engine *nebula.Engine) string {
+	var b strings.Builder
+	for _, id := range engine.Store().IDs() {
+		fmt.Fprintf(&b, "%s:", id)
+		for _, att := range engine.Store().Attachments(id, -1) {
+			fmt.Fprintf(&b, " %s/%s.%s:%d=%.9f", att.Tuple.Table, att.Tuple.Key, att.Column, att.Type, att.Confidence)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("tasks:\n")
+	for _, t := range engine.PendingTasks() {
+		fmt.Fprintf(&b, " %s %s/%s %.9f [%s]\n", t.Annotation, t.Tuple.Table, t.Tuple.Key, t.Confidence, strings.Join(t.Evidence, ","))
+	}
+	return b.String()
+}
+
+// streamEngine builds an engine over a private dataset copy, with or without
+// the ingest subsystem.
+func streamEngine(size string, seed int64, async bool) (*nebula.Engine, *Env, error) {
+	env, err := FreshEnv(size, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := env.Dataset
+	opts := nebula.DefaultOptions()
+	if async {
+		// Headroom above every annotation the run can queue (the workload
+		// plus the dataset's base publications, which CDC re-discovers too):
+		// the bench must measure the pipeline, not trip its own backpressure.
+		opts.Ingest = nebula.IngestConfig{Enabled: true, QueueCap: 4 * (ds.Store.Len() + len(ds.Workload) + 1)}
+	}
+	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, env, nil
+}
+
+// RunStreamBench measures the streaming proactive pipeline at one dataset
+// size. The streaming engine submits every workload annotation through
+// AddAnnotationAsync with a drain every drainEvery submissions, applies
+// `mutations` tuple updates through MutateDB (each triggering K-hop CDC
+// re-queues, drained on the same cadence), then re-enqueues everything and
+// flushes to convergence. The control engine applies the identical mutations
+// to its own dataset copy first, then runs the same annotations through the
+// synchronous AddAnnotation + ProcessBatch path — from-scratch discovery over
+// the final database state. Identical is the byte-identity of the two
+// converged states.
+func RunStreamBench(size string, seed int64, mutations, drainEvery int) (*StreamResult, error) {
+	if drainEvery < 1 {
+		drainEvery = 1
+	}
+	ctx := context.Background()
+
+	engine, env, err := streamEngine(size, seed, true)
+	if err != nil {
+		return nil, err
+	}
+	specs := streamWorkload(env)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("bench: stream: empty workload")
+	}
+	muts := streamMutations(specs, mutations)
+
+	start := time.Now()
+	// Phase 1 — async submission with interleaved drains.
+	for i, spec := range specs {
+		if _, err := engine.AddAnnotationAsync(spec.ann, spec.focal, 0); err != nil {
+			return nil, fmt.Errorf("bench: stream: submit %s: %w", spec.ann.ID, err)
+		}
+		if (i+1)%drainEvery == 0 {
+			if _, err := engine.DrainIngest(ctx, 0); err != nil {
+				return nil, fmt.Errorf("bench: stream: drain: %w", err)
+			}
+		}
+	}
+	// Phase 2 — tuple mutations driving CDC re-discovery, same drain cadence.
+	for i, mut := range muts {
+		mut := mut
+		err := engine.MutateDB(func(db *nebula.Database) error {
+			return db.MustTable(mut.table).UpdateByKey(mut.key, mut.column, mut.value)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: stream: mutate %s/%s: %w", mut.table, mut.key, err)
+		}
+		if (i+1)%drainEvery == 0 {
+			if _, err := engine.DrainIngest(ctx, 0); err != nil {
+				return nil, fmt.Errorf("bench: stream: drain: %w", err)
+			}
+		}
+	}
+	// Phase 3 — convergence: drain the CDC tail, then re-discover every
+	// stored annotation (base publications included — CDC touched them too)
+	// over the final database state so the streaming engine's answer is
+	// comparable to a from-scratch synchronous run.
+	if _, err := engine.FlushIngest(ctx); err != nil {
+		return nil, fmt.Errorf("bench: stream: flush: %w", err)
+	}
+	allIDs := engine.Store().IDs()
+	for _, id := range allIDs {
+		if _, err := engine.EnqueueDiscovery(id, 0); err != nil {
+			return nil, fmt.Errorf("bench: stream: re-enqueue %s: %w", id, err)
+		}
+	}
+	if _, err := engine.FlushIngest(ctx); err != nil {
+		return nil, fmt.Errorf("bench: stream: final flush: %w", err)
+	}
+	elapsed := time.Since(start)
+	stats := engine.IngestStats()
+	streamRender := renderStreamState(engine)
+
+	// Control — synchronous discovery from scratch over the final state.
+	control, _, err := streamEngine(size, seed, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, mut := range muts {
+		mut := mut
+		err := control.MutateDB(func(db *nebula.Database) error {
+			return db.MustTable(mut.table).UpdateByKey(mut.key, mut.column, mut.value)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: stream: control mutate: %w", err)
+		}
+	}
+	for _, spec := range specs {
+		if err := control.AddAnnotation(spec.ann, spec.focal); err != nil {
+			return nil, fmt.Errorf("bench: stream: control submit %s: %w", spec.ann.ID, err)
+		}
+	}
+	// Process the whole store in insertion order — the same order the
+	// streaming engine's convergence pass drained.
+	for _, r := range control.ProcessBatch(control.Store().IDs()) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("bench: stream: control process %s: %w", r.ID, r.Err)
+		}
+	}
+	controlRender := renderStreamState(control)
+
+	return &StreamResult{
+		Dataset:         env.Name,
+		Annotations:     len(specs),
+		Mutations:       len(muts),
+		DrainEvery:      drainEvery,
+		Enqueued:        stats.Enqueued,
+		Coalesced:       stats.Coalesced,
+		Rediscoveries:   stats.Rediscoveries,
+		Done:            stats.Done,
+		Drains:          stats.Drains,
+		MeanFreshnessMS: stats.MeanFreshnessMS,
+		TotalNS:         elapsed.Nanoseconds(),
+		Identical:       streamRender == controlRender,
+	}, nil
+}
+
+// StreamTable renders the result for terminals.
+func StreamTable(results []*StreamResult) *Table {
+	t := &Table{
+		Title: "Streaming ingest — async pipeline vs synchronous from-scratch control",
+		Header: []string{"dataset", "annotations", "mutations", "enqueued", "coalesced",
+			"rediscoveries", "drains", "freshness-ms", "total-ms", "identical"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, fmtI(r.Annotations), fmtI(r.Mutations),
+			fmt.Sprintf("%d", r.Enqueued), fmt.Sprintf("%d", r.Coalesced),
+			fmt.Sprintf("%d", r.Rediscoveries), fmt.Sprintf("%d", r.Drains),
+			fmt.Sprintf("%.2f", r.MeanFreshnessMS), fmtMs(r.TotalNS),
+			fmt.Sprintf("%v", r.Identical),
+		})
+	}
+	return t
+}
+
+// WriteStreamJSON emits the results for BENCH_stream.json.
+func WriteStreamJSON(w io.Writer, results []*StreamResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamBenchIdentity runs the streaming bench at the tiny scale and
+// asserts its core contract: the async pipeline with interleaved mutations
+// converges byte-identical to synchronous from-scratch discovery, and the
+// mutations actually exercised change-data-capture (re-discoveries > 0 —
+// a zero here would mean the bench silently stopped measuring CDC).
+func TestStreamBenchIdentity(t *testing.T) {
+	r, err := RunStreamBench("tiny", 42, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatalf("streaming state diverged from synchronous control: %+v", r)
+	}
+	if r.Rediscoveries == 0 {
+		t.Fatalf("no CDC re-discoveries triggered: %+v", r)
+	}
+	if r.Drains == 0 || r.Done == 0 {
+		t.Fatalf("pipeline did no work: %+v", r)
+	}
+	var sb strings.Builder
+	StreamTable([]*StreamResult{r}).Print(&sb)
+	if !strings.Contains(sb.String(), "true") {
+		t.Fatalf("table rendering missing identical=true:\n%s", sb.String())
+	}
+	var jb strings.Builder
+	if err := WriteStreamJSON(&jb, []*StreamResult{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"identical": true`) {
+		t.Fatalf("JSON rendering missing identical flag:\n%s", jb.String())
+	}
+}

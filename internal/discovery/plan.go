@@ -67,8 +67,11 @@ type PlanStats struct {
 	CompletionScanned int `json:"completion_scanned,omitempty"`
 	// Truncated counts candidates cut by the final top-k truncation.
 	Truncated int `json:"truncated,omitempty"`
-	// Interrupted reports that a scan budget stopped the planned execution
-	// (the run degrades exactly like an unplanned budgeted run).
+	// Interrupted reports that a scan budget stopped the planned execution.
+	// Budgeted runs are planner-ineligible (they fall back to the governed
+	// shared path so truncation accounting matches), so this can no longer
+	// fire from the discovery entry points; it is kept defensively for
+	// direct PlannedBatch users.
 	Interrupted bool `json:"interrupted,omitempty"`
 	// Skipped records one line per pruned query: its ID, upper bound, and
 	// estimated cost — the audit trail of what the planner decided not to
@@ -79,7 +82,13 @@ type PlanStats struct {
 // planIneligible reports why a planning request cannot use the planner, or
 // "" when it can. The planner replicates the shared executor's global
 // fingerprint fold order, so it requires shared execution and the default
-// metadata engine; top-k pruning is meaningless without a k.
+// metadata engine; top-k pruning is meaningless without a k. A scan budget
+// is also ineligible: the planner executes fingerprints in wave order, so
+// a budget would truncate at a different point — with a different scanned
+// count in its Degraded reason — than the governed shared path's global
+// fold order. Budgeted runs therefore fall back to the governed path,
+// keeping truncation accounting and Degraded reporting identical whether
+// planning was requested or not.
 func planIneligible(opts Options, customSearcher bool) string {
 	switch {
 	case opts.TopK <= 0:
@@ -88,6 +97,8 @@ func planIneligible(opts Options, customSearcher bool) string {
 		return "planning requires shared execution"
 	case customSearcher:
 		return "planning requires the default metadata search engine"
+	case opts.MaxScannedRows > 0:
+		return "planning requires an unlimited scan budget; budgeted runs use the governed shared path"
 	}
 	return ""
 }

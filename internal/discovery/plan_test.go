@@ -406,25 +406,46 @@ func TestPlanIneligibleFallsBack(t *testing.T) {
 	}
 }
 
-// TestPlanBudgetInterrupt checks that a scan budget interrupts a planned
-// run exactly like a legacy one: partial candidates, a Degraded record,
-// and Plan.Interrupted set.
-func TestPlanBudgetInterrupt(t *testing.T) {
+// TestPlanBudgetFallsBackGoverned checks the governed-path accounting fix:
+// a scan budget makes planning ineligible, so a budgeted Plan=true run
+// executes the governed shared path — byte-identical candidates AND
+// byte-identical Degraded reasons (same truncation point, same scanned
+// count) as the same run with Plan=false. Before this, the planner
+// truncated budgets in wave order, reporting a different scanned count
+// than the legacy fold order.
+func TestPlanBudgetFallsBackGoverned(t *testing.T) {
 	db, repo, g := planFixture(t, 4, 60, 40)
 	rng := rand.New(rand.NewSource(4))
 	queries := planQueries(rng, 24)
-	d := New(db, repo, g)
-	cands, stats, err := d.IdentifyRelatedTuples(queries, nil, Options{
-		Shared: true, Plan: true, TopK: 5, MaxScannedRows: 100,
-	})
-	if err != nil {
-		t.Fatal(err)
+	for _, budget := range []int{100, 1000} {
+		d := New(db, repo, g)
+		legacy, legacyStats, err := d.IdentifyRelatedTuples(queries, nil, Options{
+			Shared: true, TopK: 5, MaxScannedRows: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, stats, err := d.IdentifyRelatedTuples(queries, nil, Options{
+			Shared: true, Plan: true, TopK: 5, MaxScannedRows: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Plan == nil || stats.Plan.Enabled || !strings.Contains(stats.Plan.Reason, "scan budget") {
+			t.Fatalf("budget=%d: Plan = %+v, want disabled with a scan-budget reason", budget, stats.Plan)
+		}
+		if stats.Plan.Interrupted {
+			t.Errorf("budget=%d: fallback run set Plan.Interrupted", budget)
+		}
+		if budget == 100 && len(legacyStats.Degraded) == 0 {
+			t.Fatalf("budget=%d: governed run recorded no Degraded reason", budget)
+		}
+		if got, want := fmt.Sprintf("%v", stats.Degraded), fmt.Sprintf("%v", legacyStats.Degraded); got != want {
+			t.Errorf("budget=%d: Degraded reasons diverge\n--- plan off\n%s\n--- plan on\n%s", budget, want, got)
+		}
+		if got, want := renderPlanCands(planned), renderPlanCands(legacy); got != want {
+			t.Errorf("budget=%d: budgeted planned output not byte-identical to governed path\n--- plan off\n%s--- plan on\n%s",
+				budget, want, got)
+		}
 	}
-	if !stats.Plan.Interrupted {
-		t.Fatalf("budget of 100 rows did not interrupt: %+v", *stats.Plan)
-	}
-	if len(stats.Degraded) == 0 {
-		t.Error("interrupted planned run recorded no Degraded reason")
-	}
-	_ = cands
 }

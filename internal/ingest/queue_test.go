@@ -1,0 +1,116 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nebula/internal/annotation"
+)
+
+func TestQueueDrainOrder(t *testing.T) {
+	q := New(0)
+	now := time.Now()
+	mustEnqueue := func(id string, kind Kind, prio int) Job {
+		t.Helper()
+		j, changed, err := q.Enqueue(annID(id), kind, prio, now)
+		if err != nil || !changed {
+			t.Fatalf("enqueue %s: changed=%v err=%v", id, changed, err)
+		}
+		return j
+	}
+	mustEnqueue("a", KindDiscover, 0)
+	mustEnqueue("b", KindRediscover, 2)
+	mustEnqueue("c", KindDiscover, 2)
+	mustEnqueue("d", KindDiscover, 1)
+	got := q.PopBatch(0)
+	want := []string{"b", "c", "d", "a"} // priority desc, seq asc
+	for i, j := range got {
+		if string(j.Annotation) != want[i] {
+			t.Fatalf("drain order %v, want %v", ids(got), want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after full pop: %d", q.Len())
+	}
+}
+
+func TestQueueCoalescing(t *testing.T) {
+	q := New(0)
+	now := time.Now()
+	first, _, _ := q.Enqueue(annID("a"), KindDiscover, 0, now)
+	// Same annotation again: coalesces, upgrades kind+priority, keeps seq.
+	j, changed, err := q.Enqueue(annID("a"), KindRediscover, 3, now)
+	if err != nil || !changed {
+		t.Fatalf("coalescing upgrade: changed=%v err=%v", changed, err)
+	}
+	if j.Seq != first.Seq || j.Priority != 3 || j.Kind != KindRediscover {
+		t.Fatalf("coalesced job = %+v, want seq=%d prio=3 kind=rediscover", j, first.Seq)
+	}
+	// A weaker duplicate changes nothing — no WAL record needed.
+	if _, changed, _ := q.Enqueue(annID("a"), KindDiscover, 1, now); changed {
+		t.Fatal("weaker duplicate reported a state change")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("coalescing created extra jobs: len=%d", q.Len())
+	}
+	c := q.Counters()
+	if c.Enqueued != 1 || c.Coalesced != 2 {
+		t.Fatalf("counters = %+v, want Enqueued=1 Coalesced=2", c)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := New(2)
+	now := time.Now()
+	q.Enqueue(annID("a"), KindDiscover, 0, now)
+	q.Enqueue(annID("b"), KindDiscover, 0, now)
+	if _, _, err := q.Enqueue(annID("c"), KindDiscover, 0, now); !errors.Is(err, ErrFull) {
+		t.Fatalf("enqueue beyond cap: err=%v, want ErrFull", err)
+	}
+	// Coalescing a queued annotation never trips the cap.
+	if _, _, err := q.Enqueue(annID("a"), KindRediscover, 1, now); err != nil {
+		t.Fatalf("coalesce at cap: %v", err)
+	}
+	// Force (replay) bypasses the cap.
+	q.Force(Job{Annotation: annID("c"), Kind: KindDiscover, Seq: 99})
+	if q.Len() != 3 {
+		t.Fatalf("forced job not admitted: len=%d", q.Len())
+	}
+	if q.NextSeq() != 100 {
+		t.Fatalf("nextSeq = %d, want 100 (past forced seq)", q.NextSeq())
+	}
+	if q.Counters().Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", q.Counters().Dropped)
+	}
+}
+
+func TestQueueRequeueAndDone(t *testing.T) {
+	q := New(0)
+	now := time.Now()
+	q.Enqueue(annID("a"), KindDiscover, 0, now)
+	q.Enqueue(annID("b"), KindRediscover, 0, now)
+	jobs := q.PopBatch(0)
+	// Drain cancelled: jobs go back with their original sequence.
+	q.Requeue(jobs)
+	if got := ids(q.Jobs()); got[0] != "a" || got[1] != "b" {
+		t.Fatalf("requeue lost order: %v", got)
+	}
+	q.MarkDone(annID("a"))
+	if q.Len() != 1 || q.Counters().Done != 1 {
+		t.Fatalf("done bookkeeping: len=%d counters=%+v", q.Len(), q.Counters())
+	}
+	if !q.Remove(annID("b")) || q.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+}
+
+func annID(s string) annotation.ID { return annotation.ID(s) }
+
+func ids(jobs []Job) []string {
+	out := make([]string, len(jobs))
+	for i, j := range jobs {
+		out[i] = string(j.Annotation)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package keyword
 
 import (
 	"sort"
+	"strings"
 
 	"nebula/internal/meta"
 	"nebula/internal/relational"
@@ -230,6 +231,7 @@ func (e *Engine) buildConfiguration(q Query, assignment []mappingOption) (Config
 
 	var preds []relational.Predicate
 	totalWeight, n := 0.0, 0
+	eqKeys := make(map[string]string) // lowercased column -> operand key of its OpEq predicate
 	for i, opt := range assignment {
 		if opt.weight <= 0 {
 			continue
@@ -250,6 +252,24 @@ func (e *Engine) buildConfiguration(q Query, assignment []mappingOption) (Config
 		operand, err := relational.ParseValue(col.Type, q.Keywords[i].Text)
 		if err != nil {
 			return Configuration{}, false
+		}
+		if op == relational.OpEq {
+			// Two equality predicates on one column with distinct canonical
+			// operands (OpEq matches case-insensitively, and Key() is the
+			// case-folded canonical form) can never both hold on a tuple, so
+			// the configuration is unsatisfiable: it would scan and always
+			// produce nothing, and — worse — still count toward the planner's
+			// top-k pending upper bound. Drop it from the cross-product.
+			// Token-containment predicates are exempt: one text cell can
+			// contain both tokens.
+			key := strings.ToLower(opt.column)
+			if prev, seen := eqKeys[key]; seen {
+				if prev != operand.Key() {
+					return Configuration{}, false
+				}
+			} else {
+				eqKeys[key] = operand.Key()
+			}
 		}
 		preds = append(preds, relational.Predicate{Column: opt.column, Op: op, Operand: operand})
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"nebula"
 	"nebula/internal/snapshot"
@@ -40,6 +42,43 @@ type batchRequest struct {
 }
 
 type verdictRequest struct{} // accept/reject carry the VID in the path
+
+// asyncAnnotationRequest is annotationRequest plus a drain priority for the
+// queued discovery job.
+type asyncAnnotationRequest struct {
+	ID       string   `json:"id"`
+	Author   string   `json:"author,omitempty"`
+	Body     string   `json:"body"`
+	Kind     string   `json:"kind,omitempty"`
+	AttachTo []string `json:"attach_to"`
+	Priority int      `json:"priority,omitempty"`
+}
+
+type ingestJobJSON struct {
+	Annotation string `json:"annotation"`
+	Kind       string `json:"kind"`
+	Priority   int    `json:"priority"`
+	Seq        uint64 `json:"seq"`
+	WaitingMS  int64  `json:"waiting_ms"`
+}
+
+type ingestStatusResponse struct {
+	Stats nebula.IngestStats `json:"stats"`
+	Jobs  []ingestJobJSON    `json:"jobs"`
+}
+
+type ingestFlushRequest struct {
+	// Max bounds the jobs drained; 0 or absent flushes the whole queue.
+	Max int `json:"max,omitempty"`
+}
+
+type ingestFlushResponse struct {
+	Popped   int `json:"popped"`
+	Drained  int `json:"drained"`
+	Requeued int `json:"requeued"`
+	Skipped  int `json:"skipped"`
+	Failed   int `json:"failed"`
+}
 
 type snapshotRequest struct {
 	Path string `json:"path,omitempty"`
@@ -277,6 +316,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.render(w, queued, inflight, s.admission.isDraining())
 	renderCacheMetrics(w, s.Engine().CacheStats())
 	renderWALMetrics(w, s.Engine().WALStats(), snapshot.DirSyncFailures())
+	renderIngestMetrics(w, s.Engine().IngestStats())
 }
 
 // handleAddAnnotation implements Stage 0 over the wire: insert an
@@ -310,6 +350,111 @@ func (s *Server) handleAddAnnotation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+// handleAddAnnotationAsync is the streaming submit path: the annotation and
+// a queued discovery job become durable together, and discovery itself runs
+// on a later drain. Accepted submissions answer 202 with the job's queue
+// position; a full queue answers 429 with Retry-After — the ingest
+// backpressure contract.
+func (s *Server) handleAddAnnotationAsync(w http.ResponseWriter, r *http.Request) {
+	var req asyncAnnotationRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.ID == "" || req.Body == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "id and body are required")
+		return
+	}
+	attach := make([]nebula.TupleID, 0, len(req.AttachTo))
+	for _, ref := range req.AttachTo {
+		t, err := parseTupleID(ref)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_tuple", err.Error())
+			return
+		}
+		attach = append(attach, t)
+	}
+	eng := s.Engine()
+	job, err := eng.AddAnnotationAsync(&nebula.Annotation{
+		ID:     nebula.AnnotationID(req.ID),
+		Author: req.Author,
+		Body:   req.Body,
+		Kind:   req.Kind,
+	}, attach, req.Priority)
+	switch {
+	case err == nil:
+		stats := eng.IngestStats()
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id":          req.ID,
+			"seq":         job.Seq,
+			"priority":    job.Priority,
+			"queue_depth": stats.QueueDepth,
+		})
+	case errors.Is(err, nebula.ErrIngestQueueFull):
+		s.metrics.observeRejection("ingest_queue_full")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusTooManyRequests, "ingest_queue_full", err.Error())
+	case errors.Is(err, nebula.ErrIngestDisabled):
+		writeError(w, http.StatusConflict, "ingest_disabled", err.Error())
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "rejected", err.Error())
+	}
+}
+
+// handleIngestStatus reports the queue state and its lifetime counters.
+func (s *Server) handleIngestStatus(w http.ResponseWriter, r *http.Request) {
+	eng := s.Engine()
+	resp := ingestStatusResponse{Stats: eng.IngestStats(), Jobs: []ingestJobJSON{}}
+	now := time.Now()
+	for _, j := range eng.IngestJobs() {
+		resp.Jobs = append(resp.Jobs, ingestJobJSON{
+			Annotation: string(j.Annotation),
+			Kind:       j.Kind.String(),
+			Priority:   j.Priority,
+			Seq:        j.Seq,
+			WaitingMS:  now.Sub(j.EnqueuedAt).Milliseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleIngestFlush drains queued jobs synchronously — the operator's
+// "make it fresh now" verb. Max bounds one batch; 0 flushes everything.
+func (s *Server) handleIngestFlush(w http.ResponseWriter, r *http.Request) {
+	var req ingestFlushRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	eng := s.Engine()
+	var (
+		res nebula.IngestDrainResult
+		err error
+	)
+	if req.Max > 0 {
+		res, err = eng.DrainIngest(r.Context(), req.Max)
+	} else {
+		res, err = eng.FlushIngest(r.Context())
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, nebula.ErrIngestDisabled):
+		writeError(w, http.StatusConflict, "ingest_disabled", err.Error())
+		return
+	case errors.Is(err, nebula.ErrCancelled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Interrupted flush: unprocessed jobs are back in the queue; report
+		// what completed.
+	default:
+		writeError(w, http.StatusInternalServerError, "flush_failed", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestFlushResponse{
+		Popped:   res.Popped,
+		Drained:  res.Drained,
+		Requeued: res.Requeued,
+		Skipped:  res.Skipped,
+		Failed:   res.Failed,
+	})
 }
 
 // runDiscover is the shared core of the three single-annotation endpoints.

@@ -1,0 +1,167 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"nebula"
+	"nebula/internal/server"
+	"nebula/internal/workload"
+)
+
+// ingestFixture builds the serving stack with the streaming subsystem on.
+func ingestFixture(t testing.TB, queueCap int) *fixture {
+	t.Helper()
+	return newFixture(t, func(_ *workload.Dataset, o *nebula.Options, _ *server.Config) {
+		o.Ingest = nebula.IngestConfig{Enabled: true, QueueCap: queueCap}
+	})
+}
+
+// asyncBody builds the /v1/annotations/async payload for workload spec i.
+func asyncBody(f *fixture, i int, priority int) map[string]any {
+	spec := f.ds.Workload[i]
+	var focal []string
+	for _, tid := range spec.Focal(1) {
+		focal = append(focal, tid.String())
+	}
+	return map[string]any{
+		"id": fmt.Sprintf("%s-async%d", spec.Ann.ID, i), "body": spec.Ann.Body,
+		"attach_to": focal, "priority": priority,
+	}
+}
+
+// TestIngestAsyncSubmitFlushRoundTrip walks the streaming surface end to
+// end over the wire: 202 on submit with the job's queue position, the queue
+// status endpoint listing the job, a flush draining it, and the
+// nebula_ingest_* metrics reflecting the run.
+func TestIngestAsyncSubmitFlushRoundTrip(t *testing.T) {
+	f := ingestFixture(t, 0)
+	status, body := f.post(t, "/v1/annotations/async", asyncBody(f, 0, 2))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", status, body)
+	}
+	var acc struct {
+		ID         string `json:"id"`
+		Seq        uint64 `json:"seq"`
+		Priority   int    `json:"priority"`
+		QueueDepth int    `json:"queue_depth"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.QueueDepth != 1 || acc.Priority != 2 {
+		t.Fatalf("accepted %+v, want depth 1 priority 2", acc)
+	}
+
+	status, body = f.get(t, "/v1/ingest")
+	if status != http.StatusOK {
+		t.Fatalf("status endpoint %d: %s", status, body)
+	}
+	var st struct {
+		Stats nebula.IngestStats `json:"stats"`
+		Jobs  []struct {
+			Annotation string `json:"annotation"`
+			Kind       string `json:"kind"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stats.Enabled || st.Stats.QueueDepth != 1 || len(st.Jobs) != 1 {
+		t.Fatalf("queue status %+v jobs=%d, want enabled depth 1 with 1 job", st.Stats, len(st.Jobs))
+	}
+	if st.Jobs[0].Annotation != acc.ID {
+		t.Fatalf("listed job %q, want %q", st.Jobs[0].Annotation, acc.ID)
+	}
+
+	status, body = f.post(t, "/v1/ingest/flush", map[string]any{})
+	if status != http.StatusOK {
+		t.Fatalf("flush status %d: %s", status, body)
+	}
+	var fl struct {
+		Popped  int `json:"popped"`
+		Drained int `json:"drained"`
+	}
+	if err := json.Unmarshal(body, &fl); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Popped != 1 || fl.Drained != 1 {
+		t.Fatalf("flush %+v, want popped 1 drained 1", fl)
+	}
+	if atts := f.eng.Store().Attachments(nebula.AnnotationID(acc.ID), -1); len(atts) == 0 {
+		t.Fatal("drained annotation has no attachments")
+	}
+	if v := f.metric(t, "nebula_ingest_enqueued_total"); v < 1 {
+		t.Fatalf("nebula_ingest_enqueued_total = %v, want >= 1", v)
+	}
+	if v := f.metric(t, "nebula_ingest_queue_depth"); v != 0 {
+		t.Fatalf("nebula_ingest_queue_depth = %v after flush, want 0", v)
+	}
+	if v := f.metric(t, "nebula_ingest_freshness_seconds_count"); v != 1 {
+		t.Fatalf("nebula_ingest_freshness_seconds_count = %v, want 1", v)
+	}
+}
+
+// TestIngestAsyncQueueFull429 asserts the backpressure contract over the
+// wire: a full queue answers 429 with a Retry-After hint and nothing is
+// stored for the rejected submission.
+func TestIngestAsyncQueueFull429(t *testing.T) {
+	f := ingestFixture(t, 1)
+	if status, body := f.post(t, "/v1/annotations/async", asyncBody(f, 0, 0)); status != http.StatusAccepted {
+		t.Fatalf("first submit: %d: %s", status, body)
+	}
+	payload, err := json.Marshal(asyncBody(f, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(f.ts.URL+"/v1/annotations/async", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After header")
+	}
+	rejectedID := nebula.AnnotationID(asyncBody(f, 1, 0)["id"].(string))
+	if _, ok := f.eng.Store().Get(rejectedID); ok {
+		t.Fatal("rejected submission stored an annotation")
+	}
+	if v := f.metric(t, "nebula_ingest_dropped_total"); v != 1 {
+		t.Fatalf("nebula_ingest_dropped_total = %v, want 1", v)
+	}
+}
+
+// TestIngestDisabledConflict asserts the async surface answers 409 when the
+// engine runs without the streaming subsystem, and the status endpoint
+// reports it disabled rather than erroring.
+func TestIngestDisabledConflict(t *testing.T) {
+	f := newFixture(t, nil)
+	if status, body := f.post(t, "/v1/annotations/async", asyncBody(f, 0, 0)); status != http.StatusConflict {
+		t.Fatalf("async submit status %d, want 409: %s", status, body)
+	}
+	if status, body := f.post(t, "/v1/ingest/flush", map[string]any{}); status != http.StatusConflict {
+		t.Fatalf("flush status %d, want 409: %s", status, body)
+	}
+	status, body := f.get(t, "/v1/ingest")
+	if status != http.StatusOK {
+		t.Fatalf("status endpoint %d: %s", status, body)
+	}
+	var st struct {
+		Stats nebula.IngestStats `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Enabled {
+		t.Fatal("status reports ingest enabled on a disabled engine")
+	}
+	if v := f.metric(t, "nebula_ingest_enabled"); v != 0 {
+		t.Fatalf("nebula_ingest_enabled = %v, want 0", v)
+	}
+}

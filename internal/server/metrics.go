@@ -327,6 +327,28 @@ func renderWALMetrics(w io.Writer, ws nebula.WALStats, dirSyncFailures int64) {
 	fmt.Fprintf(w, "# TYPE nebula_snapshot_dirsync_failures_total counter\nnebula_snapshot_dirsync_failures_total %d\n", dirSyncFailures)
 }
 
+// renderIngestMetrics writes the streaming-ingest series: queue depth and
+// lag, admission/coalescing/drop counters, drain outcomes, and the
+// enqueue→attached freshness aggregate. Like the cache series these read
+// straight from the engine, so a snapshot load resets them with it.
+func renderIngestMetrics(w io.Writer, is nebula.IngestStats) {
+	fmt.Fprintf(w, "# TYPE nebula_ingest_enabled gauge\nnebula_ingest_enabled %d\n", boolGauge(is.Enabled))
+	fmt.Fprintf(w, "# TYPE nebula_ingest_queue_depth gauge\nnebula_ingest_queue_depth %d\n", is.QueueDepth)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_queue_cap gauge\nnebula_ingest_queue_cap %d\n", is.QueueCap)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_oldest_wait_seconds gauge\nnebula_ingest_oldest_wait_seconds %g\n", float64(is.OldestWaitMS)/1e3)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_enqueued_total counter\nnebula_ingest_enqueued_total %d\n", is.Enqueued)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_coalesced_total counter\nnebula_ingest_coalesced_total %d\n", is.Coalesced)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_dropped_total counter\nnebula_ingest_dropped_total %d\n", is.Dropped)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_rediscoveries_total counter\nnebula_ingest_rediscoveries_total %d\n", is.Rediscoveries)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_done_total counter\nnebula_ingest_done_total %d\n", is.Done)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_drains_total counter\nnebula_ingest_drains_total %d\n", is.Drains)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_requeued_total counter\nnebula_ingest_requeued_total %d\n", is.Requeued)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_skipped_total counter\nnebula_ingest_skipped_total %d\n", is.Skipped)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_failed_total counter\nnebula_ingest_failed_total %d\n", is.Failed)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_freshness_seconds_sum counter\nnebula_ingest_freshness_seconds_sum %g\n", is.MeanFreshnessMS*float64(is.FreshnessJobs)/1e3)
+	fmt.Fprintf(w, "# TYPE nebula_ingest_freshness_seconds_count counter\nnebula_ingest_freshness_seconds_count %d\n", is.FreshnessJobs)
+}
+
 func boolGauge(b bool) int {
 	if b {
 		return 1

@@ -146,6 +146,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
 	s.work("POST /v1/annotations", s.handleAddAnnotation)
+	s.work("POST /v1/annotations/async", s.handleAddAnnotationAsync)
+	s.work("GET /v1/ingest", s.handleIngestStatus)
+	s.work("POST /v1/ingest/flush", s.handleIngestFlush)
 	s.work("POST /v1/discover", s.handleDiscover)
 	s.work("POST /v1/discover/naive", s.handleNaiveDiscover)
 	s.work("POST /v1/discover/batch", s.handleDiscoverBatch)
@@ -294,6 +297,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.cfg.Logf("server: drain complete")
 	} else {
 		s.cfg.Logf("server: drain interrupted: %v", drainErr)
+	}
+	if eng := s.Engine(); eng.IngestEnabled() {
+		// Flush queued discovery jobs before the final snapshot so accepted
+		// async submissions leave as attachments, not as queue entries. The
+		// WAL makes unflushed jobs crash-safe regardless; this is about not
+		// handing the next boot a backlog. Bounded by the same ctx as the
+		// drain — on timeout the remaining jobs stay queued (and durable).
+		res, err := eng.FlushIngest(ctx)
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.cfg.Logf("server: ingest flush: %v", err)
+		} else {
+			s.cfg.Logf("server: ingest flushed (%d drained, %d requeued)", res.Drained, res.Requeued)
+		}
 	}
 	if s.cfg.SnapshotPath != "" {
 		if err := s.Engine().SaveSnapshotFile(s.cfg.SnapshotPath); err != nil {

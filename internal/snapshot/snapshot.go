@@ -89,6 +89,40 @@ type Snapshot struct {
 	// queue and NextVID zero (the pre-queue behaviour).
 	Tasks   []TaskDump
 	NextVID int64
+
+	// IngestJobs is the streaming-ingest queue in drain order, and
+	// IngestNextSeq its admission counter. Queued jobs are durable for the
+	// same checkpoint-prunes-the-WAL reason as Tasks. Older snapshots
+	// decode with both empty (ingest predates them).
+	IngestJobs    []IngestJobDump
+	IngestNextSeq uint64
+
+	// ManualFocal records, per annotation, the tuples a human attached
+	// directly (AddAnnotation's attachTo) as opposed to accepted machine
+	// predictions — the set a re-discovery retraction must never remove.
+	// Empty in older snapshots; restore then falls back to treating every
+	// current focal tuple as manual.
+	ManualFocal []ManualFocalDump
+}
+
+// IngestJobDump is one queued ingest job in serializable form. EnqueuedAt
+// is deliberately absent: freshness clocks restart at restore time.
+type IngestJobDump struct {
+	Annotation string
+	Kind       uint8
+	Priority   int
+	Seq        uint64
+}
+
+// ManualFocalDump is one annotation's human-attached tuple list.
+type ManualFocalDump struct {
+	Annotation string
+	Tuples     []TupleDump
+}
+
+// TupleDump names one tuple in serializable form.
+type TupleDump struct {
+	Table, Key string
 }
 
 // TaskDump is one pending expert-verification task in serializable form.
@@ -175,6 +209,13 @@ type State struct {
 	// engine's PendingTasks guarantees it) so captures are deterministic.
 	Tasks   []TaskDump
 	NextVID int64
+
+	// IngestJobs/IngestNextSeq mirror Snapshot.IngestJobs; jobs must be
+	// supplied in drain order for deterministic captures. ManualFocal must
+	// be sorted by annotation ID.
+	IngestJobs    []IngestJobDump
+	IngestNextSeq uint64
+	ManualFocal   []ManualFocalDump
 }
 
 // Capture serializes the live state into a Snapshot value.
@@ -183,12 +224,15 @@ func Capture(st State) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot: nil database or store")
 	}
 	s := &Snapshot{
-		Version:     FormatVersion,
-		HasBounds:   st.HasBounds,
-		BoundsLower: st.BoundsLower,
-		BoundsUpper: st.BoundsUpper,
-		Tasks:       append([]TaskDump(nil), st.Tasks...),
-		NextVID:     st.NextVID,
+		Version:       FormatVersion,
+		HasBounds:     st.HasBounds,
+		BoundsLower:   st.BoundsLower,
+		BoundsUpper:   st.BoundsUpper,
+		Tasks:         append([]TaskDump(nil), st.Tasks...),
+		NextVID:       st.NextVID,
+		IngestJobs:    append([]IngestJobDump(nil), st.IngestJobs...),
+		IngestNextSeq: st.IngestNextSeq,
+		ManualFocal:   append([]ManualFocalDump(nil), st.ManualFocal...),
 	}
 
 	for _, name := range st.DB.TableNames() {
@@ -342,6 +386,9 @@ func (s *Snapshot) Restore() (State, error) {
 	st.Profile.RestoreCounts(s.ProfileBuckets, s.ProfileUnreachable)
 	st.Tasks = append([]TaskDump(nil), s.Tasks...)
 	st.NextVID = s.NextVID
+	st.IngestJobs = append([]IngestJobDump(nil), s.IngestJobs...)
+	st.IngestNextSeq = s.IngestNextSeq
+	st.ManualFocal = append([]ManualFocalDump(nil), s.ManualFocal...)
 	return st, nil
 }
 

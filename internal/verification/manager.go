@@ -268,6 +268,25 @@ func (m *Manager) CancelTasksForTuple(tuple relational.TupleID) int {
 	return n
 }
 
+// CancelTasksForAnnotation discards every pending task of one annotation —
+// the retraction hook for change-driven re-discovery: before an annotation
+// is re-discovered its undecided tasks are superseded, because their
+// confidences were computed over a database state that no longer exists.
+// Cancelled tasks are marked ExpertRejected. It returns the number of
+// cancelled tasks.
+func (m *Manager) CancelTasksForAnnotation(a annotation.ID) int {
+	n := 0
+	for _, t := range m.PendingTasks() {
+		if t.Annotation != a {
+			continue
+		}
+		delete(m.pending, t.VID)
+		t.Decision = ExpertRejected
+		n++
+	}
+	return n
+}
+
 // ResolveWithOracle resolves every pending task of the annotation using an
 // oracle (the experiments' simulated expert). It returns the positively and
 // negatively verified tasks.

@@ -45,6 +45,22 @@ const (
 	// OpSetBounds records a verification-threshold change (SetBounds or
 	// the result of TuneBounds).
 	OpSetBounds
+	// OpIngestEnqueue records one ingest-queue admission (an async submit
+	// or a change-driven re-discovery). The sequence number assigned live
+	// travels with the record, so replay rebuilds the identical drain
+	// order; a coalescing enqueue that upgraded a queued job's shape is
+	// re-logged under the job's original sequence.
+	OpIngestEnqueue
+	// OpIngestRetract records the retraction phase of one drained ingest
+	// job: the annotation's machine-derived attachments, their ACG edges,
+	// and its pending verification tasks are removed before re-discovery.
+	// Retraction is deterministic given the state the prior records
+	// produced, so the record carries only the annotation.
+	OpIngestRetract
+	// OpIngestDone records the completion of one drained ingest job; the
+	// submission itself was already logged as an OpSubmit. A replayed
+	// queue is the enqueued jobs minus the done ones.
+	OpIngestDone
 )
 
 func (o Op) String() string {
@@ -65,6 +81,12 @@ func (o Op) String() string {
 		return "verdict"
 	case OpSetBounds:
 		return "set_bounds"
+	case OpIngestEnqueue:
+		return "ingest_enqueue"
+	case OpIngestRetract:
+		return "ingest_retract"
+	case OpIngestDone:
+		return "ingest_done"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -129,6 +151,11 @@ type Record struct {
 
 	// OpSetBounds
 	Lower, Upper float64
+
+	// OpIngestEnqueue (OpIngestRetract/OpIngestDone reuse Ann alone)
+	JobKind  uint8
+	Priority int
+	Seq      uint64
 }
 
 // Frame layout: a fixed 12-byte header — payload length (uint32 LE),

@@ -310,6 +310,67 @@ type Options struct {
 	// strongest k attachments (applied before Budget.MaxCandidates) and
 	// is the k the planner maintains.
 	TopK int
+	// Ingest configures the streaming proactive pipeline: the bounded
+	// discovery job queue behind async submissions and change-driven
+	// re-discovery (see IngestConfig). Disabled by default.
+	Ingest IngestConfig
+}
+
+// Default ingest parameters (see IngestConfig).
+const (
+	// DefaultIngestQueueCap bounds the ingest queue when no explicit
+	// capacity is configured.
+	DefaultIngestQueueCap = 1024
+	// DefaultIngestCDCHops is the default change-data-capture radius.
+	DefaultIngestCDCHops = 1
+)
+
+// IngestConfig configures the streaming ingest subsystem: a bounded,
+// prioritized queue of asynchronous discovery jobs plus change-data-capture
+// that re-queues the attachments a tuple mutation can affect. Draining the
+// queue produces exactly what synchronous Process calls over the same final
+// state would (see Engine.DrainIngest).
+type IngestConfig struct {
+	// Enabled turns the subsystem on. Off, the engine behaves exactly as
+	// before: no queue, no CDC, and the async entry points return
+	// ErrIngestDisabled.
+	Enabled bool
+	// QueueCap bounds the number of queued jobs; a live enqueue beyond it
+	// fails with ErrIngestQueueFull (the serving layer's 429 +
+	// Retry-After). 0 selects DefaultIngestQueueCap; negative is invalid.
+	QueueCap int
+	// CDCHops is the K of the change-data-capture query: a mutation
+	// re-queues the annotations attached within K ACG hops of the changed
+	// rows (plus, for inserts, the rows the new row references by FK). 0
+	// selects DefaultIngestCDCHops; negative is invalid.
+	CDCHops int
+}
+
+// Validate checks ingest configuration consistency.
+func (c IngestConfig) Validate() error {
+	if c.QueueCap < 0 {
+		return fmt.Errorf("nebula: negative ingest queue capacity %d", c.QueueCap)
+	}
+	if c.CDCHops < 0 {
+		return fmt.Errorf("nebula: negative ingest CDC radius %d", c.CDCHops)
+	}
+	return nil
+}
+
+// queueCap returns the effective queue capacity.
+func (c IngestConfig) queueCap() int {
+	if c.QueueCap == 0 {
+		return DefaultIngestQueueCap
+	}
+	return c.QueueCap
+}
+
+// cdcHops returns the effective CDC radius.
+func (c IngestConfig) cdcHops() int {
+	if c.CDCHops == 0 {
+		return DefaultIngestCDCHops
+	}
+	return c.CDCHops
 }
 
 // Search technique names for Options.SearchTechnique.
@@ -379,6 +440,9 @@ func (o Options) Validate() error {
 	}
 	if o.TopK < 0 {
 		return fmt.Errorf("nebula: negative top-k %d", o.TopK)
+	}
+	if err := o.Ingest.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -3,7 +3,10 @@ package nebula
 import (
 	"fmt"
 	"io"
+	"sort"
+	"time"
 
+	"nebula/internal/ingest"
 	"nebula/internal/snapshot"
 	"nebula/internal/verification"
 )
@@ -53,7 +56,7 @@ func (e *Engine) snapshotState() snapshot.State {
 			Evidence:   append([]string(nil), t.Evidence...),
 		})
 	}
-	return snapshot.State{
+	st := snapshot.State{
 		DB:          e.db,
 		Store:       e.store,
 		Graph:       e.graph,
@@ -64,6 +67,30 @@ func (e *Engine) snapshotState() snapshot.State {
 		Tasks:       tasks,
 		NextVID:     e.manager.NextVID(),
 	}
+	if e.ingest != nil {
+		for _, j := range e.ingest.queue.Jobs() { // drain order
+			st.IngestJobs = append(st.IngestJobs, snapshot.IngestJobDump{
+				Annotation: string(j.Annotation),
+				Kind:       uint8(j.Kind),
+				Priority:   j.Priority,
+				Seq:        j.Seq,
+			})
+		}
+		st.IngestNextSeq = e.ingest.queue.NextSeq()
+	}
+	manualIDs := make([]string, 0, len(e.manualFocal))
+	for id := range e.manualFocal {
+		manualIDs = append(manualIDs, string(id))
+	}
+	sort.Strings(manualIDs)
+	for _, id := range manualIDs {
+		d := snapshot.ManualFocalDump{Annotation: id}
+		for _, t := range e.manualFocal[AnnotationID(id)] {
+			d.Tuples = append(d.Tuples, snapshot.TupleDump{Table: t.Table, Key: t.Key})
+		}
+		st.ManualFocal = append(st.ManualFocal, d)
+	}
+	return st
 }
 
 // SaveSnapshotFile persists the engine's state to path durably and
@@ -141,6 +168,36 @@ func RestoreEngine(r io.Reader, configureMeta func(*Database) (*MetaRepository, 
 			}
 		}
 		e.manager.RestoreTasks(tasks, snap.NextVID)
+	}
+	// Adopt the snapshotted manual-focal map when present; NewWithState's
+	// fallback (every current focal tuple counts as manual) covers older
+	// snapshots that predate the field.
+	if len(st.ManualFocal) > 0 {
+		e.manualFocal = make(map[AnnotationID][]TupleID, len(st.ManualFocal))
+		for _, d := range st.ManualFocal {
+			tuples := make([]TupleID, len(d.Tuples))
+			for i, t := range d.Tuples {
+				tuples[i] = TupleID{Table: t.Table, Key: t.Key}
+			}
+			e.manualFocal[AnnotationID(d.Annotation)] = tuples
+		}
+	}
+	// Re-admit the snapshotted ingest queue (only meaningful when the
+	// restoring engine enables ingest). Force preserves the recorded
+	// sequence numbers so drain order survives the round trip; freshness
+	// clocks restart now.
+	if e.ingest != nil && (len(st.IngestJobs) > 0 || st.IngestNextSeq > 0) {
+		now := time.Now()
+		for _, d := range st.IngestJobs {
+			e.ingest.queue.Force(ingest.Job{
+				Annotation: AnnotationID(d.Annotation),
+				Kind:       ingest.Kind(d.Kind),
+				Priority:   d.Priority,
+				Seq:        d.Seq,
+				EnqueuedAt: now,
+			})
+		}
+		e.ingest.queue.RestoreSeq(st.IngestNextSeq)
 	}
 	return e, nil
 }

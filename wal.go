@@ -5,7 +5,10 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"nebula/internal/annotation"
+	"nebula/internal/ingest"
 	"nebula/internal/relational"
 	"nebula/internal/snapshot"
 	"nebula/internal/vfs"
@@ -68,20 +71,13 @@ func (e *Engine) AttachWAL(l *wal.Log) {
 func (e *Engine) attachWAL(l *wal.Log, fsys vfs.FS) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	b := &walBinding{log: l, fs: fsys}
-	e.wal = b
+	e.wal = &walBinding{log: l, fs: fsys}
 	// Raw MutateDB row operations are captured at the relational layer:
 	// the hook sees every committed Insert/Delete/Update, and the
 	// captureActive flag keeps engine-level operations (DeleteTuple, WAL
-	// replay, snapshot restore) from double-logging their row effects.
-	e.db.SetRowMutationHook(func(m relational.RowMutation) {
-		if !b.captureActive || b.captureErr != nil {
-			return
-		}
-		if _, err := l.Append(rowMutationRecord(m)); err != nil {
-			b.captureErr = fmt.Errorf("nebula: wal append: %w", err)
-		}
-	})
+	// replay, snapshot restore) from double-logging their row effects. The
+	// composite hook also feeds the ingest CDC capture when enabled.
+	e.refreshRowHook()
 }
 
 // WAL returns the attached log, or nil when the engine runs without one.
@@ -245,6 +241,24 @@ func recBounds(b Bounds) *wal.Record {
 	return &wal.Record{Op: wal.OpSetBounds, Lower: b.Lower, Upper: b.Upper}
 }
 
+func recIngestEnqueue(j ingest.Job) *wal.Record {
+	return &wal.Record{
+		Op:       wal.OpIngestEnqueue,
+		Ann:      string(j.Annotation),
+		JobKind:  uint8(j.Kind),
+		Priority: j.Priority,
+		Seq:      j.Seq,
+	}
+}
+
+func recIngestRetract(id AnnotationID) *wal.Record {
+	return &wal.Record{Op: wal.OpIngestRetract, Ann: string(id)}
+}
+
+func recIngestDone(id AnnotationID) *wal.Record {
+	return &wal.Record{Op: wal.OpIngestDone, Ann: string(id)}
+}
+
 // --- replay (wal.Record -> engine mutation) ---
 
 // ReplayWAL applies the durable records in dir onto the engine, skipping
@@ -377,6 +391,34 @@ func (e *Engine) applyRecord(rec *wal.Record) error {
 	case wal.OpSetBounds:
 		return e.setBounds(Bounds{Lower: rec.Lower, Upper: rec.Upper})
 
+	case wal.OpIngestEnqueue:
+		// CDC never re-derives jobs during replay (the capture flag stays
+		// off); the logged admissions ARE the queue. Force preserves the
+		// recorded sequence so drain order matches the pre-crash queue.
+		if e.ingest != nil {
+			e.ingest.queue.Force(ingest.Job{
+				Annotation: annotation.ID(rec.Ann),
+				Kind:       ingest.Kind(rec.JobKind),
+				Priority:   rec.Priority,
+				Seq:        rec.Seq,
+				EnqueuedAt: time.Now(),
+			})
+		}
+		return nil
+
+	case wal.OpIngestRetract:
+		// Retraction is deterministic given the state the prior records
+		// produced; re-applying a half-drained job's retraction is
+		// idempotent.
+		e.retractAnnotation(AnnotationID(rec.Ann))
+		return nil
+
+	case wal.OpIngestDone:
+		if e.ingest != nil {
+			e.ingest.queue.MarkDone(annotation.ID(rec.Ann))
+		}
+		return nil
+
 	default:
 		return fmt.Errorf("nebula: wal replay: unknown op %v", rec.Op)
 	}
@@ -472,7 +514,9 @@ func (e *Engine) CloseWAL() error {
 	b := e.wal
 	e.wal = nil
 	if b != nil {
-		e.db.SetRowMutationHook(nil)
+		// Rebuild the row hook without the WAL leg; ingest CDC capture (if
+		// enabled) must keep observing mutations after the log detaches.
+		e.refreshRowHook()
 	}
 	e.mu.Unlock()
 	if b == nil {
