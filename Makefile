@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-parallel bench-plan bench-server bench-cache bench-trace bench-wal bench-stream run-server experiments examples fmt vet check clean
+.PHONY: all build test race cover bench bench-parallel bench-plan bench-server bench-cache bench-trace bench-wal bench-stream bench-shard run-server experiments examples fmt fmt-check vet check clean
 
 all: build test
 
@@ -13,7 +13,9 @@ all: build test
 # crash-recovery matrix (cut the log at every boundary and interior byte;
 # the recovered engine must match the durable prefix exactly).
 check:
+	$(MAKE) fmt-check
 	$(GO) vet ./...
+	$(GO) vet ./cmd/...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'Fault|Inject|Governor|Deadline|Cancel|Budget|Degraded|Retry|Panic|Truncat|BitFlip|SaveFile' ./internal/faultinject/ ./internal/snapshot/ .
@@ -22,7 +24,9 @@ check:
 	$(GO) test -race -run 'WAL' ./internal/wal/ .
 	$(GO) test -race -run 'Plan|Golden|Estimate' ./internal/discovery/ ./internal/keyword/ ./internal/meta/
 	$(GO) test -race -run 'Ingest|Stream|Queue' ./internal/ingest/ ./internal/bench/ ./internal/server/ .
+	$(GO) test -race -run 'Shard' ./internal/shard/ .
 	$(MAKE) bench-stream
+	$(MAKE) bench-shard
 
 build:
 	$(GO) build ./...
@@ -87,6 +91,16 @@ bench-stream:
 	$(GO) run ./cmd/nebulactl bench-stream --size tiny --seed 42 --mutations 24 --drain-every 4 --out BENCH_stream.json
 	grep -q '"identical": true' BENCH_stream.json
 
+# Measure the hash-partitioned engine: a mixed write+discover workload at
+# 1/2/4/8 shards (per-shard mutation locks and per-shard cache invalidation
+# epochs) plus a sequential identity phase; the JSON artifact records
+# throughput, cache hits, the speedup over the single-shard row, and the
+# byte-identity check. The grep enforces the identity contract — and the
+# command itself exits nonzero if any shard count diverges.
+bench-shard:
+	$(GO) run ./cmd/nebulactl bench-shard --size small --seed 42 --shards 1,2,4,8 --out BENCH_shard.json
+	grep -q '"identical": true' BENCH_shard.json
+
 # Serving smoke test: boot nebulad on an ephemeral port, hit /healthz, run
 # one discovery round trip, SIGTERM it, and verify the drain snapshot
 # reloads — all self-driven by the daemon's --smoke mode.
@@ -107,6 +121,11 @@ examples:
 
 fmt:
 	gofmt -w .
+
+# Fail if any file needs reformatting (gofmt -l prints offenders; the test
+# fails the target when the list is non-empty).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -178,7 +178,7 @@ func (e *Engine) runBatch(ctx context.Context, ids []AnnotationID, process bool,
 			results[i].Err = err
 			continue
 		}
-		e.bumpMutEpoch()
+		e.bumpMutEpochFor(ids[i])
 		outcome, err := submit(ids[i], disc.Focal, disc.Candidates)
 		if err != nil {
 			results[i].Err = err

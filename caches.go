@@ -74,17 +74,45 @@ func (e *Engine) setCacheLimit(maxBytes int64) error {
 	return nil
 }
 
-// cacheEpoch combines the database's data epoch with the engine's
-// annotation-mutation epoch: any change that could alter a discovery's
-// result moves it, invalidating cached discoveries.
-func (e *Engine) cacheEpoch() uint64 {
-	return e.db.Epoch() + e.mutEpoch.Load()
+// graphDependent reports whether a discovery configured with opts reads
+// shared annotation-side state (the ACG and hop profile) rather than only
+// the database, the metadata repository, and the search index. Focal
+// adjustment walks ACG path weights, spreading reads graph neighborhoods
+// (and sizes K off the hop profile), and RequireStableACG consults the
+// graph's stability tracker; everything else in the pipeline is a pure
+// function of the database and the annotation's own body/focal.
+func graphDependent(opts Options) bool {
+	return opts.FocalAdjustment || opts.Spreading || opts.RequireStableACG
 }
 
-// bumpMutEpoch records an annotation-side mutation (attachments, ACG
-// edges, verification decisions, profile updates, index refreshes).
-// Data-side mutations are tracked by the per-table epochs.
-func (e *Engine) bumpMutEpoch() { e.mutEpoch.Add(1) }
+// cacheEpochFor combines the database's data epoch with a mutation epoch:
+// any change that could alter a discovery's result moves it, invalidating
+// cached discoveries. Graph-dependent runs read state any shard's mutation
+// can move, so they live in the whole-engine epoch (the sum over shards —
+// shard-count-invariant for sequential workloads). Annotation-local runs
+// depend only on the database, the index, and their own shard's mutations,
+// so they are stamped with the home shard's epoch alone: a write homed
+// elsewhere leaves them live. Both components are monotone, so a matching
+// epoch means nothing the result depends on has changed.
+func (e *Engine) cacheEpochFor(home int, opts Options) uint64 {
+	if graphDependent(opts) {
+		return e.db.Epoch() + e.mu.EpochSum()
+	}
+	return e.db.Epoch() + e.mu.Epoch(home)
+}
+
+// bumpMutEpochFor records an annotation-side mutation attributable to one
+// annotation (attachments, verification decisions, profile updates) on that
+// annotation's home shard. Data-side mutations are tracked by the
+// per-table epochs.
+func (e *Engine) bumpMutEpochFor(id AnnotationID) {
+	e.mu.Bump(e.mu.Home(string(id)))
+}
+
+// bumpMutEpochAll records a mutation whose effect is not confined to one
+// annotation (tuple deletions, index refreshes, bounds changes): every
+// shard's epoch moves, so every cached discovery dies.
+func (e *Engine) bumpMutEpochAll() { e.mu.BumpAll() }
 
 // discoveryCacheKey fingerprints everything a discovery run's clean
 // result depends on besides engine state: the annotation text

@@ -75,6 +75,8 @@ func main() {
 		err = cmdBenchTrace(os.Args[2:])
 	case "bench-stream":
 		err = cmdBenchStream(os.Args[2:])
+	case "bench-shard":
+		err = cmdBenchShard(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -127,6 +129,10 @@ commands:
               measure the streaming ingest pipeline: async submission,
               change-driven re-discovery, enqueue-to-attached freshness,
               and byte-identity against a synchronous from-scratch control
+  bench-shard
+              measure mixed write+discover throughput across engine shard
+              counts (per-shard locks and cache epochs) and verify results
+              are byte-identical at every shard count
 `)
 }
 
@@ -691,6 +697,66 @@ func cmdBenchStream(args []string) error {
 	}
 	defer f.Close()
 	if err := bench.WriteStreamJSON(f, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdBenchShard measures the hash-partitioned engine: a mixed
+// write+discover workload at each shard count (per-shard mutation locks and
+// per-shard cache invalidation epochs), plus a sequential identity phase
+// asserting the shard count never changes discovery output. The throughput
+// win is invalidation granularity — writes homed on one shard leave the
+// other shards' cached discoveries live — so it holds even at GOMAXPROCS=1.
+func cmdBenchShard(args []string) error {
+	fs := flag.NewFlagSet("bench-shard", flag.ExitOnError)
+	size := fs.String("size", "small", "dataset size: tiny|small|mid|large")
+	seed := fs.Int64("seed", 42, "generator seed")
+	shards := fs.String("shards", "1,2,4,8", "comma-separated shard counts to compare")
+	workers := fs.Int("workers", 4, "concurrent mutator goroutines in the timed phase")
+	writes := fs.Int("writes", 48, "annotation writes in the timed phase")
+	discovers := fs.Int("discovers", 16, "cached discoveries issued after each write")
+	readers := fs.Int("readers", 24, "warm annotation pool the discoveries cycle over")
+	out := fs.String("out", "BENCH_shard.json", "output JSON path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flagcheck.All(
+		flagcheck.Positive("workers", *workers),
+		flagcheck.Positive("writes", *writes),
+		flagcheck.Positive("discovers", *discovers),
+		flagcheck.Positive("readers", *readers),
+	); err != nil {
+		return err
+	}
+	var counts []int
+	for _, part := range strings.Split(*shards, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad shard count %q (need integers >= 1)", part)
+		}
+		counts = append(counts, n)
+	}
+	results, err := bench.RunShardBench(*size, *seed, counts, *workers, *writes, *discovers, *readers)
+	if err != nil {
+		return err
+	}
+	bench.ShardTable(results).Print(os.Stdout)
+	for _, r := range results {
+		if !r.Identical {
+			return fmt.Errorf("sharded results diverged from the single-shard control (shards=%d); sharding must not change results", r.Shards)
+		}
+	}
+	if *out == "" {
+		return bench.WriteShardJSON(os.Stdout, results)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteShardJSON(f, results); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

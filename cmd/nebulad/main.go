@@ -108,6 +108,7 @@ type daemonConfig struct {
 	ingestQueueCap int
 	ingestHops     int
 	ingestEvery    time.Duration
+	shards         int
 	debugAddr      string
 	smoke          bool
 }
@@ -150,6 +151,7 @@ func run(args []string) error {
 	fs.IntVar(&cfg.ingestQueueCap, "ingest-queue-cap", 0, "queued discovery jobs before async submits get 429 (0 = default 1024)")
 	fs.IntVar(&cfg.ingestHops, "ingest-hops", 0, "ACG neighborhood radius for change-driven re-discovery (0 = default 1)")
 	fs.DurationVar(&cfg.ingestEvery, "ingest-drain-every", time.Second, "background drain cadence for queued jobs (0 = manual flush only)")
+	fs.IntVar(&cfg.shards, "shards", 0, "hash-partition the engine's annotation state across N lock shards (0 or 1 = single shard; results are identical at any count)")
 	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this extra listener (empty = off; keep it loopback-only)")
 	fs.BoolVar(&cfg.smoke, "smoke", false, "self-check serving round trip, then exit")
 	if err := fs.Parse(args); err != nil {
@@ -168,6 +170,7 @@ func run(args []string) error {
 		flagcheck.NonNegative("ingest-queue-cap", cfg.ingestQueueCap),
 		flagcheck.NonNegative("ingest-hops", cfg.ingestHops),
 		flagcheck.NonNegativeDuration("ingest-drain-every", cfg.ingestEvery),
+		flagcheck.NonNegative("shards", cfg.shards),
 	); err != nil {
 		return err
 	}
@@ -193,6 +196,7 @@ func buildEngine(cfg daemonConfig) (*nebula.Engine, func(*nebula.Database) (*neb
 		return nil, nil, err
 	}
 	opts.Cache = cacheCfg
+	opts.Shards = cfg.shards
 	if cfg.ingest {
 		opts.Ingest = nebula.IngestConfig{
 			Enabled:  true,

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
-	"sync/atomic"
 
 	"nebula/internal/acg"
 	"nebula/internal/annotation"
@@ -15,6 +14,7 @@ import (
 	"nebula/internal/ingest"
 	"nebula/internal/keyword"
 	"nebula/internal/relational"
+	"nebula/internal/shard"
 	"nebula/internal/sigmap"
 	"nebula/internal/trace"
 	"nebula/internal/verification"
@@ -57,17 +57,21 @@ func recoverPanic(err *error) {
 // and a NebulaMeta repository.
 //
 // All Engine methods are safe for concurrent use. Operations synchronize on
-// an internal readers–writer lock: discovery (Stages 1–2), snapshot capture,
-// and the pending/bounds accessors are read-only against engine state and
-// run concurrently with each other, while mutations (adding annotations,
-// Stage-3 verification routing, expert decisions, deletions) take the lock
-// exclusively. This is what lets a serving layer fan many simultaneous
-// discover requests over one engine. The underlying database, store, and
-// graph returned by the accessors are NOT independently synchronized —
-// mutate them through the engine, or only before sharing the engine across
-// goroutines.
+// a hash-sharded readers–writer lock group (Options.Shards): discovery
+// (Stages 1–2), snapshot capture, and the pending/bounds accessors are
+// read-only against engine state and run concurrently with each other, while
+// whole-engine mutations (raw relational mutations, Stage-3 verification
+// routing, expert decisions, deletions) take every shard's lock exclusively
+// in ascending order. Single-annotation writes (AddAnnotation,
+// AddAnnotationAsync, EnqueueDiscovery) take only the annotation's home
+// shard, so writers against different shards proceed concurrently and
+// invalidate only their own shard's cached discoveries. With Shards <= 1 the
+// group degenerates to the engine's historical single RWMutex. The
+// underlying database, store, and graph returned by the accessors are NOT
+// independently synchronized — mutate them through the engine, or only
+// before sharing the engine across goroutines.
 type Engine struct {
-	mu sync.RWMutex
+	mu *shard.Group
 
 	db      *Database
 	meta    *MetaRepository
@@ -87,11 +91,6 @@ type Engine struct {
 	// stale as data changes, which is exactly their documented trade-off.
 	symbolEngine *keyword.SymbolTableEngine
 
-	// mutEpoch counts annotation-side mutations (attachments, deletions,
-	// verification decisions, bounds training, index refreshes). Combined
-	// with the database's per-table data epochs it forms cacheEpoch, the
-	// version every cached discovery is stamped with.
-	mutEpoch atomic.Uint64
 	// discCache memoizes whole clean discovery runs keyed by annotation
 	// body + focal + options fingerprint. Nil when caching is disabled.
 	queryCache *keyword.QueryCache
@@ -112,8 +111,14 @@ type Engine struct {
 	// (the attachTo of its AddAnnotation) — the state re-discovery
 	// retraction preserves. Accepted predictions become TrueAttachments in
 	// the store and are indistinguishable there from manual ones; this map
-	// is what keeps them distinguishable. Guarded by mu.
+	// is what keeps them distinguishable. Readers hold mu (all shards);
+	// the one writer reachable under a single shard lock (addAnnotation)
+	// additionally holds manualMu, so concurrent home-shard writers on
+	// different shards cannot race the map.
 	manualFocal map[AnnotationID][]TupleID
+	// manualMu serializes manualFocal map writes from single-shard
+	// mutation paths. Whole-engine paths already exclude each other via mu.
+	manualMu sync.Mutex
 	// ingest, when non-nil, is the streaming proactive pipeline: the
 	// bounded discovery job queue plus change-data-capture state (see
 	// Options.Ingest and ingest.go). Guarded by mu.
@@ -143,6 +148,7 @@ func NewWithState(db *Database, repo *MetaRepository, store *AnnotationStore, gr
 		return nil, err
 	}
 	e := &Engine{
+		mu:          shard.NewGroup(opts.Shards),
 		db:          db,
 		meta:        repo,
 		store:       store,
@@ -243,6 +249,10 @@ func (e *Engine) Graph() *ACG { return e.graph }
 // Profile returns the hop-distance profile.
 func (e *Engine) Profile() *HopProfile { return e.profile }
 
+// Shards returns the engine's shard count (always >= 1; Options.Shards
+// values of 0 and 1 both select the single-shard layout).
+func (e *Engine) Shards() int { return e.mu.Shards() }
+
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options {
 	e.mu.RLock()
@@ -282,12 +292,15 @@ func (e *Engine) Bounds() Bounds {
 
 // AddAnnotation inserts a new annotation with its manual (true)
 // attachments — Stage 0. The attachments become the annotation's focal and
-// are wired into the ACG.
+// are wired into the ACG. It locks only the annotation's home shard, so
+// concurrent adds homed on different shards proceed in parallel; the store,
+// graph, and WAL serialize their own internal mutations.
 func (e *Engine) AddAnnotation(a *Annotation, attachTo []TupleID) error {
 	var wb *walBinding
 	err := func() error {
-		e.mu.Lock()
-		defer e.mu.Unlock()
+		home := e.mu.Home(string(a.ID))
+		e.mu.LockShard(home)
+		defer e.mu.UnlockShard(home)
 		wb = e.wal
 		if err := e.walAppend(recAddAnnotation(a, attachTo)); err != nil {
 			return err
@@ -297,6 +310,12 @@ func (e *Engine) AddAnnotation(a *Annotation, attachTo []TupleID) error {
 	return wb.commit(err)
 }
 
+// addAnnotation is AddAnnotation's locked core, shared with WAL replay and
+// the async ingest path. Callers hold either the whole lock group or the
+// annotation's home shard exclusively; under a single shard lock the
+// database is read-only to everyone else (relational mutations take all
+// shards), and the store/graph/manualFocal writes below serialize through
+// their own mutexes against adds homed elsewhere.
 func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
 	for _, t := range attachTo {
 		if _, ok := e.db.Lookup(t); !ok {
@@ -306,7 +325,7 @@ func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
 	if err := e.store.Add(a); err != nil {
 		return err
 	}
-	e.bumpMutEpoch()
+	e.bumpMutEpochFor(a.ID)
 	for _, t := range attachTo {
 		if _, err := e.store.Attach(annotation.Attachment{
 			Annotation: a.ID, Tuple: t, Type: annotation.TrueAttachment,
@@ -318,7 +337,9 @@ func (e *Engine) addAnnotation(a *Annotation, attachTo []TupleID) error {
 	// Remember the manual focal: re-discovery retraction keeps exactly
 	// these attachments. Recorded in the core so OpAddAnnotation replay
 	// rebuilds the same map.
+	e.manualMu.Lock()
 	e.manualFocal[a.ID] = append([]TupleID(nil), attachTo...)
+	e.manualMu.Unlock()
 	return nil
 }
 
@@ -373,7 +394,9 @@ func (e *Engine) deleteTuple(id TupleID) (detached, cancelled int, err error) {
 	if !t.DeleteByKey(id.Key) {
 		return 0, 0, fmt.Errorf("nebula: no tuple %s", id)
 	}
-	e.bumpMutEpoch()
+	// A deleted tuple may have appeared in any annotation's discovery, so
+	// every shard's cached results must die.
+	e.bumpMutEpochAll()
 	// The tuple can no longer be anyone's manual attachment; prune it from
 	// the manual-focal lists before the store cascade forgets who touched
 	// it.
@@ -509,7 +532,14 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 	var epoch uint64
 	if useCache {
 		cacheKey = discoveryCacheKey(a.Body, focal, opts, k)
-		epoch = e.cacheEpoch()
+		home := e.mu.Home(string(a.ID))
+		if !graphDependent(opts) {
+			// Annotation-local runs live in a per-shard epoch domain; the
+			// shard tag keeps entries from ever being probed under another
+			// shard's counter (two annotations can share a body).
+			cacheKey = fmt.Sprintf("s%d|%s", home, cacheKey)
+		}
+		epoch = e.cacheEpochFor(home, opts)
 		if hit, ok := e.discCache.Get(cacheKey, epoch); ok {
 			trace.FromContext(ctx).Add("discovery_cache_hits", 1)
 			out := &Discovery{
@@ -622,8 +652,9 @@ func (e *Engine) RefreshSearchIndex() {
 		e.symbolEngine.Rebuild()
 	}
 	// A rebuilt index can answer differently than the stale one whose
-	// results may be cached; move the epoch so those entries die.
-	e.bumpMutEpoch()
+	// results may be cached; move every shard's epoch so those entries die
+	// whichever shard they are stamped with.
+	e.bumpMutEpochAll()
 }
 
 // NaiveDiscover runs the §4 baseline for a stored annotation: the whole
@@ -754,7 +785,7 @@ func (e *Engine) process(ctx context.Context, id AnnotationID, opts Options) (di
 	}
 	// Submit mutates attachments, the ACG, and the hop profile even on
 	// partial failure, so the epoch moves regardless of the outcome.
-	e.bumpMutEpoch()
+	e.bumpMutEpochFor(id)
 	vspan := root.StartChild("verify")
 	outcome, err = submit(id, disc.Focal, disc.Candidates)
 	if vspan.Enabled() {
@@ -816,7 +847,7 @@ func (e *Engine) verifyAttachment(vid int64) error {
 	if err := e.manager.Verify(vid, e.store.Focal(task.Annotation)); err != nil {
 		return err
 	}
-	e.bumpMutEpoch()
+	e.bumpMutEpochFor(task.Annotation)
 	return nil
 }
 
@@ -840,13 +871,14 @@ func (e *Engine) RejectAttachment(vid int64) error {
 }
 
 func (e *Engine) rejectAttachment(vid int64) error {
-	if _, err := e.findPending(vid); err != nil {
+	task, err := e.findPending(vid)
+	if err != nil {
 		return err
 	}
 	if err := e.manager.Reject(vid); err != nil {
 		return err
 	}
-	e.bumpMutEpoch()
+	e.bumpMutEpochFor(task.Annotation)
 	return nil
 }
 
@@ -869,7 +901,7 @@ func (e *Engine) ResolveWithOracle(id AnnotationID, oracle Oracle) (accepted, re
 		wb = e.wal
 		defer func() {
 			if len(acc) > 0 || len(rej) > 0 {
-				e.bumpMutEpoch()
+				e.bumpMutEpochFor(id)
 			}
 		}()
 		focal := e.store.Focal(id)
@@ -951,7 +983,9 @@ func (e *Engine) TuneBounds(training []TrainingExample, cfg BoundsConfig) (Bound
 		if err := e.setBounds(Bounds(bounds)); err != nil {
 			return Bounds{}, nil, err
 		}
-		e.bumpMutEpoch()
+		// New thresholds re-route every annotation's Stage 3, so cached
+		// discoveries on every shard are conservatively invalidated.
+		e.bumpMutEpochAll()
 		return Bounds(bounds), evals, nil
 	}()
 	err = wb.commit(err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"nebula/internal/annotation"
@@ -45,10 +46,18 @@ var (
 type IngestJob = ingest.Job
 
 // ingestState is the engine's ingest bookkeeping. The queue and counters
-// are guarded by the engine's lock (writes under e.mu.Lock, reads under
-// RLock), exactly like the annotation store; captureActive/changed follow
-// the WAL capture flags' discipline (only touched under the write lock).
+// are guarded by the engine's lock group (whole-group writes for drains and
+// CDC, whole-group reads for stats), exactly like the annotation store. The
+// two enqueue entry points reachable under a single shard lock
+// (EnqueueDiscovery, AddAnnotationAsync) additionally serialize on mu, so
+// admissions homed on different shards cannot race the queue.
+// captureActive/changed follow the WAL capture flags' discipline (only
+// touched under the whole-group write lock — capture runs inside MutateDB).
 type ingestState struct {
+	// mu serializes single-shard enqueue paths against each other. Ordered
+	// strictly after the shard lock in the hierarchy; whole-group paths
+	// skip it (the group lock already excludes every shard holder).
+	mu      sync.Mutex
 	queue   *ingest.Queue
 	cdcHops int
 
@@ -122,12 +131,18 @@ func (e *Engine) IngestEnabled() bool { return e.ingest != nil }
 func (e *Engine) EnqueueDiscovery(id AnnotationID, priority int) (IngestJob, error) {
 	var wb *walBinding
 	job, err := func() (IngestJob, error) {
-		e.mu.Lock()
-		defer e.mu.Unlock()
+		home := e.mu.Home(string(id))
+		e.mu.LockShard(home)
+		defer e.mu.UnlockShard(home)
 		wb = e.wal
 		if e.ingest == nil {
 			return IngestJob{}, ErrIngestDisabled
 		}
+		// Admission holds only the home shard plus the ingest mutex: the
+		// queue mutation serializes against enqueues homed elsewhere, while
+		// drains and CDC hold the whole group and so exclude this path.
+		e.ingest.mu.Lock()
+		defer e.ingest.mu.Unlock()
 		if _, ok := e.store.Get(id); !ok {
 			return IngestJob{}, fmt.Errorf("%w %q", ErrUnknownAnnotation, id)
 		}
@@ -145,12 +160,19 @@ func (e *Engine) EnqueueDiscovery(id AnnotationID, priority int) (IngestJob, err
 func (e *Engine) AddAnnotationAsync(a *Annotation, attachTo []TupleID, priority int) (IngestJob, error) {
 	var wb *walBinding
 	job, err := func() (IngestJob, error) {
-		e.mu.Lock()
-		defer e.mu.Unlock()
+		home := e.mu.Home(string(a.ID))
+		e.mu.LockShard(home)
+		defer e.mu.UnlockShard(home)
 		wb = e.wal
 		if e.ingest == nil {
 			return IngestJob{}, ErrIngestDisabled
 		}
+		// The ingest mutex spans the capacity pre-check through the enqueue:
+		// the reserve-then-admit sequence must be atomic against enqueues
+		// homed on other shards, or two concurrent async adds could both
+		// pass the check against one free slot.
+		e.ingest.mu.Lock()
+		defer e.ingest.mu.Unlock()
 		// Reserve queue room before any state changes: a full queue must
 		// reject the submission outright, not store an orphan annotation.
 		if cap := e.ingest.queue.Cap(); cap > 0 && e.ingest.queue.Len() >= cap {
@@ -170,7 +192,8 @@ func (e *Engine) AddAnnotationAsync(a *Annotation, attachTo []TupleID, priority 
 }
 
 // enqueueJobLocked admits one job and logs its WAL record. Caller holds
-// e.mu in write mode with ingest enabled.
+// either the whole lock group in write mode, or the job's home shard plus
+// e.ingest.mu; ingest is enabled.
 func (e *Engine) enqueueJobLocked(id AnnotationID, kind ingest.Kind, priority int) (IngestJob, error) {
 	job, changed, err := e.ingest.queue.Enqueue(id, kind, priority, time.Now())
 	if err != nil {
@@ -250,7 +273,7 @@ func (e *Engine) retractAnnotation(id AnnotationID) {
 		e.graph.RemoveAttachment(id, t)
 	}
 	e.manager.CancelTasksForAnnotation(id)
-	e.bumpMutEpoch()
+	e.bumpMutEpochFor(id)
 }
 
 // IngestDrainResult reports one DrainIngest call.
@@ -429,7 +452,7 @@ func (e *Engine) drainLocked(ctx context.Context, max int) (res IngestDrainResul
 		if err := e.walAppend(recSubmit(s.job.Annotation, s.disc, degraded, e.manager.NextVID())); err != nil {
 			return fail(i, err)
 		}
-		e.bumpMutEpoch()
+		e.bumpMutEpochFor(s.job.Annotation)
 		if _, err := submit(s.job.Annotation, s.disc.Focal, s.disc.Candidates); err != nil {
 			return fail(i, err)
 		}

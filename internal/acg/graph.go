@@ -8,6 +8,7 @@ package acg
 
 import (
 	"sort"
+	"sync"
 
 	"nebula/internal/annotation"
 	"nebula/internal/relational"
@@ -18,7 +19,17 @@ import (
 // ratio between the common annotations and the total annotations attached
 // to the two tuples (Jaccard of their annotation sets), recomputed from the
 // node sets on demand so it stays exact as annotations accumulate.
+//
+// Synchronization contract: the engine's sharded lock group is the Graph's
+// primary guard. The only mutations reachable while holding a single shard
+// lock are AddAnnotation and AddAttachment (the annotation-insert path) —
+// those serialize on mu below. Every other method (readers included) is
+// called only under contexts holding every shard, which excludes the
+// single-shard mutators, so it takes no internal lock.
 type Graph struct {
+	// mu serializes AddAnnotation/AddAttachment (and their stability
+	// observations) against each other across shard-locked callers.
+	mu sync.Mutex
 	// anns maps each tuple to the set of annotations attached to it.
 	anns map[relational.TupleID]map[annotation.ID]struct{}
 	// byAnn maps each annotation to the tuples it is attached to.
@@ -69,6 +80,8 @@ func (g *Graph) Contains(t relational.TupleID) bool {
 // tracker: the annotation contributes 1 to the batch, len(tuples) to M, and
 // each genuinely new edge to N.
 func (g *Graph) AddAnnotation(id annotation.ID, tuples []relational.TupleID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	newEdges := 0
 	for _, t := range tuples {
 		newEdges += g.attach(id, t)
@@ -81,6 +94,8 @@ func (g *Graph) AddAnnotation(id annotation.ID, tuples []relational.TupleID) {
 // adds edges between the tuple and the annotation's focal. The stability
 // tracker counts the attachment but not a new annotation.
 func (g *Graph) AddAttachment(id annotation.ID, t relational.TupleID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	newEdges := g.attach(id, t)
 	g.stability.observe(0, 1, newEdges)
 }

@@ -3,6 +3,7 @@ package annotation
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nebula/internal/relational"
 )
@@ -10,7 +11,19 @@ import (
 // Store holds annotations and their attachment edges with bidirectional
 // indexes. It is the "existing annotation management engine" the Nebula
 // prototype is realized on top of.
+//
+// Synchronization contract: the engine's sharded lock group is the Store's
+// primary guard. The only Store mutations reachable while holding a single
+// shard lock are Add and Attach (the AddAnnotation/async-ingest path), and
+// the only read racing them is Get (async enqueue validation) — those three
+// serialize on mu below. Every other method is called exclusively under
+// contexts where the caller holds every shard (whole-group write or read
+// lock), so they rely on that exclusion and take no internal lock.
 type Store struct {
+	// mu guards the annotations map, order slice, and edge indexes against
+	// the single-shard-locked paths (Add/Attach writes vs Get reads).
+	mu sync.RWMutex
+
 	annotations map[ID]*Annotation
 	order       []ID // insertion order for deterministic iteration
 
@@ -34,6 +47,8 @@ func NewStore() *Store {
 
 // Add registers an annotation. The ID must be unique.
 func (s *Store) Add(a *Annotation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if a.ID == "" {
 		return fmt.Errorf("annotation: empty id")
 	}
@@ -47,6 +62,8 @@ func (s *Store) Add(a *Annotation) error {
 
 // Get returns the annotation by ID.
 func (s *Store) Get(id ID) (*Annotation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	a, ok := s.annotations[id]
 	return a, ok
 }
@@ -69,6 +86,8 @@ func (s *Store) IDs() []ID {
 // a predicted one, and a higher-confidence prediction replaces a lower one.
 // The annotation must already be registered.
 func (s *Store) Attach(att Attachment) (*Attachment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.annotations[att.Annotation]; !ok {
 		return nil, fmt.Errorf("attach: unknown annotation %q", att.Annotation)
 	}

@@ -11,11 +11,35 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 
 	"nebula/internal/workload"
 )
+
+// BenchEnv is the measurement-environment header written into benchmark
+// JSON artifacts, so a recorded number is never read without knowing the
+// machine shape (in particular GOMAXPROCS — parallel and shard scaling
+// results are meaningless without it).
+type BenchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentBenchEnv captures the running process's environment.
+func CurrentBenchEnv() BenchEnv {
+	return BenchEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
 
 // Table is a printable experiment result.
 type Table struct {

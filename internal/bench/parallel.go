@@ -145,10 +145,17 @@ func ParallelTable(results []ParallelResult) *Table {
 	return t
 }
 
-// WriteParallelJSON writes the results as indented JSON (the
-// BENCH_parallel.json artifact).
+// parallelJSON is the BENCH_parallel.json document: the measurement
+// environment header followed by the result rows.
+type parallelJSON struct {
+	Env     BenchEnv         `json:"env"`
+	Results []ParallelResult `json:"results"`
+}
+
+// WriteParallelJSON writes the results with the environment header as
+// indented JSON (the BENCH_parallel.json artifact).
 func WriteParallelJSON(w io.Writer, results []ParallelResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return enc.Encode(parallelJSON{Env: CurrentBenchEnv(), Results: results})
 }

@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"nebula"
+)
+
+// ShardResult records one shard count's run of the sharding benchmark: a
+// timed mixed write+discover workload (concurrent writers inserting
+// annotations while discovery requests stream over a warm result cache),
+// plus a sequential identity phase proving the shard count changed only
+// contention and cache residency, never output.
+//
+// The mechanism under test: a single-shard engine invalidates EVERY cached
+// discovery on EVERY annotation mutation (one global mutation epoch), while
+// an N-shard engine stamps annotation-local discoveries with their home
+// shard's epoch — a write homed elsewhere leaves them live. In a mixed
+// workload most discoveries survive most writes, so throughput scales with
+// the shard count even on a single core (the win is work avoided, not
+// threads added).
+type ShardResult struct {
+	Dataset string `json:"dataset"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+	// Readers is the warm annotation pool the discover side cycles over.
+	Readers int `json:"readers"`
+	// Writes and Discovers count the timed phase's operations.
+	Writes    int `json:"writes"`
+	Discovers int `json:"discovers"`
+	// CacheHits is how many timed-phase discoveries were served from the
+	// discovery cache — the direct measure of invalidation granularity.
+	CacheHits int64 `json:"cache_hits"`
+	TotalNS   int64 `json:"total_ns"`
+	// OpsPerSec is (Writes+Discovers)/elapsed — mixed mutation+discovery
+	// throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Speedup is this row's OpsPerSec over the 1-shard row's.
+	Speedup float64 `json:"speedup"`
+	// Identical reports the sequential identity phase: a scripted workload
+	// (sync and async adds, ingest drains, relational mutations, cached and
+	// re-run discoveries) rendered byte-for-byte equal to the 1-shard
+	// control.
+	Identical bool `json:"identical"`
+}
+
+// shardBenchOptions is the engine configuration both phases run under:
+// caching on, annotation-local discovery (no focal adjustment, spreading,
+// or stability gate — the configuration whose cached results live in
+// per-shard epoch domains), WAL off.
+func shardBenchOptions(n int) nebula.Options {
+	opts := nebula.DefaultOptions()
+	opts.Shards = n
+	opts.FocalAdjustment = false
+	opts.Spreading = false
+	opts.RequireStableACG = false
+	return opts
+}
+
+// shardWriteAnnotation builds the i-th timed-phase write: a synthetic
+// annotation whose FNV-hashed ID lands it on an arbitrary shard.
+func shardWriteAnnotation(i int) *nebula.Annotation {
+	return &nebula.Annotation{
+		ID:     nebula.AnnotationID(fmt.Sprintf("shard-bench-w%d", i)),
+		Author: "bench",
+		Body:   fmt.Sprintf("shard bench writer annotation %d", i),
+		Kind:   "bench",
+	}
+}
+
+// runShardTimed measures the mixed workload at one shard count: `workers`
+// goroutines split `writes` AddAnnotation calls, each write followed by
+// `discovers` cached DiscoverRequest calls cycling over the warm reader
+// pool. Returns elapsed wall clock and the discovery-cache hits observed.
+func runShardTimed(size string, seed int64, n, workers, writes, discovers, readers int) (time.Duration, int64, int, error) {
+	env, err := FreshEnv(size, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ds := env.Dataset
+	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, shardBenchOptions(n))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	specs := streamWorkload(env)
+	if len(specs) == 0 {
+		return 0, 0, 0, fmt.Errorf("bench: shard: empty workload")
+	}
+	if readers > len(specs) {
+		readers = len(specs)
+	}
+	pool := specs[:readers]
+	for _, spec := range pool {
+		if err := engine.AddAnnotation(spec.ann, spec.focal); err != nil {
+			return 0, 0, 0, fmt.Errorf("bench: shard: reader %s: %w", spec.ann.ID, err)
+		}
+	}
+	// Warm the discovery cache so the timed loop starts from full residency.
+	for _, spec := range pool {
+		if _, err := engine.Discover(spec.ann.ID); err != nil {
+			return 0, 0, 0, fmt.Errorf("bench: shard: warm %s: %w", spec.ann.ID, err)
+		}
+	}
+	hitsBefore := engine.CacheStats().Discovery.Hits
+
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < writes; i += workers {
+				ann := shardWriteAnnotation(i)
+				attach := []nebula.TupleID{pool[i%len(pool)].focal[0]}
+				if err := engine.AddAnnotation(ann, attach); err != nil {
+					errCh <- fmt.Errorf("bench: shard: write %s: %w", ann.ID, err)
+					return
+				}
+				for j := 0; j < discovers; j++ {
+					id := pool[(i*discovers+j)%len(pool)].ann.ID
+					if _, err := engine.Discover(id); err != nil {
+						errCh <- fmt.Errorf("bench: shard: discover %s: %w", id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, 0, 0, err
+	default:
+	}
+	hits := engine.CacheStats().Discovery.Hits - hitsBefore
+	return elapsed, hits, readers, nil
+}
+
+// runShardIdentity runs the scripted sequential workload at one shard count
+// and renders everything shard-count independence promises: every stored
+// annotation discovered twice (the second probe exercises the per-shard
+// cache epoch — a stale hit would surface here as divergent candidates),
+// then the full attachment and pending-task state. The rendering includes
+// no stats or timings, only results.
+func runShardIdentity(size string, seed int64, n int) (string, error) {
+	env, err := FreshEnv(size, seed)
+	if err != nil {
+		return "", err
+	}
+	ds := env.Dataset
+	opts := shardBenchOptions(n)
+	opts.Ingest = nebula.IngestConfig{Enabled: true, QueueCap: 4 * (ds.Store.Len() + len(ds.Workload) + 1)}
+	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, opts)
+	if err != nil {
+		return "", err
+	}
+	specs := streamWorkload(env)
+	if len(specs) == 0 {
+		return "", fmt.Errorf("bench: shard: empty workload")
+	}
+	ctx := context.Background()
+	// Mixed admission: synchronous adds with queued discoveries interleaved
+	// with async adds, drained every four submissions — the cross-shard
+	// ordered-acquisition paths (drain) interleaving with single-shard ones
+	// (add, enqueue).
+	for i, spec := range specs {
+		if i%2 == 0 {
+			if err := engine.AddAnnotation(spec.ann, spec.focal); err != nil {
+				return "", fmt.Errorf("bench: shard: identity add %s: %w", spec.ann.ID, err)
+			}
+			if _, err := engine.EnqueueDiscovery(spec.ann.ID, 0); err != nil {
+				return "", fmt.Errorf("bench: shard: identity enqueue %s: %w", spec.ann.ID, err)
+			}
+		} else {
+			if _, err := engine.AddAnnotationAsync(spec.ann, spec.focal, 0); err != nil {
+				return "", fmt.Errorf("bench: shard: identity async %s: %w", spec.ann.ID, err)
+			}
+		}
+		if (i+1)%4 == 0 {
+			if _, err := engine.DrainIngest(ctx, 0); err != nil {
+				return "", fmt.Errorf("bench: shard: identity drain: %w", err)
+			}
+		}
+	}
+	// Relational mutations drive change-data-capture re-discoveries and move
+	// the database epoch under the cached discoveries.
+	for i, mut := range streamMutations(specs, 8) {
+		mut := mut
+		err := engine.MutateDB(func(db *nebula.Database) error {
+			return db.MustTable(mut.table).UpdateByKey(mut.key, mut.column, mut.value)
+		})
+		if err != nil {
+			return "", fmt.Errorf("bench: shard: identity mutate %s/%s: %w", mut.table, mut.key, err)
+		}
+		if (i+1)%4 == 0 {
+			if _, err := engine.DrainIngest(ctx, 0); err != nil {
+				return "", fmt.Errorf("bench: shard: identity drain: %w", err)
+			}
+		}
+	}
+	if _, err := engine.FlushIngest(ctx); err != nil {
+		return "", fmt.Errorf("bench: shard: identity flush: %w", err)
+	}
+	var b strings.Builder
+	for _, id := range engine.Store().IDs() {
+		for pass := 0; pass < 2; pass++ {
+			d, err := engine.Discover(id)
+			if err != nil {
+				return "", fmt.Errorf("bench: shard: identity discover %s: %w", id, err)
+			}
+			fmt.Fprintf(&b, "%s#%d:", id, pass)
+			for _, c := range d.Candidates {
+				fmt.Fprintf(&b, " %v=%.9f", c.Tuple.ID, c.Confidence)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString(renderStreamState(engine))
+	return b.String(), nil
+}
+
+// RunShardBench measures the sharded engine at every requested shard count.
+// Every row's Identical must be true — partitioning the synchronization
+// domain must never change what the engine computes — and OpsPerSec should
+// grow with the shard count as cached discoveries survive unrelated writes.
+func RunShardBench(size string, seed int64, shardCounts []int, workers, writes, discovers, readers int) ([]ShardResult, error) {
+	control, err := runShardIdentity(size, seed, 1)
+	if err != nil {
+		return nil, err
+	}
+	var out []ShardResult
+	var base float64
+	for _, n := range shardCounts {
+		elapsed, hits, pool, err := runShardTimed(size, seed, n, workers, writes, discovers, readers)
+		if err != nil {
+			return nil, err
+		}
+		render := control
+		if n != 1 {
+			if render, err = runShardIdentity(size, seed, n); err != nil {
+				return nil, err
+			}
+		}
+		ops := writes + writes*discovers
+		res := ShardResult{
+			Dataset:   "D_" + size,
+			Shards:    n,
+			Workers:   workers,
+			Readers:   pool,
+			Writes:    writes,
+			Discovers: writes * discovers,
+			CacheHits: hits,
+			TotalNS:   elapsed.Nanoseconds(),
+			Identical: render == control,
+		}
+		if elapsed > 0 {
+			res.OpsPerSec = float64(ops) / elapsed.Seconds()
+		}
+		if n == 1 {
+			base = res.OpsPerSec
+		}
+		if base > 0 {
+			res.Speedup = res.OpsPerSec / base
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ShardTable renders the results for terminals.
+func ShardTable(results []ShardResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Sharded engine — mixed write+discover throughput by shard count (GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Header: []string{"dataset", "shards", "workers", "writes", "discovers",
+			"cache-hits", "total-ms", "ops/sec", "speedup", "identical"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, fmtI(r.Shards), fmtI(r.Workers), fmtI(r.Writes), fmtI(r.Discovers),
+			fmt.Sprintf("%d", r.CacheHits), fmtMs(r.TotalNS),
+			fmt.Sprintf("%.0f", r.OpsPerSec), fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%v", r.Identical),
+		})
+	}
+	return t
+}
+
+// shardJSON is the BENCH_shard.json document: the measurement environment
+// header followed by one row per shard count.
+type shardJSON struct {
+	Env     BenchEnv      `json:"env"`
+	Results []ShardResult `json:"results"`
+}
+
+// WriteShardJSON emits the results (with the environment header) for
+// BENCH_shard.json.
+func WriteShardJSON(w io.Writer, results []ShardResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(shardJSON{Env: CurrentBenchEnv(), Results: results})
+}

@@ -65,6 +65,9 @@ type ingestJobJSON struct {
 type ingestStatusResponse struct {
 	Stats nebula.IngestStats `json:"stats"`
 	Jobs  []ingestJobJSON    `json:"jobs"`
+	// Shards reports the engine's hash-partitioned synchronization domain:
+	// how queued work and annotation state distribute across shards.
+	Shards nebula.ShardStats `json:"shards"`
 }
 
 type ingestFlushRequest struct {
@@ -317,6 +320,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	renderCacheMetrics(w, s.Engine().CacheStats())
 	renderWALMetrics(w, s.Engine().WALStats(), snapshot.DirSyncFailures())
 	renderIngestMetrics(w, s.Engine().IngestStats())
+	renderShardMetrics(w, s.Engine().ShardStats())
 }
 
 // handleAddAnnotation implements Stage 0 over the wire: insert an
@@ -405,7 +409,11 @@ func (s *Server) handleAddAnnotationAsync(w http.ResponseWriter, r *http.Request
 // handleIngestStatus reports the queue state and its lifetime counters.
 func (s *Server) handleIngestStatus(w http.ResponseWriter, r *http.Request) {
 	eng := s.Engine()
-	resp := ingestStatusResponse{Stats: eng.IngestStats(), Jobs: []ingestJobJSON{}}
+	resp := ingestStatusResponse{
+		Stats:  eng.IngestStats(),
+		Jobs:   []ingestJobJSON{},
+		Shards: eng.ShardStats(),
+	}
 	now := time.Now()
 	for _, j := range eng.IngestJobs() {
 		resp.Jobs = append(resp.Jobs, ingestJobJSON{

@@ -349,6 +349,25 @@ func renderIngestMetrics(w io.Writer, is nebula.IngestStats) {
 	fmt.Fprintf(w, "# TYPE nebula_ingest_freshness_seconds_count counter\nnebula_ingest_freshness_seconds_count %d\n", is.FreshnessJobs)
 }
 
+// renderShardMetrics writes the sharding series: the configured shard
+// count plus per-shard gauges for homed annotations, their attachment
+// edges, the distinct rows those edges touch, and the shard's mutation
+// counter. Single-shard engines render one shard owning everything, so
+// dashboards work unchanged across deployments.
+func renderShardMetrics(w io.Writer, ss nebula.ShardStats) {
+	fmt.Fprintf(w, "# TYPE nebula_shards gauge\nnebula_shards %d\n", ss.Shards)
+	emit := func(series, typ string, value func(nebula.ShardStat) int64) {
+		fmt.Fprintf(w, "# TYPE %s %s\n", series, typ)
+		for _, s := range ss.PerShard {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", series, s.Shard, value(s))
+		}
+	}
+	emit("nebula_shard_annotations", "gauge", func(s nebula.ShardStat) int64 { return int64(s.Annotations) })
+	emit("nebula_shard_attachments", "gauge", func(s nebula.ShardStat) int64 { return int64(s.Attachments) })
+	emit("nebula_shard_rows", "gauge", func(s nebula.ShardStat) int64 { return int64(s.Tuples) })
+	emit("nebula_shard_mutations_total", "counter", func(s nebula.ShardStat) int64 { return int64(s.Mutations) })
+}
+
 func boolGauge(b bool) int {
 	if b {
 		return 1

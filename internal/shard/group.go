@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Group is the engine's sharded synchronization domain: N readers–writer
+// locks plus N mutation-epoch counters, one pair per shard. Annotation-side
+// state is partitioned by Index(annotationID, N); an operation touching one
+// annotation takes only its home shard's lock, while whole-engine operations
+// (discovery reads, snapshot capture, WAL checkpoint, tuple deletion) take
+// every lock in ascending index order — the ordered multi-lock acquisition
+// that keeps the hierarchy deadlock-free.
+//
+// With N = 1 a Group degenerates to exactly the engine's historical single
+// sync.RWMutex plus single mutation counter, which is what makes the
+// sharded engine byte-identical to the legacy one at any shard count.
+type Group struct {
+	shards []groupShard
+}
+
+type groupShard struct {
+	mu sync.RWMutex
+	// epoch counts the shard's annotation-side mutations. Atomic so the
+	// observability surfaces can read it without stopping the world.
+	epoch atomic.Uint64
+}
+
+// NewGroup returns a Group with n shards; n < 1 selects the single-shard
+// legacy layout.
+func NewGroup(n int) *Group {
+	if n < 1 {
+		n = 1
+	}
+	return &Group{shards: make([]groupShard, n)}
+}
+
+// Shards returns the shard count.
+func (g *Group) Shards() int { return len(g.shards) }
+
+// Home returns the home shard of an identifier.
+func (g *Group) Home(id string) int { return Index(id, len(g.shards)) }
+
+// Lock acquires every shard's lock exclusively, in ascending index order.
+// It is the whole-engine write lock: it excludes every reader and every
+// single-shard mutator.
+func (g *Group) Lock() {
+	for i := range g.shards {
+		g.shards[i].mu.Lock()
+	}
+}
+
+// Unlock releases every shard's exclusive lock.
+func (g *Group) Unlock() {
+	for i := len(g.shards) - 1; i >= 0; i-- {
+		g.shards[i].mu.Unlock()
+	}
+}
+
+// RLock acquires every shard's lock shared, in ascending index order — the
+// whole-engine read lock. Readers run concurrently with each other but
+// exclude every mutator (each mutator holds at least one shard's lock
+// exclusively).
+func (g *Group) RLock() {
+	for i := range g.shards {
+		g.shards[i].mu.RLock()
+	}
+}
+
+// RUnlock releases every shard's shared lock.
+func (g *Group) RUnlock() {
+	for i := len(g.shards) - 1; i >= 0; i-- {
+		g.shards[i].mu.RUnlock()
+	}
+}
+
+// LockShard acquires one shard's lock exclusively — the single-shard
+// mutation path. Holders of different shards run concurrently; ordered
+// acquisition is trivially satisfied because only one shard lock is held.
+func (g *Group) LockShard(i int) { g.shards[i].mu.Lock() }
+
+// UnlockShard releases one shard's exclusive lock.
+func (g *Group) UnlockShard(i int) { g.shards[i].mu.Unlock() }
+
+// RLockShard acquires one shard's lock shared.
+func (g *Group) RLockShard(i int) { g.shards[i].mu.RLock() }
+
+// RUnlockShard releases one shard's shared lock.
+func (g *Group) RUnlockShard(i int) { g.shards[i].mu.RUnlock() }
+
+// Bump advances one shard's mutation epoch.
+func (g *Group) Bump(i int) { g.shards[i].epoch.Add(1) }
+
+// BumpAll advances every shard's mutation epoch — the global-invalidation
+// path for mutations whose effect is not confined to one shard (index
+// rebuilds, tuple deletions).
+func (g *Group) BumpAll() {
+	for i := range g.shards {
+		g.shards[i].epoch.Add(1)
+	}
+}
+
+// Epoch returns one shard's mutation epoch.
+func (g *Group) Epoch(i int) uint64 { return g.shards[i].epoch.Load() }
+
+// EpochSum returns the sum of every shard's epoch — the whole-engine
+// mutation epoch. For a sequential workload the sum is independent of the
+// shard count (every mutation bumps exactly one counter), which keeps
+// epoch-derived cache keys identical across shard counts.
+func (g *Group) EpochSum() uint64 {
+	var sum uint64
+	for i := range g.shards {
+		sum += g.shards[i].epoch.Load()
+	}
+	return sum
+}

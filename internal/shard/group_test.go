@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGroupSingleShardDegenerates checks the N=1 layout: every ID homes to
+// shard 0 and the epoch sum equals shard 0's epoch.
+func TestGroupSingleShardDegenerates(t *testing.T) {
+	g := NewGroup(0)
+	if g.Shards() != 1 {
+		t.Fatalf("NewGroup(0) has %d shards, want 1", g.Shards())
+	}
+	if g.Home("anything") != 0 {
+		t.Fatalf("Home on single shard = %d, want 0", g.Home("anything"))
+	}
+	g.Bump(0)
+	g.BumpAll()
+	if g.EpochSum() != 2 || g.Epoch(0) != 2 {
+		t.Fatalf("epoch = %d / sum %d, want 2 / 2", g.Epoch(0), g.EpochSum())
+	}
+}
+
+// TestGroupEpochSumShardCountInvariant: the same sequence of per-ID bumps
+// yields the same epoch sum at every shard count — the property that keeps
+// epoch-derived cache keys identical whatever the partitioning.
+func TestGroupEpochSumShardCountInvariant(t *testing.T) {
+	ids := []string{"ann-1", "ann-2", "pub-17", "gene-9", "ann-1"}
+	var sums []uint64
+	for _, n := range []int{1, 2, 4, 8} {
+		g := NewGroup(n)
+		for _, id := range ids {
+			g.Bump(g.Home(id))
+		}
+		sums = append(sums, g.EpochSum())
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i] != sums[0] {
+			t.Fatalf("epoch sums diverge across shard counts: %v", sums)
+		}
+	}
+	if sums[0] != uint64(len(ids)) {
+		t.Fatalf("epoch sum = %d, want %d", sums[0], len(ids))
+	}
+}
+
+// TestGroupConcurrentShardMutators runs concurrent per-shard bumps under
+// per-shard locks with a whole-group reader interleaved; run with -race
+// this pins the lock discipline (shard writers exclude the global reader).
+func TestGroupConcurrentShardMutators(t *testing.T) {
+	g := NewGroup(4)
+	counts := make([]int, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := (w + i) % 4
+				g.LockShard(s)
+				counts[s]++
+				g.Bump(s)
+				g.UnlockShard(s)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			g.RLock()
+			total := 0
+			for s := range counts {
+				total += counts[s]
+			}
+			if total > 8*200 {
+				t.Errorf("read %d mutations, more than the %d performed", total, 8*200)
+			}
+			g.RUnlock()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := g.EpochSum(); got != 8*200 {
+		t.Fatalf("epoch sum = %d, want %d", got, 8*200)
+	}
+}
+
+// TestGroupLockAllExcludesShardWriter: Lock() must not return while any
+// shard lock is held.
+func TestGroupLockAllExcludesShardWriter(t *testing.T) {
+	g := NewGroup(4)
+	g.LockShard(2)
+	acquired := make(chan struct{})
+	go func() {
+		g.Lock()
+		close(acquired)
+		g.Unlock()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Lock() returned while shard 2 was held")
+	default:
+	}
+	g.UnlockShard(2)
+	<-acquired
+}

@@ -1,0 +1,39 @@
+// Package shard assigns annotation identifiers to hash partitions.
+//
+// The engine partitions its annotation-side state (store, ACG subgraph,
+// manual-focal map, mutation epoch) across N shards so that independent
+// mutations contend on independent locks and invalidate independent cache
+// domains. The assignment must be a pure function of the identifier and the
+// shard count — WAL replay, snapshot restore, and every routing decision
+// recompute it rather than persisting a directory — so shard membership can
+// never drift from the data.
+//
+// FNV-1a is used for its determinism across platforms and Go versions
+// (unlike maphash, which is seeded per process): the same ID maps to the
+// same shard in every process that ever replays the same history.
+package shard
+
+// offset64 and prime64 are the FNV-1a 64-bit parameters.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash returns the FNV-1a 64-bit hash of id.
+func Hash(id string) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Index returns the home shard of id among n shards. n < 2 always maps to
+// shard 0 (the single-shard legacy layout).
+func Index(id string, n int) int {
+	if n < 2 {
+		return 0
+	}
+	return int(Hash(id) % uint64(n))
+}

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestHashMatchesStdlibFNV pins the hand-rolled FNV-1a against the stdlib
+// implementation: the function is a durability contract (WAL replay and
+// snapshot restore recompute shard homes), so it must never drift.
+func TestHashMatchesStdlibFNV(t *testing.T) {
+	for _, s := range []string{"", "a", "ann-1", "publication/9", "日本語", "a1\x00b2"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := Hash(s), h.Sum64(); got != want {
+			t.Errorf("Hash(%q) = %d, stdlib fnv-1a = %d", s, got, want)
+		}
+	}
+}
+
+// TestIndexStable pins a few concrete assignments; a change here means every
+// existing sharded deployment would re-home its annotations.
+func TestIndexStable(t *testing.T) {
+	cases := []struct {
+		id   string
+		n    int
+		want int
+	}{
+		{"ann-1", 1, 0},
+		{"ann-1", 0, 0},
+		{"ann-1", -3, 0},
+		{"ann-1", 4, int(Hash("ann-1") % 4)},
+		{"pub-17", 8, int(Hash("pub-17") % 8)},
+	}
+	for _, c := range cases {
+		if got := Index(c.id, c.n); got != c.want {
+			t.Errorf("Index(%q, %d) = %d, want %d", c.id, c.n, got, c.want)
+		}
+	}
+}
+
+// TestIndexRange checks every assignment lands in [0, n).
+func TestIndexRange(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for i := 0; i < 200; i++ {
+			id := fmt.Sprintf("annotation-%d", i)
+			got := Index(id, n)
+			if got < 0 || got >= n {
+				t.Fatalf("Index(%q, %d) = %d out of range", id, n, got)
+			}
+		}
+	}
+}
+
+// TestIndexSpread sanity-checks balance: over a few hundred synthetic IDs at
+// 8 shards, no shard should be empty (FNV-1a spreads short keys well).
+func TestIndexSpread(t *testing.T) {
+	counts := make([]int, 8)
+	for i := 0; i < 400; i++ {
+		counts[Index(fmt.Sprintf("ann-%d", i), 8)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received no IDs out of 400", s)
+		}
+	}
+}

@@ -314,6 +314,16 @@ type Options struct {
 	// discovery job queue behind async submissions and change-driven
 	// re-discovery (see IngestConfig). Disabled by default.
 	Ingest IngestConfig
+	// Shards partitions the engine's annotation-side synchronization domain
+	// (locks, mutation epochs, cache-invalidation scopes) into N hash
+	// shards keyed by annotation ID: single-annotation mutations take only
+	// their home shard's lock and move only its epoch, so independent
+	// writers stop contending and stop invalidating each other's cached
+	// discoveries. 0 or 1 selects the single-shard legacy behavior.
+	// Whatever the value, results are byte-identical to the single-shard
+	// engine — sharding changes contention and cache residency, never
+	// output.
+	Shards int
 }
 
 // Default ingest parameters (see IngestConfig).
@@ -443,6 +453,12 @@ func (o Options) Validate() error {
 	}
 	if err := o.Ingest.Validate(); err != nil {
 		return err
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("nebula: negative shard count %d", o.Shards)
+	}
+	if o.Shards > 1024 {
+		return fmt.Errorf("nebula: shard count %d exceeds 1024", o.Shards)
 	}
 	return nil
 }

@@ -1,0 +1,60 @@
+package nebula
+
+// ShardStat describes one shard of the engine's hash-partitioned
+// synchronization domain: how much annotation-side state homes there and
+// how many mutations it has absorbed. Shard assignment is pure FNV-1a over
+// the annotation ID (internal/shard), so the same store reports the same
+// partition on every process that uses the same shard count.
+type ShardStat struct {
+	// Shard is the shard index in [0, Shards).
+	Shard int `json:"shard"`
+	// Annotations counts the annotations homed on this shard.
+	Annotations int `json:"annotations"`
+	// Attachments counts the attachment edges of this shard's annotations.
+	Attachments int `json:"attachments"`
+	// Tuples counts the distinct database rows this shard's annotations
+	// are attached to (rows themselves are not partitioned; a row attached
+	// from two shards counts once in each).
+	Tuples int `json:"tuples"`
+	// Mutations is the shard's mutation epoch — how many annotation-side
+	// mutations have been attributed to this shard since startup. It is
+	// also the version stamp invalidating the shard's cached discoveries.
+	Mutations uint64 `json:"mutations"`
+}
+
+// ShardStats is the whole-engine sharding snapshot behind the
+// nebula_shard_* metrics and the status endpoint's "shards" block.
+type ShardStats struct {
+	// Shards is the configured shard count (>= 1).
+	Shards int `json:"shards"`
+	// PerShard has one entry per shard, in shard order.
+	PerShard []ShardStat `json:"per_shard"`
+}
+
+// ShardStats returns a point-in-time snapshot of the engine's shard
+// partition. Single-shard engines report one shard owning everything.
+func (e *Engine) ShardStats() ShardStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.mu.Shards()
+	out := ShardStats{Shards: n, PerShard: make([]ShardStat, n)}
+	tuples := make([]map[TupleID]struct{}, n)
+	for i := range out.PerShard {
+		out.PerShard[i].Shard = i
+		out.PerShard[i].Mutations = e.mu.Epoch(i)
+		tuples[i] = make(map[TupleID]struct{})
+	}
+	for _, id := range e.store.IDs() {
+		home := e.mu.Home(string(id))
+		s := &out.PerShard[home]
+		s.Annotations++
+		for _, att := range e.store.Attachments(id, -1) {
+			s.Attachments++
+			tuples[home][att.Tuple] = struct{}{}
+		}
+	}
+	for i := range out.PerShard {
+		out.PerShard[i].Tuples = len(tuples[i])
+	}
+	return out
+}

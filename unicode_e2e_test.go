@@ -116,9 +116,9 @@ func TestUnicodeCacheKeying(t *testing.T) {
 		return d
 	}
 
-	add("u1", "éclaA  関連")  // double interior space
-	add("u2", "éclaA 関連")   // single space — same normalized key
-	add("u3", "eclaA 関連")   // ASCII e — one rune differs, different key
+	add("u1", "éclaA  関連") // double interior space
+	add("u2", "éclaA 関連")  // single space — same normalized key
+	add("u3", "eclaA 関連")  // ASCII e — one rune differs, different key
 
 	before := e.CacheStats().Discovery
 	d1 := discover("u1")

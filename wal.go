@@ -88,10 +88,13 @@ func (e *Engine) WAL() *wal.Log {
 	return e.wal.log
 }
 
-// walAppend logs one record. Callers must hold e.mu in write mode; a nil
-// binding (no WAL) appends nothing. The record is buffered, not yet
-// durable — the binding's commit, called on the binding captured under
-// the same lock, finishes the job after the lock is released.
+// walAppend logs one record. Callers must hold at least one shard of e.mu
+// in write mode (single-annotation paths hold their home shard; everything
+// else holds the whole group); a nil binding (no WAL) appends nothing. The
+// log serializes concurrent appends from different shards internally. The
+// record is buffered, not yet durable — the binding's commit, called on the
+// binding captured under the same lock, finishes the job after the lock is
+// released.
 func (e *Engine) walAppend(rec *wal.Record) error {
 	if e.wal == nil {
 		return nil
@@ -366,7 +369,7 @@ func (e *Engine) applyRecord(rec *wal.Record) error {
 		if rec.Degraded {
 			submit = e.manager.SubmitDegraded
 		}
-		e.bumpMutEpoch()
+		e.bumpMutEpochFor(AnnotationID(rec.Ann))
 		_, err := submit(AnnotationID(rec.Ann), refTuples(rec.Focal), cands)
 		return err
 
@@ -385,7 +388,7 @@ func (e *Engine) applyRecord(rec *wal.Record) error {
 			return nil
 		}
 		id := AnnotationID(rec.Ann)
-		e.bumpMutEpoch()
+		e.bumpMutEpochFor(id)
 		return e.manager.ForceAccept(id, refTuple(rec.Tuple), e.store.Focal(id))
 
 	case wal.OpSetBounds:
@@ -445,8 +448,9 @@ func (e *Engine) Checkpoint(path string) error {
 	defer b.ckptMu.Unlock()
 
 	e.mu.RLock()
-	// Rotate excludes concurrent Append via the read lock (mutators hold
-	// the write lock); ckptMu excludes concurrent Rotate from another
+	// Rotate excludes concurrent Append via the whole-group read lock
+	// (every mutator, single-shard or not, holds at least one shard's
+	// write lock); ckptMu excludes concurrent Rotate from another
 	// checkpoint.
 	if err := b.log.Rotate(); err != nil {
 		e.mu.RUnlock()
