@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-parallel bench-plan bench-server bench-cache bench-trace bench-wal bench-stream bench-shard run-server experiments examples fmt fmt-check vet check clean
+.PHONY: all build test race cover bench bench-parallel bench-plan bench-server bench-cache bench-trace bench-wal bench-stream bench-shard bench-store run-server experiments examples fmt fmt-check vet check clean
 
 all: build test
 
@@ -19,14 +19,16 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'Fault|Inject|Governor|Deadline|Cancel|Budget|Degraded|Retry|Panic|Truncat|BitFlip|SaveFile' ./internal/faultinject/ ./internal/snapshot/ .
-	$(GO) test -run Fuzz ./internal/sqlish/ ./internal/snapshot/ ./internal/wal/
+	$(GO) test -run Fuzz ./internal/sqlish/ ./internal/snapshot/ ./internal/wal/ ./internal/segment/
 	$(GO) test -run 'Determinis|Cache|Trace|Unicode' ./internal/cache/ ./internal/keyword/ ./internal/relational/ ./internal/trace/ .
 	$(GO) test -race -run 'WAL' ./internal/wal/ .
 	$(GO) test -race -run 'Plan|Golden|Estimate' ./internal/discovery/ ./internal/keyword/ ./internal/meta/
 	$(GO) test -race -run 'Ingest|Stream|Queue' ./internal/ingest/ ./internal/bench/ ./internal/server/ .
 	$(GO) test -race -run 'Shard' ./internal/shard/ .
+	$(GO) test -race -run 'Segment|Store|Tiered' ./internal/segment/ ./internal/keyword/ .
 	$(MAKE) bench-stream
 	$(MAKE) bench-shard
+	$(MAKE) bench-store
 
 build:
 	$(GO) build ./...
@@ -100,6 +102,17 @@ bench-stream:
 bench-shard:
 	$(GO) run ./cmd/nebulactl bench-shard --size small --seed 42 --shards 1,2,4,8 --out BENCH_shard.json
 	grep -q '"identical": true' BENCH_shard.json
+
+# Disk-backed index substrate: restart from the same checkpoint in heap
+# mode (deferred full re-index at first discovery) and disk mode (mmap'd
+# segment files adopted via the snapshot-paired manifest), measuring time
+# to first answer and resident heap; the JSON artifact records both rows.
+# The grep enforces the identity contract — the post-restart discovery
+# sweep must be byte-identical across substrates — and the command itself
+# exits nonzero on divergence.
+bench-store:
+	$(GO) run ./cmd/nebulactl bench-store --size small --seed 42 --out BENCH_store.json
+	grep -q '"identical": true' BENCH_store.json
 
 # Serving smoke test: boot nebulad on an ephemeral port, hit /healthz, run
 # one discovery round trip, SIGTERM it, and verify the drain snapshot

@@ -77,6 +77,8 @@ func main() {
 		err = cmdBenchStream(os.Args[2:])
 	case "bench-shard":
 		err = cmdBenchShard(os.Args[2:])
+	case "bench-store":
+		err = cmdBenchStore(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -133,6 +135,10 @@ commands:
               measure mixed write+discover throughput across engine shard
               counts (per-shard locks and cache epochs) and verify results
               are byte-identical at every shard count
+  bench-store
+              measure restart cost with the disk-backed index substrate:
+              heap-mode full re-index vs mapping checkpoint-flushed segment
+              files back in, with byte-identity of the discovery sweep
 `)
 }
 
@@ -757,6 +763,48 @@ func cmdBenchShard(args []string) error {
 	}
 	defer f.Close()
 	if err := bench.WriteShardJSON(f, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdBenchStore measures the disk-backed index substrate: restart cost
+// from the same snapshot in heap mode (deferred full re-index at first
+// discovery) vs disk mode (checkpoint-flushed segment files mapped back
+// in), plus byte-identity of the post-restart discovery sweep.
+func cmdBenchStore(args []string) error {
+	fs := flag.NewFlagSet("bench-store", flag.ExitOnError)
+	size := fs.String("size", "small", "dataset size: tiny|small|mid|large")
+	seed := fs.Int64("seed", 42, "generator seed")
+	out := fs.String("out", "BENCH_store.json", "output JSON path (empty = stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "nebula-bench-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	results, err := bench.RunStoreBench(*size, *seed, dir)
+	if err != nil {
+		return err
+	}
+	bench.StoreTable(results).Print(os.Stdout)
+	for _, r := range results {
+		if !r.Identical {
+			return fmt.Errorf("disk-mode results diverged from the heap-mode control (mode=%s); the substrate must not change results", r.Mode)
+		}
+	}
+	if *out == "" {
+		return bench.WriteStoreJSON(os.Stdout, results)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteStoreJSON(f, results); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)

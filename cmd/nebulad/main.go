@@ -103,6 +103,8 @@ type daemonConfig struct {
 	snapshotPath   string
 	walDir         string
 	walSync        string
+	storeDir       string
+	storeMaxSegs   int
 	slowRequest    time.Duration
 	ingest         bool
 	ingestQueueCap int
@@ -146,6 +148,8 @@ func run(args []string) error {
 	fs.StringVar(&cfg.snapshotPath, "snapshot", "", "snapshot file: restored on boot when present, written on drain")
 	fs.StringVar(&cfg.walDir, "wal", "", "write-ahead log directory: replayed on boot, then every mutation is logged and fsynced before it is acknowledged")
 	fs.StringVar(&cfg.walSync, "wal-sync", "group", "WAL fsync policy: group (batched), always (per append), none (OS flush only)")
+	fs.StringVar(&cfg.storeDir, "store-dir", "", "disk-backed search index directory: mmap'd segment files flushed at checkpoints (selects the symbol-table search technique)")
+	fs.IntVar(&cfg.storeMaxSegs, "store-max-segments", 0, "segment files before background compaction merges the oldest (0 = default 8)")
 	fs.DurationVar(&cfg.slowRequest, "slow-request", 0, "log requests at or over this duration at Warn with their span tree (0 = off)")
 	fs.BoolVar(&cfg.ingest, "ingest", false, "enable the streaming ingest pipeline (async submits + change-driven re-discovery)")
 	fs.IntVar(&cfg.ingestQueueCap, "ingest-queue-cap", 0, "queued discovery jobs before async submits get 429 (0 = default 1024)")
@@ -171,8 +175,12 @@ func run(args []string) error {
 		flagcheck.NonNegative("ingest-hops", cfg.ingestHops),
 		flagcheck.NonNegativeDuration("ingest-drain-every", cfg.ingestEvery),
 		flagcheck.NonNegative("shards", cfg.shards),
+		flagcheck.NonNegative("store-max-segments", cfg.storeMaxSegs),
 	); err != nil {
 		return err
+	}
+	if cfg.storeMaxSegs > 0 && cfg.storeDir == "" {
+		return errors.New("--store-max-segments requires --store-dir")
 	}
 	if cfg.plan && cfg.topK <= 0 {
 		return errors.New("--plan requires --topk K > 0 (the k the planner's early termination maintains)")
@@ -197,6 +205,13 @@ func buildEngine(cfg daemonConfig) (*nebula.Engine, func(*nebula.Database) (*neb
 	}
 	opts.Cache = cacheCfg
 	opts.Shards = cfg.shards
+	if cfg.storeDir != "" {
+		// The disk substrate backs the symbol-table technique's pre-built
+		// index, so the flag selects that technique; segments flush at
+		// checkpoints and map back in on restart instead of rebuilding.
+		opts.Store = nebula.StoreConfig{Dir: cfg.storeDir, MaxSegments: cfg.storeMaxSegs}
+		opts.SearchTechnique = nebula.TechniqueSymbolTable
+	}
 	if cfg.ingest {
 		opts.Ingest = nebula.IngestConfig{
 			Enabled:  true,
@@ -380,6 +395,13 @@ func serve(cfg daemonConfig, ready chan<- string) error {
 		// active segment for the next boot's replay.
 		if err := engine.CloseWAL(); err != nil {
 			return fmt.Errorf("wal close: %w", err)
+		}
+	}
+	if cfg.storeDir != "" {
+		// After the final drain snapshot flushed the tail; close waits
+		// for background compaction and unmaps the segments.
+		if err := engine.CloseStore(); err != nil {
+			return fmt.Errorf("store close: %w", err)
 		}
 	}
 	log.Printf("nebulad: shutdown complete")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"nebula/internal/acg"
 	"nebula/internal/annotation"
@@ -14,6 +15,7 @@ import (
 	"nebula/internal/ingest"
 	"nebula/internal/keyword"
 	"nebula/internal/relational"
+	"nebula/internal/segment"
 	"nebula/internal/shard"
 	"nebula/internal/sigmap"
 	"nebula/internal/trace"
@@ -123,6 +125,21 @@ type Engine struct {
 	// bounded discovery job queue plus change-data-capture state (see
 	// Options.Ingest and ingest.go). Guarded by mu.
 	ingest *ingestState
+
+	// segStore and tiered, when non-nil, are the disk-backed substrate for
+	// the symbol-table search technique (Options.Store): immutable mmap'd
+	// segment files plus the in-heap tail that absorbs changes. Both are
+	// set during construction and never reassigned, so reads need no lock;
+	// the structures synchronize internally.
+	segStore *segment.Store
+	tiered   *keyword.TieredEngine
+	// storeFlushMu serializes flush generations (checkpoint tail flushes
+	// and operator FlushStore calls) against each other.
+	storeFlushMu sync.Mutex
+	// storeSeq is the generation of the last successful segment flush —
+	// the value stamped into both the snapshot and the manifest so restore
+	// can tell whether the segments on disk pair with the snapshot.
+	storeSeq atomic.Uint64
 }
 
 // New creates an engine with a fresh annotation store and ACG.
@@ -136,6 +153,15 @@ func New(db *Database, repo *MetaRepository, opts Options) (*Engine, error) {
 // (e.g. the experimental datasets, where the base publications pre-populate
 // both structures).
 func NewWithState(db *Database, repo *MetaRepository, store *AnnotationStore, graph *ACG, opts Options) (*Engine, error) {
+	return newWithState(db, repo, store, graph, opts, 0)
+}
+
+// newWithState is NewWithState plus the expected disk-store generation:
+// 0 for fresh engines (any existing segments in Options.Store.Dir belong
+// to unknown history and only serve as verified-hit shortcuts), the
+// snapshot's StoreSeq on the restore path (matching segments then carry
+// the index without a rebuild).
+func newWithState(db *Database, repo *MetaRepository, store *AnnotationStore, graph *ACG, opts Options, storeSeq uint64) (*Engine, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -173,6 +199,11 @@ func NewWithState(db *Database, repo *MetaRepository, store *AnnotationStore, gr
 			cdcHops: opts.Ingest.cdcHops(),
 		}
 		e.refreshRowHook()
+	}
+	if opts.Store.Enabled() {
+		if err := e.openStore(storeSeq); err != nil {
+			return nil, err
+		}
 	}
 	if !opts.Cache.Disabled {
 		// The byte budget splits evenly across the three LRU layers (the
@@ -627,6 +658,12 @@ func (e *Engine) discover(ctx context.Context, a *Annotation, focal []TupleID, o
 // race to build it; after the first build they share the immutable index.
 func (e *Engine) symbolSearcher(db *relational.Database) keyword.Searcher {
 	if db == e.db {
+		// Disk mode: the tiered engine serves the full-database index from
+		// mmap'd segments plus its tail; answers are byte-identical to the
+		// heap engine's (postings are verified against live rows).
+		if e.tiered != nil {
+			return e.tiered
+		}
 		e.symMu.Lock()
 		defer e.symMu.Unlock()
 		if e.symbolEngine == nil {
@@ -650,6 +687,13 @@ func (e *Engine) RefreshSearchIndex() {
 	defer e.symMu.Unlock()
 	if e.symbolEngine != nil {
 		e.symbolEngine.Rebuild()
+	}
+	if e.tiered != nil {
+		// Disk mode refreshes incrementally: only rows the mutation hook
+		// marked dirty are re-indexed into the tail — the immutable
+		// segments stay mapped as-is (stale postings are filtered by
+		// per-row verification, so they cannot surface).
+		e.tiered.Absorb()
 	}
 	// A rebuilt index can answer differently than the stale one whose
 	// results may be cached; move every shard's epoch so those entries die

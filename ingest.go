@@ -103,8 +103,8 @@ func (s *ingestState) endCapture() []relational.RowMutation {
 // appears or disappears (construction, AttachWAL, CloseWAL); the caller
 // holds e.mu in write mode or owns the engine exclusively.
 func (e *Engine) refreshRowHook() {
-	wb, ing := e.wal, e.ingest
-	if wb == nil && ing == nil {
+	wb, ing, te := e.wal, e.ingest, e.tiered
+	if wb == nil && ing == nil && te == nil {
 		e.db.SetRowMutationHook(nil)
 		return
 	}
@@ -117,26 +117,51 @@ func (e *Engine) refreshRowHook() {
 		if ing != nil {
 			ing.observe(m)
 		}
+		if te != nil {
+			// Disk-mode search index: the mutated row is re-indexed into
+			// the in-heap tail before the next probe. Fires on the WAL
+			// replay path too, which is how rows replayed past the last
+			// segment flush regain index coverage after a restart.
+			te.MarkDirty(relational.TupleID{Table: m.Table, Key: m.Key})
+		}
 	})
 }
 
 // IngestEnabled reports whether the streaming ingest subsystem is on.
 func (e *Engine) IngestEnabled() bool { return e.ingest != nil }
 
+// IngestAdmission is what an accepted enqueue tells the caller about the
+// queue, captured atomically with the admission itself (same critical
+// section — never a post-hoc read another enqueue or drain could have
+// moved). The embedded IngestJob carries the admitted shape.
+type IngestAdmission struct {
+	IngestJob
+	// Position is the job's 1-based drain position at admission: 1 means
+	// it drains next. Later enqueues and drains move it, but it was exact
+	// when the admission was acknowledged — the 202 contract.
+	Position int
+	// Depth is the queue depth at admission, including this job.
+	Depth int
+	// Coalesced reports that the enqueue folded into an already-queued
+	// job for the same annotation instead of admitting a new one.
+	Coalesced bool
+}
+
 // EnqueueDiscovery queues an asynchronous Process run for a stored
-// annotation — the submit-async path. The returned job carries the
-// admission sequence; the discovery itself happens on the next drain.
-// A duplicate enqueue coalesces into the queued job (upgrading its
-// priority); a full queue fails with ErrIngestQueueFull.
-func (e *Engine) EnqueueDiscovery(id AnnotationID, priority int) (IngestJob, error) {
+// annotation — the submit-async path. The returned admission carries the
+// job's sequence plus its queue position and depth as of the admission
+// itself; the discovery happens on the next drain. A duplicate enqueue
+// coalesces into the queued job (upgrading its priority); a full queue
+// fails with ErrIngestQueueFull.
+func (e *Engine) EnqueueDiscovery(id AnnotationID, priority int) (IngestAdmission, error) {
 	var wb *walBinding
-	job, err := func() (IngestJob, error) {
+	adm, err := func() (IngestAdmission, error) {
 		home := e.mu.Home(string(id))
 		e.mu.LockShard(home)
 		defer e.mu.UnlockShard(home)
 		wb = e.wal
 		if e.ingest == nil {
-			return IngestJob{}, ErrIngestDisabled
+			return IngestAdmission{}, ErrIngestDisabled
 		}
 		// Admission holds only the home shard plus the ingest mutex: the
 		// queue mutation serializes against enqueues homed elsewhere, while
@@ -144,12 +169,12 @@ func (e *Engine) EnqueueDiscovery(id AnnotationID, priority int) (IngestJob, err
 		e.ingest.mu.Lock()
 		defer e.ingest.mu.Unlock()
 		if _, ok := e.store.Get(id); !ok {
-			return IngestJob{}, fmt.Errorf("%w %q", ErrUnknownAnnotation, id)
+			return IngestAdmission{}, fmt.Errorf("%w %q", ErrUnknownAnnotation, id)
 		}
 		return e.enqueueJobLocked(id, ingest.KindDiscover, priority)
 	}()
 	err = wb.commit(err)
-	return job, err
+	return adm, err
 }
 
 // AddAnnotationAsync is AddAnnotation plus EnqueueDiscovery in one durable
@@ -157,15 +182,15 @@ func (e *Engine) EnqueueDiscovery(id AnnotationID, priority int) (IngestJob, err
 // so a crash never leaves an acknowledged async submission without its
 // job. With a full queue the whole call fails (nothing is stored) — the
 // backpressure contract of the async path.
-func (e *Engine) AddAnnotationAsync(a *Annotation, attachTo []TupleID, priority int) (IngestJob, error) {
+func (e *Engine) AddAnnotationAsync(a *Annotation, attachTo []TupleID, priority int) (IngestAdmission, error) {
 	var wb *walBinding
-	job, err := func() (IngestJob, error) {
+	adm, err := func() (IngestAdmission, error) {
 		home := e.mu.Home(string(a.ID))
 		e.mu.LockShard(home)
 		defer e.mu.UnlockShard(home)
 		wb = e.wal
 		if e.ingest == nil {
-			return IngestJob{}, ErrIngestDisabled
+			return IngestAdmission{}, ErrIngestDisabled
 		}
 		// The ingest mutex spans the capacity pre-check through the enqueue:
 		// the reserve-then-admit sequence must be atomic against enqueues
@@ -177,36 +202,44 @@ func (e *Engine) AddAnnotationAsync(a *Annotation, attachTo []TupleID, priority 
 		// reject the submission outright, not store an orphan annotation.
 		if cap := e.ingest.queue.Cap(); cap > 0 && e.ingest.queue.Len() >= cap {
 			e.ingest.queue.NoteDrop()
-			return IngestJob{}, fmt.Errorf("%w (annotation %q)", ErrIngestQueueFull, a.ID)
+			return IngestAdmission{}, fmt.Errorf("%w (annotation %q)", ErrIngestQueueFull, a.ID)
 		}
 		if err := e.walAppend(recAddAnnotation(a, attachTo)); err != nil {
-			return IngestJob{}, err
+			return IngestAdmission{}, err
 		}
 		if err := e.addAnnotation(a, attachTo); err != nil {
-			return IngestJob{}, err
+			return IngestAdmission{}, err
 		}
 		return e.enqueueJobLocked(a.ID, ingest.KindDiscover, priority)
 	}()
 	err = wb.commit(err)
-	return job, err
+	return adm, err
 }
 
-// enqueueJobLocked admits one job and logs its WAL record. Caller holds
-// either the whole lock group in write mode, or the job's home shard plus
-// e.ingest.mu; ingest is enabled.
-func (e *Engine) enqueueJobLocked(id AnnotationID, kind ingest.Kind, priority int) (IngestJob, error) {
+// enqueueJobLocked admits one job and logs its WAL record, returning the
+// admission view (position, depth, coalesced) computed inside the same
+// critical section. Caller holds either the whole lock group in write
+// mode, or the job's home shard plus e.ingest.mu; ingest is enabled.
+func (e *Engine) enqueueJobLocked(id AnnotationID, kind ingest.Kind, priority int) (IngestAdmission, error) {
+	before := e.ingest.queue.Len()
 	job, changed, err := e.ingest.queue.Enqueue(id, kind, priority, time.Now())
 	if err != nil {
-		return IngestJob{}, fmt.Errorf("%w (annotation %q)", ErrIngestQueueFull, id)
+		return IngestAdmission{}, fmt.Errorf("%w (annotation %q)", ErrIngestQueueFull, id)
+	}
+	adm := IngestAdmission{
+		IngestJob: job,
+		Position:  e.ingest.queue.Position(id),
+		Depth:     e.ingest.queue.Len(),
+		Coalesced: e.ingest.queue.Len() == before,
 	}
 	// A no-op coalesce changes no durable state, so it logs nothing; an
 	// upgrade re-logs the job's new shape under its original sequence.
 	if changed {
 		if err := e.walAppend(recIngestEnqueue(job)); err != nil {
-			return job, err
+			return adm, err
 		}
 	}
-	return job, nil
+	return adm, nil
 }
 
 // enqueueAffectedLocked is the change-data-capture conversion: map the

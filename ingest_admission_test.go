@@ -1,0 +1,140 @@
+package nebula_test
+
+import (
+	"sync"
+	"testing"
+
+	"nebula"
+	"nebula/internal/workload"
+)
+
+// These tests pin the admission contract of the async ingest paths: the
+// queue position, depth, and coalescing flag returned with an accepted
+// submission are computed atomically with the admission itself. The 202
+// response used to re-read IngestStats after the enqueue lock was
+// released, so concurrent submissions or coalesces could make it report a
+// queue state the acknowledged job was never actually in.
+
+// TestIngestAdmissionContract pins the deterministic shape: positions
+// follow drain order (priority desc, sequence asc), depth counts the job
+// itself, and a coalescing enqueue reports Coalesced with an unchanged
+// depth and the original sequence.
+func TestIngestAdmissionContract(t *testing.T) {
+	e, ds := ingestFixture(t, nil)
+	specs := ds.WorkloadSet(500, workload.RefClass{Min: 1, Max: 3})
+
+	a, err := e.AddAnnotationAsync(specs[0].Ann, specs[0].Focal(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Position != 1 || a.Depth != 1 || a.Coalesced {
+		t.Fatalf("first admission: %+v, want position 1, depth 1, not coalesced", a)
+	}
+
+	// Higher priority drains before the earlier job: position 1 of 2.
+	b, err := e.AddAnnotationAsync(specs[1].Ann, specs[1].Focal(1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Position != 1 || b.Depth != 2 || b.Coalesced {
+		t.Fatalf("high-priority admission: %+v, want position 1, depth 2", b)
+	}
+
+	// Same priority as the first job but a later sequence: drains last.
+	c, err := e.AddAnnotationAsync(specs[2].Ann, specs[2].Focal(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Position != 3 || c.Depth != 3 || c.Coalesced {
+		t.Fatalf("tie-broken admission: %+v, want position 3, depth 3", c)
+	}
+
+	// Coalescing upgrade: same slot, original sequence, new priority wins
+	// the queue — and the admission says so, with the depth unchanged.
+	up, err := e.EnqueueDiscovery(specs[0].Ann.ID, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Coalesced || up.Depth != 3 || up.Position != 1 {
+		t.Fatalf("coalescing admission: %+v, want coalesced, depth 3, position 1", up)
+	}
+	if up.Seq != a.Seq || up.Priority != 9 {
+		t.Fatalf("coalesce seq/priority: %+v, want seq %d priority 9", up, a.Seq)
+	}
+}
+
+// TestIngestAdmissionAtomicUnderConcurrency is the race pin: with only
+// concurrent enqueues running (no drains), every fresh admission grows the
+// queue by exactly one, so the depths reported across fresh admissions
+// must be distinct and every position must fit inside its own depth. A
+// post-hoc stats read (the old behavior) yields duplicate or overshot
+// depths under this load. Run with -race.
+func TestIngestAdmissionAtomicUnderConcurrency(t *testing.T) {
+	e, ds := ingestFixture(t, nil)
+	var specs []*workload.AnnotationSpec
+	for _, size := range workload.AnnotationSizes {
+		specs = append(specs, ds.WorkloadSet(size, workload.RefClass{})...)
+	}
+	const workers = 8
+	perWorker := len(specs) / workers
+	if perWorker < 2 {
+		t.Fatalf("fixture too small: %d specs", len(specs))
+	}
+
+	admissions := make([][]nebula.IngestAdmission, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				spec := specs[w*perWorker+i]
+				adm, err := e.AddAnnotationAsync(spec.Ann, spec.Focal(1), w%3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				admissions[w] = append(admissions[w], adm)
+				// Immediate duplicate: must coalesce and must not claim a
+				// deeper queue than actually exists at its own admission.
+				dup, err := e.EnqueueDiscovery(spec.Ann.ID, w%3+1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				admissions[w] = append(admissions[w], dup)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	depths := map[int]bool{}
+	fresh := 0
+	for _, batch := range admissions {
+		for _, adm := range batch {
+			if adm.Position < 1 || adm.Position > adm.Depth {
+				t.Fatalf("admission %+v: position outside [1, depth]", adm)
+			}
+			if adm.Coalesced {
+				continue
+			}
+			fresh++
+			if depths[adm.Depth] {
+				t.Fatalf("fresh admissions share depth %d: the report was not atomic with the enqueue", adm.Depth)
+			}
+			depths[adm.Depth] = true
+		}
+	}
+	if want := workers * perWorker; fresh != want {
+		t.Fatalf("fresh admissions = %d, want %d", fresh, want)
+	}
+	// Growth-only load: the fresh depths are exactly 1..N.
+	for d := 1; d <= fresh; d++ {
+		if !depths[d] {
+			t.Fatalf("depth %d missing from fresh admissions (set has %d entries)", d, len(depths))
+		}
+	}
+	if got := e.IngestStats().QueueDepth; got != fresh {
+		t.Fatalf("final queue depth %d, want %d", got, fresh)
+	}
+}

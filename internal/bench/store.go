@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"nebula"
+	"nebula/internal/workload"
+)
+
+// StoreResult records one restart mode of the disk-backed index benchmark.
+// The scenario: an engine indexes a dataset, checkpoints (which in disk
+// mode flushes the index tail into mmap-friendly segment files paired with
+// the snapshot's generation), and shuts down. The benchmark then restarts
+// from that snapshot twice — heap mode re-tokenizes the whole database on
+// the first discovery, disk mode maps the segment files back in and only
+// verifies the rows each lookup touches — and runs the same discovery
+// sweep. The identity phase proves the substrate changed only where the
+// postings live, never what discovery returns.
+type StoreResult struct {
+	Dataset string `json:"dataset"`
+	// Mode is "heap" (postings rebuilt into Go maps at first use) or
+	// "disk" (postings adopted from the segment directory).
+	Mode string `json:"mode"`
+	// Annotations is how many workload annotations the sweep discovers.
+	Annotations int `json:"annotations"`
+	// RestoreNS is snapshot load + engine construction (in disk mode this
+	// includes opening the segment directory and verifying the manifest).
+	RestoreNS int64 `json:"restore_ns"`
+	// FirstDiscoverNS is the first post-restart discovery — where heap
+	// mode pays the deferred full re-index and disk mode only verifies the
+	// rows its lookups touch.
+	FirstDiscoverNS int64 `json:"first_discover_ns"`
+	// StartupNS (= RestoreNS + FirstDiscoverNS) is the restart cost: time
+	// from opening the snapshot to the first discovery answer.
+	StartupNS int64 `json:"startup_ns"`
+	// SweepNS is the steady-state sweep over the remaining annotations
+	// after the first answer (index warm in both modes).
+	SweepNS int64 `json:"sweep_ns"`
+	// HeapBytes is live Go heap (runtime.ReadMemStats.HeapAlloc after a
+	// forced GC) with a restarted, index-resident engine deliberately kept
+	// live — the process-memory cost of the substrate, measured in a
+	// dedicated restore so no benchmark bookkeeping is in scope. Segment
+	// postings live in mapped files, not on the heap, so disk mode should
+	// sit below heap mode by roughly the in-heap index size.
+	HeapBytes uint64 `json:"heap_bytes"`
+	// Segments/SegmentPostings/SegmentBytes describe the on-disk store
+	// after restart (zero in heap mode).
+	Segments        int    `json:"segments"`
+	SegmentPostings uint64 `json:"segment_postings"`
+	SegmentBytes    int64  `json:"segment_bytes"`
+	// Speedup is heap-mode StartupNS over this row's (1.0 for the heap
+	// row) — how much faster this substrate gets back to answering.
+	Speedup float64 `json:"speedup"`
+	// Identical reports the discovery sweep rendered byte-for-byte equal
+	// to the heap-mode control.
+	Identical bool `json:"identical"`
+}
+
+// storeMetaSeed seeds the NebulaMeta rebuild on BOTH restore paths —
+// identical configuration is a precondition of the identity phase.
+const storeMetaSeed = 11
+
+// storeBenchOptions is the engine configuration for both modes: symbol
+// table search (the technique the disk substrate backs), caching off so
+// every discovery does the full index work being measured.
+func storeBenchOptions(dir string) nebula.Options {
+	opts := nebula.DefaultOptions()
+	opts.SearchTechnique = nebula.TechniqueSymbolTable
+	opts.Cache = nebula.CacheConfig{Disabled: true}
+	opts.Store = nebula.StoreConfig{Dir: dir}
+	return opts
+}
+
+// storeRestart is one measured restart: restore from the snapshot, sweep
+// every stored annotation through discovery, render the results.
+type storeRestart struct {
+	restoreNS   int64
+	firstNS     int64
+	sweepNS     int64
+	annotations int
+	render      string
+	stats       nebula.StoreStats
+}
+
+// runStoreRestart restores the snapshot at snapPath under opts and runs
+// the discovery sweep, timing the two phases separately.
+func runStoreRestart(snapPath string, opts nebula.Options) (storeRestart, error) {
+	var run storeRestart
+	f, err := os.Open(snapPath)
+	if err != nil {
+		return run, err
+	}
+	defer f.Close()
+	start := time.Now()
+	engine, err := nebula.RestoreEngine(f, func(db *nebula.Database) (*nebula.MetaRepository, error) {
+		return workload.BuildMeta(db, rand.New(rand.NewSource(storeMetaSeed)))
+	}, opts)
+	if err != nil {
+		return run, err
+	}
+	run.restoreNS = time.Since(start).Nanoseconds()
+	if opts.Store.Enabled() {
+		defer engine.CloseStore()
+	}
+
+	ids := engine.Store().IDs()
+	run.annotations = len(ids)
+	var b strings.Builder
+	discover := func(id nebula.AnnotationID) error {
+		d, err := engine.Discover(id)
+		if err != nil {
+			return fmt.Errorf("bench: store: discover %s: %w", id, err)
+		}
+		fmt.Fprintf(&b, "%s:", id)
+		for _, c := range d.Candidates {
+			fmt.Fprintf(&b, " %v=%.9f", c.Tuple.ID, c.Confidence)
+		}
+		b.WriteByte('\n')
+		return nil
+	}
+	// The first discovery is timed alone: it carries heap mode's deferred
+	// full re-index, which is exactly the restart cost being compared.
+	start = time.Now()
+	if err := discover(ids[0]); err != nil {
+		return run, err
+	}
+	run.firstNS = time.Since(start).Nanoseconds()
+	start = time.Now()
+	for _, id := range ids[1:] {
+		if err := discover(id); err != nil {
+			return run, err
+		}
+	}
+	run.sweepNS = time.Since(start).Nanoseconds()
+	run.render = b.String()
+	run.stats = engine.StoreStats()
+	return run, nil
+}
+
+// runStoreMem restores a second time purely to measure resident heap.
+// The index substrate is fully resident after the first discovery (heap
+// mode builds the whole in-heap table then; disk mode maps segments at
+// open), so one probe suffices. The engine is explicitly kept live across
+// the measurement — otherwise the GC is free to collect it after its last
+// use and the number measures nothing. Mapped segment bytes do not appear
+// here by design: they are file-backed pages, not Go heap.
+func runStoreMem(snapPath string, opts nebula.Options) (uint64, error) {
+	f, err := os.Open(snapPath)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	engine, err := nebula.RestoreEngine(f, func(db *nebula.Database) (*nebula.MetaRepository, error) {
+		return workload.BuildMeta(db, rand.New(rand.NewSource(storeMetaSeed)))
+	}, opts)
+	if err != nil {
+		return 0, err
+	}
+	ids := engine.Store().IDs()
+	if len(ids) > 0 {
+		if _, err := engine.Discover(ids[0]); err != nil {
+			return 0, fmt.Errorf("bench: store: mem probe: %w", err)
+		}
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	resident := ms.HeapAlloc
+	runtime.KeepAlive(engine)
+	if opts.Store.Enabled() {
+		if err := engine.CloseStore(); err != nil {
+			return 0, err
+		}
+	}
+	return resident, nil
+}
+
+// RunStoreBench builds the snapshot + segment directory under dir, then
+// measures a heap-mode and a disk-mode restart from the same snapshot.
+// The disk row's Identical must be true: adopting mapped segments instead
+// of re-indexing must never change a discovery.
+func RunStoreBench(size string, seed int64, dir string) ([]StoreResult, error) {
+	env, err := FreshEnv(size, seed)
+	if err != nil {
+		return nil, err
+	}
+	ds := env.Dataset
+	storeDir := filepath.Join(dir, "segments")
+	snapPath := filepath.Join(dir, "state.nebsnap")
+
+	// Build phase: index the workload in disk mode and checkpoint, pairing
+	// the snapshot with a flushed segment generation.
+	engine, err := nebula.NewWithState(ds.DB, ds.Meta, ds.Store, ds.Graph, storeBenchOptions(storeDir))
+	if err != nil {
+		return nil, err
+	}
+	specs := streamWorkload(env)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("bench: store: empty workload")
+	}
+	for _, spec := range specs {
+		if err := engine.AddAnnotation(spec.ann, spec.focal); err != nil {
+			return nil, fmt.Errorf("bench: store: add %s: %w", spec.ann.ID, err)
+		}
+	}
+	// The first discovery triggers the full re-index into the tail; the
+	// snapshot then flushes that tail into segments.
+	if _, err := engine.Discover(specs[0].ann.ID); err != nil {
+		return nil, fmt.Errorf("bench: store: prime: %w", err)
+	}
+	if err := engine.SaveSnapshotFile(snapPath); err != nil {
+		return nil, fmt.Errorf("bench: store: snapshot: %w", err)
+	}
+	if st := engine.StoreStats(); st.Store.Segments == 0 || st.Store.Seq == 0 {
+		return nil, fmt.Errorf("bench: store: snapshot flushed no segments: %+v", st)
+	}
+	if err := engine.CloseStore(); err != nil {
+		return nil, fmt.Errorf("bench: store: close: %w", err)
+	}
+
+	heap, err := runStoreRestart(snapPath, storeBenchOptions(""))
+	if err != nil {
+		return nil, err
+	}
+	disk, err := runStoreRestart(snapPath, storeBenchOptions(storeDir))
+	if err != nil {
+		return nil, err
+	}
+	if disk.stats.FullPending {
+		return nil, fmt.Errorf("bench: store: disk restart did not adopt the segments: %+v", disk.stats)
+	}
+	// Identity is decided before the memory runs so the multi-MB renders
+	// can be released and not pollute the resident-heap numbers.
+	identical := disk.render != "" && disk.render == heap.render
+	heap.render, disk.render = "", ""
+	heapMem, err := runStoreMem(snapPath, storeBenchOptions(""))
+	if err != nil {
+		return nil, err
+	}
+	diskMem, err := runStoreMem(snapPath, storeBenchOptions(storeDir))
+	if err != nil {
+		return nil, err
+	}
+
+	dataset := "D_" + size
+	rows := []StoreResult{
+		{
+			Dataset: dataset, Mode: "heap", Annotations: heap.annotations,
+			RestoreNS: heap.restoreNS, FirstDiscoverNS: heap.firstNS,
+			StartupNS: heap.restoreNS + heap.firstNS, SweepNS: heap.sweepNS,
+			HeapBytes: heapMem,
+			Speedup:   1.0, Identical: true,
+		},
+		{
+			Dataset: dataset, Mode: "disk", Annotations: disk.annotations,
+			RestoreNS: disk.restoreNS, FirstDiscoverNS: disk.firstNS,
+			StartupNS: disk.restoreNS + disk.firstNS, SweepNS: disk.sweepNS,
+			HeapBytes:       diskMem,
+			Segments:        disk.stats.Store.Segments,
+			SegmentPostings: disk.stats.Store.Postings,
+			SegmentBytes:    disk.stats.Store.SizeBytes,
+			Identical:       identical,
+		},
+	}
+	if rows[1].StartupNS > 0 {
+		rows[1].Speedup = float64(rows[0].StartupNS) / float64(rows[1].StartupNS)
+	}
+	return rows, nil
+}
+
+// StoreTable renders the results for terminals.
+func StoreTable(results []StoreResult) *Table {
+	t := &Table{
+		Title:  "Disk-backed index — restart cost by substrate (heap rebuild vs mapped segments)",
+		Header: []string{"dataset", "mode", "annotations", "restore-ms", "first-ms", "startup-ms", "sweep-ms", "heap-mb", "segments", "postings", "seg-bytes", "speedup", "identical"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Dataset, r.Mode, fmtI(r.Annotations),
+			fmtMs(r.RestoreNS), fmtMs(r.FirstDiscoverNS), fmtMs(r.StartupNS), fmtMs(r.SweepNS),
+			fmt.Sprintf("%.2f", float64(r.HeapBytes)/(1<<20)),
+			fmtI(r.Segments), fmt.Sprintf("%d", r.SegmentPostings), fmt.Sprintf("%d", r.SegmentBytes),
+			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%v", r.Identical),
+		})
+	}
+	return t
+}
+
+// storeJSON is the BENCH_store.json document.
+type storeJSON struct {
+	Env     BenchEnv      `json:"env"`
+	Results []StoreResult `json:"results"`
+}
+
+// WriteStoreJSON emits the results (with the environment header) for
+// BENCH_store.json.
+func WriteStoreJSON(w io.Writer, results []StoreResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(storeJSON{Env: CurrentBenchEnv(), Results: results})
+}

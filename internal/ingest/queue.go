@@ -223,6 +223,30 @@ func (q *Queue) Requeue(jobs []Job) {
 	}
 }
 
+// Position returns the annotation's 1-based drain position: 1 means the
+// job drains next, Len() means last. 0 reports the annotation not queued.
+// Computed against the same queue state as the enqueue when called under
+// the owning lock — which is how the engine pins the admission contract
+// (the position returned with a 202 is exact as of admission, not a
+// post-hoc racy read).
+func (q *Queue) Position(id annotation.ID) int {
+	it, ok := q.byAnn[id]
+	if !ok {
+		return 0
+	}
+	pos := 1
+	for _, other := range q.heap {
+		if other == it {
+			continue
+		}
+		if other.job.Priority > it.job.Priority ||
+			(other.job.Priority == it.job.Priority && other.job.Seq < it.job.Seq) {
+			pos++
+		}
+	}
+	return pos
+}
+
 // NoteDone counts a completion for a job already outside the queue — the
 // live drain pops first and completes after.
 func (q *Queue) NoteDone() { q.counters.Done++ }

@@ -133,6 +133,12 @@ func (pb *PlannedBatch) Estimates(est *meta.Estimator) []QueryEstimate {
 	for qi, q := range pb.qs {
 		qe := QueryEstimate{Configs: len(pb.plans[qi])}
 		for _, cfg := range pb.plans[qi] {
+			if unsatisfiableEq(cfg.Structured) {
+				// An unsatisfiable configuration neither executes nor
+				// contributes confidence; pricing it would both overstate
+				// cost and loosen the upper bound.
+				continue
+			}
 			qe.Cost += est.EstimateSelect(cfg.Structured).Cost
 			ub := cfg.Confidence * q.Weight
 			if pb.e.IncludeRelated && pb.e.RelatedDiscount > 1 {
@@ -229,6 +235,37 @@ type PendingBound struct {
 	Total float64
 }
 
+// unsatisfiableEq reports whether the structured query carries two
+// equality predicates on the same column with distinct canonical
+// operands. No tuple can satisfy both (OpEq matches case-insensitively;
+// Key() is the case-folded canonical form), so such a query always
+// produces nothing. The mapper already drops these configurations from
+// the cross-product at build time (PR 8); this guard keeps the planner's
+// pruning bound honest for any batch it did not build itself — crediting
+// an unsatisfiable fingerprint's gain can only loosen the bound and delay
+// top-k termination, never change results.
+func unsatisfiableEq(sq relational.Query) bool {
+	var eqCols map[string]string
+	for _, p := range sq.Predicates {
+		if p.Op != relational.OpEq {
+			continue
+		}
+		col := strings.ToLower(p.Column)
+		key := p.Operand.Key()
+		if prev, seen := eqCols[col]; seen {
+			if prev != key {
+				return true
+			}
+			continue
+		}
+		if eqCols == nil {
+			eqCols = make(map[string]string)
+		}
+		eqCols[col] = key
+	}
+	return false
+}
+
 // joinCollapsible reports whether every target-table row can relate to at
 // most one source-table row: exactly one foreign key on target references
 // source, and no foreign key on source references target. Under that shape
@@ -284,6 +321,11 @@ func (pb *PlannedBatch) PendingBound() PendingBound {
 			continue
 		}
 		sq := pb.structured[fp]
+		if unsatisfiableEq(sq) {
+			// Execution drops these configurations; their gains must not
+			// inflate the bound either.
+			continue
+		}
 		srcTable := strings.ToLower(sq.Table)
 		eqCol, eqOperand := "", ""
 		for _, p := range sq.Predicates {

@@ -1,0 +1,144 @@
+package keyword
+
+import (
+	"testing"
+
+	"nebula/internal/meta"
+	"nebula/internal/relational"
+)
+
+// contradictoryBatch hand-builds a PlannedBatch containing one
+// satisfiable fingerprint (low gain) and one self-contradictory
+// same-column equality cross-product fingerprint (high gain). The mapper
+// drops such configurations at build time, so the only way to regression-
+// test the bound layer's own guard is to inject one past it — exactly
+// what a batch built by other means could contain.
+func contradictoryBatch(t *testing.T) (*PlannedBatch, float64, float64) {
+	t.Helper()
+	_, _, e := fixture(t)
+
+	sat := relational.Query{Table: "Gene", Predicates: []relational.Predicate{
+		{Column: "Name", Op: relational.OpEq, Operand: relational.String("thrA")},
+	}}
+	contra := relational.Query{Table: "Gene", Predicates: []relational.Predicate{
+		{Column: "Name", Op: relational.OpEq, Operand: relational.String("thrA")},
+		{Column: "Name", Op: relational.OpEq, Operand: relational.String("yaaB")},
+	}}
+
+	const satGain, contraGain = 0.2, 0.9
+	q := Query{ID: "q", Weight: 1}
+	cfgs := []Configuration{
+		{Table: "Gene", Structured: sat, Confidence: satGain},
+		{Table: "Gene", Structured: contra, Confidence: contraGain},
+	}
+	pb := &PlannedBatch{
+		e:          e,
+		qs:         []Query{q},
+		plans:      [][]Configuration{cfgs},
+		structured: map[string]relational.Query{},
+		wanted:     map[string][]planNeed{},
+		rowSets:    map[string][]*relational.Row{},
+		executed:   map[string]struct{}{},
+		harvested:  map[string][]*relational.Row{},
+		merged:     map[int][]Result{},
+	}
+	for _, cfg := range cfgs {
+		fp := cfg.Structured.Fingerprint()
+		pb.ordered = append(pb.ordered, fp)
+		pb.structured[fp] = cfg.Structured
+		pb.wanted[fp] = append(pb.wanted[fp], planNeed{queryIdx: 0, conf: cfg.Confidence})
+	}
+	return pb, satGain, contraGain
+}
+
+// TestUnsatisfiableEq pins the predicate classifier: same column with
+// distinct canonical operands is contradictory; same operand (even with
+// different case), different columns, and token containment are not.
+func TestUnsatisfiableEq(t *testing.T) {
+	eq := func(col, v string) relational.Predicate {
+		return relational.Predicate{Column: col, Op: relational.OpEq, Operand: relational.String(v)}
+	}
+	cases := []struct {
+		name  string
+		preds []relational.Predicate
+		want  bool
+	}{
+		{"distinct operands same column", []relational.Predicate{eq("Name", "a"), eq("Name", "b")}, true},
+		{"same operand twice", []relational.Predicate{eq("Name", "a"), eq("Name", "a")}, false},
+		{"case-folded operands collide", []relational.Predicate{eq("Name", "ThrA"), eq("Name", "thra")}, false},
+		{"different columns", []relational.Predicate{eq("Name", "a"), eq("GID", "b")}, false},
+		{"column case-insensitive", []relational.Predicate{eq("Name", "a"), eq("NAME", "b")}, true},
+		{"tokens exempt", []relational.Predicate{
+			{Column: "Abstract", Op: relational.OpContainsToken, Operand: relational.String("a")},
+			{Column: "Abstract", Op: relational.OpContainsToken, Operand: relational.String("b")},
+		}, false},
+		{"no predicates", nil, false},
+	}
+	for _, tc := range cases {
+		if got := unsatisfiableEq(relational.Query{Table: "Gene", Predicates: tc.preds}); got != tc.want {
+			t.Errorf("%s: unsatisfiableEq=%v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPendingBoundExcludesContradictoryConfigs: the pending bound must
+// not credit a fingerprint execution would drop. The concrete prune this
+// buys: a held candidate at confidence 0.5 is safe to emit iff the bound
+// is below 0.5 — the satisfiable gain (0.2) is, the naive sum including
+// the contradictory fingerprint (1.1) is not. Before the fix the bound
+// was the naive sum and the prune could not fire.
+func TestPendingBoundExcludesContradictoryConfigs(t *testing.T) {
+	pb, satGain, contraGain := contradictoryBatch(t)
+	b := pb.PendingBound()
+
+	naive := satGain + contraGain
+	if b.Total >= naive {
+		t.Fatalf("Total=%v did not tighten below naive sum %v", b.Total, naive)
+	}
+	if b.Total != satGain {
+		t.Fatalf("Total=%v want exactly the satisfiable gain %v", b.Total, satGain)
+	}
+	if got := b.PerTable["gene"]; got != satGain {
+		t.Fatalf("PerTable[gene]=%v want %v", got, satGain)
+	}
+	// The prune decision itself: a candidate at 0.5 beats everything
+	// pending under the fixed bound, but not under the naive one.
+	const held = 0.5
+	if !(b.Total < held) {
+		t.Fatalf("prune cannot fire: bound %v >= held %v", b.Total, held)
+	}
+	if naive < held {
+		t.Fatal("test is vacuous: naive bound would also have pruned")
+	}
+
+	// Executing the satisfiable fingerprint drains the bound to zero —
+	// the contradictory one must not keep it alive.
+	pb.executed[pb.ordered[0]] = struct{}{}
+	if rest := pb.PendingBound(); rest.Total != 0 || len(rest.PerTable) != 0 {
+		t.Fatalf("after executing the satisfiable fingerprint: %+v", rest)
+	}
+}
+
+// TestEstimatesExcludeContradictoryConfigs: per-query cost and upper
+// bound skip unsatisfiable configurations (they never execute), while
+// Configs still reports the raw plan size.
+func TestEstimatesExcludeContradictoryConfigs(t *testing.T) {
+	pb, satGain, _ := contradictoryBatch(t)
+	_, repo, _ := fixture(t)
+	est := pb.Estimates(meta.NewEstimator(repo))
+	if len(est) != 1 {
+		t.Fatalf("estimates = %v", est)
+	}
+	if est[0].UpperBound != satGain {
+		t.Fatalf("UpperBound=%v want %v (contradictory config's 0.9 must not win)", est[0].UpperBound, satGain)
+	}
+	if est[0].Configs != 2 {
+		t.Fatalf("Configs=%d want raw plan size 2", est[0].Configs)
+	}
+
+	satOnly := &PlannedBatch{e: pb.e, qs: pb.qs, plans: [][]Configuration{pb.plans[0][:1]}}
+	want := satOnly.Estimates(meta.NewEstimator(repo))
+	if est[0].Cost != want[0].Cost {
+		t.Fatalf("Cost=%v want the satisfiable-only cost %v", est[0].Cost, want[0].Cost)
+	}
+}

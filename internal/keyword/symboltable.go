@@ -86,6 +86,17 @@ func (e *SymbolTableEngine) Database() *relational.Database { return e.db }
 // columns are discounted rather than dropped — the index has no schema
 // semantics to enforce them with.
 func (e *SymbolTableEngine) Execute(q Query) ([]Result, ExecStats, error) {
+	return executeSymbolQuery(q, func(term string) []symbolHit { return e.symbols[term] })
+}
+
+// executeSymbolQuery answers one keyword query given a term-lookup
+// function. It is shared between the heap-resident SymbolTableEngine and
+// the disk-backed TieredEngine: the scoring is fully order-independent
+// (per-row max credit folded through maps, results sorted at the end), so
+// any lookup that yields the same SET of (row, column) hits per term
+// produces byte-identical results — the property the tiered store's
+// identity gate rests on.
+func executeSymbolQuery(q Query, lookup func(term string) []symbolHit) ([]Result, ExecStats, error) {
 	var stats ExecStats
 	stats.StructuredQueries = 1 // one index probe set
 
@@ -105,7 +116,7 @@ func (e *SymbolTableEngine) Execute(q Query) ([]Result, ExecStats, error) {
 		if w <= 0 {
 			w = 0.5
 		}
-		hits := e.symbols[strings.ToLower(k.Text)]
+		hits := lookup(strings.ToLower(k.Text))
 		stats.TuplesScanned += len(hits)
 		for _, h := range hits {
 			credit := w
@@ -158,6 +169,13 @@ func (e *SymbolTableEngine) ExecuteBatch(qs []Query, shared bool) (map[string][]
 // cheap, so ctx and the scan budget (counting index hits examined) are
 // checked between queries. Partial results survive cancellation.
 func (e *SymbolTableEngine) ExecuteBatchContext(ctx context.Context, qs []Query, shared bool, lim Limits) (map[string][]Result, ExecStats, error) {
+	return executeSymbolBatch(ctx, qs, shared, lim, e.Execute)
+}
+
+// executeSymbolBatch is the batch loop shared by the symbol-table
+// techniques: per-query governance checks, optional identity sharing, and
+// stat accumulation around a single-query exec function.
+func executeSymbolBatch(ctx context.Context, qs []Query, shared bool, lim Limits, exec func(Query) ([]Result, ExecStats, error)) (map[string][]Result, ExecStats, error) {
 	var stats ExecStats
 	gov := governed(ctx, lim)
 	results := make(map[string][]Result, len(qs))
@@ -181,7 +199,7 @@ func (e *SymbolTableEngine) ExecuteBatchContext(ctx context.Context, qs []Query,
 				continue
 			}
 		}
-		rs, st, err := e.Execute(q)
+		rs, st, err := exec(q)
 		if err != nil {
 			return nil, stats, err
 		}

@@ -1,0 +1,207 @@
+package keyword
+
+import (
+	"fmt"
+	"testing"
+
+	"nebula/internal/relational"
+	"nebula/internal/segment"
+)
+
+// tieredFixture builds the shared fixture database with a tiered engine
+// over a fresh on-disk store, and wires the row-mutation hook the way
+// the engine does in disk mode.
+func tieredFixture(t *testing.T) (*relational.Database, *TieredEngine, *segment.Store, string) {
+	t.Helper()
+	db, _, _ := fixture(t)
+	dir := t.TempDir()
+	store, err := segment.Open(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	te := NewTieredEngine(db, store, true)
+	db.SetRowMutationHook(func(m relational.RowMutation) {
+		te.MarkDirty(relational.TupleID{Table: m.Table, Key: m.Key})
+	})
+	return db, te, store, dir
+}
+
+func tieredQueries() []Query {
+	return []Query{
+		{ID: "q1", Weight: 1, Keywords: []Keyword{
+			{Text: "JW0014", Role: RoleValue, TargetColumn: "GID", Weight: 0.9},
+		}},
+		{ID: "q2", Weight: 1, Keywords: []Keyword{
+			{Text: "regulation", Role: RoleValue, Weight: 0.6},
+		}},
+		{ID: "q3", Weight: 1, Keywords: []Keyword{
+			{Text: "yaaB", Role: RoleValue, TargetColumn: "GID", Weight: 0.8},
+		}},
+		{ID: "q4", Weight: 1, Keywords: []Keyword{
+			{Text: "thrA", Role: RoleValue, Weight: 0.7},
+			{Text: "JW0001", Role: RoleValue, TargetColumn: "GID", Weight: 0.9},
+		}},
+		{ID: "q5", Weight: 1, Keywords: []Keyword{
+			{Text: "nosuchterm", Role: RoleValue, Weight: 0.5},
+		}},
+	}
+}
+
+// assertIdentical runs every probe query through both engines and
+// requires byte-level agreement: same tuples, confidences, order, and
+// the same scan statistics (the tiered path must not even read more).
+func assertIdentical(t *testing.T, tiered *TieredEngine, heap *SymbolTableEngine) {
+	t.Helper()
+	for _, q := range tieredQueries() {
+		hr, hs, herr := heap.Execute(q)
+		tr, ts, terr := tiered.Execute(q)
+		if herr != nil || terr != nil {
+			t.Fatalf("%s: errs %v %v", q.ID, herr, terr)
+		}
+		if len(hr) != len(tr) {
+			t.Fatalf("%s: heap %d results, tiered %d", q.ID, len(hr), len(tr))
+		}
+		for i := range hr {
+			if hr[i].Tuple.ID != tr[i].Tuple.ID || hr[i].Confidence != tr[i].Confidence || hr[i].Query != tr[i].Query {
+				t.Fatalf("%s[%d]: heap %v/%v tiered %v/%v", q.ID, i,
+					hr[i].Tuple.ID, hr[i].Confidence, tr[i].Tuple.ID, tr[i].Confidence)
+			}
+		}
+		if hs.TuplesScanned != ts.TuplesScanned || hs.TuplesReturned != ts.TuplesReturned {
+			t.Fatalf("%s: stats heap %+v tiered %+v", q.ID, hs, ts)
+		}
+	}
+}
+
+// TestTieredIdentityFresh: a tiered engine over an empty store (full
+// re-index pending) answers byte-identically to the heap engine.
+func TestTieredIdentityFresh(t *testing.T) {
+	db, te, _, _ := tieredFixture(t)
+	assertIdentical(t, te, NewSymbolTableEngine(db))
+}
+
+// TestTieredIdentityAfterFlush: flushing the tail into a segment and
+// committing must not change a single answer — the postings moved from
+// heap to disk, nothing else.
+func TestTieredIdentityAfterFlush(t *testing.T) {
+	db, te, store, _ := tieredFixture(t)
+	payload := te.PrepareFlush()
+	if len(payload) == 0 {
+		t.Fatal("fixture produced no postings to flush")
+	}
+	if err := store.Flush(1, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	te.CommitFlush(payload)
+	terms, posts, dirty, pending := te.TailStats()
+	if terms != 0 || posts != 0 || dirty != 0 || pending {
+		t.Fatalf("tail not drained: terms=%d posts=%d dirty=%d pending=%v", terms, posts, dirty, pending)
+	}
+	assertIdentical(t, te, NewSymbolTableEngine(db))
+}
+
+// TestTieredIdentityUnderMutations: inserts, updates, and deletes after
+// a flush are covered by the dirty-row tail (hook-driven), and stale
+// segment postings for changed rows are filtered by verification. The
+// heap engine is rebuilt from scratch each time — the strongest oracle.
+func TestTieredIdentityUnderMutations(t *testing.T) {
+	db, te, store, _ := tieredFixture(t)
+	payload := te.PrepareFlush()
+	if err := store.Flush(1, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	te.CommitFlush(payload)
+
+	gt := db.MustTable("Gene")
+	if _, err := gt.Insert([]relational.Value{
+		relational.String("JW0099"), relational.String("newG"),
+		relational.Int(500), relational.String("F9"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, te, NewSymbolTableEngine(db))
+
+	// Update: the old value's segment posting goes stale, the new value
+	// lands in the tail.
+	row := gt.Rows()[0]
+	if err := gt.UpdateByKey(row.ID.Key, "Name", relational.String("renamedGene")); err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, te, NewSymbolTableEngine(db))
+
+	// Delete: every posting for the row (segment or tail) must vanish.
+	victim := gt.Rows()[1]
+	if !gt.DeleteByKey(victim.ID.Key) {
+		t.Fatal("delete failed")
+	}
+	assertIdentical(t, te, NewSymbolTableEngine(db))
+}
+
+// TestTieredIdentityAcrossRestart: flush, reopen the store from disk
+// (fresh readers, no full re-index), and verify identity — the restart
+// path must serve from segments alone.
+func TestTieredIdentityAcrossRestart(t *testing.T) {
+	db, te, store, dir := tieredFixture(t)
+	payload := te.PrepareFlush()
+	if err := store.Flush(1, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	te.CommitFlush(payload)
+	store.Close()
+
+	store2, err := segment.Open(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if store2.Seq() != 1 {
+		t.Fatalf("reopened seq=%d", store2.Seq())
+	}
+	te2 := NewTieredEngine(db, store2, false)
+	db.SetRowMutationHook(func(m relational.RowMutation) {
+		te2.MarkDirty(relational.TupleID{Table: m.Table, Key: m.Key})
+	})
+	assertIdentical(t, te2, NewSymbolTableEngine(db))
+
+	// Post-restart mutations must be picked up through the hook.
+	gt := db.MustTable("Gene")
+	if _, err := gt.Insert([]relational.Value{
+		relational.String("JW0777"), relational.String("postRestart"),
+		relational.Int(7), relational.String("F1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, te2, NewSymbolTableEngine(db))
+}
+
+// TestTieredMultiSegmentDedup: the same row flushed in two generations
+// (mutated between flushes) appears in two segments; lookups must
+// deduplicate by identity and verify against the live value, never
+// double-count.
+func TestTieredMultiSegmentDedup(t *testing.T) {
+	db, te, store, _ := tieredFixture(t)
+	gt := db.MustTable("Gene")
+	for gen := 0; gen < 3; gen++ {
+		row := gt.Rows()[0]
+		if err := gt.UpdateByKey(row.ID.Key, "Name", relational.String(fmt.Sprintf("gen%d", gen))); err != nil {
+			t.Fatal(err)
+		}
+		payload := te.PrepareFlush()
+		if err := store.Flush(uint64(gen+1), 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		te.CommitFlush(payload)
+	}
+	if store.Segments() < 2 {
+		t.Fatalf("expected multiple segments, got %d", store.Segments())
+	}
+	assertIdentical(t, te, NewSymbolTableEngine(db))
+	// The current name matches exactly once.
+	rs, _, err := te.Execute(Query{ID: "q", Weight: 1, Keywords: []Keyword{
+		{Text: "gen2", Role: RoleValue, Weight: 0.9},
+	}})
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("gen2 results=%v err=%v", rs, err)
+	}
+}

@@ -1,0 +1,346 @@
+package segment_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"nebula/internal/faultinject"
+	"nebula/internal/segment"
+)
+
+// The crash matrix: every write-path syscall a flush or compaction issues
+// is failed (torn write, write error, fsync error, create error, rename
+// error, directory-sync error, remove error), one ordinal at a time, and
+// after each injected crash the directory is reopened cold. The invariant
+// under test is the manifest protocol's all-or-nothing promise: recovery
+// lands on either the pre-fault generation or the post-fault one — exactly
+// those two, with lookups byte-identical to a store that never crashed —
+// and an interrupted compaction never changes logical content at all.
+// A companion matrix corrupts every byte (and truncates at every length)
+// of the newest manifest and newest segment: any damage must be detected
+// and recovery must fall back to the previous generation.
+
+// renderPostings renders the sorted, deduplicated posting set per term —
+// the layout-independent identity of a store's logical content.
+func renderPostings(s *segment.Store, terms []string) string {
+	var b strings.Builder
+	for _, term := range terms {
+		ps := s.Lookup(term, nil)
+		keys := make([]string, 0, len(ps))
+		for _, p := range ps {
+			keys = append(keys, fmt.Sprintf("%s/%s.%s", p.Table, p.Key, p.Column))
+		}
+		sort.Strings(keys)
+		uniq := keys[:0]
+		for i, k := range keys {
+			if i == 0 || keys[i-1] != k {
+				uniq = append(uniq, k)
+			}
+		}
+		fmt.Fprintf(&b, "%s: %s\n", term, strings.Join(uniq, ","))
+	}
+	return b.String()
+}
+
+// renderGens builds a throwaway store holding the given generations and
+// renders it — the ground truth a recovered store must match.
+func renderGens(t *testing.T, terms []string, gens ...map[string][]segment.Posting) string {
+	t.Helper()
+	s, err := segment.Open(t.TempDir(), nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, g := range gens {
+		if err := s.Flush(uint64(i+1), 0, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return renderPostings(s, terms)
+}
+
+// faultKinds is the syscall-failure schedule: each entry fails the i-th
+// call of one operation kind.
+var faultKinds = []struct {
+	name string
+	cfg  func(i int) faultinject.FSConfig
+}{
+	{"short-write", func(i int) faultinject.FSConfig { return faultinject.FSConfig{ShortWriteAt: i} }},
+	{"write-error", func(i int) faultinject.FSConfig { return faultinject.FSConfig{FailWriteAt: i} }},
+	{"sync-error", func(i int) faultinject.FSConfig { return faultinject.FSConfig{FailSyncAt: i} }},
+	{"create-error", func(i int) faultinject.FSConfig { return faultinject.FSConfig{FailCreateAt: i} }},
+	{"rename-error", func(i int) faultinject.FSConfig { return faultinject.FSConfig{FailRenameAt: i} }},
+	{"dirsync-error", func(i int) faultinject.FSConfig { return faultinject.FSConfig{FailDirSyncAt: i} }},
+	{"remove-error", func(i int) faultinject.FSConfig { return faultinject.FSConfig{FailRemoveAt: i} }},
+}
+
+var (
+	crashGen1 = map[string][]segment.Posting{
+		"alpha": {{Table: "t", Column: "c", Key: "a1"}},
+		"beta":  {{Table: "t", Column: "c", Key: "b1"}},
+	}
+	crashGen2 = map[string][]segment.Posting{
+		"beta":  {{Table: "t", Column: "c", Key: "b2"}},
+		"gamma": {{Table: "t", Column: "c", Key: "g2"}},
+	}
+	crashTerms = []string{"alpha", "beta", "gamma"}
+)
+
+// seedGen1 creates a directory holding generation 1 (written cleanly).
+func seedGen1(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := segment.Open(dir, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(1, 7, crashGen1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestStoreFlushCrashMatrix fails every syscall a flush issues, one at a
+// time. A failed flush must leave the live store serving generation 1
+// unchanged, and a cold reopen must land on exactly the generation the
+// flush reported (error → 1, success → 2) with identical lookups.
+func TestStoreFlushCrashMatrix(t *testing.T) {
+	wantGen1 := renderGens(t, crashTerms, crashGen1)
+	wantGen2 := renderGens(t, crashTerms, crashGen1, crashGen2)
+	for _, kind := range faultKinds {
+		t.Run(kind.name, func(t *testing.T) {
+			for i := 1; ; i++ {
+				dir := seedGen1(t)
+				ffs := faultinject.WrapFS(nil, kind.cfg(i))
+				s, err := segment.Open(dir, ffs, 8)
+				if err != nil {
+					t.Fatalf("ordinal %d: open: %v", i, err)
+				}
+				flushErr := s.Flush(2, 9, crashGen2)
+				if flushErr != nil {
+					// The failed flush must not have moved the live store.
+					if s.Seq() != 1 {
+						t.Fatalf("ordinal %d: failed flush moved seq to %d", i, s.Seq())
+					}
+					if got := renderPostings(s, crashTerms); got != wantGen1 {
+						t.Fatalf("ordinal %d: failed flush changed content:\n%s", i, got)
+					}
+				} else if s.Seq() != 2 {
+					t.Fatalf("ordinal %d: successful flush left seq %d", i, s.Seq())
+				}
+				if err := s.Close(); err != nil {
+					t.Fatalf("ordinal %d: close: %v", i, err)
+				}
+				fired := ffs.Injected() > 0
+
+				// Cold recovery must land on the generation the flush
+				// reported — never a torn in-between.
+				re, err := segment.Open(dir, nil, 8)
+				if err != nil {
+					t.Fatalf("ordinal %d: reopen: %v", i, err)
+				}
+				want, wantSeq, wantWAL := wantGen1, uint64(1), uint64(7)
+				if flushErr == nil {
+					want, wantSeq, wantWAL = wantGen2, 2, 9
+				}
+				if re.Seq() != wantSeq || re.WALSegment() != wantWAL {
+					t.Fatalf("ordinal %d (flushErr=%v): recovered (seq=%d wal=%d) want (%d,%d)",
+						i, flushErr, re.Seq(), re.WALSegment(), wantSeq, wantWAL)
+				}
+				if got := renderPostings(re, crashTerms); got != want {
+					t.Fatalf("ordinal %d (flushErr=%v): recovered content:\n%s\nwant:\n%s", i, flushErr, got, want)
+				}
+				re.Close()
+				if !fired {
+					// The ordinal is past the flush's op count: the run was
+					// clean, the matrix is exhausted for this kind.
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestStoreCompactCrashMatrix fails every syscall a compaction issues.
+// Compaction changes file layout, never logical content — so whether it
+// fails midway or not, both the live store and a cold reopen must serve
+// the same generation-3 content at the same sequence.
+func TestStoreCompactCrashMatrix(t *testing.T) {
+	gen3 := map[string][]segment.Posting{
+		"alpha": {{Table: "t", Column: "c", Key: "a3"}},
+		"delta": {{Table: "t", Column: "c", Key: "d3"}},
+	}
+	terms := append(append([]string(nil), crashTerms...), "delta")
+	want := renderGens(t, terms, crashGen1, crashGen2, gen3)
+	seed := func(t *testing.T) string {
+		t.Helper()
+		dir := t.TempDir()
+		s, err := segment.Open(dir, nil, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, g := range []map[string][]segment.Posting{crashGen1, crashGen2, gen3} {
+			if err := s.Flush(uint64(i+1), 0, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	for _, kind := range faultKinds {
+		t.Run(kind.name, func(t *testing.T) {
+			for i := 1; ; i++ {
+				dir := seed(t)
+				ffs := faultinject.WrapFS(nil, kind.cfg(i))
+				s, err := segment.Open(dir, ffs, 8)
+				if err != nil {
+					t.Fatalf("ordinal %d: open: %v", i, err)
+				}
+				compactErr := s.Compact()
+				if s.Seq() != 3 {
+					t.Fatalf("ordinal %d: compaction moved seq to %d", i, s.Seq())
+				}
+				if got := renderPostings(s, terms); got != want {
+					t.Fatalf("ordinal %d (compactErr=%v): live content changed:\n%s", i, compactErr, got)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatalf("ordinal %d: close: %v", i, err)
+				}
+				fired := ffs.Injected() > 0
+
+				re, err := segment.Open(dir, nil, 8)
+				if err != nil {
+					t.Fatalf("ordinal %d: reopen: %v", i, err)
+				}
+				if re.Seq() != 3 {
+					t.Fatalf("ordinal %d (compactErr=%v): recovered seq %d want 3", i, compactErr, re.Seq())
+				}
+				if got := renderPostings(re, terms); got != want {
+					t.Fatalf("ordinal %d (compactErr=%v): recovered content:\n%s\nwant:\n%s", i, compactErr, got, want)
+				}
+				re.Close()
+				if !fired {
+					break
+				}
+			}
+		})
+	}
+}
+
+// seedTwoGens writes generations 1 and 2 cleanly and returns the dir.
+// File ids are deterministic: segment 1 and manifest 1 belong to gen 1,
+// segment 2 and manifest 2 to gen 2.
+func seedTwoGens(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := segment.Open(dir, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(1, 0, crashGen1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(2, 0, crashGen2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// corruptionRecovers opens the directory after target was damaged and
+// asserts recovery fell back to generation 1 exactly.
+func corruptionRecovers(t *testing.T, dir, label, wantGen1 string) {
+	t.Helper()
+	s, err := segment.Open(dir, nil, 8)
+	if err != nil {
+		t.Fatalf("%s: open: %v", label, err)
+	}
+	defer s.Close()
+	if s.Seq() != 1 {
+		t.Fatalf("%s: recovered seq %d want 1 (fallback)", label, s.Seq())
+	}
+	if got := renderPostings(s, crashTerms); got != wantGen1 {
+		t.Fatalf("%s: recovered content:\n%s\nwant:\n%s", label, got, wantGen1)
+	}
+	if st := s.Stats(); st.Fallbacks == 0 {
+		t.Fatalf("%s: fallback not counted: %+v", label, st)
+	}
+}
+
+// TestStoreManifestCorruptionMatrix flips every byte of the newest
+// manifest, and truncates it at every length: every damage shape must be
+// detected and recovery must fall back to the previous generation.
+func TestStoreManifestCorruptionMatrix(t *testing.T) {
+	wantGen1 := renderGens(t, crashTerms, crashGen1)
+	dir := seedTwoGens(t)
+	target := filepath.Join(dir, segment.ManifestFileName(2))
+	pristine, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range pristine {
+		data := append([]byte(nil), pristine...)
+		data[pos] ^= 0xFF
+		if err := os.WriteFile(target, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corruptionRecovers(t, dir, fmt.Sprintf("flip@%d", pos), wantGen1)
+	}
+	for cut := 0; cut < len(pristine); cut++ {
+		if err := os.WriteFile(target, pristine[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corruptionRecovers(t, dir, fmt.Sprintf("trunc@%d", cut), wantGen1)
+	}
+	// Restoring the pristine bytes restores generation 2.
+	if err := os.WriteFile(target, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := segment.Open(dir, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Seq() != 2 {
+		t.Fatalf("pristine manifest not adopted: seq %d", s.Seq())
+	}
+}
+
+// TestStoreSegmentCorruptionMatrix flips every byte of the newest segment
+// file (and truncates it at every length): the manifest referencing it
+// must be rejected — checksum or size mismatch — and recovery must fall
+// back to the previous generation.
+func TestStoreSegmentCorruptionMatrix(t *testing.T) {
+	wantGen1 := renderGens(t, crashTerms, crashGen1)
+	dir := seedTwoGens(t)
+	target := filepath.Join(dir, segment.SegmentFileName(2))
+	pristine, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range pristine {
+		data := append([]byte(nil), pristine...)
+		data[pos] ^= 0xFF
+		if err := os.WriteFile(target, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corruptionRecovers(t, dir, fmt.Sprintf("flip@%d", pos), wantGen1)
+	}
+	for cut := 0; cut < len(pristine); cut += 7 {
+		if err := os.WriteFile(target, pristine[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corruptionRecovers(t, dir, fmt.Sprintf("trunc@%d", cut), wantGen1)
+	}
+}

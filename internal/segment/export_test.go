@@ -1,0 +1,6 @@
+package segment
+
+// ManifestFileName exposes manifest naming to the external crash-matrix
+// test package (segment_test), which cannot live in-package because the
+// fault-injection helper transitively imports this package.
+func ManifestFileName(id uint64) string { return manifestName(id) }

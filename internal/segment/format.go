@@ -1,0 +1,332 @@
+// Package segment implements the immutable on-disk segment format for
+// the inverted text index, plus the manifest protocol and the tiered
+// store that owns a directory of segments.
+//
+// A segment file is a checksummed, mmap-friendly flat encoding of a
+// term → postings map. The layout is designed so a reader can binary-
+// search the term dictionary and decode one term's postings directly
+// from the mapped bytes — no up-front deserialization of the whole
+// file. All integers are little-endian.
+//
+//	header (80 bytes):
+//	  [ 0: 8)  magic "NEBSEG1\x00"
+//	  [ 8:12)  format version (u32)
+//	  [12:16)  reserved (u32, zero)
+//	  [16:24)  term count (u64)
+//	  [24:32)  posting count (u64)
+//	  [32:40)  payload length (u64) — all bytes after the header
+//	  [40:44)  payload CRC32-Castagnoli (u32)
+//	  [44:48)  string-table entry count (u32)
+//	  [48:56)  term blob length (u64)
+//	  [56:64)  postings blob length (u64)
+//	  [64:72)  string blob length (u64)
+//	  [72:76)  reserved (u32, zero)
+//	  [76:80)  header CRC32-Castagnoli over [0:76) (u32)
+//	payload (in order):
+//	  term index    (termCount+1) × {termOff u64, postOff u64} fenceposts
+//	  term blob     concatenated term bytes, sorted ascending
+//	  postings blob per-posting {tableID u32, columnID u32, keyLen u32, key}
+//	  string blob   stringCount × {len u32, bytes} — interned table/column names
+//
+// The fencepost index means term i's bytes are termBlob[idx[i]:idx[i+1])
+// and its postings are postBlob[pidx[i]:pidx[i+1]); the final entry closes
+// both blobs, so no lengths are stored per term.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+const (
+	// Magic identifies a segment file.
+	Magic = "NEBSEG1\x00"
+	// FormatVersion is the current segment format version.
+	FormatVersion = 1
+
+	headerSize = 80
+	fenceSize  = 16 // one term-index entry: two u64 offsets
+)
+
+// ErrCorrupt reports a segment (or manifest) that failed validation:
+// bad magic, checksum mismatch, or structurally inconsistent offsets.
+var ErrCorrupt = errors.New("segment: corrupt")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Posting is one occurrence of a term: a (table, column, key) triple
+// identifying the cell the term was extracted from. The row itself is
+// resolved — and the occurrence re-verified — at lookup time, so a
+// segment can safely outlive mutations to the rows it indexes.
+type Posting struct {
+	Table  string
+	Column string
+	Key    string
+}
+
+func (p Posting) less(q Posting) bool {
+	if p.Table != q.Table {
+		return p.Table < q.Table
+	}
+	if p.Key != q.Key {
+		return p.Key < q.Key
+	}
+	return p.Column < q.Column
+}
+
+// Build serializes a term → postings map into the segment byte format.
+// Terms are sorted ascending; each term's postings are sorted and
+// deduplicated by (table, key, column), so identical logical content
+// always produces identical bytes.
+func Build(terms map[string][]Posting) []byte {
+	names := make([]string, 0, len(terms))
+	for t := range terms {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+
+	// Intern table and column names into the string table (sorted for
+	// deterministic IDs).
+	strSet := map[string]struct{}{}
+	for _, ps := range terms {
+		for _, p := range ps {
+			strSet[p.Table] = struct{}{}
+			strSet[p.Column] = struct{}{}
+		}
+	}
+	strs := make([]string, 0, len(strSet))
+	for s := range strSet {
+		strs = append(strs, s)
+	}
+	sort.Strings(strs)
+	strID := make(map[string]uint32, len(strs))
+	for i, s := range strs {
+		strID[s] = uint32(i)
+	}
+
+	var termBlob, postBlob, strBlob, idx []byte
+	var postCount uint64
+	u32 := func(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+	u64 := func(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+	for _, term := range names {
+		idx = u64(idx, uint64(len(termBlob)))
+		idx = u64(idx, uint64(len(postBlob)))
+		termBlob = append(termBlob, term...)
+		ps := append([]Posting(nil), terms[term]...)
+		sort.Slice(ps, func(i, j int) bool { return ps[i].less(ps[j]) })
+		prev := -1
+		for i, p := range ps {
+			if prev >= 0 && ps[prev] == p {
+				continue
+			}
+			prev = i
+			postBlob = u32(postBlob, strID[p.Table])
+			postBlob = u32(postBlob, strID[p.Column])
+			postBlob = u32(postBlob, uint32(len(p.Key)))
+			postBlob = append(postBlob, p.Key...)
+			postCount++
+		}
+	}
+	// Closing fencepost.
+	idx = u64(idx, uint64(len(termBlob)))
+	idx = u64(idx, uint64(len(postBlob)))
+
+	for _, s := range strs {
+		strBlob = u32(strBlob, uint32(len(s)))
+		strBlob = append(strBlob, s...)
+	}
+
+	payload := make([]byte, 0, len(idx)+len(termBlob)+len(postBlob)+len(strBlob))
+	payload = append(payload, idx...)
+	payload = append(payload, termBlob...)
+	payload = append(payload, postBlob...)
+	payload = append(payload, strBlob...)
+
+	head := make([]byte, 0, headerSize)
+	head = append(head, Magic...)
+	head = u32(head, FormatVersion)
+	head = u32(head, 0)
+	head = u64(head, uint64(len(names)))
+	head = u64(head, postCount)
+	head = u64(head, uint64(len(payload)))
+	head = u32(head, crc32.Checksum(payload, castagnoli))
+	head = u32(head, uint32(len(strs)))
+	head = u64(head, uint64(len(termBlob)))
+	head = u64(head, uint64(len(postBlob)))
+	head = u64(head, uint64(len(strBlob)))
+	head = u32(head, 0)
+	head = u32(head, crc32.Checksum(head, castagnoli))
+
+	return append(head, payload...)
+}
+
+// parsed holds the section views a validated segment exposes. All slices
+// alias the original (possibly mmap'd) buffer.
+type parsed struct {
+	termCount int
+	postCount uint64
+	idx       []byte // fencepost section
+	termBlob  []byte
+	postBlob  []byte
+	strs      []string // decoded string table (small: table + column names)
+}
+
+// parse validates data as a segment image and returns the section views.
+// Validation is a single linear pass: header checks, both checksums, and
+// a structural walk of every fencepost, posting record, and string entry
+// — after it succeeds, lookups can trust every offset in the file. Any
+// inconsistency returns ErrCorrupt (wrapped with detail).
+func parse(data []byte) (*parsed, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:8]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	le := binary.LittleEndian
+	if got := crc32.Checksum(data[:76], castagnoli); got != le.Uint32(data[76:80]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	if v := le.Uint32(data[8:12]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, v)
+	}
+	termCount := le.Uint64(data[16:24])
+	postCount := le.Uint64(data[24:32])
+	payloadLen := le.Uint64(data[32:40])
+	payloadCRC := le.Uint32(data[40:44])
+	strCount := le.Uint32(data[44:48])
+	termLen := le.Uint64(data[48:56])
+	postLen := le.Uint64(data[56:64])
+	strLen := le.Uint64(data[64:72])
+
+	if payloadLen != uint64(len(data)-headerSize) {
+		return nil, fmt.Errorf("%w: payload length %d does not match file size", ErrCorrupt, payloadLen)
+	}
+	// Counts are bounded by what the payload could physically hold —
+	// rejects absurd values before any multiplication can overflow.
+	if termCount > payloadLen/fenceSize || strCount > uint32(min64(payloadLen/4, 1<<31)) || postCount > payloadLen/12 {
+		return nil, fmt.Errorf("%w: counts exceed payload capacity", ErrCorrupt)
+	}
+	idxLen := (termCount + 1) * fenceSize
+	if idxLen+termLen+postLen+strLen != payloadLen {
+		return nil, fmt.Errorf("%w: section lengths do not sum to payload length", ErrCorrupt)
+	}
+	payload := data[headerSize:]
+	if crc32.Checksum(payload, castagnoli) != payloadCRC {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	p := &parsed{
+		termCount: int(termCount),
+		postCount: postCount,
+		idx:       payload[:idxLen],
+		termBlob:  payload[idxLen : idxLen+termLen],
+		postBlob:  payload[idxLen+termLen : idxLen+termLen+postLen],
+	}
+	strBlob := payload[idxLen+termLen+postLen:]
+
+	// Fenceposts: non-decreasing, opening at 0, closing at the blob ends.
+	prevT, prevP := uint64(0), uint64(0)
+	for i := 0; i <= p.termCount; i++ {
+		t := le.Uint64(p.idx[i*fenceSize:])
+		po := le.Uint64(p.idx[i*fenceSize+8:])
+		if i == 0 && (t != 0 || po != 0) {
+			return nil, fmt.Errorf("%w: first fencepost not at offset zero", ErrCorrupt)
+		}
+		if t < prevT || po < prevP || t > termLen || po > postLen {
+			return nil, fmt.Errorf("%w: fencepost %d out of order or out of range", ErrCorrupt, i)
+		}
+		prevT, prevP = t, po
+	}
+	if prevT != termLen || prevP != postLen {
+		return nil, fmt.Errorf("%w: final fencepost does not close the blobs", ErrCorrupt)
+	}
+	// Terms strictly ascending (binary search depends on it).
+	for i := 1; i < p.termCount; i++ {
+		if string(p.term(i-1)) >= string(p.term(i)) {
+			return nil, fmt.Errorf("%w: terms not strictly ascending at %d", ErrCorrupt, i)
+		}
+	}
+	// String table walk.
+	p.strs = make([]string, 0, strCount)
+	off := 0
+	for i := uint32(0); i < strCount; i++ {
+		if off+4 > len(strBlob) {
+			return nil, fmt.Errorf("%w: string table truncated", ErrCorrupt)
+		}
+		n := int(le.Uint32(strBlob[off:]))
+		off += 4
+		if n < 0 || off+n > len(strBlob) {
+			return nil, fmt.Errorf("%w: string entry %d overruns blob", ErrCorrupt, i)
+		}
+		p.strs = append(p.strs, string(strBlob[off:off+n]))
+		off += n
+	}
+	if off != len(strBlob) {
+		return nil, fmt.Errorf("%w: trailing bytes after string table", ErrCorrupt)
+	}
+	// Postings walk: every record in bounds, IDs resolvable, count exact.
+	var walked uint64
+	for i := 0; i < p.termCount; i++ {
+		start, end := le.Uint64(p.idx[i*fenceSize+8:]), le.Uint64(p.idx[(i+1)*fenceSize+8:])
+		off := start
+		for off < end {
+			if off+12 > end {
+				return nil, fmt.Errorf("%w: posting record truncated in term %d", ErrCorrupt, i)
+			}
+			tid := le.Uint32(p.postBlob[off:])
+			cid := le.Uint32(p.postBlob[off+4:])
+			klen := uint64(le.Uint32(p.postBlob[off+8:]))
+			if tid >= strCount || cid >= strCount {
+				return nil, fmt.Errorf("%w: posting references string %d/%d beyond table", ErrCorrupt, tid, cid)
+			}
+			if off+12+klen > end {
+				return nil, fmt.Errorf("%w: posting key overruns term %d postings", ErrCorrupt, i)
+			}
+			off += 12 + klen
+			walked++
+		}
+	}
+	if walked != postCount {
+		return nil, fmt.Errorf("%w: posting count %d does not match header %d", ErrCorrupt, walked, postCount)
+	}
+	return p, nil
+}
+
+// term returns term i's bytes, aliasing the underlying buffer.
+func (p *parsed) term(i int) []byte {
+	le := binary.LittleEndian
+	a := le.Uint64(p.idx[i*fenceSize:])
+	b := le.Uint64(p.idx[(i+1)*fenceSize:])
+	return p.termBlob[a:b]
+}
+
+// postings appends term i's postings to dst, decoding records straight
+// from the (validated) blob.
+func (p *parsed) postings(i int, dst []Posting) []Posting {
+	le := binary.LittleEndian
+	off := le.Uint64(p.idx[i*fenceSize+8:])
+	end := le.Uint64(p.idx[(i+1)*fenceSize+8:])
+	for off < end {
+		tid := le.Uint32(p.postBlob[off:])
+		cid := le.Uint32(p.postBlob[off+4:])
+		klen := uint64(le.Uint32(p.postBlob[off+8:]))
+		dst = append(dst, Posting{
+			Table:  p.strs[tid],
+			Column: p.strs[cid],
+			Key:    string(p.postBlob[off+12 : off+12+klen]),
+		})
+		off += 12 + klen
+	}
+	return dst
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

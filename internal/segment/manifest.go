@@ -1,0 +1,173 @@
+package segment
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nebula/internal/vfs"
+)
+
+// The manifest is the segment directory's source of truth: the set of
+// live segment files, the checkpoint identity they cover, and the next
+// segment file number. Manifests are numbered (MANIFEST-000001, …) and
+// written through the temp/fsync/rename discipline; recovery scans them
+// newest-first and uses the first one that decodes, checksums, and whose
+// every listed segment opens and validates — a torn manifest or a
+// missing/corrupt segment just falls back to the previous generation.
+
+const (
+	manifestMagic   = "NEBMAN1\x00"
+	manifestVersion = 1
+	manifestPrefix  = "MANIFEST-"
+	segmentPrefix   = "SEG-"
+	segmentSuffix   = ".nebseg"
+)
+
+// SegmentInfo describes one live segment file in a manifest.
+type SegmentInfo struct {
+	Name     string
+	Terms    uint64
+	Postings uint64
+	Size     int64
+}
+
+// Manifest is the gob-encoded payload of a manifest file.
+type Manifest struct {
+	Version int
+	// StoreSeq is the engine checkpoint sequence this manifest belongs
+	// to; together with WALSegment it pins the snapshot generation the
+	// segments are consistent with. A mismatch at open means the store
+	// and the snapshot crashed on different sides of a checkpoint and
+	// the segments must be discarded.
+	StoreSeq   uint64
+	WALSegment uint64
+	// NextSegmentID numbers the next segment file so a new generation
+	// never reuses a name an old manifest might still reference.
+	NextSegmentID uint64
+	Segments      []SegmentInfo
+}
+
+func manifestName(id uint64) string { return fmt.Sprintf("%s%06d", manifestPrefix, id) }
+
+// SegmentFileName formats the numbered segment file name.
+func SegmentFileName(id uint64) string {
+	return fmt.Sprintf("%s%06d%s", segmentPrefix, id, segmentSuffix)
+}
+
+func parseNumbered(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	id, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// encodeManifest frames m: magic, version, payload length, CRC32C, gob.
+func encodeManifest(m Manifest) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 24+payload.Len())
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload.Bytes(), castagnoli))
+	return append(buf, payload.Bytes()...), nil
+}
+
+func decodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if len(data) < 24 || string(data[:8]) != manifestMagic {
+		return m, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(data[8:12]); v != manifestVersion {
+		return m, fmt.Errorf("%w: unsupported manifest version %d", ErrCorrupt, v)
+	}
+	plen := le.Uint64(data[12:20])
+	if plen != uint64(len(data)-24) {
+		return m, fmt.Errorf("%w: manifest payload length mismatch", ErrCorrupt)
+	}
+	payload := data[24:]
+	if crc32.Checksum(payload, castagnoli) != le.Uint32(data[20:24]) {
+		return m, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return m, fmt.Errorf("%w: manifest gob: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// writeFileAtomic writes data to path via the temp/fsync/rename/dirsync
+// discipline shared with the WAL and snapshot writers.
+func writeFileAtomic(fsys vfs.FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// scanDir lists manifest IDs (descending) and all segment-ish file names
+// present in dir.
+func scanDir(fsys vfs.FS, dir string) (manifests []uint64, files map[string]struct{}, err error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, map[string]struct{}{}, nil
+		}
+		return nil, nil, err
+	}
+	files = make(map[string]struct{}, len(names))
+	for _, n := range names {
+		files[n] = struct{}{}
+		if id, ok := parseNumbered(n, manifestPrefix, ""); ok {
+			manifests = append(manifests, id)
+		}
+	}
+	sort.Slice(manifests, func(i, j int) bool { return manifests[i] > manifests[j] })
+	return manifests, files, nil
+}
+
+func readAll(fsys vfs.FS, path string) ([]byte, error) {
+	r, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}

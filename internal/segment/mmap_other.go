@@ -1,0 +1,15 @@
+//go:build !unix
+
+package segment
+
+import "os"
+
+// mapFile reads path whole on platforms without a usable mmap: the
+// format still works, it just costs heap instead of address space.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. The file descriptor is closed
+// immediately after mapping — the mapping keeps the inode alive. Empty
+// files cannot be mapped; they fall back to an empty heap buffer (which
+// parse rejects as shorter than the header, the correct outcome).
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Mapping can fail on exotic filesystems; degrade to a plain read.
+		buf, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return buf, nil, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

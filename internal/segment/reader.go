@@ -1,0 +1,100 @@
+package segment
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Reader is a validated, read-only view of one segment. The underlying
+// bytes are memory-mapped where the platform supports it (so a segment
+// costs address space, not resident heap) and read whole otherwise.
+// Readers are safe for concurrent use; Close unmaps the file and must
+// not race with in-flight lookups — the Store guarantees that by
+// holding its write lock across reader swaps.
+type Reader struct {
+	name    string
+	size    int64
+	data    []byte
+	unmap   func() error // nil when the data is a plain heap buffer
+	*parsed              // section views into data
+}
+
+// OpenBytes validates data as a segment image and returns a reader over
+// it. This is the common entry for in-memory use, tests, and the fuzz
+// target; OpenFile layers mmap on top.
+func OpenBytes(name string, data []byte) (*Reader, error) {
+	p, err := parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{name: name, size: int64(len(data)), data: data, parsed: p}, nil
+}
+
+// OpenFile maps the segment at path and validates it. Reads bypass the
+// vfs seam deliberately: fault injection targets the write path, and
+// mmap needs a real file descriptor.
+func OpenFile(path string) (*Reader, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, perr := parse(data)
+	if perr != nil {
+		if unmap != nil {
+			_ = unmap()
+		}
+		return nil, perr
+	}
+	return &Reader{name: path, size: int64(len(data)), data: data, unmap: unmap, parsed: p}, nil
+}
+
+// Name returns the path (or label) the reader was opened with.
+func (r *Reader) Name() string { return r.name }
+
+// Size returns the segment's byte size.
+func (r *Reader) Size() int64 { return r.size }
+
+// Terms returns the number of distinct terms in the segment.
+func (r *Reader) Terms() int { return r.termCount }
+
+// Postings returns the total posting count in the segment.
+func (r *Reader) Postings() uint64 { return r.postCount }
+
+// Mapped reports whether the segment is memory-mapped (as opposed to a
+// heap buffer).
+func (r *Reader) Mapped() bool { return r.unmap != nil }
+
+// Lookup appends the postings for term to dst (which may be nil) and
+// returns the extended slice. The term dictionary is binary-searched
+// directly in the mapped bytes; only a hit decodes postings.
+func (r *Reader) Lookup(term string, dst []Posting) []Posting {
+	target := []byte(term)
+	i := sort.Search(r.termCount, func(i int) bool {
+		return bytes.Compare(r.term(i), target) >= 0
+	})
+	if i >= r.termCount || !bytes.Equal(r.term(i), target) {
+		return dst
+	}
+	return r.postings(i, dst)
+}
+
+// walk visits every term in ascending order with its decoded postings.
+// Used by compaction to merge segments; the postings slice is freshly
+// allocated per term and may be retained.
+func (r *Reader) walk(fn func(term string, ps []Posting)) {
+	for i := 0; i < r.termCount; i++ {
+		fn(string(r.term(i)), r.postings(i, nil))
+	}
+}
+
+// Close releases the mapping. The reader must not be used afterwards.
+func (r *Reader) Close() error {
+	if r.unmap != nil {
+		u := r.unmap
+		r.unmap = nil
+		r.data = nil
+		return u()
+	}
+	r.data = nil
+	return nil
+}

@@ -1,0 +1,351 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func samplePostings() map[string][]Posting {
+	return map[string][]Posting{
+		"alpha": {
+			{Table: "genes", Column: "Name", Key: "g1"},
+			{Table: "genes", Column: "Desc", Key: "g1"},
+			{Table: "proteins", Column: "Name", Key: "p9"},
+		},
+		"beta": {
+			{Table: "genes", Column: "Name", Key: "g2"},
+		},
+		"βeta-unicode": {
+			{Table: "proteins", Column: "Desc", Key: "p1"},
+		},
+	}
+}
+
+func sorted(ps []Posting) []Posting {
+	out := append([]Posting(nil), ps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// TestBuildRoundTrip: every term written comes back with exactly its
+// postings, misses return nothing, and building the same content twice
+// yields identical bytes (the determinism the identity gate rests on).
+func TestBuildRoundTrip(t *testing.T) {
+	terms := samplePostings()
+	data := Build(terms)
+	r, err := OpenBytes("mem", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Terms() != len(terms) {
+		t.Fatalf("terms=%d want %d", r.Terms(), len(terms))
+	}
+	for term, want := range terms {
+		got := r.Lookup(term, nil)
+		if !reflect.DeepEqual(sorted(got), sorted(want)) {
+			t.Fatalf("term %q: got %v want %v", term, got, want)
+		}
+	}
+	if got := r.Lookup("missing", nil); len(got) != 0 {
+		t.Fatalf("miss returned %v", got)
+	}
+	if string(Build(samplePostings())) != string(data) {
+		t.Fatal("Build is not deterministic")
+	}
+}
+
+// TestBuildDedupsPostings: duplicate (table, key, column) entries for a
+// term collapse to one posting.
+func TestBuildDedupsPostings(t *testing.T) {
+	p := Posting{Table: "t", Column: "c", Key: "k"}
+	data := Build(map[string][]Posting{"x": {p, p, p}})
+	r, err := OpenBytes("mem", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Lookup("x", nil); len(got) != 1 || got[0] != p {
+		t.Fatalf("got %v want exactly one %v", got, p)
+	}
+}
+
+// TestOpenFileMmap: the file path maps the segment and answers the same
+// lookups as the in-memory reader.
+func TestOpenFileMmap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	data := Build(samplePostings())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Lookup("alpha", nil); len(got) != 3 {
+		t.Fatalf("alpha postings = %v", got)
+	}
+	if r.Size() != int64(len(data)) {
+		t.Fatalf("size=%d want %d", r.Size(), len(data))
+	}
+}
+
+// TestCorruptionDetection flips every byte of a small segment in turn;
+// no single-byte corruption may open successfully (the checksums cover
+// the whole file).
+func TestCorruptionDetection(t *testing.T) {
+	data := Build(samplePostings())
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := OpenBytes("mut", mut); err == nil {
+			t.Fatalf("byte %d: corruption not detected", i)
+		}
+	}
+	// Truncations at every prefix length must also fail.
+	for _, cut := range []int{0, 1, headerSize - 1, headerSize, len(data) / 2, len(data) - 1} {
+		if _, err := OpenBytes("trunc", data[:cut]); err == nil {
+			t.Fatalf("truncation to %d not detected", cut)
+		}
+	}
+}
+
+// TestStoreFlushLookupRestart: flush two generations, look terms up,
+// reopen from disk, and get the same answers with the same boundary.
+func TestStoreFlushLookupRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(1, 0, map[string][]Posting{
+		"alpha": {{Table: "t", Column: "c", Key: "k1"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(2, 0, map[string][]Posting{
+		"alpha": {{Table: "t", Column: "c", Key: "k2"}},
+		"gamma": {{Table: "t", Column: "c", Key: "k3"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(s *Store) {
+		t.Helper()
+		if got := s.Lookup("alpha", nil); len(got) != 2 {
+			t.Fatalf("alpha across segments = %v", got)
+		}
+		if got := s.Lookup("gamma", nil); len(got) != 1 {
+			t.Fatalf("gamma = %v", got)
+		}
+		if s.Seq() != 2 {
+			t.Fatalf("seq=%d want 2", s.Seq())
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Segments() != 2 {
+		t.Fatalf("reopened segments=%d want 2", s2.Segments())
+	}
+	check(s2)
+}
+
+// TestStoreEmptyFlushMovesBoundary: a flush with no postings still
+// publishes the new checkpoint sequence (otherwise every quiet
+// checkpoint would force a reset at the next recovery).
+func TestStoreEmptyFlushMovesBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(7, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Seq() != 7 || s2.WALSegment() != 3 {
+		t.Fatalf("boundary = (%d,%d) want (7,3)", s2.Seq(), s2.WALSegment())
+	}
+}
+
+// TestStoreCompaction: exceeding the threshold merges the oldest
+// segments; content is unchanged, boundary is unchanged, and the
+// merged layout survives a reopen.
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		err := s.Flush(uint64(i+1), 0, map[string][]Posting{
+			fmt.Sprintf("term%d", i): {{Table: "t", Column: "c", Key: fmt.Sprintf("k%d", i)}},
+			"shared":                 {{Table: "t", Column: "c", Key: fmt.Sprintf("s%d", i)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.WaitCompaction()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Segments(); got > 2 {
+		t.Fatalf("segments=%d want <=2 after compaction", got)
+	}
+	if got := s.Lookup("shared", nil); len(got) != 5 {
+		t.Fatalf("shared postings after compaction = %d want 5", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		if got := s.Lookup(fmt.Sprintf("term%d", i), nil); len(got) != 1 {
+			t.Fatalf("term%d lost in compaction: %v", i, got)
+		}
+	}
+	if s.Seq() != 5 {
+		t.Fatalf("compaction moved seq to %d", s.Seq())
+	}
+	s.Close()
+
+	s2, err := Open(dir, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Lookup("shared", nil); len(got) != 5 {
+		t.Fatalf("reopened shared postings = %d want 5", len(got))
+	}
+}
+
+// TestStoreFallbackToPreviousManifest: corrupting the newest manifest
+// makes Open recover the previous generation and count the fallback.
+func TestStoreFallbackToPreviousManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(1, 0, map[string][]Posting{"a": {{Table: "t", Column: "c", Key: "k1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(2, 0, map[string][]Posting{"b": {{Table: "t", Column: "c", Key: "k2"}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Tear the newest manifest.
+	path := filepath.Join(dir, manifestName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Seq() != 1 {
+		t.Fatalf("fallback seq=%d want 1", s2.Seq())
+	}
+	if got := s2.Lookup("a", nil); len(got) != 1 {
+		t.Fatalf("previous generation term lost: %v", got)
+	}
+	if got := s2.Lookup("b", nil); len(got) != 0 {
+		t.Fatalf("torn generation term visible: %v", got)
+	}
+	if st := s2.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("fallbacks=%d want 1", st.Fallbacks)
+	}
+}
+
+// TestStoreReset: a boundary mismatch reset empties the live set; the
+// next flush publishes a fresh generation and later GC reclaims the old
+// files.
+func TestStoreReset(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(1, 0, map[string][]Posting{"a": {{Table: "t", Column: "c", Key: "k"}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Seq() != 0 || s.Segments() != 0 {
+		t.Fatalf("reset left seq=%d segments=%d", s.Seq(), s.Segments())
+	}
+	if got := s.Lookup("a", nil); len(got) != 0 {
+		t.Fatalf("reset store still answers: %v", got)
+	}
+	if err := s.Flush(5, 0, map[string][]Posting{"z": {{Table: "t", Column: "c", Key: "k"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Resets != 1 || st.Seq != 5 {
+		t.Fatalf("stats after reset+flush: %+v", st)
+	}
+	s.Close()
+}
+
+// TestManifestRoundTrip pins the manifest framing: encode/decode is
+// lossless and single-byte corruption anywhere is detected.
+func TestManifestRoundTrip(t *testing.T) {
+	m := Manifest{
+		Version:       manifestVersion,
+		StoreSeq:      42,
+		WALSegment:    7,
+		NextSegmentID: 9,
+		Segments:      []SegmentInfo{{Name: "SEG-000001.nebseg", Terms: 3, Postings: 11, Size: 512}},
+	}
+	data, err := encodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if _, err := decodeManifest(mut); err == nil {
+			t.Fatalf("byte %d: manifest corruption not detected", i)
+		}
+	}
+}
+
+// TestParseRejectsCraftedCounts: a header advertising counts far beyond
+// what the payload can hold is rejected before any allocation.
+func TestParseRejectsCraftedCounts(t *testing.T) {
+	data := Build(map[string][]Posting{"a": {{Table: "t", Column: "c", Key: "k"}}})
+	mut := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(mut[16:], 1<<60) // absurd term count
+	// Recompute the header CRC so only the sanity check can catch it.
+	binary.LittleEndian.PutUint32(mut[76:], crc32.Checksum(mut[:76], castagnoli))
+	if _, err := OpenBytes("crafted", mut); err == nil {
+		t.Fatal("crafted term count accepted")
+	}
+}

@@ -68,6 +68,10 @@ type ingestStatusResponse struct {
 	// Shards reports the engine's hash-partitioned synchronization domain:
 	// how queued work and annotation state distribute across shards.
 	Shards nebula.ShardStats `json:"shards"`
+	// Segments reports the disk-backed index substrate (segment files,
+	// flush/compaction counters, in-heap tail). Enabled false when the
+	// engine runs the pure in-heap index.
+	Segments nebula.StoreStats `json:"segments"`
 }
 
 type ingestFlushRequest struct {
@@ -321,6 +325,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	renderWALMetrics(w, s.Engine().WALStats(), snapshot.DirSyncFailures())
 	renderIngestMetrics(w, s.Engine().IngestStats())
 	renderShardMetrics(w, s.Engine().ShardStats())
+	renderSegmentMetrics(w, s.Engine().StoreStats())
 }
 
 // handleAddAnnotation implements Stage 0 over the wire: insert an
@@ -380,7 +385,7 @@ func (s *Server) handleAddAnnotationAsync(w http.ResponseWriter, r *http.Request
 		attach = append(attach, t)
 	}
 	eng := s.Engine()
-	job, err := eng.AddAnnotationAsync(&nebula.Annotation{
+	adm, err := eng.AddAnnotationAsync(&nebula.Annotation{
 		ID:     nebula.AnnotationID(req.ID),
 		Author: req.Author,
 		Body:   req.Body,
@@ -388,12 +393,17 @@ func (s *Server) handleAddAnnotationAsync(w http.ResponseWriter, r *http.Request
 	}, attach, req.Priority)
 	switch {
 	case err == nil:
-		stats := eng.IngestStats()
+		// Position and depth come from the admission itself, not a second
+		// IngestStats read: between enqueue and a post-hoc read, concurrent
+		// submissions or drains could have moved the queue, and the 202
+		// would report a state this job was never actually in.
 		writeJSON(w, http.StatusAccepted, map[string]any{
-			"id":          req.ID,
-			"seq":         job.Seq,
-			"priority":    job.Priority,
-			"queue_depth": stats.QueueDepth,
+			"id":             req.ID,
+			"seq":            adm.Seq,
+			"priority":       adm.Priority,
+			"queue_position": adm.Position,
+			"queue_depth":    adm.Depth,
+			"coalesced":      adm.Coalesced,
 		})
 	case errors.Is(err, nebula.ErrIngestQueueFull):
 		s.metrics.observeRejection("ingest_queue_full")
@@ -410,9 +420,10 @@ func (s *Server) handleAddAnnotationAsync(w http.ResponseWriter, r *http.Request
 func (s *Server) handleIngestStatus(w http.ResponseWriter, r *http.Request) {
 	eng := s.Engine()
 	resp := ingestStatusResponse{
-		Stats:  eng.IngestStats(),
-		Jobs:   []ingestJobJSON{},
-		Shards: eng.ShardStats(),
+		Stats:    eng.IngestStats(),
+		Jobs:     []ingestJobJSON{},
+		Shards:   eng.ShardStats(),
+		Segments: eng.StoreStats(),
 	}
 	now := time.Now()
 	for _, j := range eng.IngestJobs() {

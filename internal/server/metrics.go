@@ -349,6 +349,31 @@ func renderIngestMetrics(w io.Writer, is nebula.IngestStats) {
 	fmt.Fprintf(w, "# TYPE nebula_ingest_freshness_seconds_count counter\nnebula_ingest_freshness_seconds_count %d\n", is.FreshnessJobs)
 }
 
+// renderSegmentMetrics writes the disk-backed index series: live segment
+// counts and sizes, flush/compaction/fallback counters, and the in-heap
+// tail the segments have not absorbed yet. All zero (enabled 0) when the
+// engine runs the pure in-heap index.
+func renderSegmentMetrics(w io.Writer, ss nebula.StoreStats) {
+	fmt.Fprintf(w, "# TYPE nebula_segment_enabled gauge\nnebula_segment_enabled %d\n", boolGauge(ss.Enabled))
+	fmt.Fprintf(w, "# TYPE nebula_segment_files gauge\nnebula_segment_files %d\n", ss.Store.Segments)
+	fmt.Fprintf(w, "# TYPE nebula_segment_terms gauge\nnebula_segment_terms %d\n", ss.Store.Terms)
+	fmt.Fprintf(w, "# TYPE nebula_segment_postings gauge\nnebula_segment_postings %d\n", ss.Store.Postings)
+	fmt.Fprintf(w, "# TYPE nebula_segment_size_bytes gauge\nnebula_segment_size_bytes %d\n", ss.Store.SizeBytes)
+	fmt.Fprintf(w, "# TYPE nebula_segment_generation gauge\nnebula_segment_generation %d\n", ss.Store.Seq)
+	fmt.Fprintf(w, "# TYPE nebula_segment_tail_terms gauge\nnebula_segment_tail_terms %d\n", ss.TailTerms)
+	fmt.Fprintf(w, "# TYPE nebula_segment_tail_postings gauge\nnebula_segment_tail_postings %d\n", ss.TailPostings)
+	fmt.Fprintf(w, "# TYPE nebula_segment_dirty_rows gauge\nnebula_segment_dirty_rows %d\n", ss.DirtyRows)
+	fmt.Fprintf(w, "# TYPE nebula_segment_full_pending gauge\nnebula_segment_full_pending %d\n", boolGauge(ss.FullPending))
+	fmt.Fprintf(w, "# TYPE nebula_segment_flushes_total counter\nnebula_segment_flushes_total %d\n", ss.Store.Flushes)
+	fmt.Fprintf(w, "# TYPE nebula_segment_flushed_postings_total counter\nnebula_segment_flushed_postings_total %d\n", ss.Store.FlushedPostings)
+	fmt.Fprintf(w, "# TYPE nebula_segment_compactions_total counter\nnebula_segment_compactions_total %d\n", ss.Store.Compactions)
+	fmt.Fprintf(w, "# TYPE nebula_segment_compact_errors_total counter\nnebula_segment_compact_errors_total %d\n", ss.Store.CompactErrors)
+	fmt.Fprintf(w, "# TYPE nebula_segment_replaced_total counter\nnebula_segment_replaced_total %d\n", ss.Store.SegmentsReplaced)
+	fmt.Fprintf(w, "# TYPE nebula_segment_manifest_fallbacks_total counter\nnebula_segment_manifest_fallbacks_total %d\n", ss.Store.Fallbacks)
+	fmt.Fprintf(w, "# TYPE nebula_segment_resets_total counter\nnebula_segment_resets_total %d\n", ss.Store.Resets)
+	fmt.Fprintf(w, "# TYPE nebula_segment_lookups_total counter\nnebula_segment_lookups_total %d\n", ss.Store.Lookups)
+}
+
 // renderShardMetrics writes the sharding series: the configured shard
 // count plus per-shard gauges for homed annotations, their attachment
 // edges, the distinct rows those edges touch, and the shard's mutation

@@ -50,18 +50,50 @@ func TestLoadDetectsBitFlips(t *testing.T) {
 }
 
 func TestLoadLegacyBareGob(t *testing.T) {
-	// Pre-checksum snapshots are bare gob streams; they must still load.
+	// Pre-checksum snapshots are bare gob streams; the explicit LoadLegacy
+	// escape hatch must still decode them...
 	_, snap := capture(t)
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(snap); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := Load(&buf)
+	data := legacy.Bytes()
+	loaded, err := LoadLegacy(bytes.NewReader(data))
 	if err != nil {
-		t.Fatalf("legacy stream rejected: %v", err)
+		t.Fatalf("legacy stream rejected by LoadLegacy: %v", err)
 	}
 	if loaded.Version != FormatVersion || len(loaded.Tables) != len(snap.Tables) {
 		t.Error("legacy stream decoded incorrectly")
+	}
+	// ...while strict Load refuses the same stream as corrupt: silently
+	// decoding unverified gob was the integrity hole.
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict Load on bare gob: error %v is not ErrCorrupt", err)
+	}
+}
+
+func TestLoadDetectsCorruptedMagic(t *testing.T) {
+	// A modern snapshot whose magic got clobbered must surface as
+	// ErrCorrupt on Load — before the fix it fell through to the legacy
+	// bare-gob path and was decoded with no integrity check at all.
+	data := encoded(t)
+	for off := 0; off < len(magic); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0xFF
+		if _, err := Load(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("magic byte %d flipped: error %v is not ErrCorrupt", off, err)
+		}
+		// LoadLegacy treats it as a legacy candidate, but gob decode of a
+		// checksummed header is overwhelmingly garbage — it must error,
+		// never hand back a half-decoded snapshot silently. (Any error is
+		// acceptable; what matters is that Load above is strict.)
+		if loaded, err := LoadLegacy(bytes.NewReader(mut)); err == nil && loaded != nil && len(loaded.Tables) == 0 {
+			t.Errorf("magic byte %d flipped: LoadLegacy returned empty snapshot without error", off)
+		}
+	}
+	// Short streams (fewer bytes than the magic) are corrupt too, not legacy.
+	if _, err := Load(bytes.NewReader(data[:3])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("3-byte stream: error %v is not ErrCorrupt", err)
 	}
 }
 

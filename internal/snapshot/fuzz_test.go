@@ -113,10 +113,11 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	f.Add(1, 30, 1, 0.0, uint64(123456789), []byte{0xff, 0xfe, 0x00})
 	f.Add(17, 1, 100, 0.5, uint64(1<<60), []byte("NEBSNAP"))
 	f.Fuzz(func(t *testing.T, rows, anns, batchSize int, mu float64, seed uint64, raw []byte) {
-		// Arbitrary bytes must never panic the decoder, whatever they hold.
-		// Decoding garbage successfully is fine (the legacy fallback accepts
-		// any valid gob); only panics are bugs here.
+		// Arbitrary bytes must never panic either decoder, whatever they
+		// hold. LoadLegacy decoding garbage successfully is fine (it accepts
+		// any valid gob by design); only panics are bugs here.
 		_, _ = Load(bytes.NewReader(raw))
+		_, _ = LoadLegacy(bytes.NewReader(raw))
 
 		// Clamp the fuzzed primitives to constructible states. mu outside
 		// [0,1) and non-finite values are normalized, not rejected: the

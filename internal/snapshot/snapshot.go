@@ -3,9 +3,10 @@
 // Annotations Connectivity Graph (including its stability counters), and
 // the hop-distance profile. The format is a gob stream behind a
 // checksummed header (magic, version, payload length, CRC32-Castagnoli);
-// Load verifies integrity before decoding and falls back to bare-gob for
-// legacy streams. SaveFile adds durability: temp file + fsync + atomic
-// rename.
+// Load verifies integrity before decoding and rejects anything without the
+// magic as ErrCorrupt. Pre-checksum bare-gob state files load only through
+// the explicit LoadLegacy escape hatch. SaveFile adds durability: temp
+// file + fsync + atomic rename.
 //
 // The NebulaMeta repository is deliberately NOT part of a snapshot:
 // ConceptRefs, equivalent names, ontologies, and value patterns are
@@ -37,9 +38,9 @@ import (
 // FormatVersion identifies the on-disk layout; Load rejects mismatches.
 const FormatVersion = 1
 
-// magic opens every checksummed snapshot stream. Streams that do not start
-// with it are treated as legacy bare-gob snapshots (the pre-checksum
-// format) and decoded without integrity verification.
+// magic opens every checksummed snapshot stream. Load rejects streams that
+// do not start with it; LoadLegacy accepts them as pre-checksum bare-gob
+// snapshots (no integrity verification — explicit opt-in only).
 var magic = [8]byte{'N', 'E', 'B', 'S', 'N', 'A', 'P', 0}
 
 // ErrCorrupt reports a snapshot stream whose header is intact but whose
@@ -68,6 +69,15 @@ type Snapshot struct {
 	// double-apply history. Zero (including in pre-WAL snapshots, where
 	// gob leaves the absent field zero) means "replay everything".
 	WALSegment uint64
+
+	// StoreSeq is the disk-backed search-index generation the snapshot
+	// pairs with: a checkpoint that flushed the index tail into segment
+	// files stamps the same sequence into both the snapshot and the
+	// segment manifest. On restore, a manifest carrying a different
+	// sequence belongs to some other moment in history and is discarded
+	// (the index is rebuilt). Zero means the snapshot was written without
+	// a disk-backed store (including pre-store snapshots).
+	StoreSeq uint64
 
 	// HasBounds/BoundsLower/BoundsUpper carry the engine's active
 	// verification thresholds. Bounds are durable configuration state —
@@ -422,9 +432,12 @@ func Save(w io.Writer, s *Snapshot) error {
 }
 
 // Load reads a snapshot written by Save, verifying the payload checksum.
-// Streams without the magic prefix are decoded as legacy bare-gob
-// snapshots, so state files written before the checksummed format remain
-// restorable.
+// A stream that does not open with the magic is rejected as ErrCorrupt:
+// treating it as a legacy bare-gob snapshot would decode a header-
+// corrupted modern snapshot with no integrity verification at all (gob
+// happily skips unknown leading bytes often enough to yield garbage
+// state). Callers that really hold a pre-checksum state file must opt in
+// explicitly via LoadLegacy.
 func Load(r io.Reader) (*Snapshot, error) {
 	head := make([]byte, len(magic))
 	n, err := io.ReadFull(r, head)
@@ -432,8 +445,7 @@ func Load(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot: read header: %w", err)
 	}
 	if n < len(magic) || !bytes.Equal(head, magic[:]) {
-		// Legacy stream: everything read so far is gob data.
-		return loadGob(io.MultiReader(bytes.NewReader(head[:n]), r))
+		return nil, fmt.Errorf("%w: bad magic (legacy bare-gob streams need LoadLegacy)", ErrCorrupt)
 	}
 	var fixed [16]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
@@ -459,6 +471,26 @@ func Load(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, sum, got)
 	}
 	return loadGob(&payload)
+}
+
+// LoadLegacy is the explicit escape hatch for state files written before
+// the checksummed format existed: a stream without the magic is decoded
+// as bare gob, with NO integrity verification. Streams that do carry the
+// magic still go through the fully verified Load path, so pointing a
+// migration job at a mixed directory is safe. Everything else should use
+// Load — a modern snapshot whose header got corrupted must surface as
+// ErrCorrupt, not silently decode as gob garbage.
+func LoadLegacy(r io.Reader) (*Snapshot, error) {
+	head := make([]byte, len(magic))
+	n, err := io.ReadFull(r, head)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("snapshot: read header: %w", err)
+	}
+	rest := io.MultiReader(bytes.NewReader(head[:n]), r)
+	if n == len(magic) && bytes.Equal(head, magic[:]) {
+		return Load(rest)
+	}
+	return loadGob(rest)
 }
 
 func loadGob(r io.Reader) (*Snapshot, error) {
@@ -548,8 +580,8 @@ func SaveFileFS(fsys vfs.FS, path string, s *Snapshot) (err error) {
 	return nil
 }
 
-// LoadFile reads a snapshot file written by SaveFile (or a legacy Save
-// stream on disk).
+// LoadFile reads a snapshot file written by SaveFile, with full integrity
+// verification; see Load for the legacy-stream policy.
 func LoadFile(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -557,4 +589,16 @@ func LoadFile(path string) (*Snapshot, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadFileLegacy reads a snapshot file via LoadLegacy: checksummed files
+// are verified, pre-checksum bare-gob files are accepted unverified. Meant
+// for one-time migration of old state directories.
+func LoadFileLegacy(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	return LoadLegacy(f)
 }

@@ -324,6 +324,56 @@ type Options struct {
 	// engine — sharding changes contention and cache residency, never
 	// output.
 	Shards int
+	// Store configures the disk-backed substrate for the inverted text
+	// index: immutable mmap'd segment files plus a small in-heap tail,
+	// flushed at checkpoints and compacted in the background (see
+	// StoreConfig). Zero value = pure in-heap index, exactly as before.
+	Store StoreConfig
+}
+
+// Default store parameters (see StoreConfig).
+const (
+	// DefaultStoreMaxSegments is the compaction trigger when no explicit
+	// bound is configured: once more segments than this exist, the oldest
+	// are merged.
+	DefaultStoreMaxSegments = 8
+)
+
+// StoreConfig configures the disk-backed inverted-index substrate. With a
+// directory set, the symbol-table search technique serves bulk postings
+// from immutable checksummed segment files (mmap'd, binary-searchable
+// without deserialization) while a small in-heap tail absorbs changes
+// since the last flush; checkpoints flush the tail to a new segment
+// instead of re-gobbing the whole index, and restart maps the segments
+// back in without rebuilding. Discovery output is byte-identical to heap
+// mode — the tiered index re-verifies every posting against the live row.
+type StoreConfig struct {
+	// Dir is the segment directory; empty disables disk mode. Created if
+	// missing. Must not be shared between engines.
+	Dir string
+	// MaxSegments bounds the live segment count: a flush that pushes the
+	// count past it triggers an oldest-first background merge. 0 selects
+	// DefaultStoreMaxSegments; negative is invalid.
+	MaxSegments int
+}
+
+// Enabled reports whether disk mode is configured.
+func (c StoreConfig) Enabled() bool { return c.Dir != "" }
+
+// Validate checks store configuration consistency.
+func (c StoreConfig) Validate() error {
+	if c.MaxSegments < 0 {
+		return fmt.Errorf("nebula: negative store segment bound %d", c.MaxSegments)
+	}
+	return nil
+}
+
+// maxSegments returns the effective compaction trigger.
+func (c StoreConfig) maxSegments() int {
+	if c.MaxSegments == 0 {
+		return DefaultStoreMaxSegments
+	}
+	return c.MaxSegments
 }
 
 // Default ingest parameters (see IngestConfig).
@@ -459,6 +509,9 @@ func (o Options) Validate() error {
 	}
 	if o.Shards > 1024 {
 		return fmt.Errorf("nebula: shard count %d exceeds 1024", o.Shards)
+	}
+	if err := o.Store.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nebula/internal/ingest"
+	"nebula/internal/segment"
 	"nebula/internal/snapshot"
 	"nebula/internal/verification"
 )
@@ -20,21 +21,33 @@ import (
 // serializable form; encoding and writing happen after it is released, so
 // a slow writer never blocks mutations for the duration of the I/O.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
-	snap, err := e.captureSnapshot()
+	snap, payload, storeSeq, err := e.captureSnapshot()
 	if err != nil {
 		return err
 	}
-	return snapshot.Save(w, snap)
+	if err := snapshot.Save(w, snap); err != nil {
+		return err
+	}
+	e.completeStoreFlush(storeSeq, 0, payload)
+	return nil
 }
 
 // captureSnapshot deep-copies the engine state into a Snapshot under the
 // read lock. The returned value shares nothing mutable with the engine
 // (Capture dumps rows and edges into plain structs), so callers serialize
-// it lock-free.
-func (e *Engine) captureSnapshot() (*snapshot.Snapshot, error) {
+// it lock-free. In disk mode the index tail is snapshotted under the same
+// lock and the flush generation stamped into the snapshot; the caller
+// passes both to completeStoreFlush once the snapshot is durable.
+func (e *Engine) captureSnapshot() (*snapshot.Snapshot, map[string][]segment.Posting, uint64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return snapshot.Capture(e.snapshotState())
+	snap, err := snapshot.Capture(e.snapshotState())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	payload, storeSeq := e.prepareStoreFlush()
+	snap.StoreSeq = storeSeq
+	return snap, payload, storeSeq, nil
 }
 
 // snapshotState assembles the capture input. Caller holds e.mu (either
@@ -107,11 +120,15 @@ func (e *Engine) SaveSnapshotFile(path string) error {
 	if e.wal != nil {
 		return e.Checkpoint(path)
 	}
-	snap, err := e.captureSnapshot()
+	snap, payload, storeSeq, err := e.captureSnapshot()
 	if err != nil {
 		return err
 	}
-	return snapshot.SaveFile(path, snap)
+	if err := snapshot.SaveFile(path, snap); err != nil {
+		return err
+	}
+	e.completeStoreFlush(storeSeq, 0, payload)
+	return nil
 }
 
 // ErrSnapshotCorrupt reports a snapshot stream that failed integrity
@@ -140,7 +157,9 @@ func RestoreEngine(r io.Reader, configureMeta func(*Database) (*MetaRepository, 
 	if err != nil {
 		return nil, fmt.Errorf("nebula: configure meta: %w", err)
 	}
-	e, err := NewWithState(st.DB, repo, st.Store, st.Graph, opts)
+	// The snapshot's StoreSeq is the segment generation the disk-backed
+	// index must carry to be adopted without a rebuild (see store.go).
+	e, err := newWithState(st.DB, repo, st.Store, st.Graph, opts, snap.StoreSeq)
 	if err != nil {
 		return nil, err
 	}

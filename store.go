@@ -1,0 +1,193 @@
+package nebula
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"nebula/internal/keyword"
+	"nebula/internal/segment"
+	"nebula/internal/trace"
+)
+
+// This file wires the disk-backed inverted-index substrate
+// (internal/segment + the tiered engine in internal/keyword) into the
+// engine. With Options.Store.Dir set, the symbol-table search technique
+// serves bulk postings from immutable mmap'd segment files while a small
+// in-heap tail absorbs every change since the last flush; checkpoints
+// flush the tail into a new segment generation instead of re-gobbing the
+// whole index, and a restart maps the segments back in without a rebuild.
+//
+// Pairing discipline: every flush stamps a generation number (StoreSeq)
+// into both the segment manifest and the snapshot written by the same
+// checkpoint. On restore, a manifest carrying the snapshot's generation
+// proves the segments cover the snapshot state (segments are strictly
+// additive between resets, so later operator flushes only widen
+// coverage); any other generation belongs to foreign history and the
+// index is rebuilt into the tail instead. Correctness never rests on the
+// segments being fresh — every posting is re-verified against the live
+// row at lookup time — the pairing only decides whether a full re-index
+// can be skipped.
+
+// openStore opens (or creates) the segment directory and binds the tiered
+// engine. expected is the manifest generation that pairs with the
+// engine's initial state; see newWithState.
+func (e *Engine) openStore(expected uint64) error {
+	st, err := segment.Open(e.opts.Store.Dir, nil, e.opts.Store.maxSegments())
+	if err != nil {
+		return fmt.Errorf("nebula: open store: %w", err)
+	}
+	st.Logf = storeLogf
+	fullPending := true
+	switch {
+	case expected > 0 && st.Seq() == expected:
+		// The segments were flushed against exactly the state this engine
+		// restores; the tail starts empty and WAL replay re-dirties
+		// whatever changed past the boundary.
+		fullPending = false
+	case expected > 0:
+		// Foreign or stale generation: discard the readers now (files are
+		// garbage-collected after the next flush) and rebuild.
+		st.Reset()
+	default:
+		// Fresh engine (no snapshot lineage): existing segments cannot be
+		// trusted to cover the caller's database, so the whole database is
+		// re-indexed into the tail. Leftover segment postings are harmless
+		// — they either fail row verification or deduplicate against the
+		// tail's own coverage.
+	}
+	e.segStore = st
+	e.storeSeq.Store(st.Seq())
+	e.tiered = keyword.NewTieredEngine(e.db, st, fullPending)
+	e.refreshRowHook()
+	return nil
+}
+
+// StoreEnabled reports whether the disk-backed index substrate is active.
+func (e *Engine) StoreEnabled() bool { return e.segStore != nil }
+
+// StoreStats describes the disk-backed index substrate: the segment
+// store's counters plus the in-heap tail. Zero value (Enabled false) when
+// disk mode is off.
+type StoreStats struct {
+	// Enabled reports whether Options.Store configured a directory.
+	Enabled bool `json:"enabled"`
+	// Store is the segment store's counter snapshot.
+	Store segment.Stats `json:"store"`
+	// TailTerms and TailPostings size the in-heap tail (unflushed index).
+	TailTerms    int `json:"tail_terms"`
+	TailPostings int `json:"tail_postings"`
+	// DirtyRows counts rows mutated since their last re-indexing.
+	DirtyRows int `json:"dirty_rows"`
+	// FullPending reports a whole-database re-index is still outstanding.
+	FullPending bool `json:"full_pending"`
+}
+
+// StoreStats returns a point-in-time view of the disk-backed index.
+func (e *Engine) StoreStats() StoreStats {
+	if e.segStore == nil {
+		return StoreStats{}
+	}
+	st := StoreStats{Enabled: true, Store: e.segStore.Stats()}
+	st.TailTerms, st.TailPostings, st.DirtyRows, st.FullPending = e.tiered.TailStats()
+	return st
+}
+
+// prepareStoreFlush snapshots the tail for flushing. Caller holds e.mu in
+// read mode alongside the snapshot capture, so the payload reflects
+// exactly the captured state — a flush of it gives the paired snapshot
+// full segment coverage. Returns the payload and the generation the flush
+// (and the snapshot) must carry; (nil, 0) when disk mode is off.
+func (e *Engine) prepareStoreFlush() (map[string][]segment.Posting, uint64) {
+	if e.tiered == nil {
+		return nil, 0
+	}
+	return e.tiered.PrepareFlush(), e.storeSeq.Load() + 1
+}
+
+// completeStoreFlush publishes the prepared payload as segment generation
+// seq, after the paired snapshot is durable. A failed flush is surfaced in
+// the log and otherwise ignored: the tail keeps every posting (CommitFlush
+// never ran), so queries stay exact, and the generation mismatch the
+// snapshot now carries simply means the next restore rebuilds the index.
+func (e *Engine) completeStoreFlush(seq, walBoundary uint64, payload map[string][]segment.Posting) {
+	if e.tiered == nil {
+		return
+	}
+	e.storeFlushMu.Lock()
+	defer e.storeFlushMu.Unlock()
+	if err := e.segStore.Flush(seq, walBoundary, payload); err != nil {
+		storeLogf("nebula: segment flush (generation %d): %v", seq, err)
+		return
+	}
+	e.storeSeq.Store(seq)
+	e.tiered.CommitFlush(payload)
+}
+
+// FlushStore flushes the in-heap index tail into a new segment file at the
+// CURRENT generation — an operator lever to cap tail memory between
+// checkpoints. Keeping the generation means the snapshot↔manifest pairing
+// is untouched: the segments only widen their coverage, which row
+// verification makes harmless. A no-op without disk mode.
+func (e *Engine) FlushStore(ctx context.Context) error {
+	if e.tiered == nil {
+		return nil
+	}
+	span, _ := trace.StartSpan(ctx, "store_flush")
+	defer span.End()
+	// storeFlushMu is taken before reading the generation so a concurrent
+	// checkpoint cannot advance it mid-flush and leave the manifest stamped
+	// with a regressed number.
+	e.storeFlushMu.Lock()
+	defer e.storeFlushMu.Unlock()
+	e.mu.RLock()
+	payload := e.tiered.PrepareFlush()
+	seq := e.storeSeq.Load()
+	boundary := e.segStore.WALSegment()
+	e.mu.RUnlock()
+	if span.Enabled() {
+		span.AddInt("terms", len(payload))
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	if err := e.segStore.Flush(seq, boundary, payload); err != nil {
+		return fmt.Errorf("nebula: segment flush: %w", err)
+	}
+	e.tiered.CommitFlush(payload)
+	return nil
+}
+
+// CompactStore merges the oldest segments into one until the configured
+// bound holds, waiting for the merge to finish (the background compaction
+// a flush triggers is the same code, minus the waiting). A no-op without
+// disk mode or with few segments.
+func (e *Engine) CompactStore(ctx context.Context) error {
+	if e.segStore == nil {
+		return nil
+	}
+	span, _ := trace.StartSpan(ctx, "store_compact")
+	defer span.End()
+	before := e.segStore.Segments()
+	if err := e.segStore.Compact(); err != nil {
+		return fmt.Errorf("nebula: segment compaction: %w", err)
+	}
+	if span.Enabled() {
+		span.AddInt("segments_before", before)
+		span.AddInt("segments_after", e.segStore.Segments())
+	}
+	return nil
+}
+
+// CloseStore waits for background compaction and unmaps every segment.
+// Part of graceful shutdown; the engine must not serve queries afterwards.
+// A no-op without disk mode.
+func (e *Engine) CloseStore() error {
+	if e.segStore == nil {
+		return nil
+	}
+	return e.segStore.Close()
+}
+
+// storeLogf routes segment-store diagnostics; swapped in tests.
+var storeLogf = log.Printf

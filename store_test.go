@@ -1,0 +1,249 @@
+package nebula_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nebula"
+	"nebula/internal/workload"
+)
+
+// restoreFromFile restores a snapshot written by the fixture engines,
+// rebuilding the NebulaMeta configuration deterministically so two
+// restores of the same file produce identical engines.
+func restoreFromFile(t *testing.T, path string, opts nebula.Options) *nebula.Engine {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	e, err := nebula.RestoreEngine(f, func(db *nebula.Database) (*nebula.MetaRepository, error) {
+		return workload.BuildMeta(db, rand.New(rand.NewSource(11)))
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// These tests pin the engine-level contract of the disk-backed index
+// substrate (Options.Store): discovery output in disk mode is
+// byte-identical to heap mode, snapshots pair with segment generations so
+// a restart adopts the mapped segments without a rebuild, and a segment
+// directory with foreign history is rebuilt instead of trusted.
+
+// storeOpts returns symbol-table options with the disk substrate at dir
+// (empty = heap mode). Caching is off so both engines do the full work.
+func storeOpts(dir string) nebula.Options {
+	opts := nebula.DefaultOptions()
+	opts.SearchTechnique = nebula.TechniqueSymbolTable
+	opts.Cache = nebula.CacheConfig{Disabled: true}
+	opts.Store = nebula.StoreConfig{Dir: dir}
+	return opts
+}
+
+// discoverAll adds every spec and renders its discovery — the identity
+// string the disk and heap engines must agree on byte for byte.
+func discoverAll(t *testing.T, e *nebula.Engine, specs []*workload.AnnotationSpec, add bool) []string {
+	t.Helper()
+	out := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		if add {
+			if err := e.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		disc, err := e.Discover(spec.Ann.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, renderDiscovery(disc))
+	}
+	return out
+}
+
+// TestStoreDiscoveryIdentity: a disk-mode engine answers every discovery
+// byte-identically to the heap-mode engine over the same dataset — before
+// any flush (pure tail), after a flush (segments + empty tail), and after
+// mutations (segments + dirty-row tail).
+func TestStoreDiscoveryIdentity(t *testing.T) {
+	heap, ds := engineFixture(t, storeOpts(""))
+	disk, _ := engineFixture(t, storeOpts(t.TempDir()))
+	t.Cleanup(func() { disk.CloseStore() })
+	specs := ds.WorkloadSet(500, workload.RefClass{Min: 1, Max: 3})
+	if len(specs) > 4 {
+		specs = specs[:4]
+	}
+
+	want := discoverAll(t, heap, specs, true)
+	got := discoverAll(t, disk, specs, true)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("pre-flush: spec %d diverged\nheap: %s\ndisk: %s", i, want[i], got[i])
+		}
+	}
+
+	// Flush the tail into segments; answers must not move.
+	if err := disk.FlushStore(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	st := disk.StoreStats()
+	if !st.Enabled || st.Store.Segments == 0 || st.TailPostings != 0 {
+		t.Fatalf("after flush: %+v", st)
+	}
+	got = discoverAll(t, disk, specs, false)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("post-flush: spec %d diverged\nheap: %s\ndisk: %s", i, want[i], got[i])
+		}
+	}
+
+	// Mutate a row both engines index, refresh both, and re-compare: the
+	// disk engine re-indexes only the dirty row, the heap engine rebuilds
+	// everything — same answers either way.
+	mut := func(e *nebula.Engine) {
+		if err := e.MutateDB(func(db *nebula.Database) error {
+			row := db.MustTable("Gene").Rows()[0]
+			return db.MustTable("Gene").UpdateByKey(row.ID.Key, "Name", nebula.String("renamed-gene"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		e.RefreshSearchIndex()
+	}
+	mut(heap)
+	mut(disk)
+	want = discoverAll(t, heap, specs, false)
+	got = discoverAll(t, disk, specs, false)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("post-mutation: spec %d diverged\nheap: %s\ndisk: %s", i, want[i], got[i])
+		}
+	}
+}
+
+// TestStoreSnapshotRestartAdoptsSegments: a snapshot written in disk mode
+// pairs with the segment generation it flushed; restoring it over the
+// same directory maps the segments back in with NO full re-index, and the
+// restored engine still answers identically to a fresh heap engine.
+func TestStoreSnapshotRestartAdoptsSegments(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "state.nebsnap")
+	storeDir := filepath.Join(dir, "segments")
+
+	disk, ds := engineFixture(t, storeOpts(storeDir))
+	specs := ds.WorkloadSet(500, workload.RefClass{Min: 1, Max: 3})[:2]
+	for _, spec := range specs {
+		if err := disk.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime the index (first discovery triggers the full re-index into the
+	// tail), then snapshot: the capture and the tail flush are paired.
+	if _, err := disk.Discover(specs[0].Ann.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.SaveSnapshotFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if st := disk.StoreStats(); st.Store.Segments == 0 || st.Store.Seq == 0 {
+		t.Fatalf("snapshot did not flush the tail: %+v", st)
+	}
+	if err := disk.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the SAME snapshot twice — once in heap mode, once over the
+	// segment directory — so both engines share state and meta exactly; the
+	// only difference is where the postings live.
+	heap := restoreFromFile(t, snapPath, storeOpts(""))
+	want := discoverAll(t, heap, specs, false)
+
+	restored := restoreFromFile(t, snapPath, storeOpts(storeDir))
+	t.Cleanup(func() { restored.CloseStore() })
+	st := restored.StoreStats()
+	if st.FullPending {
+		t.Fatalf("restore over matching segments still wants a full re-index: %+v", st)
+	}
+	if st.Store.Segments == 0 || st.Store.Resets != 0 {
+		t.Fatalf("restore did not adopt the segments: %+v", st)
+	}
+	got := discoverAll(t, restored, specs, false)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("restored: spec %d diverged\nheap: %s\ndisk: %s", i, want[i], got[i])
+		}
+	}
+
+	// Post-restore mutations flow through the hook into the tail.
+	if err := restored.MutateDB(func(db *nebula.Database) error {
+		row := db.MustTable("Gene").Rows()[0]
+		return db.MustTable("Gene").UpdateByKey(row.ID.Key, "Name", nebula.String("post-restart"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := restored.StoreStats(); st.DirtyRows == 0 {
+		t.Fatalf("mutation did not dirty the tail: %+v", st)
+	}
+}
+
+// TestStoreForeignSegmentsRebuilt: an engine with no snapshot lineage
+// (fresh NewWithState) over a directory holding earlier generations must
+// not trust them — the database is re-indexed into the tail, and answers
+// match the heap engine exactly despite the leftover segment files.
+func TestStoreForeignSegmentsRebuilt(t *testing.T) {
+	storeDir := t.TempDir()
+
+	first, ds := engineFixture(t, storeOpts(storeDir))
+	specs := ds.WorkloadSet(500, workload.RefClass{Min: 1, Max: 3})[:2]
+	for _, spec := range specs {
+		if err := first.AddAnnotation(spec.Ann, spec.Focal(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := first.Discover(specs[0].Ann.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.FlushStore(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second engine over a DIFFERENT seed's database reuses the dir:
+	// generation 0 expected, generation 1 found — full re-index pending.
+	// Generation is deterministic, so generating twice gives the heap
+	// comparator its own state without sharing the annotation store.
+	ds2, err := workload.Generate(workload.TinyConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := nebula.NewWithState(ds2.DB, ds2.Meta, ds2.Store, ds2.Graph, storeOpts(storeDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { second.CloseStore() })
+	if st := second.StoreStats(); !st.FullPending {
+		t.Fatalf("foreign segments adopted without a rebuild: %+v", st)
+	}
+
+	ds2b, err := workload.Generate(workload.TinyConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap2, err := nebula.NewWithState(ds2b.DB, ds2b.Meta, ds2b.Store, ds2b.Graph, storeOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs2 := ds2b.WorkloadSet(500, workload.RefClass{Min: 1, Max: 3})[:2]
+	want := discoverAll(t, heap2, specs2, true)
+	got := discoverAll(t, second, specs2, true)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("foreign dir: spec %d diverged\nheap: %s\ndisk: %s", i, want[i], got[i])
+		}
+	}
+}

@@ -458,14 +458,23 @@ func (e *Engine) Checkpoint(path string) error {
 	}
 	boundary := b.log.ActiveSegment()
 	snap, err := snapshot.Capture(e.snapshotState())
+	// The disk-backed index tail is snapshotted under the same read lock:
+	// the payload then covers exactly the captured state, which is what
+	// lets restore skip the index rebuild when the generations match.
+	payload, storeSeq := e.prepareStoreFlush()
 	e.mu.RUnlock()
 	if err != nil {
 		return err
 	}
 	snap.WALSegment = boundary
+	snap.StoreSeq = storeSeq
 	if err := snapshot.SaveFileFS(b.fs, path, snap); err != nil {
 		return err
 	}
+	// Flush the tail only once the paired snapshot is durable: a crash
+	// in between leaves snapshot(N)+manifest(N-1), which restore treats
+	// as a mismatch and rebuilds — never a silently stale index.
+	e.completeStoreFlush(storeSeq, boundary, payload)
 	b.checkpoints.Add(1)
 	if err := b.log.PruneBefore(boundary); err != nil {
 		// Stale segments cost disk, not correctness: the snapshot's
